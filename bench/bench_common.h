@@ -1,0 +1,77 @@
+#ifndef CLYDESDALE_BENCH_BENCH_COMMON_H_
+#define CLYDESDALE_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "mapreduce/engine.h"
+#include "sim/hadoop_cost_model.h"
+#include "sim/workload.h"
+#include "ssb/loader.h"
+#include "ssb/queries.h"
+
+namespace clydesdale {
+namespace bench {
+
+/// Scale factor for the functional measurement layer. The default keeps a
+/// full 13-query measurement pass under a minute; raise CLY_BENCH_SF for
+/// tighter selectivity estimates.
+inline double MeasurementScaleFactor() {
+  const char* env = std::getenv("CLY_BENCH_SF");
+  return env != nullptr ? std::atof(env) : 0.02;
+}
+
+/// The modeled target scale (the paper's SF 1000).
+inline double TargetScaleFactor() {
+  const char* env = std::getenv("CLY_TARGET_SF");
+  return env != nullptr ? std::atof(env) : 1000.0;
+}
+
+/// A loaded measurement cluster (functional layer).
+struct BenchEnv {
+  std::unique_ptr<mr::MrCluster> cluster;
+  ssb::SsbDataset dataset;
+};
+
+inline BenchEnv LoadBenchEnv() {
+  SetLogThreshold(LogLevel::kWarning);
+  mr::ClusterOptions copts;
+  copts.num_nodes = 4;
+  copts.map_slots_per_node = 2;
+  copts.dfs_block_size = 256 * 1024;
+  auto cluster = std::make_unique<mr::MrCluster>(copts);
+
+  ssb::SsbLoadOptions options;
+  options.scale_factor = MeasurementScaleFactor();
+  auto dataset = ssb::LoadSsb(cluster.get(), options);
+  CLY_CHECK(dataset.ok());
+  return BenchEnv{std::move(cluster), std::move(*dataset)};
+}
+
+/// Measures all 13 queries once (shared by the figure benches).
+inline std::vector<sim::QueryMeasurement> MeasureAllQueries(BenchEnv* env) {
+  std::vector<sim::QueryMeasurement> measurements;
+  for (const core::StarQuerySpec& spec : ssb::AllQueries()) {
+    auto m = sim::MeasureQuery(env->cluster.get(), env->dataset, spec);
+    CLY_CHECK(m.ok());
+    measurements.push_back(std::move(*m));
+  }
+  return measurements;
+}
+
+inline std::string Cell(double seconds) {
+  return Pad(FormatDouble(seconds, 0), -9);
+}
+
+inline std::string SpeedupCell(double base, double other) {
+  return Pad(StrCat(FormatDouble(other / base, 1), "x"), -8);
+}
+
+}  // namespace bench
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,9 @@
+// Reproduces paper Figure 7: Clydesdale vs Hive on the Star Schema Benchmark
+// at SF1000, Cluster A (8 workers, 16 GB, 8 disks, 1 GbE).
+
+#include "fig7_fig8_common.h"
+
+int main() {
+  return clydesdale::bench::RunFigure(
+      clydesdale::sim::ClusterSpec::ClusterA(), "Figure 7");
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Figure 8: Clydesdale vs Hive on the Star Schema Benchmark
+// at SF1000, Cluster B (40 workers, 32 GB, 5 disks, 1 GbE).
+
+#include "fig7_fig8_common.h"
+
+int main() {
+  return clydesdale::bench::RunFigure(
+      clydesdale::sim::ClusterSpec::ClusterB(), "Figure 8");
+}

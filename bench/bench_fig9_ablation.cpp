@@ -1,0 +1,86 @@
+// Reproduces paper Figure 9 (§6.5): the impact of turning off each of
+// Clydesdale's techniques — block iteration, columnar storage, and
+// multi-threaded map tasks — one at a time, on Cluster A at SF1000.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace clydesdale;        // NOLINT(build/namespaces)
+using namespace clydesdale::bench; // NOLINT(build/namespaces)
+
+int main() {
+  BenchEnv env = LoadBenchEnv();
+  const sim::ClusterSpec spec = sim::ClusterSpec::ClusterA();
+  const double target_sf = TargetScaleFactor();
+
+  std::printf(
+      "Figure 9: Clydesdale feature ablation on Cluster A at SF%.0f "
+      "(seconds; slowdown vs full system)\n\n",
+      target_sf);
+  std::printf("%-6s %-10s %-22s %-22s %-22s\n", "query", "full",
+              "no block iteration", "no columnar", "no multithreading");
+
+  sim::ModelOptions full;
+  full.target_sf = target_sf;
+  sim::ModelOptions no_block = full;
+  no_block.block_iteration = false;
+  sim::ModelOptions no_columnar = full;
+  no_columnar.columnar = false;
+  sim::ModelOptions no_mt = full;
+  no_mt.multithreaded = false;
+
+  double sums[3] = {0, 0, 0};
+  double flight_sums[5][3] = {};
+  int flight_counts[5] = {};
+  int n = 0;
+
+  for (const core::StarQuerySpec& query : ssb::AllQueries()) {
+    auto m = sim::MeasureQuery(env.cluster.get(), env.dataset, query);
+    CLY_CHECK(m.ok());
+    auto base = sim::ModelClydesdale(spec, *m, full);
+    auto nb = sim::ModelClydesdale(spec, *m, no_block);
+    auto nc = sim::ModelClydesdale(spec, *m, no_columnar);
+    auto nm = sim::ModelClydesdale(spec, *m, no_mt);
+    CLY_CHECK(base.ok());
+    CLY_CHECK(nb.ok());
+    CLY_CHECK(nc.ok());
+    CLY_CHECK(nm.ok());
+
+    auto cell = [&](const sim::SimOutcome& o) {
+      return Pad(StrCat(FormatDouble(o.seconds, 0), "  (",
+                        FormatDouble(o.seconds / base->seconds, 1), "x)"),
+                 -22);
+    };
+    std::printf("%-6s %-10s %s %s %s\n", query.id.c_str(),
+                FormatDouble(base->seconds, 0).c_str(), cell(*nb).c_str(),
+                cell(*nc).c_str(), cell(*nm).c_str());
+
+    const double s[3] = {nb->seconds / base->seconds,
+                         nc->seconds / base->seconds,
+                         nm->seconds / base->seconds};
+    const int flight = ssb::FlightOf(query.id);
+    for (int k = 0; k < 3; ++k) {
+      sums[k] += s[k];
+      flight_sums[flight][k] += s[k];
+    }
+    ++flight_counts[flight];
+    ++n;
+  }
+
+  std::printf("\naverage slowdowns: no-block %.1fx, no-columnar %.1fx, "
+              "no-multithreading %.1fx\n",
+              sums[0] / n, sums[1] / n, sums[2] / n);
+  std::printf("paper (§6.5):      no-block 1.2x,  no-columnar 3.4x,  "
+              "no-multithreading 2.4x\n\n");
+  for (int f = 1; f <= 4; ++f) {
+    std::printf("flight %d averages: no-block %.1fx, no-columnar %.1fx, "
+                "no-multithreading %.1fx\n",
+                f, flight_sums[f][0] / flight_counts[f],
+                flight_sums[f][1] / flight_counts[f],
+                flight_sums[f][2] / flight_counts[f]);
+  }
+  std::printf("paper highlights:  flight 2 no-columnar 3.8x; flight 4 "
+              "no-columnar 2.0x; flight 1 no-MT 1.2x; flight 4 no-MT 4.5x\n");
+  return 0;
+}

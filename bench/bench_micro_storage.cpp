@@ -1,0 +1,130 @@
+// Micro-benchmarks: storage format scan rates on the simulated DFS — the
+// functional-layer view of the paper's columnar-vs-row tradeoff (§4.1) and
+// the binary-vs-text serde gap that burdens the Hive baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "hdfs/dfs.h"
+#include "ssb/dbgen.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace {
+
+constexpr int kRows = 40000;
+
+/// One shared DFS with the lineorder sample in every format.
+struct Fixture {
+  Fixture() : dfs(MakeOptions()) {
+    SetLogThreshold(LogLevel::kError);
+    ssb::SsbGenerator gen(0.01);
+    auto stream = gen.Lineorders();
+    std::vector<Row> rows;
+    Row row;
+    while (static_cast<int>(rows.size()) < kRows && stream.Next(&row)) {
+      rows.push_back(row);
+    }
+    for (const char* format :
+         {storage::kFormatText, storage::kFormatBinaryRow, storage::kFormatCif,
+          storage::kFormatRcFile}) {
+      storage::TableDesc desc;
+      desc.path = std::string("/t/") + format;
+      desc.format = format;
+      desc.schema = ssb::LineorderSchema();
+      desc.rows_per_split = 8192;
+      auto writer = storage::OpenTableWriter(&dfs, desc);
+      CLY_CHECK(writer.ok());
+      for (const Row& r : rows) CLY_CHECK_OK((*writer)->Append(r));
+      CLY_CHECK_OK((*writer)->Close());
+    }
+  }
+
+  static hdfs::DfsOptions MakeOptions() {
+    hdfs::DfsOptions options;
+    options.num_nodes = 2;
+    options.block_size = 4 * 1024 * 1024;
+    options.replication = 1;
+    return options;
+  }
+
+  storage::TableDesc Table(const std::string& format) {
+    auto desc = storage::LoadTableDesc(dfs, "/t/" + format);
+    CLY_CHECK(desc.ok());
+    return *desc;
+  }
+
+  hdfs::MiniDfs dfs;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* const kFixture = new Fixture();
+  return *kFixture;
+}
+
+void ScanBenchmark(benchmark::State& state, const char* format,
+                   bool projected) {
+  Fixture& f = SharedFixture();
+  const storage::TableDesc desc = f.Table(format);
+  storage::ScanOptions scan;
+  if (projected) {
+    // Q2.1's four fact columns.
+    scan.projection = {"lo_orderdate", "lo_partkey", "lo_suppkey",
+                       "lo_revenue"};
+  }
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    hdfs::IoStats stats;
+    scan.stats = &stats;
+    auto splits = storage::ListTableSplits(f.dfs, desc);
+    CLY_CHECK(splits.ok());
+    int64_t rows = 0;
+    Row row;
+    for (const auto& split : *splits) {
+      auto reader = storage::OpenSplitRowReader(f.dfs, desc, split, scan);
+      CLY_CHECK(reader.ok());
+      while (true) {
+        auto more = (*reader)->Next(&row);
+        CLY_CHECK(more.ok());
+        if (!*more) break;
+        ++rows;
+      }
+    }
+    CLY_CHECK(rows == kRows);
+    bytes += stats.TotalRead();
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["hdfs_bytes/scan"] =
+      static_cast<double>(bytes) / state.iterations();
+}
+
+void BM_ScanTextFull(benchmark::State& s) { ScanBenchmark(s, "text", false); }
+void BM_ScanBinRowFull(benchmark::State& s) {
+  ScanBenchmark(s, "binrow", false);
+}
+void BM_ScanCifFull(benchmark::State& s) { ScanBenchmark(s, "cif", false); }
+void BM_ScanRcFileFull(benchmark::State& s) {
+  ScanBenchmark(s, "rcfile", false);
+}
+void BM_ScanTextProjected(benchmark::State& s) {
+  ScanBenchmark(s, "text", true);
+}
+void BM_ScanBinRowProjected(benchmark::State& s) {
+  ScanBenchmark(s, "binrow", true);
+}
+void BM_ScanCifProjected(benchmark::State& s) { ScanBenchmark(s, "cif", true); }
+void BM_ScanRcFileProjected(benchmark::State& s) {
+  ScanBenchmark(s, "rcfile", true);
+}
+
+BENCHMARK(BM_ScanTextFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanBinRowFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanCifFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanRcFileFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanTextProjected)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanBinRowProjected)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanCifProjected)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanRcFileProjected)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace clydesdale

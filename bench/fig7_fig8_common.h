@@ -1,0 +1,87 @@
+#ifndef CLYDESDALE_BENCH_FIG7_FIG8_COMMON_H_
+#define CLYDESDALE_BENCH_FIG7_FIG8_COMMON_H_
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace clydesdale {
+namespace bench {
+
+/// Shared driver for Figures 7 and 8: per-query execution time of
+/// Clydesdale vs Hive (repartition and mapjoin plans) at the target scale on
+/// one of the paper's clusters.
+inline int RunFigure(const sim::ClusterSpec& spec, const char* figure) {
+  BenchEnv env = LoadBenchEnv();
+  const double target_sf = TargetScaleFactor();
+
+  std::printf(
+      "%s: SSB SF%.0f on Cluster %s (%d workers, %d map + %d reduce slots, "
+      "%s RAM)\n",
+      figure, target_sf, spec.name.c_str(), spec.worker_nodes, spec.map_slots,
+      spec.reduce_slots, HumanBytes(spec.mem_bytes).c_str());
+  std::printf(
+      "functional measurement at SF%.3g; modeled seconds below "
+      "(paper reproduces shape, not testbed-exact values)\n\n",
+      MeasurementScaleFactor());
+  std::printf("%-6s %-10s %-12s %-10s %-12s %-10s\n", "query",
+              "clydesdale", "hive-repart", "speedup", "hive-mapjoin",
+              "speedup");
+
+  sim::ModelOptions options;
+  options.target_sf = target_sf;
+
+  double speedup_sum = 0;
+  double speedup_min = 1e30, speedup_max = 0;
+  int speedup_n = 0;
+
+  for (const core::StarQuerySpec& query : ssb::AllQueries()) {
+    auto m = sim::MeasureQuery(env.cluster.get(), env.dataset, query);
+    CLY_CHECK(m.ok());
+    auto cly = sim::ModelClydesdale(spec, *m, options);
+    auto rp = sim::ModelHive(spec, *m, hive::JoinStrategy::kRepartition,
+                             options);
+    auto mj = sim::ModelHive(spec, *m, hive::JoinStrategy::kMapJoin, options);
+    CLY_CHECK(cly.ok());
+    CLY_CHECK(rp.ok());
+    CLY_CHECK(mj.ok());
+
+    std::string mj_cell, mj_speedup;
+    if (mj->oom) {
+      mj_cell = Pad("OOM", -12);
+      mj_speedup = Pad("-", -10);
+    } else {
+      mj_cell = Pad(FormatDouble(mj->seconds, 0), -12);
+      mj_speedup = Pad(StrCat(FormatDouble(mj->seconds / cly->seconds, 1), "x"),
+                       -10);
+    }
+    std::printf("%-6s %-10s %-12s %-10s %s %s\n", query.id.c_str(),
+                FormatDouble(cly->seconds, 0).c_str(),
+                FormatDouble(rp->seconds, 0).c_str(),
+                StrCat(FormatDouble(rp->seconds / cly->seconds, 1), "x").c_str(),
+                mj_cell.c_str(), mj_speedup.c_str());
+
+    // Track the best-Hive-plan speedup, the quantity the paper summarizes.
+    const double best_hive =
+        mj->oom ? rp->seconds : std::min(rp->seconds, mj->seconds);
+    const double speedup = best_hive / cly->seconds;
+    speedup_sum += speedup;
+    speedup_min = std::min(speedup_min, speedup);
+    speedup_max = std::max(speedup_max, speedup);
+    ++speedup_n;
+    if (mj->oom) {
+      std::printf("       (mapjoin OOM: %s)\n", mj->oom_detail.c_str());
+    }
+  }
+  std::printf(
+      "\nClydesdale vs best Hive plan: %.1fx - %.1fx, average %.1fx "
+      "(paper cluster %s: %s)\n",
+      speedup_min, speedup_max, speedup_sum / speedup_n, spec.name.c_str(),
+      spec.name == "A" ? "17.4x-82.7x, avg 38x" : "5.2x-21.4x, avg 11.1x");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_BENCH_FIG7_FIG8_COMMON_H_

@@ -1,0 +1,111 @@
+// Fact-table roll-in and roll-out (paper §2): because CIF keeps the fact
+// table unsorted, new data lands as a fresh segment of column files — no
+// merge, no rewrite — and old data rolls out by deleting a segment. This is
+// the operational advantage the paper claims over sorted-projection designs
+// like Llama, demonstrated on a rolling one-"month" retention window.
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/clydesdale.h"
+#include "sql/parser.h"
+#include "ssb/dbgen.h"
+#include "ssb/loader.h"
+#include "storage/cif.h"
+
+using namespace clydesdale;  // NOLINT(build/namespaces)
+
+namespace {
+
+Result<int64_t> TotalRevenue(mr::MrCluster* cluster,
+                             const core::StarSchema& star) {
+  CLY_ASSIGN_OR_RETURN(
+      core::StarQuerySpec query,
+      sql::ParseStarQuery(
+          "SELECT SUM(lo_revenue) AS revenue FROM lineorder, supplier "
+          "WHERE lo_suppkey = s_suppkey AND s_region = 'ASIA'",
+          star));
+  core::ClydesdaleEngine engine(cluster, star, {});
+  CLY_ASSIGN_OR_RETURN(core::QueryResult result, engine.Execute(query));
+  return result.rows.empty() ? int64_t{0} : result.rows[0].Get(0).i64();
+}
+
+uint64_t FactBytesOnDisk(mr::MrCluster* cluster, const std::string& path) {
+  uint64_t total = 0;
+  for (const std::string& file : cluster->dfs()->List(path + "/")) {
+    auto info = cluster->dfs()->Stat(file);
+    if (info.ok()) total += info->length;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  SetLogThreshold(LogLevel::kWarning);
+  mr::ClusterOptions copts;
+  copts.num_nodes = 4;
+  copts.dfs_block_size = 256 * 1024;
+  mr::MrCluster cluster(copts);
+
+  ssb::SsbLoadOptions load;
+  load.scale_factor = 0.005;
+  auto dataset = ssb::LoadSsb(&cluster, load);
+  CLY_CHECK(dataset.ok());
+  const std::string fact_path = dataset->star.fact().path;
+
+  auto refreshed_star = [&]() {
+    auto desc = cluster.GetTable(fact_path);
+    CLY_CHECK(desc.ok());
+    core::StarSchema star = dataset->star;
+    *star.mutable_fact() = *desc;
+    return star;
+  };
+
+  auto report = [&](const char* label) {
+    auto desc = cluster.GetTable(fact_path);
+    CLY_CHECK(desc.ok());
+    auto revenue = TotalRevenue(&cluster, refreshed_star());
+    CLY_CHECK(revenue.ok());
+    std::printf("%-28s %8llu rows in %d segment(s), %s on disk, "
+                "ASIA revenue %lld\n",
+                label, static_cast<unsigned long long>(desc->num_rows),
+                desc->num_segments(),
+                HumanBytes(FactBytesOnDisk(&cluster, fact_path)).c_str(),
+                static_cast<long long>(*revenue));
+  };
+
+  report("initial load");
+
+  // --- roll in three months of new orders --------------------------------------
+  for (int month = 1; month <= 3; ++month) {
+    auto desc = cluster.GetTable(fact_path);
+    CLY_CHECK(desc.ok());
+    const uint64_t before = cluster.dfs()->TotalIo().bytes_written;
+    auto writer = storage::AppendCifSegment(cluster.dfs(), *desc);
+    CLY_CHECK(writer.ok());
+    ssb::SsbGenerator gen(0.002, /*seed=*/9000 + month);
+    auto stream = gen.Lineorders();
+    Row row;
+    while (stream.Next(&row)) CLY_CHECK_OK((*writer)->Append(row));
+    CLY_CHECK_OK((*writer)->Close());
+    cluster.InvalidateTable(fact_path);
+    const uint64_t appended = cluster.dfs()->TotalIo().bytes_written - before;
+    std::printf("  roll-in month %d wrote %s (existing segments untouched)\n",
+                month, HumanBytes(appended).c_str());
+    report(StrCat("after roll-in ", month).c_str());
+  }
+
+  // --- roll out the oldest data (retention window) ------------------------------
+  {
+    auto desc = cluster.GetTable(fact_path);
+    CLY_CHECK(desc.ok());
+    CLY_CHECK_OK(storage::RollOutCifSegment(cluster.dfs(), *desc, 0));
+    cluster.InvalidateTable(fact_path);
+    std::printf("  rolled out segment 0 (the original load)\n");
+    report("after roll-out");
+  }
+  std::printf("\nno fact-table rewrite occurred at any step — the paper's "
+              "contrast with sorted-projection designs (Llama, §2)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#ifndef CLYDESDALE_COMMON_LOGGING_H_
+#define CLYDESDALE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace clydesdale {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is actually emitted (default kInfo).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+/// Stream-style log sink. Emits on destruction; aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace clydesdale
+
+#define CLY_LOG(severity)                                             \
+  ::clydesdale::internal::LogMessage(::clydesdale::LogLevel::k##severity, \
+                                     __FILE__, __LINE__)
+
+/// Fatal unless `condition` holds; use for internal invariants only (API
+/// errors are reported through Status).
+#define CLY_CHECK(condition)                                            \
+  if (!(condition))                                                     \
+  CLY_LOG(Fatal) << "Check failed: " #condition " "
+
+#define CLY_CHECK_OK(expr)                                   \
+  if (::clydesdale::Status _cly_check_st = (expr); !_cly_check_st.ok()) \
+  CLY_LOG(Fatal) << "Status not OK: " << _cly_check_st.ToString() << " "
+
+#ifndef NDEBUG
+#define CLY_DCHECK(condition) CLY_CHECK(condition)
+#else
+#define CLY_DCHECK(condition) \
+  if (false) CLY_LOG(Fatal)
+#endif
+
+#endif  // CLYDESDALE_COMMON_LOGGING_H_

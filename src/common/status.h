@@ -1,0 +1,128 @@
+#ifndef CLYDESDALE_COMMON_STATUS_H_
+#define CLYDESDALE_COMMON_STATUS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace clydesdale {
+
+/// Error categories used across the library. Mirrors the usual database-system
+/// convention (Arrow/RocksDB style): functions that can fail return a Status or
+/// a Result<T>; exceptions are not used in the public API.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIoError = 4,
+  kOutOfMemory = 5,
+  kFailedPrecondition = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kResourceExhausted = 9,
+};
+
+/// Returns a short upper-camel name for a code ("IOError", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, movable success-or-error value. The OK state carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status IoError(std::string msg);
+  static Status OutOfMemory(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status Unimplemented(std::string msg);
+  static Status Internal(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK.
+  const std::string& message() const;
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the existing message with `context + ": "`; no-op on OK.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK — keeps the common path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse
+  /// (`return 42;` / `return Status::IoError(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Moves the value out; must only be called when ok().
+  T ValueOrDie() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Concatenates two tokens after macro expansion; used to build unique names.
+#define CLY_CONCAT_IMPL(x, y) x##y
+#define CLY_CONCAT(x, y) CLY_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define CLY_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::clydesdale::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define CLY_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  CLY_ASSIGN_OR_RETURN_IMPL(CLY_CONCAT(_cly_result_, __LINE__), lhs, rexpr)
+
+#define CLY_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).ValueOrDie()
+
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_COMMON_STATUS_H_

@@ -1,0 +1,21 @@
+#ifndef CLYDESDALE_COMMON_UNITS_H_
+#define CLYDESDALE_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace clydesdale {
+
+// Decimal units (used for bandwidths and dataset sizes, matching how the
+// paper reports them) and binary units (used for memory sizes).
+inline constexpr uint64_t kKB = 1000ULL;
+inline constexpr uint64_t kMB = 1000ULL * kKB;
+inline constexpr uint64_t kGB = 1000ULL * kMB;
+inline constexpr uint64_t kTB = 1000ULL * kGB;
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_COMMON_UNITS_H_

@@ -1,0 +1,170 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace core {
+
+AggLayout AggLayout::For(const std::vector<AggSpec>& aggregates) {
+  AggLayout layout;
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    const AggSpec& agg = aggregates[i];
+    AggInfo info;
+    info.kind = agg.kind;
+    info.name = agg.name;
+    info.first_acc = static_cast<int>(layout.accs_.size());
+    switch (agg.kind) {
+      case AggKind::kSum:
+        layout.accs_.push_back(AccKind::kSum);
+        layout.expr_index_.push_back(static_cast<int>(i));
+        break;
+      case AggKind::kCount:
+        layout.accs_.push_back(AccKind::kCount);
+        layout.expr_index_.push_back(-1);
+        break;
+      case AggKind::kMin:
+        layout.accs_.push_back(AccKind::kMin);
+        layout.expr_index_.push_back(static_cast<int>(i));
+        break;
+      case AggKind::kMax:
+        layout.accs_.push_back(AccKind::kMax);
+        layout.expr_index_.push_back(static_cast<int>(i));
+        break;
+      case AggKind::kAvg:
+        layout.accs_.push_back(AccKind::kSum);
+        layout.expr_index_.push_back(static_cast<int>(i));
+        layout.accs_.push_back(AccKind::kCount);
+        layout.expr_index_.push_back(-1);
+        info.num_accs = 2;
+        break;
+    }
+    layout.aggs_.push_back(std::move(info));
+  }
+  return layout;
+}
+
+int64_t AggLayout::InitValue(AccKind kind) {
+  switch (kind) {
+    case AccKind::kSum:
+    case AccKind::kCount:
+      return 0;
+    case AccKind::kMin:
+      return std::numeric_limits<int64_t>::max();
+    case AccKind::kMax:
+      return std::numeric_limits<int64_t>::min();
+  }
+  return 0;
+}
+
+void AggLayout::Merge(int64_t* acc, const int64_t* in) const {
+  for (size_t a = 0; a < accs_.size(); ++a) {
+    switch (accs_[a]) {
+      case AccKind::kSum:
+      case AccKind::kCount:
+        acc[a] += in[a];
+        break;
+      case AccKind::kMin:
+        acc[a] = std::min(acc[a], in[a]);
+        break;
+      case AccKind::kMax:
+        acc[a] = std::max(acc[a], in[a]);
+        break;
+    }
+  }
+}
+
+Row AggLayout::Finalize(const Row& row, int num_group_columns) const {
+  Row out;
+  out.Reserve(num_group_columns + static_cast<int>(aggs_.size()));
+  for (int g = 0; g < num_group_columns; ++g) out.Append(row.Get(g));
+  for (const AggInfo& agg : aggs_) {
+    const int base = num_group_columns + agg.first_acc;
+    if (agg.kind == AggKind::kAvg) {
+      const int64_t sum = row.Get(base).AsInt64();
+      const int64_t count = row.Get(base + 1).AsInt64();
+      out.Append(Value(count == 0 ? 0.0
+                                  : static_cast<double>(sum) /
+                                        static_cast<double>(count)));
+    } else {
+      out.Append(row.Get(base));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> AggLayout::AccumulatorNames() const {
+  std::vector<std::string> names;
+  for (const AggInfo& agg : aggs_) {
+    if (agg.kind == AggKind::kAvg) {
+      names.push_back(StrCat(agg.name, "_sum"));
+      names.push_back(StrCat(agg.name, "_count"));
+    } else {
+      names.push_back(agg.name);
+    }
+  }
+  return names;
+}
+
+Status FinalizeAggRows(const StarQuerySpec& spec, std::vector<Row>* rows) {
+  const AggLayout layout = AggLayout::For(spec.aggregates);
+  const int group_columns = static_cast<int>(spec.group_by.size());
+  const int expected =
+      group_columns + layout.num_accumulators();
+  for (Row& row : *rows) {
+    if (row.size() != expected) {
+      return Status::Internal(
+          StrCat("aggregate row has ", row.size(), " columns, expected ",
+                 expected));
+    }
+    row = layout.Finalize(row, group_columns);
+  }
+  return Status::OK();
+}
+
+void HashAggregator::MergeFrom(const HashAggregator& other) {
+  for (const auto& [key, accs] : other.groups_) {
+    Add(key, accs.data());
+  }
+}
+
+Status HashAggregator::Emit(mr::OutputCollector* out) const {
+  for (const auto& [key, accs] : groups_) {
+    Row value;
+    value.Reserve(static_cast<int>(accs.size()));
+    for (int64_t a : accs) value.Append(Value(a));
+    CLY_RETURN_IF_ERROR(out->Collect(key, value));
+  }
+  return Status::OK();
+}
+
+Status AggReducer::Reduce(const Row& key, const std::vector<Row>& values,
+                          mr::TaskContext*, mr::OutputCollector* out) {
+  if (values.empty()) return Status::OK();
+  const int n = layout_.num_accumulators();
+  std::vector<int64_t> accs(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    accs[static_cast<size_t>(a)] =
+        AggLayout::InitValue(layout_.accs()[static_cast<size_t>(a)]);
+  }
+  std::vector<int64_t> in(static_cast<size_t>(n));
+  for (const Row& v : values) {
+    if (v.size() != n) {
+      return Status::Internal(
+          StrCat("accumulator row has ", v.size(), " columns, expected ", n));
+    }
+    for (int a = 0; a < n; ++a) {
+      in[static_cast<size_t>(a)] = v.Get(a).AsInt64();
+    }
+    layout_.Merge(accs.data(), in.data());
+  }
+  Row out_value;
+  out_value.Reserve(n);
+  for (int64_t a : accs) out_value.Append(Value(a));
+  return out->Collect(key, out_value);
+}
+
+}  // namespace core
+}  // namespace clydesdale

@@ -1,0 +1,117 @@
+#ifndef CLYDESDALE_CORE_AGGREGATION_H_
+#define CLYDESDALE_CORE_AGGREGATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/star_query.h"
+#include "mapreduce/mr_types.h"
+#include "schema/row.h"
+
+namespace clydesdale {
+namespace core {
+
+/// Physical accumulator operations. Every aggregate maps to one or more
+/// accumulators (AVG = SUM + COUNT); accumulators combine associatively, so
+/// map-side partials, combiners, and reducers all run the same merge.
+enum class AccKind : uint8_t { kSum, kCount, kMin, kMax };
+
+/// How a query's aggregates decompose into accumulators and how finalized
+/// output values derive from them. Schema-independent (expressions are bound
+/// separately by whoever scans rows).
+class AggLayout {
+ public:
+  static AggLayout For(const std::vector<AggSpec>& aggregates);
+
+  int num_accumulators() const { return static_cast<int>(accs_.size()); }
+  const std::vector<AccKind>& accs() const { return accs_; }
+
+  /// Initial accumulator value (identity of the merge).
+  static int64_t InitValue(AccKind kind);
+
+  /// Merges one input vector into an accumulator vector, element-wise.
+  void Merge(int64_t* acc, const int64_t* in) const;
+
+  /// Index of the expression to evaluate per accumulator, or -1 when the
+  /// input is the constant 1 (COUNT). Expression index refers to the
+  /// query's aggregate list (AVG shares its expression between both accs).
+  const std::vector<int>& expr_index() const { return expr_index_; }
+
+  /// Turns a (group columns ++ accumulators) row into the final output row
+  /// (group columns ++ one value per aggregate; AVG becomes a double).
+  Row Finalize(const Row& row, int num_group_columns) const;
+
+  /// Per-accumulator output column suffixes for intermediate tables
+  /// ("revenue" or "profit_sum"/"profit_count" for AVG).
+  std::vector<std::string> AccumulatorNames() const;
+
+ private:
+  struct AggInfo {
+    AggKind kind = AggKind::kSum;
+    std::string name;
+    int first_acc = 0;
+    int num_accs = 1;
+  };
+  std::vector<AccKind> accs_;
+  std::vector<int> expr_index_;
+  std::vector<AggInfo> aggs_;
+};
+
+/// Finalizes engine result rows in place (group columns ++ accumulators ->
+/// group columns ++ aggregate values) before the final ORDER BY.
+Status FinalizeAggRows(const StarQuerySpec& spec, std::vector<Row>* rows);
+
+/// Map-side partial aggregation: group key -> running accumulators. Each
+/// join thread owns one; they merge at task end, so no synchronization
+/// during the probe loop.
+class HashAggregator {
+ public:
+  explicit HashAggregator(AggLayout layout) : layout_(std::move(layout)) {}
+
+  void Add(const Row& group_key, const int64_t* inputs) {
+    auto [it, inserted] = groups_.try_emplace(group_key, InitAccs());
+    layout_.Merge(it->second.data(), inputs);
+  }
+
+  void MergeFrom(const HashAggregator& other);
+
+  /// Emits each group as (key, row of accumulator values).
+  Status Emit(mr::OutputCollector* out) const;
+
+  size_t num_groups() const { return groups_.size(); }
+  const AggLayout& layout() const { return layout_; }
+
+ private:
+  std::vector<int64_t> InitAccs() const {
+    std::vector<int64_t> accs(static_cast<size_t>(layout_.num_accumulators()));
+    for (int a = 0; a < layout_.num_accumulators(); ++a) {
+      accs[static_cast<size_t>(a)] =
+          AggLayout::InitValue(layout_.accs()[static_cast<size_t>(a)]);
+    }
+    return accs;
+  }
+
+  AggLayout layout_;
+  std::unordered_map<Row, std::vector<int64_t>, RowHasher> groups_;
+};
+
+/// Reducer (and combiner) that merges accumulator rows element-wise per key
+/// using the layout's operations — the generalization of paper Figure 4's
+/// sum() reduce function.
+class AggReducer final : public mr::Reducer {
+ public:
+  explicit AggReducer(AggLayout layout) : layout_(std::move(layout)) {}
+
+  Status Reduce(const Row& key, const std::vector<Row>& values,
+                mr::TaskContext* context, mr::OutputCollector* out) override;
+
+ private:
+  AggLayout layout_;
+};
+
+}  // namespace core
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_CORE_AGGREGATION_H_

@@ -1,0 +1,84 @@
+#include "core/dim_hash_table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "storage/byte_io.h"
+#include "storage/row_codec.h"
+
+namespace clydesdale {
+namespace core {
+
+namespace {
+size_t CapacityFor(size_t entries) {
+  size_t cap = 16;
+  while (cap < entries * 2) cap <<= 1;
+  return cap;
+}
+}  // namespace
+
+void DimHashTable::Insert(int64_t key, Row payload) {
+  size_t slot = static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) &
+                (capacity_ - 1);
+  while (slots_[slot].payload_index >= 0) {
+    slot = (slot + 1) & (capacity_ - 1);
+  }
+  slots_[slot].key = key;
+  slots_[slot].payload_index = static_cast<int32_t>(payloads_.size());
+  payloads_.push_back(std::move(payload));
+}
+
+Result<std::shared_ptr<const DimHashTable>> DimHashTable::Build(
+    const Schema& dim_schema, const uint8_t* row_stream, size_t len,
+    const Predicate& predicate, const std::string& pk_column,
+    const std::vector<std::string>& aux_columns) {
+  CLY_ASSIGN_OR_RETURN(BoundPredicatePtr pred, predicate.Bind(dim_schema));
+  CLY_ASSIGN_OR_RETURN(int pk, dim_schema.Require(pk_column));
+  std::vector<int> aux;
+  aux.reserve(aux_columns.size());
+  for (const std::string& name : aux_columns) {
+    CLY_ASSIGN_OR_RETURN(int i, dim_schema.Require(name));
+    aux.push_back(i);
+  }
+
+  // First pass: decode + filter into (key, payload) pairs.
+  std::vector<std::pair<int64_t, Row>> qualifying;
+  uint64_t input_rows = 0;
+  uint64_t payload_bytes = 0;
+  {
+    storage::ByteReader reader(row_stream, len);
+    Row row;
+    while (!reader.AtEnd()) {
+      uint32_t n = 0;
+      CLY_RETURN_IF_ERROR(reader.GetU32(&n));
+      if (reader.remaining() < n) {
+        return Status::IoError("truncated dimension row stream");
+      }
+      storage::ByteReader row_reader(row_stream + reader.position(), n);
+      CLY_RETURN_IF_ERROR(storage::DecodeRow(dim_schema, &row_reader, &row));
+      CLY_RETURN_IF_ERROR(reader.Skip(n));
+      ++input_rows;
+      if (!pred->Eval(row)) continue;
+      Row payload = row.Project(aux);
+      payload_bytes += storage::EncodedRowSize(payload) +
+                       sizeof(Row) + sizeof(Value) * payload.size();
+      qualifying.emplace_back(row.Get(pk).AsInt64(), std::move(payload));
+    }
+  }
+
+  auto table = std::shared_ptr<DimHashTable>(new DimHashTable());
+  table->capacity_ = CapacityFor(std::max<size_t>(qualifying.size(), 1));
+  table->slots_.resize(table->capacity_);
+  table->payloads_.reserve(qualifying.size());
+  for (auto& [key, payload] : qualifying) {
+    table->Insert(key, std::move(payload));
+  }
+  table->stats_.input_rows = input_rows;
+  table->stats_.entries = table->payloads_.size();
+  table->stats_.memory_bytes =
+      table->capacity_ * sizeof(Slot) + payload_bytes;
+  return std::shared_ptr<const DimHashTable>(table);
+}
+
+}  // namespace core
+}  // namespace clydesdale

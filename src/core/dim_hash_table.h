@@ -1,0 +1,75 @@
+#ifndef CLYDESDALE_CORE_DIM_HASH_TABLE_H_
+#define CLYDESDALE_CORE_DIM_HASH_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "core/star_query.h"
+#include "schema/row.h"
+#include "schema/schema.h"
+
+namespace clydesdale {
+namespace core {
+
+/// Read-only hash table from a dimension's integer primary key to its
+/// auxiliary columns (paper §4.2). Built once per node per query and then
+/// shared by all join threads and consecutive tasks; probes need no
+/// synchronization because the table never changes after Build.
+///
+/// Open addressing with linear probing over power-of-two capacity; payloads
+/// live out-of-line so slots stay small (key + payload index).
+class DimHashTable {
+ public:
+  struct BuildStats {
+    uint64_t input_rows = 0;
+    uint64_t entries = 0;
+    /// Estimated resident bytes (slots + payload values).
+    uint64_t memory_bytes = 0;
+  };
+
+  /// Builds from an encoded row stream (the node-local dimension replica):
+  /// applies `predicate`, keys by `pk_column`, stores `aux_columns`.
+  static Result<std::shared_ptr<const DimHashTable>> Build(
+      const Schema& dim_schema, const uint8_t* row_stream, size_t len,
+      const Predicate& predicate, const std::string& pk_column,
+      const std::vector<std::string>& aux_columns);
+
+  /// The auxiliary row for `key`, or nullptr when the key does not qualify.
+  const Row* Probe(int64_t key) const {
+    if (capacity_ == 0) return nullptr;
+    size_t slot = static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) &
+                  (capacity_ - 1);
+    while (true) {
+      const Slot& s = slots_[slot];
+      if (s.payload_index < 0) return nullptr;
+      if (s.key == key) return &payloads_[static_cast<size_t>(s.payload_index)];
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+  }
+
+  uint64_t entries() const { return stats_.entries; }
+  const BuildStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    int32_t payload_index = -1;
+  };
+
+  DimHashTable() = default;
+  void Insert(int64_t key, Row payload);
+
+  size_t capacity_ = 0;  // power of two
+  std::vector<Slot> slots_;
+  std::vector<Row> payloads_;
+  BuildStats stats_;
+};
+
+}  // namespace core
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_CORE_DIM_HASH_TABLE_H_

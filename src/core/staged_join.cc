@@ -1,0 +1,549 @@
+#include "core/staged_join.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/aggregation.h"
+#include "core/star_join_job.h"
+#include "mapreduce/input_format.h"
+
+namespace clydesdale {
+namespace core {
+
+namespace {
+
+void AddUnique(std::vector<std::string>* list, const std::string& name) {
+  if (std::find(list->begin(), list->end(), name) == list->end()) {
+    list->push_back(name);
+  }
+}
+
+/// Fact columns that must survive every stage: aggregate inputs plus
+/// group-by columns that come from the fact table itself.
+std::vector<std::string> KeptFactColumns(const StarSchema& star,
+                                         const StarQuerySpec& spec) {
+  std::vector<std::string> keep;
+  std::vector<std::string> agg_cols;
+  for (const AggSpec& agg : spec.aggregates) {
+    if (agg.expr != nullptr) agg.expr->CollectColumns(&agg_cols);
+  }
+  for (const std::string& c : agg_cols) AddUnique(&keep, c);
+  for (const std::string& g : spec.group_by) {
+    if (star.fact().schema->IndexOf(g) >= 0) AddUnique(&keep, g);
+  }
+  return keep;
+}
+
+/// True when `column` is an aux column of spec.dims[d].
+bool IsAuxOf(const StarQuerySpec& spec, int d, const std::string& column) {
+  const auto& aux = spec.dims[static_cast<size_t>(d)].aux_columns;
+  return std::find(aux.begin(), aux.end(), column) != aux.end();
+}
+
+// ---------------------------------------------------------------------------
+// Repartition join stage for one oversized dimension (paper §5.1: "For the
+// case of a single large dimension, we expect to resort to a repartition
+// join strategy"). A compact sort-merge join: the map side tags records from
+// the working table and the dimension master, keys them by the join column,
+// and the reducer joins per key group.
+// ---------------------------------------------------------------------------
+
+constexpr int32_t kFactTag = 0;
+constexpr int32_t kDimTag = 1;
+
+/// Everything one repartition stage needs, captured into the job factories.
+struct RepartitionStage {
+  DimJoinSpec join;
+  Predicate::Ptr fact_predicate;       // residual filter (stage 1 only)
+  SchemaPtr fact_schema;               // projected working-table rows
+  std::vector<std::string> fact_out;   // carried into the output
+  SchemaPtr dim_schema;                // projected dimension rows
+  std::vector<std::string> dim_carry;  // this dimension's carried aux
+};
+
+class StagedRepartitionMapper final : public mr::Mapper {
+ public:
+  explicit StagedRepartitionMapper(RepartitionStage stage)
+      : stage_(std::move(stage)) {}
+
+  Status Setup(mr::TaskContext*) override {
+    CLY_ASSIGN_OR_RETURN(fact_pred_,
+                         stage_.fact_predicate->Bind(*stage_.fact_schema));
+    CLY_ASSIGN_OR_RETURN(dim_pred_,
+                         stage_.join.predicate->Bind(*stage_.dim_schema));
+    CLY_ASSIGN_OR_RETURN(fk_index_,
+                         stage_.fact_schema->Require(stage_.join.fact_fk));
+    CLY_ASSIGN_OR_RETURN(pk_index_,
+                         stage_.dim_schema->Require(stage_.join.dim_pk));
+    for (const std::string& c : stage_.fact_out) {
+      CLY_ASSIGN_OR_RETURN(int i, stage_.fact_schema->Require(c));
+      fact_out_idx_.push_back(i);
+    }
+    for (const std::string& c : stage_.dim_carry) {
+      CLY_ASSIGN_OR_RETURN(int i, stage_.dim_schema->Require(c));
+      carry_idx_.push_back(i);
+    }
+    return Status::OK();
+  }
+
+  Status Map(const Row& key, const Row& value, mr::TaskContext*,
+             mr::OutputCollector* out) override {
+    (void)key;
+    const int32_t tag = value.Get(0).i32();
+    Row row;
+    row.Reserve(value.size() - 1);
+    for (int i = 1; i < value.size(); ++i) row.Append(value.Get(i));
+
+    if (tag == kFactTag) {
+      if (!fact_pred_->Eval(row)) return Status::OK();
+      Row out_key({row.Get(fk_index_)});
+      Row out_value;
+      out_value.Reserve(1 + static_cast<int>(fact_out_idx_.size()));
+      out_value.Append(Value(kFactTag));
+      for (int i : fact_out_idx_) out_value.Append(row.Get(i));
+      return out->Collect(out_key, out_value);
+    }
+    if (!dim_pred_->Eval(row)) return Status::OK();
+    Row out_key({row.Get(pk_index_)});
+    Row out_value;
+    out_value.Reserve(1 + static_cast<int>(carry_idx_.size()));
+    out_value.Append(Value(kDimTag));
+    for (int i : carry_idx_) out_value.Append(row.Get(i));
+    return out->Collect(out_key, out_value);
+  }
+
+ private:
+  RepartitionStage stage_;
+  BoundPredicatePtr fact_pred_;
+  BoundPredicatePtr dim_pred_;
+  int fk_index_ = -1;
+  int pk_index_ = -1;
+  std::vector<int> fact_out_idx_;
+  std::vector<int> carry_idx_;
+};
+
+class StagedRepartitionReducer final : public mr::Reducer {
+ public:
+  Status Reduce(const Row& key, const std::vector<Row>& values,
+                mr::TaskContext*, mr::OutputCollector* out) override {
+    (void)key;
+    const Row* dim_row = nullptr;
+    for (const Row& v : values) {
+      if (v.Get(0).i32() == kDimTag) {
+        if (dim_row != nullptr) {
+          return Status::Internal("duplicate dimension key in staged join");
+        }
+        dim_row = &v;
+      }
+    }
+    if (dim_row == nullptr) return Status::OK();
+    Row empty_key;
+    for (const Row& v : values) {
+      if (v.Get(0).i32() != kFactTag) continue;
+      Row joined;
+      joined.Reserve(v.size() - 1 + dim_row->size() - 1);
+      for (int i = 1; i < v.size(); ++i) joined.Append(v.Get(i));
+      for (int i = 1; i < dim_row->size(); ++i) joined.Append(dim_row->Get(i));
+      CLY_RETURN_IF_ERROR(out->Collect(empty_key, joined));
+    }
+    return Status::OK();
+  }
+};
+
+/// Configures the CIF intermediate output of a join-only stage and records
+/// the table for cleanup. `decl` entries are "name:type".
+void ConfigureIntermediateOutput(mr::JobConf* conf,
+                                 const std::string& output_table,
+                                 const std::vector<std::string>& decl,
+                                 uint64_t rows_per_split) {
+  conf->Set(mr::kConfOutputTable, output_table);
+  conf->Set(mr::kConfOutputColumns, StrJoin(decl, ","));
+  conf->Set(mr::kConfOutputFormat, storage::kFormatCif);
+  conf->SetInt("output.rows_per_split",
+               static_cast<int64_t>(std::max<uint64_t>(rows_per_split, 1024)));
+  conf->output_format_factory = [] {
+    return std::make_unique<mr::TableOutputFormat>();
+  };
+}
+
+}  // namespace
+
+uint64_t EstimateDimHashBytes(const DimTableInfo& dim,
+                              const DimJoinSpec& join) {
+  double payload = 0;
+  for (const std::string& aux : join.aux_columns) {
+    const int i = dim.desc.schema->IndexOf(aux);
+    payload += i >= 0 ? dim.desc.schema->field(i).avg_width : 16.0;
+  }
+  // Slot (key + index) + Row header + value headers + payload bytes. Upper
+  // bound: assumes every dimension row qualifies the predicate.
+  const double per_entry = 16.0 + 24.0 +
+                           32.0 * static_cast<double>(join.aux_columns.size()) +
+                           payload * 1.5;
+  return static_cast<uint64_t>(static_cast<double>(dim.desc.num_rows) *
+                               per_entry);
+}
+
+Result<std::vector<StagedGroup>> PlanDimGroups(const StarSchema& star,
+                                               const StarQuerySpec& spec,
+                                               uint64_t budget_bytes) {
+  std::vector<StagedGroup> groups;
+  StagedGroup current;
+  uint64_t current_bytes = 0;
+  auto flush = [&] {
+    if (!current.dims.empty()) {
+      groups.push_back(std::move(current));
+      current = {};
+      current_bytes = 0;
+    }
+  };
+  for (size_t d = 0; d < spec.dims.size(); ++d) {
+    CLY_ASSIGN_OR_RETURN(const DimTableInfo* dim,
+                         star.dim(spec.dims[d].dimension));
+    const uint64_t bytes = EstimateDimHashBytes(*dim, spec.dims[d]);
+    if (bytes > budget_bytes) {
+      // Too big even alone: its own repartition stage (paper §5.1).
+      flush();
+      StagedGroup big;
+      big.dims = {static_cast<int>(d)};
+      big.repartition = true;
+      groups.push_back(std::move(big));
+      continue;
+    }
+    if (!current.dims.empty() && current_bytes + bytes > budget_bytes) flush();
+    current.dims.push_back(static_cast<int>(d));
+    current_bytes += bytes;
+  }
+  flush();
+  return groups;
+}
+
+Result<QueryResult> ExecuteStagedStarJoin(
+    mr::MrCluster* cluster, std::shared_ptr<const StarSchema> star,
+    const StarQuerySpec& spec, const ClydesdaleOptions& options,
+    uint64_t budget_bytes) {
+  Stopwatch timer;
+  CLY_ASSIGN_OR_RETURN(std::vector<StagedGroup> groups,
+                       PlanDimGroups(*star, spec, budget_bytes));
+  const std::vector<std::string> keep = KeptFactColumns(*star, spec);
+
+  // The final group aggregates in place only if it is a hash-join group;
+  // after a trailing repartition group a dimension-less aggregation job runs.
+  const bool needs_final_agg_stage = groups.empty() || groups.back().repartition;
+
+  QueryResult result;
+  std::string current_table = star->fact().path;
+  std::vector<std::string> intermediates;
+
+  // Columns every later stage still needs, given groups >= j are unjoined.
+  auto projection_for = [&](size_t j, const Schema& input_schema) {
+    std::vector<std::string> projection;
+    for (size_t e = j; e < groups.size(); ++e) {
+      for (int d : groups[e].dims) {
+        AddUnique(&projection, spec.dims[static_cast<size_t>(d)].fact_fk);
+      }
+    }
+    if (j == 0) {
+      std::vector<std::string> pred_cols;
+      spec.fact_predicate->CollectColumns(&pred_cols);
+      for (const std::string& c : pred_cols) AddUnique(&projection, c);
+    }
+    for (const std::string& c : keep) AddUnique(&projection, c);
+    for (const std::string& g : spec.group_by) {
+      if (input_schema.IndexOf(g) >= 0 && star->fact().schema->IndexOf(g) < 0) {
+        AddUnique(&projection, g);  // aux carried from an earlier stage
+      }
+    }
+    return projection;
+  };
+
+  // Output columns of join-only stage j (group joined, nothing aggregated).
+  auto emit_for = [&](size_t j) {
+    std::vector<std::string> emit;
+    for (size_t e = j + 1; e < groups.size(); ++e) {
+      for (int d : groups[e].dims) {
+        AddUnique(&emit, spec.dims[static_cast<size_t>(d)].fact_fk);
+      }
+    }
+    for (const std::string& c : keep) AddUnique(&emit, c);
+    for (const std::string& g : spec.group_by) {
+      // Carried from earlier stages or joined by this one.
+      if (star->fact().schema->IndexOf(g) < 0) {
+        bool relevant = false;
+        for (size_t e = 0; e <= j; ++e) {
+          for (int d : groups[e].dims) {
+            relevant = relevant || IsAuxOf(spec, d, g);
+          }
+        }
+        if (relevant) AddUnique(&emit, g);
+      }
+    }
+    return emit;
+  };
+
+  auto type_decl = [&](const std::vector<std::string>& columns,
+                       const Schema& input_schema,
+                       const std::vector<int>& group_dims)
+      -> Result<std::vector<std::string>> {
+    std::vector<std::string> decl;
+    for (const std::string& c : columns) {
+      const Field* field = nullptr;
+      if (int i = input_schema.IndexOf(c); i >= 0) {
+        field = &input_schema.field(i);
+      } else {
+        for (int d : group_dims) {
+          CLY_ASSIGN_OR_RETURN(
+              const DimTableInfo* dim,
+              star->dim(spec.dims[static_cast<size_t>(d)].dimension));
+          if (int i = dim->desc.schema->IndexOf(c); i >= 0) {
+            field = &dim->desc.schema->field(i);
+            break;
+          }
+        }
+      }
+      if (field == nullptr) {
+        return Status::Internal(
+            StrCat("staged join cannot type output column '", c, "'"));
+      }
+      decl.push_back(StrCat(c, ":", TypeKindToString(field->type)));
+    }
+    return decl;
+  };
+
+  auto next_intermediate = [&](size_t j) {
+    const std::string table =
+        StrCat("/tmp/clydesdale/", spec.id, "/stage", j + 1);
+    intermediates.push_back(table);
+    return table;
+  };
+
+  auto fresh_output = [&](const std::string& table) -> Status {
+    if (cluster->dfs()->Exists(table + "/_meta")) {
+      CLY_ASSIGN_OR_RETURN(int removed, cluster->dfs()->DeleteRecursive(table));
+      (void)removed;
+      cluster->InvalidateTable(table);
+    }
+    return Status::OK();
+  };
+
+  for (size_t j = 0; j < groups.size(); ++j) {
+    const StagedGroup& group = groups[j];
+    const bool aggregate_here = !needs_final_agg_stage && j + 1 == groups.size();
+
+    CLY_ASSIGN_OR_RETURN(storage::TableDesc input_desc,
+                         cluster->GetTable(current_table));
+    const std::vector<std::string> projection =
+        projection_for(j, *input_desc.schema);
+
+    mr::JobConf conf;
+    conf.job_name = StrCat("clydesdale-", spec.id, "#stage", j + 1);
+
+    if (group.repartition) {
+      // --- oversized dimension: sort-merge join stage --------------------------
+      const int d = group.dims[0];
+      const DimJoinSpec& dj = spec.dims[static_cast<size_t>(d)];
+      CLY_ASSIGN_OR_RETURN(const DimTableInfo* dim, star->dim(dj.dimension));
+
+      const std::vector<std::string> emit = emit_for(j);
+      RepartitionStage stage;
+      stage.join = dj;
+      stage.fact_predicate =
+          j == 0 ? spec.fact_predicate : Predicate::True();
+      {
+        std::vector<int> idx;
+        for (const std::string& c : projection) {
+          CLY_ASSIGN_OR_RETURN(int i, input_desc.schema->Require(c));
+          idx.push_back(i);
+        }
+        stage.fact_schema = input_desc.schema->Project(idx);
+      }
+      std::vector<std::string> dim_cols;
+      AddUnique(&dim_cols, dj.dim_pk);
+      {
+        std::vector<std::string> pred_cols;
+        dj.predicate->CollectColumns(&pred_cols);
+        for (const std::string& c : pred_cols) AddUnique(&dim_cols, c);
+      }
+      for (const std::string& c : emit) {
+        if (IsAuxOf(spec, d, c)) {
+          AddUnique(&dim_cols, c);
+          stage.dim_carry.push_back(c);
+        } else {
+          stage.fact_out.push_back(c);
+        }
+      }
+      {
+        std::vector<int> idx;
+        for (const std::string& c : dim_cols) {
+          CLY_ASSIGN_OR_RETURN(int i, dim->desc.schema->Require(c));
+          idx.push_back(i);
+        }
+        stage.dim_schema = dim->desc.schema->Project(idx);
+      }
+
+      conf.num_reduce_tasks = std::max(options.reduce_tasks,
+                                       cluster->num_nodes());
+      conf.SetList(mr::kConfInputTables, {current_table, dim->desc.path});
+      conf.SetList(StrCat(mr::kConfInputProjection, ".0"), projection);
+      conf.SetList(StrCat(mr::kConfInputProjection, ".1"), dim_cols);
+      conf.input_format_factory = [] {
+        return std::make_unique<mr::MultiTableInputFormat>();
+      };
+      const RepartitionStage captured = stage;
+      conf.mapper_factory = [captured] {
+        return std::make_unique<StagedRepartitionMapper>(captured);
+      };
+      conf.reducer_factory = [] {
+        return std::make_unique<StagedRepartitionReducer>();
+      };
+
+      // Output order mirrors the reducer: fact_out then dim_carry.
+      std::vector<std::string> ordered = stage.fact_out;
+      for (const std::string& c : stage.dim_carry) ordered.push_back(c);
+      CLY_ASSIGN_OR_RETURN(
+          std::vector<std::string> decl,
+          type_decl(ordered, *input_desc.schema, group.dims));
+      const std::string output_table = next_intermediate(j);
+      CLY_RETURN_IF_ERROR(fresh_output(output_table));
+      ConfigureIntermediateOutput(&conf, output_table, decl,
+                                  star->fact().rows_per_split);
+      current_table = output_table;
+    } else {
+      // --- hash-join stage (possibly aggregating) ------------------------------
+      StarQuerySpec sub;
+      sub.id = StrCat(spec.id, "#stage", j + 1);
+      sub.fact_predicate = j == 0 ? spec.fact_predicate : Predicate::True();
+      for (int d : group.dims) {
+        sub.dims.push_back(spec.dims[static_cast<size_t>(d)]);
+      }
+      if (aggregate_here) {
+        sub.aggregates = spec.aggregates;
+        sub.group_by = spec.group_by;
+        sub.order_by = spec.order_by;
+      }
+      auto stage_star = std::make_shared<StarSchema>(*star);
+      *stage_star->mutable_fact() = input_desc;
+
+      conf.jvm_reuse = options.jvm_reuse;
+      conf.single_task_per_node = options.multithreaded;
+      conf.Set(mr::kConfInputTable, current_table);
+      conf.SetList(mr::kConfInputProjection, projection);
+      conf.SetInt(mr::kConfMultiSplitSize, options.multisplit_size);
+
+      const ClydesdaleOptions stage_options = options;
+      if (options.multithreaded &&
+          input_desc.format == storage::kFormatCif) {
+        conf.input_format_factory = [] {
+          return std::make_unique<mr::MultiCifInputFormat>();
+        };
+        conf.map_runner_factory = [stage_star, sub, stage_options] {
+          return std::make_unique<StarJoinMapRunner>(stage_star, sub,
+                                                     stage_options);
+        };
+      } else {
+        conf.input_format_factory = [] {
+          return std::make_unique<mr::TableInputFormat>();
+        };
+        conf.mapper_factory = [stage_star, sub, stage_options] {
+          return std::make_unique<StarJoinMapper>(stage_star, sub,
+                                                  stage_options);
+        };
+        conf.single_task_per_node = false;
+      }
+
+      if (aggregate_here) {
+        conf.num_reduce_tasks = options.reduce_tasks;
+        const AggLayout layout = AggLayout::For(spec.aggregates);
+        conf.reducer_factory = [layout] {
+          return std::make_unique<AggReducer>(layout);
+        };
+        conf.output_format_factory = [] {
+          return std::make_unique<mr::MemoryOutputFormat>();
+        };
+      } else {
+        const std::vector<std::string> emit = emit_for(j);
+        conf.SetList(kConfJoinEmitColumns, emit);
+        conf.num_reduce_tasks = 0;
+        CLY_ASSIGN_OR_RETURN(std::vector<std::string> decl,
+                             type_decl(emit, *input_desc.schema, group.dims));
+        const std::string output_table = next_intermediate(j);
+        CLY_RETURN_IF_ERROR(fresh_output(output_table));
+        ConfigureIntermediateOutput(&conf, output_table, decl,
+                                    star->fact().rows_per_split);
+        current_table = output_table;
+      }
+    }
+
+    CLY_ASSIGN_OR_RETURN(mr::JobResult job, mr::RunJob(cluster, conf));
+    if (aggregate_here) result.rows = std::move(job.output_rows);
+    result.stage_reports.push_back(std::move(job.report));
+  }
+
+  if (needs_final_agg_stage) {
+    // Aggregation-only job over the fully joined intermediate (no probes).
+    CLY_ASSIGN_OR_RETURN(storage::TableDesc input_desc,
+                         cluster->GetTable(current_table));
+    StarQuerySpec sub;
+    sub.id = StrCat(spec.id, "#agg");
+    sub.aggregates = spec.aggregates;
+    sub.group_by = spec.group_by;
+    sub.order_by = spec.order_by;
+    auto stage_star = std::make_shared<StarSchema>(*star);
+    *stage_star->mutable_fact() = input_desc;
+
+    std::vector<std::string> projection = keep;
+    for (const std::string& g : spec.group_by) AddUnique(&projection, g);
+
+    mr::JobConf conf;
+    conf.job_name = StrCat("clydesdale-", spec.id, "#agg");
+    conf.jvm_reuse = options.jvm_reuse;
+    conf.single_task_per_node = options.multithreaded;
+    conf.Set(mr::kConfInputTable, current_table);
+    conf.SetList(mr::kConfInputProjection, projection);
+    conf.SetInt(mr::kConfMultiSplitSize, options.multisplit_size);
+    const ClydesdaleOptions stage_options = options;
+    if (options.multithreaded && input_desc.format == storage::kFormatCif) {
+      conf.input_format_factory = [] {
+        return std::make_unique<mr::MultiCifInputFormat>();
+      };
+      conf.map_runner_factory = [stage_star, sub, stage_options] {
+        return std::make_unique<StarJoinMapRunner>(stage_star, sub,
+                                                   stage_options);
+      };
+    } else {
+      conf.input_format_factory = [] {
+        return std::make_unique<mr::TableInputFormat>();
+      };
+      conf.mapper_factory = [stage_star, sub, stage_options] {
+        return std::make_unique<StarJoinMapper>(stage_star, sub,
+                                                stage_options);
+      };
+      conf.single_task_per_node = false;
+    }
+    conf.num_reduce_tasks = options.reduce_tasks;
+    const AggLayout layout = AggLayout::For(spec.aggregates);
+    conf.reducer_factory = [layout] {
+      return std::make_unique<AggReducer>(layout);
+    };
+    conf.output_format_factory = [] {
+      return std::make_unique<mr::MemoryOutputFormat>();
+    };
+    CLY_ASSIGN_OR_RETURN(mr::JobResult job, mr::RunJob(cluster, conf));
+    result.rows = std::move(job.output_rows);
+    result.stage_reports.push_back(std::move(job.report));
+  }
+
+  CLY_RETURN_IF_ERROR(FinalizeAggRows(spec, &result.rows));
+  CLY_RETURN_IF_ERROR(SortResultRows(spec, &result.rows));
+  for (const std::string& table : intermediates) {
+    CLY_ASSIGN_OR_RETURN(int removed, cluster->dfs()->DeleteRecursive(table));
+    (void)removed;
+    cluster->InvalidateTable(table);
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace core
+}  // namespace clydesdale

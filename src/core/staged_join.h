@@ -1,0 +1,53 @@
+#ifndef CLYDESDALE_CORE_STAGED_JOIN_H_
+#define CLYDESDALE_CORE_STAGED_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/clydesdale.h"
+#include "core/star_query.h"
+#include "core/star_schema.h"
+
+namespace clydesdale {
+namespace core {
+
+/// The memory-constrained fallback of paper §5.1 ("Discussion"): when the
+/// query's dimension hash tables do not all fit in a node's memory together,
+/// join with a *group* of tables at a time — each group small enough for the
+/// budget — passing the intermediate joined result through HDFS between
+/// stages. The final stage also aggregates; earlier stages are map-only.
+/// A dimension whose hash table does not fit by itself is joined with a
+/// repartition (sort-merge) join instead — the paper's answer "for the case
+/// of a single large dimension".
+
+/// Rough per-node memory the hash table of `dim` filtered by `join` needs
+/// (upper bound: assumes every row qualifies).
+uint64_t EstimateDimHashBytes(const DimTableInfo& dim, const DimJoinSpec& join);
+
+/// One stage of the staged plan: a set of dimensions joined together.
+struct StagedGroup {
+  /// Indexes into spec.dims, in spec order.
+  std::vector<int> dims;
+  /// True when the (single) dimension exceeds the budget by itself and must
+  /// be joined with a repartition join instead of a hash join.
+  bool repartition = false;
+};
+
+/// Partitions the query's dimensions (by spec order) into consecutive groups
+/// whose estimated combined hash memory stays within `budget_bytes`; an
+/// oversized dimension becomes its own repartition group.
+Result<std::vector<StagedGroup>> PlanDimGroups(const StarSchema& star,
+                                               const StarQuerySpec& spec,
+                                               uint64_t budget_bytes);
+
+/// Executes `spec` as a chain of star-join jobs, one per dimension group.
+/// Produces exactly the same rows as the single-job plan.
+Result<QueryResult> ExecuteStagedStarJoin(
+    mr::MrCluster* cluster, std::shared_ptr<const StarSchema> star,
+    const StarQuerySpec& spec, const ClydesdaleOptions& options,
+    uint64_t budget_bytes);
+
+}  // namespace core
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_CORE_STAGED_JOIN_H_

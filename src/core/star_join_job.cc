@@ -1,0 +1,451 @@
+#include "core/star_join_job.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/strings.h"
+#include "core/aggregation.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/input_format.h"
+
+namespace clydesdale {
+namespace core {
+
+namespace {
+
+/// The query plan bound to the projected fact schema a task reads.
+struct BoundPlan {
+  SchemaPtr fact_schema;
+  BoundPredicatePtr fact_pred;
+  AggLayout agg_layout = AggLayout::For({});
+  /// One evaluator per accumulator; null means the constant 1 (COUNT).
+  std::vector<BoundScalarPtr> acc_exprs;
+  std::vector<int> fk_index;  // per dimension, position in the projected row
+  std::vector<GroupSource> group_sources;
+  /// Staged-join emit mode (paper §5.1 "Discussion"): instead of
+  /// aggregating, emit the joined row projected to these sources.
+  bool emit_joined_rows = false;
+  std::vector<GroupSource> emit_sources;
+};
+
+Result<BoundPlan> BindPlan(const StarQuerySpec& spec,
+                           const SchemaPtr& fact_schema,
+                           const std::vector<std::string>& emit_columns) {
+  BoundPlan plan;
+  plan.fact_schema = fact_schema;
+  CLY_ASSIGN_OR_RETURN(plan.fact_pred, spec.fact_predicate->Bind(*fact_schema));
+  plan.agg_layout = AggLayout::For(spec.aggregates);
+  for (int expr_index : plan.agg_layout.expr_index()) {
+    if (expr_index < 0) {
+      plan.acc_exprs.push_back(nullptr);  // COUNT: input is 1
+      continue;
+    }
+    const AggSpec& agg = spec.aggregates[static_cast<size_t>(expr_index)];
+    CLY_ASSIGN_OR_RETURN(BoundScalarPtr e, agg.expr->Bind(*fact_schema));
+    plan.acc_exprs.push_back(std::move(e));
+  }
+  for (const DimJoinSpec& dim : spec.dims) {
+    CLY_ASSIGN_OR_RETURN(int fk, fact_schema->Require(dim.fact_fk));
+    plan.fk_index.push_back(fk);
+  }
+  CLY_ASSIGN_OR_RETURN(plan.group_sources,
+                       ResolveGroupSources(spec, *fact_schema));
+  if (!emit_columns.empty()) {
+    plan.emit_joined_rows = true;
+    // Each output column is either a carried fact column or a freshly joined
+    // dimension's aux column; GroupSource resolution covers both.
+    StarQuerySpec emit_spec = spec;
+    emit_spec.group_by = emit_columns;
+    CLY_ASSIGN_OR_RETURN(plan.emit_sources,
+                         ResolveGroupSources(emit_spec, *fact_schema));
+  }
+  return plan;
+}
+
+/// Builds one output row from resolved sources (fact row + matched aux).
+Row GatherSources(const std::vector<GroupSource>& sources, const Row& row,
+                  const std::vector<const Row*>& matched) {
+  Row out;
+  out.Reserve(static_cast<int>(sources.size()));
+  for (const GroupSource& src : sources) {
+    out.Append(src.from_fact
+                   ? row.Get(src.fact_index)
+                   : matched[static_cast<size_t>(src.dim_index)]->Get(
+                         src.aux_index));
+  }
+  return out;
+}
+
+/// Probe/aggregate state of one thread (or one single-threaded task).
+struct ProbeSink {
+  explicit ProbeSink(AggLayout layout) : agg(std::move(layout)) {}
+  HashAggregator agg;
+  uint64_t probe_rows = 0;
+  uint64_t join_output_rows = 0;
+  /// Non-null when map-side aggregation is off: emit per joined row.
+  mr::OutputCollector* direct_out = nullptr;
+};
+
+/// The inner join+aggregate step for one fact row that already passed the
+/// fact predicate. `matched` is scratch of size dims.
+Status JoinAndAggregateRow(const BoundPlan& plan, const QueryHashTables& tables,
+                           const Row& row, std::vector<const Row*>* matched,
+                           ProbeSink* sink) {
+  for (size_t d = 0; d < tables.tables.size(); ++d) {
+    const Row* aux =
+        tables.tables[d]->Probe(row.Get(plan.fk_index[d]).AsInt64());
+    if (aux == nullptr) return Status::OK();  // early-out (paper §4.2)
+    (*matched)[d] = aux;
+  }
+  ++sink->join_output_rows;
+
+  if (plan.emit_joined_rows) {
+    Row empty_key;
+    return sink->direct_out->Collect(
+        empty_key, GatherSources(plan.emit_sources, row, *matched));
+  }
+  Row group_key;
+  group_key.Reserve(static_cast<int>(plan.group_sources.size()));
+  for (const GroupSource& src : plan.group_sources) {
+    group_key.Append(src.from_fact
+                         ? row.Get(src.fact_index)
+                         : (*matched)[static_cast<size_t>(src.dim_index)]->Get(
+                               src.aux_index));
+  }
+  if (sink->direct_out != nullptr) {
+    Row value;
+    value.Reserve(static_cast<int>(plan.acc_exprs.size()));
+    for (const BoundScalarPtr& e : plan.acc_exprs) {
+      value.Append(Value(e == nullptr ? int64_t{1} : e->Eval(row).AsInt64()));
+    }
+    return sink->direct_out->Collect(group_key, value);
+  }
+  // Small fixed-size stack buffer; queries have a handful of accumulators.
+  int64_t values[16];
+  CLY_CHECK(plan.acc_exprs.size() <= 16);
+  for (size_t a = 0; a < plan.acc_exprs.size(); ++a) {
+    values[a] = plan.acc_exprs[a] == nullptr
+                    ? 1
+                    : plan.acc_exprs[a]->Eval(row).AsInt64();
+  }
+  sink->agg.Add(group_key, values);
+  return Status::OK();
+}
+
+/// Block-iteration probe (B-CIF): vectorized fact predicate, then probe the
+/// qualifying rows.
+Status ProcessBatches(const BoundPlan& plan, const QueryHashTables& tables,
+                      storage::BatchReader* reader, int64_t batch_rows,
+                      ProbeSink* sink) {
+  RowBatch batch(plan.fact_schema);
+  std::vector<uint8_t> sel;
+  std::vector<const Row*> matched(tables.tables.size());
+  while (true) {
+    CLY_ASSIGN_OR_RETURN(bool more, reader->NextBatch(&batch, batch_rows));
+    if (!more) break;
+    const int64_t n = batch.num_rows();
+    sink->probe_rows += static_cast<uint64_t>(n);
+    sel.assign(static_cast<size_t>(n), 1);
+    plan.fact_pred->EvalBatch(batch, &sel);
+    for (int64_t i = 0; i < n; ++i) {
+      if (sel[static_cast<size_t>(i)] == 0) continue;
+      // Fast-path key probe straight off the columns; materialize the row
+      // only for survivors of every join.
+      bool ok = true;
+      for (size_t d = 0; d < tables.tables.size(); ++d) {
+        matched[d] = tables.tables[d]->Probe(
+            batch.column(plan.fk_index[d]).KeyAt(i));
+        if (matched[d] == nullptr) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      ++sink->join_output_rows;
+      const Row row = batch.GetRow(i);
+      if (plan.emit_joined_rows) {
+        Row empty_key;
+        CLY_RETURN_IF_ERROR(sink->direct_out->Collect(
+            empty_key, GatherSources(plan.emit_sources, row, matched)));
+        continue;
+      }
+      Row group_key;
+      group_key.Reserve(static_cast<int>(plan.group_sources.size()));
+      for (const GroupSource& src : plan.group_sources) {
+        group_key.Append(
+            src.from_fact
+                ? row.Get(src.fact_index)
+                : matched[static_cast<size_t>(src.dim_index)]->Get(src.aux_index));
+      }
+      if (sink->direct_out != nullptr) {
+        Row value;
+        value.Reserve(static_cast<int>(plan.acc_exprs.size()));
+        for (const BoundScalarPtr& e : plan.acc_exprs) {
+          value.Append(
+              Value(e == nullptr ? int64_t{1} : e->Eval(row).AsInt64()));
+        }
+        CLY_RETURN_IF_ERROR(sink->direct_out->Collect(group_key, value));
+        continue;
+      }
+      int64_t values[16];
+      CLY_CHECK(plan.acc_exprs.size() <= 16);
+      for (size_t a = 0; a < plan.acc_exprs.size(); ++a) {
+        values[a] = plan.acc_exprs[a] == nullptr
+                        ? 1
+                        : plan.acc_exprs[a]->Eval(row).AsInt64();
+      }
+      sink->agg.Add(group_key, values);
+    }
+  }
+  return Status::OK();
+}
+
+/// Row-at-a-time probe (plain CIF iteration).
+Status ProcessRows(const BoundPlan& plan, const QueryHashTables& tables,
+                   storage::RowReader* reader, ProbeSink* sink) {
+  Row row;
+  std::vector<const Row*> matched(tables.tables.size());
+  while (true) {
+    CLY_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+    if (!more) break;
+    ++sink->probe_rows;
+    if (!plan.fact_pred->Eval(row)) continue;
+    CLY_RETURN_IF_ERROR(
+        JoinAndAggregateRow(plan, tables, row, &matched, sink));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ProjectionFromConf(const mr::JobConf& conf) {
+  std::vector<std::string> projection =
+      conf.GetList(mr::kConfInputProjection);
+  if (projection.empty()) {
+    return Status::InvalidArgument(
+        "clydesdale jobs must set input.projection");
+  }
+  return projection;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
+    mr::TaskContext* context, const StarSchema& star,
+    const StarQuerySpec& spec) {
+  auto tables = std::make_shared<QueryHashTables>();
+  for (const DimJoinSpec& join : spec.dims) {
+    CLY_ASSIGN_OR_RETURN(const DimTableInfo* dim, star.dim(join.dimension));
+    CLY_ASSIGN_OR_RETURN(hdfs::BlockBuffer bytes,
+                         ReadDimensionReplica(context, *dim));
+    CLY_ASSIGN_OR_RETURN(
+        std::shared_ptr<const DimHashTable> table,
+        DimHashTable::Build(*dim->desc.schema, bytes->data(), bytes->size(),
+                            *join.predicate, join.dim_pk, join.aux_columns));
+    context->counters()->Add(kCounterHashBuilds, 1);
+    context->counters()->Add(kCounterHashBuildRows,
+                             static_cast<int64_t>(table->stats().input_rows));
+    context->counters()->Add(kCounterHashEntries,
+                             static_cast<int64_t>(table->stats().entries));
+    context->counters()->Add(kCounterHashBytes,
+                             static_cast<int64_t>(table->stats().memory_bytes));
+    tables->total_memory_bytes += table->stats().memory_bytes;
+    tables->tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+Result<std::shared_ptr<QueryHashTables>> GetOrBuildHashTables(
+    mr::TaskContext* context, const StarSchema& star,
+    const StarQuerySpec& spec) {
+  Status build_status;
+  std::shared_ptr<QueryHashTables> tables =
+      context->shared_state()->GetOrCreate<QueryHashTables>(
+          StrCat("clydesdale.hash.", spec.id),
+          [&]() -> std::shared_ptr<QueryHashTables> {
+            auto built = BuildQueryHashTables(context, star, spec);
+            if (!built.ok()) {
+              build_status = built.status();
+              return nullptr;
+            }
+            return *built;
+          });
+  if (tables == nullptr) {
+    return build_status.ok()
+               ? Status::Internal("hash-table build failed on another task")
+               : build_status;
+  }
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// StarJoinMapRunner (MTMapRunner)
+// ---------------------------------------------------------------------------
+
+Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
+                              const mr::InputSplit& split,
+                              mr::InputFormat* input_format,
+                              mr::TaskContext* context,
+                              mr::OutputCollector* out) {
+  (void)input_format;
+  // buildHashTables(conf) — once per node thanks to the shared state.
+  CLY_ASSIGN_OR_RETURN(std::shared_ptr<QueryHashTables> tables,
+                       GetOrBuildHashTables(context, *star_, spec_));
+
+  CLY_ASSIGN_OR_RETURN(storage::TableDesc fact_desc,
+                       cluster->GetTable(star_->fact().path));
+  CLY_ASSIGN_OR_RETURN(std::vector<std::string> projection,
+                       ProjectionFromConf(conf));
+  std::vector<int> projection_idx;
+  for (const std::string& c : projection) {
+    CLY_ASSIGN_OR_RETURN(int i, fact_desc.schema->Require(c));
+    projection_idx.push_back(i);
+  }
+  const std::vector<std::string> emit_columns =
+      conf.GetList(kConfJoinEmitColumns);
+  CLY_ASSIGN_OR_RETURN(
+      BoundPlan plan,
+      BindPlan(spec_, fact_desc.schema->Project(projection_idx), emit_columns));
+
+  // input.getMultipleReaders(): every thread pulls constituents off a queue
+  // and opens its own reader — no shared RecordReader bottleneck (§5.1).
+  const std::vector<const storage::StorageSplit*> constituents =
+      split.Constituents();
+  const int num_threads = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(context->allowed_threads(), 1)),
+      std::max<size_t>(constituents.size(), 1)));
+
+  std::atomic<size_t> next{0};
+  std::vector<Status> statuses(static_cast<size_t>(num_threads));
+  std::vector<std::unique_ptr<ProbeSink>> sinks;
+  std::vector<hdfs::IoStats> io(static_cast<size_t>(num_threads));
+  const AggLayout layout = AggLayout::For(spec_.aggregates);
+  for (int t = 0; t < num_threads; ++t) {
+    sinks.push_back(std::make_unique<ProbeSink>(layout));
+    if (!options_.map_side_agg || plan.emit_joined_rows) {
+      sinks.back()->direct_out = out;
+    }
+  }
+
+  auto worker = [&](int t) {
+    ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
+    while (true) {
+      const size_t mine = next.fetch_add(1, std::memory_order_relaxed);
+      if (mine >= constituents.size()) return;
+      storage::ScanOptions scan;
+      scan.projection = projection;
+      scan.reader_node = context->node();
+      scan.stats = &io[static_cast<size_t>(t)];
+      Status st;
+      if (options_.block_iteration) {
+        auto reader = storage::OpenSplitBatchReader(
+            *cluster->dfs(), fact_desc, *constituents[mine], scan);
+        st = reader.ok() ? ProcessBatches(plan, *tables, reader->get(),
+                                          options_.batch_rows, sink)
+                         : reader.status();
+      } else {
+        auto reader = storage::OpenSplitRowReader(
+            *cluster->dfs(), fact_desc, *constituents[mine], scan);
+        st = reader.ok() ? ProcessRows(plan, *tables, reader->get(), sink)
+                         : reader.status();
+      }
+      if (!st.ok()) {
+        statuses[static_cast<size_t>(t)] = st;
+        return;
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (std::thread& th : threads) th.join();
+  }
+
+  uint64_t probe_rows = 0, join_rows = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    CLY_RETURN_IF_ERROR(statuses[static_cast<size_t>(t)]);
+    context->MergeIoStats(io[static_cast<size_t>(t)]);
+    probe_rows += sinks[static_cast<size_t>(t)]->probe_rows;
+    join_rows += sinks[static_cast<size_t>(t)]->join_output_rows;
+  }
+  context->counters()->Add(kCounterProbeRows,
+                           static_cast<int64_t>(probe_rows));
+  context->counters()->Add(kCounterJoinOutputRows,
+                           static_cast<int64_t>(join_rows));
+  context->counters()->Add(mr::kCounterMapInputRecords,
+                           static_cast<int64_t>(probe_rows));
+
+  if (options_.map_side_agg && !plan.emit_joined_rows) {
+    // Merge the per-thread partial aggregates and emit once.
+    for (int t = 1; t < num_threads; ++t) {
+      sinks[0]->agg.MergeFrom(sinks[static_cast<size_t>(t)]->agg);
+    }
+    CLY_RETURN_IF_ERROR(sinks[0]->agg.Emit(out));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StarJoinMapper (single-threaded ablation path)
+// ---------------------------------------------------------------------------
+
+struct StarJoinMapper::TaskState {
+  explicit TaskState(AggLayout layout) : sink(std::move(layout)) {}
+  std::shared_ptr<QueryHashTables> tables;
+  BoundPlan plan;
+  ProbeSink sink;
+  std::vector<const Row*> matched;
+};
+
+Status StarJoinMapper::Setup(mr::TaskContext* context) {
+  state_ = std::make_shared<TaskState>(AggLayout::For(spec_.aggregates));
+  CLY_ASSIGN_OR_RETURN(state_->tables,
+                       GetOrBuildHashTables(context, *star_, spec_));
+  CLY_ASSIGN_OR_RETURN(storage::TableDesc fact_desc,
+                       context->cluster()->GetTable(star_->fact().path));
+  CLY_ASSIGN_OR_RETURN(std::vector<std::string> projection,
+                       ProjectionFromConf(context->conf()));
+  std::vector<int> projection_idx;
+  for (const std::string& c : projection) {
+    CLY_ASSIGN_OR_RETURN(int i, fact_desc.schema->Require(c));
+    projection_idx.push_back(i);
+  }
+  CLY_ASSIGN_OR_RETURN(
+      state_->plan,
+      BindPlan(spec_, fact_desc.schema->Project(projection_idx),
+               context->conf().GetList(kConfJoinEmitColumns)));
+  state_->matched.resize(spec_.dims.size());
+  return Status::OK();
+}
+
+Status StarJoinMapper::Map(const Row& key, const Row& value,
+                           mr::TaskContext* context, mr::OutputCollector* out) {
+  (void)key;
+  (void)context;
+  TaskState* s = state_.get();
+  if (!options_.map_side_agg || s->plan.emit_joined_rows) {
+    s->sink.direct_out = out;
+  }
+  ++s->sink.probe_rows;
+  if (!s->plan.fact_pred->Eval(value)) return Status::OK();
+  return JoinAndAggregateRow(s->plan, *s->tables, value, &s->matched,
+                             &s->sink);
+}
+
+Status StarJoinMapper::Cleanup(mr::TaskContext* context,
+                               mr::OutputCollector* out) {
+  TaskState* s = state_.get();
+  context->counters()->Add(kCounterProbeRows,
+                           static_cast<int64_t>(s->sink.probe_rows));
+  context->counters()->Add(kCounterJoinOutputRows,
+                           static_cast<int64_t>(s->sink.join_output_rows));
+  if (options_.map_side_agg && !s->plan.emit_joined_rows) {
+    CLY_RETURN_IF_ERROR(s->sink.agg.Emit(out));
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace clydesdale

@@ -1,0 +1,121 @@
+#ifndef CLYDESDALE_CORE_STAR_JOIN_JOB_H_
+#define CLYDESDALE_CORE_STAR_JOIN_JOB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dim_hash_table.h"
+#include "core/star_query.h"
+#include "core/star_schema.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/map_runner.h"
+
+namespace clydesdale {
+namespace core {
+
+/// Engine knobs; the three paper §6.5 ablation switches plus tuning.
+struct ClydesdaleOptions {
+  /// Multi-threaded map tasks sharing one hash-table copy per node
+  /// (MTMapRunner, paper §5.1). Off = stock single-threaded mappers that
+  /// each build their own tables.
+  bool multithreaded = true;
+  /// Block iteration (B-CIF, §5.3). Off = row-at-a-time record loop.
+  bool block_iteration = true;
+  /// Columnar projection pushdown (§4.1). Off = read every fact column.
+  bool columnar = true;
+  /// Share hash tables across consecutive tasks on a node (§5.2).
+  bool jvm_reuse = true;
+  /// Aggregate partially in the map task (the paper's combiner note, §4.2).
+  /// Off = emit one record per joined row and combine before the shuffle.
+  bool map_side_agg = true;
+  int reduce_tasks = 1;
+  /// Per-node memory budget for the dimension hash tables; 0 = unlimited.
+  /// When the query's estimated tables exceed it, the engine falls back to
+  /// the staged multi-pass join of paper §5.1 ("Discussion").
+  uint64_t max_hash_memory_bytes = 0;
+  /// Rows per B-CIF block handed to the probe loop.
+  int64_t batch_rows = 4096;
+  /// CIF splits packed per multi-split; 0 = all of a node's splits at once.
+  int64_t multisplit_size = 0;
+};
+
+/// Conf key: comma-separated output columns for staged-join stages. When
+/// set, the star-join map emits joined rows projected to these columns (one
+/// per surviving fact row) instead of aggregating — the building block of
+/// the paper's §5.1 memory-constrained fallback.
+inline constexpr const char kConfJoinEmitColumns[] = "clydesdale.join.emit.columns";
+
+// Clydesdale-specific job counters.
+inline constexpr const char kCounterHashBuilds[] = "CLY_HASH_TABLE_BUILDS";
+inline constexpr const char kCounterHashBuildRows[] = "CLY_HASH_BUILD_INPUT_ROWS";
+inline constexpr const char kCounterHashEntries[] = "CLY_HASH_ENTRIES";
+inline constexpr const char kCounterHashBytes[] = "CLY_HASH_MEMORY_BYTES";
+inline constexpr const char kCounterProbeRows[] = "CLY_PROBE_INPUT_ROWS";
+inline constexpr const char kCounterJoinOutputRows[] = "CLY_JOIN_OUTPUT_ROWS";
+
+/// The dimension hash tables of one query on one node.
+struct QueryHashTables {
+  std::vector<std::shared_ptr<const DimHashTable>> tables;
+  uint64_t total_memory_bytes = 0;
+};
+
+/// Builds every dimension hash table of `spec` from the node-local replicas
+/// (fetching from HDFS if a replica is missing). Updates the CLY_HASH_*
+/// counters.
+Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
+    mr::TaskContext* context, const StarSchema& star,
+    const StarQuerySpec& spec);
+
+/// Returns the node's shared tables, building on first use (JVM reuse: one
+/// build per node per query when tasks share state).
+Result<std::shared_ptr<QueryHashTables>> GetOrBuildHashTables(
+    mr::TaskContext* context, const StarSchema& star,
+    const StarQuerySpec& spec);
+
+/// Clydesdale's MTMapRunner (paper Figure 5): builds the hash tables once,
+/// then runs the probe over the multi-split's constituents with one thread
+/// per granted slot, each with its own reader and partial aggregator.
+class StarJoinMapRunner final : public mr::MapRunner {
+ public:
+  StarJoinMapRunner(std::shared_ptr<const StarSchema> star,
+                    StarQuerySpec spec, ClydesdaleOptions options)
+      : star_(std::move(star)), spec_(std::move(spec)), options_(options) {}
+
+  Status Run(mr::MrCluster* cluster, const mr::JobConf& conf,
+             const mr::InputSplit& split, mr::InputFormat* input_format,
+             mr::TaskContext* context, mr::OutputCollector* out) override;
+
+ private:
+  std::shared_ptr<const StarSchema> star_;
+  StarQuerySpec spec_;
+  ClydesdaleOptions options_;
+};
+
+/// Single-threaded mapper (paper Figure 4's QMapper); used when
+/// options.multithreaded is off. Each task obtains (or, without JVM reuse,
+/// builds) the hash tables in Setup.
+class StarJoinMapper final : public mr::Mapper {
+ public:
+  StarJoinMapper(std::shared_ptr<const StarSchema> star, StarQuerySpec spec,
+                 ClydesdaleOptions options)
+      : star_(std::move(star)), spec_(std::move(spec)), options_(options) {}
+
+  Status Setup(mr::TaskContext* context) override;
+  Status Map(const Row& key, const Row& value, mr::TaskContext* context,
+             mr::OutputCollector* out) override;
+  Status Cleanup(mr::TaskContext* context, mr::OutputCollector* out) override;
+
+ private:
+  std::shared_ptr<const StarSchema> star_;
+  StarQuerySpec spec_;
+  ClydesdaleOptions options_;
+
+  struct TaskState;
+  std::shared_ptr<TaskState> state_;
+};
+
+}  // namespace core
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_CORE_STAR_JOIN_JOB_H_

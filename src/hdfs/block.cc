@@ -1,0 +1,11 @@
+#include "hdfs/block.h"
+
+namespace clydesdale {
+namespace hdfs {
+
+BlockBuffer MakeBlockBuffer(std::vector<uint8_t> bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+}  // namespace hdfs
+}  // namespace clydesdale

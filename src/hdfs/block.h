@@ -1,0 +1,65 @@
+#ifndef CLYDESDALE_HDFS_BLOCK_H_
+#define CLYDESDALE_HDFS_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clydesdale {
+namespace hdfs {
+
+/// Datanode index within the cluster.
+using NodeId = int;
+/// Globally unique block number handed out by the namenode.
+using BlockId = uint64_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// Immutable block payload. Replicas share the same buffer — replication in
+/// the simulator is a metadata and accounting concept, not a memory copy.
+using BlockBuffer = std::shared_ptr<const std::vector<uint8_t>>;
+
+BlockBuffer MakeBlockBuffer(std::vector<uint8_t> bytes);
+
+/// Namenode-side description of one block of a file.
+struct BlockInfo {
+  BlockId id = 0;
+  uint64_t length = 0;
+  /// Datanodes holding a replica, in pipeline order.
+  std::vector<NodeId> replicas;
+};
+
+/// Namenode-side description of a file.
+struct FileInfo {
+  std::string path;
+  uint64_t length = 0;
+  int replication = 0;
+  /// Files sharing a non-empty group are co-placed block-by-block by the
+  /// colocating placement policy (the CIF contract, paper §4.1).
+  std::string colocation_group;
+  std::vector<BlockInfo> blocks;
+};
+
+/// Byte-level I/O accounting attributed to one reader or writer. The
+/// discrete-event cost model consumes these numbers.
+struct IoStats {
+  uint64_t local_bytes_read = 0;
+  uint64_t remote_bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_ops = 0;
+
+  uint64_t TotalRead() const { return local_bytes_read + remote_bytes_read; }
+
+  void Add(const IoStats& other) {
+    local_bytes_read += other.local_bytes_read;
+    remote_bytes_read += other.remote_bytes_read;
+    bytes_written += other.bytes_written;
+    read_ops += other.read_ops;
+  }
+};
+
+}  // namespace hdfs
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_HDFS_BLOCK_H_

@@ -1,0 +1,51 @@
+#include "hdfs/local_store.h"
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace hdfs {
+
+Status LocalStore::Write(const std::string& path, std::vector<uint8_t> bytes) {
+  return WriteShared(path, MakeBlockBuffer(std::move(bytes)));
+}
+
+Status LocalStore::WriteShared(const std::string& path, BlockBuffer bytes) {
+  if (bytes == nullptr) return Status::InvalidArgument("null buffer");
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_written_.fetch_add(bytes->size(), std::memory_order_relaxed);
+  files_[path] = std::move(bytes);
+  return Status::OK();
+}
+
+Result<BlockBuffer> LocalStore::Read(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound(
+        StrCat("local file not found on node ", node_, ": ", path));
+  }
+  bytes_read_.fetch_add(it->second->size(), std::memory_order_relaxed);
+  return it->second;
+}
+
+bool LocalStore::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status LocalStore::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound(
+        StrCat("local file not found on node ", node_, ": ", path));
+  }
+  return Status::OK();
+}
+
+void LocalStore::Wipe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+}
+
+}  // namespace hdfs
+}  // namespace clydesdale

@@ -1,0 +1,40 @@
+#ifndef CLYDESDALE_HIVE_AGG_STAGES_H_
+#define CLYDESDALE_HIVE_AGG_STAGES_H_
+
+#include <memory>
+#include <string>
+
+#include "hive/hive_plan.h"
+#include "mapreduce/engine.h"
+
+namespace clydesdale {
+namespace hive {
+
+/// Hive's group-by job (paper §6.3 stage 4): maps the joined rows to
+/// (group key, aggregate inputs), combines, and sums in the reducers.
+class GroupByMapper final : public mr::Mapper {
+ public:
+  explicit GroupByMapper(AggStageSpec spec) : spec_(std::move(spec)) {}
+
+  Status Setup(mr::TaskContext* context) override;
+  Status Map(const Row& key, const Row& value, mr::TaskContext* context,
+             mr::OutputCollector* out) override;
+
+ private:
+  AggStageSpec spec_;
+  std::vector<int> group_idx_;
+  /// One evaluator per accumulator; null means the constant 1 (COUNT).
+  std::vector<BoundScalarPtr> acc_exprs_;
+};
+
+Result<mr::JobConf> MakeGroupByJob(const AggStageSpec& spec, int reduce_tasks);
+
+/// Hive's order-by job (stage 5): a single-reducer pass over the grouped
+/// table; the actual comparator runs client-side afterwards, as in the
+/// paper's sortResult step.
+Result<mr::JobConf> MakeOrderByJob(const AggStageSpec& spec);
+
+}  // namespace hive
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_HIVE_AGG_STAGES_H_

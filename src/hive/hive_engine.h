@@ -1,0 +1,48 @@
+#ifndef CLYDESDALE_HIVE_HIVE_ENGINE_H_
+#define CLYDESDALE_HIVE_HIVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clydesdale.h"
+#include "hive/hive_plan.h"
+
+namespace clydesdale {
+namespace hive {
+
+struct HiveOptions {
+  JoinStrategy strategy = JoinStrategy::kRepartition;
+  /// Reducers for join and group-by stages.
+  int reduce_tasks = 4;
+  std::string scratch_root = "/tmp/hive";
+  /// Drop intermediate tables after the query finishes.
+  bool cleanup_intermediates = true;
+};
+
+/// The Hive baseline (paper §6.1): compiles a star query into a chain of
+/// MapReduce jobs — one join stage per dimension (repartition or mapjoin),
+/// a group-by job, and an order-by job — with every intermediate result
+/// round-tripped through HDFS.
+class HiveEngine {
+ public:
+  /// `star.fact()` must point at the Hive copy of the fact table (RCFile in
+  /// the paper's setup); dimensions are the same HDFS masters Clydesdale
+  /// uses (Hive has no local dimension replicas).
+  HiveEngine(mr::MrCluster* cluster, core::StarSchema star,
+             HiveOptions options = {});
+
+  const HiveOptions& options() const { return options_; }
+
+  Result<core::QueryResult> Execute(const core::StarQuerySpec& spec);
+
+ private:
+  mr::MrCluster* cluster_;
+  core::StarSchema star_;
+  HiveOptions options_;
+};
+
+}  // namespace hive
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_HIVE_HIVE_ENGINE_H_

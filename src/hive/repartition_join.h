@@ -1,0 +1,53 @@
+#ifndef CLYDESDALE_HIVE_REPARTITION_JOIN_H_
+#define CLYDESDALE_HIVE_REPARTITION_JOIN_H_
+
+#include <memory>
+
+#include "hive/hive_plan.h"
+#include "mapreduce/engine.h"
+
+namespace clydesdale {
+namespace hive {
+
+/// Hive's common join (paper §6.1): mappers tag each record with its source
+/// table and key it by the join column; records of both tables meet at the
+/// reducer, which joins them. Both sides cross the network in the shuffle.
+class RepartitionJoinMapper final : public mr::Mapper {
+ public:
+  explicit RepartitionJoinMapper(JoinStageSpec spec) : spec_(std::move(spec)) {}
+
+  Status Setup(mr::TaskContext* context) override;
+  Status Map(const Row& key, const Row& value, mr::TaskContext* context,
+             mr::OutputCollector* out) override;
+
+ private:
+  JoinStageSpec spec_;
+  BoundPredicatePtr fact_pred_;
+  BoundPredicatePtr dim_pred_;
+  int fact_fk_index_ = -1;
+  int dim_pk_index_ = -1;
+  std::vector<int> fact_out_idx_;
+  std::vector<int> dim_aux_idx_;
+};
+
+/// Joins the tagged records of one key: at most one dimension row (primary
+/// key side) against any number of fact rows.
+class RepartitionJoinReducer final : public mr::Reducer {
+ public:
+  explicit RepartitionJoinReducer(JoinStageSpec spec) : spec_(std::move(spec)) {}
+
+  Status Reduce(const Row& key, const std::vector<Row>& values,
+                mr::TaskContext* context, mr::OutputCollector* out) override;
+
+ private:
+  JoinStageSpec spec_;
+};
+
+/// Configures the MapReduce job for one repartition-join stage.
+Result<mr::JobConf> MakeRepartitionJoinJob(const JoinStageSpec& spec,
+                                           int reduce_tasks);
+
+}  // namespace hive
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_HIVE_REPARTITION_JOIN_H_

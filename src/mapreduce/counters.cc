@@ -1,0 +1,44 @@
+#include "mapreduce/counters.h"
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace mr {
+
+void Counters::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] += delta;
+}
+
+void Counters::Set(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] = value;
+}
+
+int64_t Counters::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Counters::MergeFrom(const Counters& other) {
+  const auto snapshot = other.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot) values_[name] += value;
+}
+
+std::map<std::string, int64_t> Counters::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+std::string Counters::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : Snapshot()) {
+    out += StrCat(name, "=", value, "\n");
+  }
+  return out;
+}
+
+}  // namespace mr
+}  // namespace clydesdale

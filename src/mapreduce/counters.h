@@ -1,0 +1,75 @@
+#ifndef CLYDESDALE_MAPREDUCE_COUNTERS_H_
+#define CLYDESDALE_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace clydesdale {
+namespace mr {
+
+// Standard counter names (engine-maintained). Engines add their own.
+inline constexpr const char kCounterHdfsBytesReadLocal[] = "HDFS_BYTES_READ_LOCAL";
+inline constexpr const char kCounterHdfsBytesReadRemote[] = "HDFS_BYTES_READ_REMOTE";
+inline constexpr const char kCounterHdfsBytesWritten[] = "HDFS_BYTES_WRITTEN";
+inline constexpr const char kCounterLocalBytesRead[] = "LOCAL_DISK_BYTES_READ";
+inline constexpr const char kCounterMapInputRecords[] = "MAP_INPUT_RECORDS";
+inline constexpr const char kCounterMapOutputRecords[] = "MAP_OUTPUT_RECORDS";
+inline constexpr const char kCounterMapOutputBytes[] = "MAP_OUTPUT_BYTES";
+inline constexpr const char kCounterCombineInputRecords[] = "COMBINE_INPUT_RECORDS";
+inline constexpr const char kCounterCombineOutputRecords[] = "COMBINE_OUTPUT_RECORDS";
+inline constexpr const char kCounterReduceInputRecords[] = "REDUCE_INPUT_RECORDS";
+inline constexpr const char kCounterReduceInputGroups[] = "REDUCE_INPUT_GROUPS";
+inline constexpr const char kCounterReduceOutputRecords[] = "REDUCE_OUTPUT_RECORDS";
+inline constexpr const char kCounterShuffleBytes[] = "SHUFFLE_BYTES";
+inline constexpr const char kCounterDataLocalMaps[] = "DATA_LOCAL_MAPS";
+inline constexpr const char kCounterRackRemoteMaps[] = "RACK_REMOTE_MAPS";
+inline constexpr const char kCounterDistCacheBytes[] = "DISTRIBUTED_CACHE_BYTES";
+
+/// Named monotonically increasing job statistics, Hadoop-style. Thread-safe.
+class Counters {
+ public:
+  Counters() = default;
+
+  // Copy/move take the source's lock; only safe once its producers stopped.
+  Counters(const Counters& other) : values_(other.Snapshot()) {}
+  Counters& operator=(const Counters& other) {
+    if (this != &other) {
+      auto snapshot = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      values_ = std::move(snapshot);
+    }
+    return *this;
+  }
+  Counters(Counters&& other) noexcept : values_(other.Snapshot()) {}
+  Counters& operator=(Counters&& other) noexcept {
+    if (this != &other) {
+      auto snapshot = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      values_ = std::move(snapshot);
+    }
+    return *this;
+  }
+
+  void Add(const std::string& name, int64_t delta);
+  void Set(const std::string& name, int64_t value);
+  int64_t Get(const std::string& name) const;
+
+  /// Merges `other` into this (summing).
+  void MergeFrom(const Counters& other);
+
+  /// Snapshot in name order.
+  std::map<std::string, int64_t> Snapshot() const;
+
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_COUNTERS_H_

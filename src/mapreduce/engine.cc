@@ -1,0 +1,371 @@
+#include "mapreduce/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/map_runner.h"
+#include "mapreduce/scheduler.h"
+#include "mapreduce/shuffle.h"
+
+namespace clydesdale {
+namespace mr {
+
+MrCluster::MrCluster(ClusterOptions options)
+    : options_(options),
+      dfs_([&options] {
+        hdfs::DfsOptions dfs_options;
+        dfs_options.num_nodes = options.num_nodes;
+        dfs_options.block_size = options.dfs_block_size;
+        dfs_options.replication = options.dfs_replication;
+        return dfs_options;
+      }()) {
+  local_stores_.reserve(static_cast<size_t>(options_.num_nodes));
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    local_stores_.push_back(std::make_unique<hdfs::LocalStore>(n));
+  }
+}
+
+Result<storage::TableDesc> MrCluster::GetTable(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_cache_.find(path);
+    if (it != table_cache_.end()) return it->second;
+  }
+  CLY_ASSIGN_OR_RETURN(storage::TableDesc desc,
+                       storage::LoadTableDesc(dfs_, path));
+  std::lock_guard<std::mutex> lock(mu_);
+  table_cache_[path] = desc;
+  return desc;
+}
+
+void MrCluster::InvalidateTable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  table_cache_.erase(path);
+}
+
+std::shared_ptr<SharedJvmState> MrCluster::SharedStateFor(int64_t job_instance,
+                                                          hdfs::NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = shared_states_[{job_instance, node}];
+  if (slot == nullptr) slot = std::make_shared<SharedJvmState>();
+  return slot;
+}
+
+int64_t MrCluster::NextJobInstance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_job_instance_++;
+}
+
+namespace {
+
+/// Collector for map-only jobs: records go straight to the output format.
+class OutputFormatCollector final : public OutputCollector {
+ public:
+  explicit OutputFormatCollector(OutputFormat* out) : out_(out) {}
+
+  Status Collect(const Row& key, const Row& value) override {
+    records_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(EncodedKeyValueBytes(key, value),
+                     std::memory_order_relaxed);
+    return out_->Write(key, value);
+  }
+
+  uint64_t records() const { return records_.load(std::memory_order_relaxed); }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  OutputFormat* out_;
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+/// Thread-safe collector wrapper used by multi-threaded map runners over a
+/// MapOutputBuffer (whose Collect is not thread-safe).
+class LockedCollector final : public OutputCollector {
+ public:
+  explicit LockedCollector(OutputCollector* inner) : inner_(inner) {}
+  Status Collect(const Row& key, const Row& value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Collect(key, value);
+  }
+
+ private:
+  std::mutex mu_;
+  OutputCollector* inner_;
+};
+
+/// Copies every distributed-cache file from DFS onto every node's local
+/// disk, once per node per job (paper §6.1: Hive's mapjoin dissemination).
+Status DistributeCache(MrCluster* cluster, const JobConf& conf,
+                       Counters* counters) {
+  for (const std::string& dfs_path : conf.distributed_cache) {
+    CLY_ASSIGN_OR_RETURN(std::string contents,
+                         cluster->dfs()->ReadFileToString(dfs_path));
+    const std::string local_path =
+        StrCat("/dcache/", conf.GetInt("mr.job.instance"), dfs_path);
+    std::vector<uint8_t> bytes(contents.begin(), contents.end());
+    for (int n = 0; n < cluster->num_nodes(); ++n) {
+      CLY_RETURN_IF_ERROR(
+          cluster->local_store(n)->Write(local_path, bytes));
+      counters->Add(kCounterDistCacheBytes,
+                    static_cast<int64_t>(bytes.size()));
+    }
+  }
+  return Status::OK();
+}
+
+struct MapTaskOutcome {
+  Status status;
+  TaskReport report;
+};
+
+}  // namespace
+
+Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
+  Stopwatch job_timer;
+  JobConf conf = user_conf;
+  const int64_t instance = cluster->NextJobInstance();
+  conf.SetInt("mr.job.instance", instance);
+
+  if (!conf.input_format_factory) {
+    return Status::InvalidArgument("job has no input format");
+  }
+  if (!conf.output_format_factory) {
+    return Status::InvalidArgument("job has no output format");
+  }
+  if (conf.num_reduce_tasks > 0 && !conf.reducer_factory) {
+    return Status::InvalidArgument(
+        "job has reduce tasks but no reducer factory");
+  }
+
+  JobReport report;
+  report.job_name = conf.job_name;
+  report.num_nodes = cluster->num_nodes();
+
+  std::unique_ptr<InputFormat> input_format = conf.input_format_factory();
+  std::unique_ptr<OutputFormat> output_format = conf.output_format_factory();
+  CLY_RETURN_IF_ERROR(output_format->Open(cluster, conf));
+  CLY_RETURN_IF_ERROR(DistributeCache(cluster, conf, &report.counters));
+
+  CLY_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<InputSplit>> splits,
+                       input_format->GetSplits(cluster, conf));
+  std::vector<ScheduledTask> scheduled =
+      ScheduleMapTasks(splits, cluster->num_nodes());
+
+  const int num_reduces = std::max(conf.num_reduce_tasks, 0);
+  const bool map_only = num_reduces == 0;
+  ShuffleStore shuffle(std::max(num_reduces, 1));
+  OutputFormatCollector direct_out(output_format.get());
+
+  // --- map phase -------------------------------------------------------------
+  // Per-node FIFO queues; each node runs `concurrency` task-slots worth of
+  // worker threads (1 when the job asked for a single task per node, in which
+  // case the task itself may use all the node's slots).
+  const int slots = cluster->options().map_slots_per_node;
+  const int concurrency = conf.single_task_per_node ? 1 : slots;
+  const int task_threads = conf.single_task_per_node ? slots : 1;
+
+  std::vector<std::deque<const ScheduledTask*>> queues(
+      static_cast<size_t>(cluster->num_nodes()));
+  for (const ScheduledTask& task : scheduled) {
+    queues[static_cast<size_t>(task.node)].push_back(&task);
+  }
+
+  std::vector<MapTaskOutcome> outcomes(scheduled.size());
+  std::vector<std::mutex> queue_mu(static_cast<size_t>(cluster->num_nodes()));
+
+  auto run_map_task = [&](const ScheduledTask& task) {
+    Stopwatch timer;
+    MapTaskOutcome& outcome = outcomes[static_cast<size_t>(task.task_index)];
+
+    std::shared_ptr<SharedJvmState> shared =
+        conf.jvm_reuse ? cluster->SharedStateFor(instance, task.node)
+                       : std::make_shared<SharedJvmState>();
+    TaskContext context(&conf, cluster, task.task_index, task.node,
+                        task_threads, shared, &report.counters);
+
+    std::unique_ptr<MapRunner> runner =
+        conf.map_runner_factory ? conf.map_runner_factory()
+                                : std::make_unique<DefaultMapRunner>();
+
+    uint64_t out_records = 0;
+    uint64_t out_bytes = 0;
+    if (map_only) {
+      const uint64_t before_r = direct_out.records();
+      const uint64_t before_b = direct_out.bytes();
+      outcome.status = runner->Run(cluster, conf, *task.split,
+                                   input_format.get(), &context, &direct_out);
+      out_records = direct_out.records() - before_r;
+      out_bytes = direct_out.bytes() - before_b;
+    } else {
+      std::unique_ptr<Partitioner> partitioner =
+          conf.partitioner_factory ? conf.partitioner_factory()
+                                   : std::make_unique<HashPartitioner>();
+      MapOutputBuffer buffer(partitioner.get(), num_reduces);
+      LockedCollector locked(&buffer);
+      outcome.status = runner->Run(cluster, conf, *task.split,
+                                   input_format.get(), &context, &locked);
+      if (outcome.status.ok()) {
+        std::unique_ptr<Reducer> combiner =
+            conf.combiner_factory ? conf.combiner_factory() : nullptr;
+        out_records = buffer.records();
+        auto finished = buffer.Finish(combiner.get(), &context);
+        if (!finished.ok()) {
+          outcome.status = finished.status();
+        } else {
+          for (int p = 0; p < num_reduces; ++p) {
+            auto& partition = (*finished)[static_cast<size_t>(p)];
+            if (partition.empty()) continue;
+            ShuffleRun run;
+            run.map_task = task.task_index;
+            run.map_node = task.node;
+            for (const KeyValue& kv : partition) {
+              run.encoded_bytes += EncodedKeyValueBytes(kv.key, kv.value);
+            }
+            out_bytes += run.encoded_bytes;
+            run.records = std::move(partition);
+            shuffle.AddRun(p, std::move(run));
+          }
+        }
+      }
+    }
+
+    TaskReport& tr = outcome.report;
+    tr.index = task.task_index;
+    tr.is_map = true;
+    tr.node = task.node;
+    tr.data_local = task.data_local;
+    tr.num_constituents = static_cast<int>(task.split->Constituents().size());
+    tr.hdfs_local_bytes = context.io_stats()->local_bytes_read;
+    tr.hdfs_remote_bytes = context.io_stats()->remote_bytes_read;
+    tr.local_disk_bytes = context.local_disk_bytes();
+    tr.output_records = out_records;
+    tr.output_bytes = out_bytes;
+    tr.wall_seconds = timer.ElapsedSeconds();
+
+    report.counters.Add(kCounterHdfsBytesReadLocal,
+                        static_cast<int64_t>(tr.hdfs_local_bytes));
+    report.counters.Add(kCounterHdfsBytesReadRemote,
+                        static_cast<int64_t>(tr.hdfs_remote_bytes));
+    report.counters.Add(kCounterLocalBytesRead,
+                        static_cast<int64_t>(tr.local_disk_bytes));
+    report.counters.Add(kCounterMapOutputRecords,
+                        static_cast<int64_t>(out_records));
+    report.counters.Add(kCounterMapOutputBytes,
+                        static_cast<int64_t>(out_bytes));
+    report.counters.Add(
+        task.data_local ? kCounterDataLocalMaps : kCounterRackRemoteMaps, 1);
+  };
+
+  {
+    std::vector<std::thread> workers;
+    for (int n = 0; n < cluster->num_nodes(); ++n) {
+      for (int s = 0; s < concurrency; ++s) {
+        workers.emplace_back([&, n] {
+          while (true) {
+            const ScheduledTask* task = nullptr;
+            {
+              std::lock_guard<std::mutex> lock(queue_mu[static_cast<size_t>(n)]);
+              auto& q = queues[static_cast<size_t>(n)];
+              if (q.empty()) return;
+              task = q.front();
+              q.pop_front();
+            }
+            run_map_task(*task);
+          }
+        });
+      }
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  for (MapTaskOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) {
+      return outcome.status.WithContext(
+          StrCat(conf.job_name, " map task ", outcome.report.index));
+    }
+    report.map_tasks.push_back(std::move(outcome.report));
+  }
+
+  // --- reduce phase ----------------------------------------------------------
+  if (!map_only) {
+    const std::vector<hdfs::NodeId> reduce_nodes =
+        ScheduleReduceTasks(num_reduces, cluster->num_nodes());
+    std::vector<MapTaskOutcome> reduce_outcomes(
+        static_cast<size_t>(num_reduces));
+
+    auto run_reduce_task = [&](int r) {
+      Stopwatch timer;
+      MapTaskOutcome& outcome = reduce_outcomes[static_cast<size_t>(r)];
+      const hdfs::NodeId node = reduce_nodes[static_cast<size_t>(r)];
+      TaskContext context(&conf, cluster, r, node, /*allowed_threads=*/1,
+                          std::make_shared<SharedJvmState>(), &report.counters);
+      std::vector<ShuffleRun> runs = shuffle.TakePartition(r);
+
+      TaskReport& tr = outcome.report;
+      tr.index = r;
+      tr.is_map = false;
+      tr.node = node;
+      for (const ShuffleRun& run : runs) {
+        tr.shuffle_bytes_total += run.encoded_bytes;
+        if (run.map_node != node) tr.shuffle_bytes_remote += run.encoded_bytes;
+      }
+
+      std::unique_ptr<Reducer> reducer = conf.reducer_factory();
+      OutputFormatCollector out(output_format.get());
+      uint64_t in_records = 0, in_groups = 0;
+      outcome.status = ReducePartition(std::move(runs), reducer.get(), &context,
+                                       &out, &in_records, &in_groups);
+      tr.input_records = in_records;
+      tr.output_records = out.records();
+      tr.output_bytes = out.bytes();
+      tr.hdfs_local_bytes = context.io_stats()->local_bytes_read;
+      tr.hdfs_remote_bytes = context.io_stats()->remote_bytes_read;
+      tr.wall_seconds = timer.ElapsedSeconds();
+
+      report.counters.Add(kCounterReduceInputRecords,
+                          static_cast<int64_t>(in_records));
+      report.counters.Add(kCounterReduceInputGroups,
+                          static_cast<int64_t>(in_groups));
+      report.counters.Add(kCounterReduceOutputRecords,
+                          static_cast<int64_t>(out.records()));
+      report.counters.Add(kCounterShuffleBytes,
+                          static_cast<int64_t>(tr.shuffle_bytes_total));
+    };
+
+    std::vector<std::thread> reducers;
+    reducers.reserve(static_cast<size_t>(num_reduces));
+    for (int r = 0; r < num_reduces; ++r) {
+      reducers.emplace_back(run_reduce_task, r);
+    }
+    for (std::thread& t : reducers) t.join();
+
+    for (MapTaskOutcome& outcome : reduce_outcomes) {
+      if (!outcome.status.ok()) {
+        return outcome.status.WithContext(
+            StrCat(conf.job_name, " reduce task ", outcome.report.index));
+      }
+      report.reduce_tasks.push_back(std::move(outcome.report));
+    }
+  }
+
+  CLY_RETURN_IF_ERROR(output_format->Commit(cluster, conf));
+  report.counters.Add(
+      kCounterHdfsBytesWritten,
+      static_cast<int64_t>(0));  // writes tracked by the DFS ledger
+  report.wall_seconds = job_timer.ElapsedSeconds();
+
+  JobResult result;
+  result.output_rows = output_format->TakeRows();
+  result.report = std::move(report);
+  return result;
+}
+
+}  // namespace mr
+}  // namespace clydesdale

@@ -1,0 +1,90 @@
+#ifndef CLYDESDALE_MAPREDUCE_ENGINE_H_
+#define CLYDESDALE_MAPREDUCE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hdfs/dfs.h"
+#include "hdfs/local_store.h"
+#include "mapreduce/job_conf.h"
+#include "mapreduce/job_report.h"
+#include "mapreduce/output_format.h"
+#include "mapreduce/task_context.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace mr {
+
+/// Cluster-wide knobs: the simulated topology plus Hadoop slot configuration
+/// (paper §6.2: six map slots and one reduce slot per node).
+struct ClusterOptions {
+  int num_nodes = 4;
+  int map_slots_per_node = 2;
+  int reduce_slots_per_node = 1;
+  uint64_t dfs_block_size = 4ULL * 1024 * 1024;
+  int dfs_replication = 3;
+};
+
+/// A simulated Hadoop cluster: the DFS, per-node local disks, slot
+/// configuration, and the JVM-reuse state registry. Owns nothing about any
+/// particular job; jobs run against it via RunJob.
+class MrCluster {
+ public:
+  explicit MrCluster(ClusterOptions options);
+
+  const ClusterOptions& options() const { return options_; }
+  int num_nodes() const { return options_.num_nodes; }
+
+  hdfs::MiniDfs* dfs() { return &dfs_; }
+  const hdfs::MiniDfs& dfs() const { return dfs_; }
+  hdfs::LocalStore* local_store(hdfs::NodeId node) {
+    return local_stores_[static_cast<size_t>(node)].get();
+  }
+
+  /// Loads (and caches) a table's metadata.
+  Result<storage::TableDesc> GetTable(const std::string& path);
+  /// Drops a cached TableDesc (after rewriting a table).
+  void InvalidateTable(const std::string& path);
+
+  /// JVM-reuse registry: per-(job instance, node) shared state. The engine
+  /// hands these to tasks when the job enables jvm_reuse.
+  std::shared_ptr<SharedJvmState> SharedStateFor(int64_t job_instance,
+                                                 hdfs::NodeId node);
+
+  /// Allocates a unique job instance id.
+  int64_t NextJobInstance();
+
+ private:
+  ClusterOptions options_;
+  hdfs::MiniDfs dfs_;
+  std::vector<std::unique_ptr<hdfs::LocalStore>> local_stores_;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, storage::TableDesc> table_cache_;
+  std::map<std::pair<int64_t, hdfs::NodeId>, std::shared_ptr<SharedJvmState>>
+      shared_states_;
+  int64_t next_job_instance_ = 1;
+};
+
+/// The outcome of RunJob: execution report plus, for memory-output jobs, the
+/// collected result rows.
+struct JobResult {
+  JobReport report;
+  std::vector<Row> output_rows;
+};
+
+/// Runs one MapReduce job to completion on the cluster: splits, locality
+/// scheduling, map phase (multi-slot, threaded), combiner, shuffle + sort,
+/// reduce phase, output commit.
+Result<JobResult> RunJob(MrCluster* cluster, const JobConf& conf);
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_ENGINE_H_

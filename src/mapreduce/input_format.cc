@@ -1,0 +1,245 @@
+#include "mapreduce/input_format.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "mapreduce/engine.h"
+
+namespace clydesdale {
+namespace mr {
+
+namespace {
+
+/// Reads the constituents of a split one after another, as the stock Hadoop
+/// record loop would (a single, serialized stream).
+class ConcatRecordReader final : public RecordReader {
+ public:
+  ConcatRecordReader(std::vector<std::unique_ptr<RecordReader>> readers)
+      : readers_(std::move(readers)) {}
+
+  Result<bool> Next(Row* key, Row* value) override {
+    while (current_ < readers_.size()) {
+      CLY_ASSIGN_OR_RETURN(bool more, readers_[current_]->Next(key, value));
+      if (more) return true;
+      ++current_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<RecordReader>> readers_;
+  size_t current_ = 0;
+};
+
+/// Adapts a storage RowReader to the MapReduce record model.
+class TableRecordReader final : public RecordReader {
+ public:
+  TableRecordReader(std::unique_ptr<storage::RowReader> reader, int32_t tag)
+      : reader_(std::move(reader)), tag_(tag) {}
+
+  Result<bool> Next(Row* key, Row* value) override {
+    CLY_ASSIGN_OR_RETURN(bool more, reader_->Next(&scratch_));
+    if (!more) return false;
+    key->Clear();
+    if (tag_ >= 0) {
+      value->Clear();
+      value->Reserve(scratch_.size() + 1);
+      value->Append(Value(tag_));
+      value->Extend(scratch_);
+    } else {
+      *value = std::move(scratch_);
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<storage::RowReader> reader_;
+  int32_t tag_;
+  Row scratch_;
+};
+
+Result<std::vector<std::shared_ptr<InputSplit>>> SplitsForTable(
+    MrCluster* cluster, const std::string& table_path) {
+  CLY_ASSIGN_OR_RETURN(storage::TableDesc desc, cluster->GetTable(table_path));
+  CLY_ASSIGN_OR_RETURN(std::vector<storage::StorageSplit> splits,
+                       storage::ListTableSplits(*cluster->dfs(), desc));
+  std::vector<std::shared_ptr<InputSplit>> out;
+  out.reserve(splits.size());
+  for (storage::StorageSplit& s : splits) {
+    out.push_back(std::make_shared<StorageInputSplit>(std::move(s)));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<RecordReader>> ReaderForStorageSplit(
+    MrCluster* cluster, const JobConf& conf,
+    const storage::StorageSplit& split, TaskContext* context, int32_t tag) {
+  CLY_ASSIGN_OR_RETURN(storage::TableDesc desc,
+                       cluster->GetTable(split.table_path));
+  storage::ScanOptions options;
+  options.projection = conf.GetList(kConfInputProjection);
+  options.reader_node = context->node();
+  options.stats = context->io_stats();
+  CLY_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::RowReader> reader,
+      storage::OpenSplitRowReader(*cluster->dfs(), desc, split, options));
+  return std::unique_ptr<RecordReader>(
+      new TableRecordReader(std::move(reader), tag));
+}
+
+}  // namespace
+
+// --- TableInputFormat --------------------------------------------------------
+
+Result<std::vector<std::shared_ptr<InputSplit>>> TableInputFormat::GetSplits(
+    MrCluster* cluster, const JobConf& conf) {
+  const std::string table = conf.Get(kConfInputTable);
+  if (table.empty()) {
+    return Status::InvalidArgument("input.table is not set");
+  }
+  return SplitsForTable(cluster, table);
+}
+
+Result<std::unique_ptr<RecordReader>> TableInputFormat::CreateReader(
+    MrCluster* cluster, const JobConf& conf, const InputSplit& split,
+    TaskContext* context) {
+  std::vector<std::unique_ptr<RecordReader>> readers;
+  for (const storage::StorageSplit* s : split.Constituents()) {
+    CLY_ASSIGN_OR_RETURN(
+        std::unique_ptr<RecordReader> r,
+        ReaderForStorageSplit(cluster, conf, *s, context, /*tag=*/-1));
+    readers.push_back(std::move(r));
+  }
+  return std::unique_ptr<RecordReader>(
+      new ConcatRecordReader(std::move(readers)));
+}
+
+Result<std::unique_ptr<RecordReader>> TableInputFormat::CreateConstituentReader(
+    MrCluster* cluster, const JobConf& conf,
+    const storage::StorageSplit& split, TaskContext* context) {
+  return ReaderForStorageSplit(cluster, conf, split, context, /*tag=*/-1);
+}
+
+// --- MultiCifInputFormat -----------------------------------------------------
+
+Result<std::vector<std::shared_ptr<InputSplit>>> MultiCifInputFormat::GetSplits(
+    MrCluster* cluster, const JobConf& conf) {
+  const std::string table = conf.Get(kConfInputTable);
+  if (table.empty()) {
+    return Status::InvalidArgument("input.table is not set");
+  }
+  CLY_ASSIGN_OR_RETURN(storage::TableDesc desc, cluster->GetTable(table));
+  if (desc.format != storage::kFormatCif) {
+    return Status::InvalidArgument(
+        StrCat("MultiCIF requires a CIF table; ", table, " is ", desc.format));
+  }
+  CLY_ASSIGN_OR_RETURN(std::vector<storage::StorageSplit> splits,
+                       storage::ListTableSplits(*cluster->dfs(), desc));
+
+  // Bucket splits by their first preferred node, then pack each bucket into
+  // multi-splits of the configured size (0 = the whole bucket at once, i.e.
+  // one map task per node).
+  std::map<hdfs::NodeId, std::vector<storage::StorageSplit>> buckets;
+  for (storage::StorageSplit& s : splits) {
+    const hdfs::NodeId home =
+        s.preferred_nodes.empty() ? hdfs::kNoNode : s.preferred_nodes[0];
+    buckets[home].push_back(std::move(s));
+  }
+  const int64_t pack = conf.GetInt(kConfMultiSplitSize, 0);
+  std::vector<std::shared_ptr<InputSplit>> out;
+  for (auto& [node, bucket] : buckets) {
+    const size_t group = pack <= 0 ? bucket.size() : static_cast<size_t>(pack);
+    for (size_t start = 0; start < bucket.size(); start += group) {
+      const size_t end = std::min(bucket.size(), start + group);
+      std::vector<storage::StorageSplit> chunk(
+          std::make_move_iterator(bucket.begin() + static_cast<long>(start)),
+          std::make_move_iterator(bucket.begin() + static_cast<long>(end)));
+      std::vector<hdfs::NodeId> locations;
+      if (node != hdfs::kNoNode) locations.push_back(node);
+      out.push_back(std::make_shared<MultiSplit>(std::move(chunk),
+                                                 std::move(locations)));
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<RecordReader>> MultiCifInputFormat::CreateReader(
+    MrCluster* cluster, const JobConf& conf, const InputSplit& split,
+    TaskContext* context) {
+  std::vector<std::unique_ptr<RecordReader>> readers;
+  for (const storage::StorageSplit* s : split.Constituents()) {
+    CLY_ASSIGN_OR_RETURN(
+        std::unique_ptr<RecordReader> r,
+        ReaderForStorageSplit(cluster, conf, *s, context, /*tag=*/-1));
+    readers.push_back(std::move(r));
+  }
+  return std::unique_ptr<RecordReader>(
+      new ConcatRecordReader(std::move(readers)));
+}
+
+Result<std::unique_ptr<RecordReader>>
+MultiCifInputFormat::CreateConstituentReader(MrCluster* cluster,
+                                             const JobConf& conf,
+                                             const storage::StorageSplit& split,
+                                             TaskContext* context) {
+  return ReaderForStorageSplit(cluster, conf, split, context, /*tag=*/-1);
+}
+
+// --- MultiTableInputFormat ---------------------------------------------------
+
+Result<std::vector<std::shared_ptr<InputSplit>>>
+MultiTableInputFormat::GetSplits(MrCluster* cluster, const JobConf& conf) {
+  const std::vector<std::string> tables = conf.GetList(kConfInputTables);
+  if (tables.empty()) {
+    return Status::InvalidArgument("input.tables is not set");
+  }
+  std::vector<std::shared_ptr<InputSplit>> out;
+  for (const std::string& table : tables) {
+    CLY_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<InputSplit>> splits,
+                         SplitsForTable(cluster, table));
+    out.insert(out.end(), splits.begin(), splits.end());
+  }
+  return out;
+}
+
+Result<std::unique_ptr<RecordReader>> MultiTableInputFormat::CreateReader(
+    MrCluster* cluster, const JobConf& conf, const InputSplit& split,
+    TaskContext* context) {
+  std::vector<std::unique_ptr<RecordReader>> readers;
+  for (const storage::StorageSplit* s : split.Constituents()) {
+    CLY_ASSIGN_OR_RETURN(
+        std::unique_ptr<RecordReader> r,
+        CreateConstituentReader(cluster, conf, *s, context));
+    readers.push_back(std::move(r));
+  }
+  return std::unique_ptr<RecordReader>(
+      new ConcatRecordReader(std::move(readers)));
+}
+
+Result<std::unique_ptr<RecordReader>>
+MultiTableInputFormat::CreateConstituentReader(
+    MrCluster* cluster, const JobConf& conf,
+    const storage::StorageSplit& split, TaskContext* context) {
+  const std::vector<std::string> tables = conf.GetList(kConfInputTables);
+  int32_t tag = -1;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == split.table_path) {
+      tag = static_cast<int32_t>(i);
+      break;
+    }
+  }
+  if (tag < 0) {
+    return Status::InvalidArgument(
+        StrCat("split table ", split.table_path, " not in input.tables"));
+  }
+  // Projection lists are per-table for multi-table scans: the conf key is
+  // "input.projection.<ordinal>".
+  JobConf per_table = conf;
+  per_table.Set(kConfInputProjection,
+                conf.Get(StrCat(kConfInputProjection, ".", tag)));
+  return ReaderForStorageSplit(cluster, per_table, split, context, tag);
+}
+
+}  // namespace mr
+}  // namespace clydesdale

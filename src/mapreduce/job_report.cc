@@ -1,0 +1,44 @@
+#include "mapreduce/job_report.h"
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace mr {
+
+uint64_t JobReport::TotalMapInputBytes() const {
+  uint64_t total = 0;
+  for (const TaskReport& t : map_tasks) {
+    total += t.hdfs_local_bytes + t.hdfs_remote_bytes;
+  }
+  return total;
+}
+
+uint64_t JobReport::TotalShuffleBytes() const {
+  uint64_t total = 0;
+  for (const TaskReport& t : reduce_tasks) total += t.shuffle_bytes_total;
+  return total;
+}
+
+uint64_t JobReport::TotalOutputRecords() const {
+  uint64_t total = 0;
+  const auto& tasks = reduce_tasks.empty() ? map_tasks : reduce_tasks;
+  for (const TaskReport& t : tasks) total += t.output_records;
+  return total;
+}
+
+int JobReport::DataLocalMaps() const {
+  int n = 0;
+  for (const TaskReport& t : map_tasks) n += t.data_local ? 1 : 0;
+  return n;
+}
+
+std::string JobReport::Summary() const {
+  return StrCat(job_name, ": ", map_tasks.size(), " map / ",
+                reduce_tasks.size(), " reduce tasks, input ",
+                HumanBytes(TotalMapInputBytes()), ", shuffle ",
+                HumanBytes(TotalShuffleBytes()), ", ", DataLocalMaps(),
+                " data-local maps, ", FormatDouble(wall_seconds, 3), "s");
+}
+
+}  // namespace mr
+}  // namespace clydesdale

@@ -1,0 +1,57 @@
+#ifndef CLYDESDALE_MAPREDUCE_JOB_REPORT_H_
+#define CLYDESDALE_MAPREDUCE_JOB_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdfs/block.h"
+#include "mapreduce/counters.h"
+
+namespace clydesdale {
+namespace mr {
+
+/// Everything recorded about one executed task; the discrete-event cost
+/// model replays these profiles at cluster scale.
+struct TaskReport {
+  int index = 0;
+  bool is_map = true;
+  hdfs::NodeId node = hdfs::kNoNode;
+  /// Input bytes read from HDFS, split by locality.
+  uint64_t hdfs_local_bytes = 0;
+  uint64_t hdfs_remote_bytes = 0;
+  /// Bytes read from the node-local disk (dimension replicas, dist cache).
+  uint64_t local_disk_bytes = 0;
+  uint64_t input_records = 0;
+  uint64_t output_records = 0;
+  uint64_t output_bytes = 0;
+  /// Reduce only: shuffle input, split by map-task node locality.
+  uint64_t shuffle_bytes_total = 0;
+  uint64_t shuffle_bytes_remote = 0;
+  /// True when the task ran on a node holding its input locally.
+  bool data_local = false;
+  /// Constituent storage splits processed (multi-splits > 1).
+  int num_constituents = 1;
+  double wall_seconds = 0;
+};
+
+/// The outcome of one MapReduce job.
+struct JobReport {
+  std::string job_name;
+  int num_nodes = 0;
+  std::vector<TaskReport> map_tasks;
+  std::vector<TaskReport> reduce_tasks;
+  Counters counters;
+  double wall_seconds = 0;
+
+  uint64_t TotalMapInputBytes() const;
+  uint64_t TotalShuffleBytes() const;
+  uint64_t TotalOutputRecords() const;
+  int DataLocalMaps() const;
+  std::string Summary() const;
+};
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_JOB_REPORT_H_

@@ -1,0 +1,34 @@
+#include "mapreduce/map_runner.h"
+
+#include "mapreduce/counters.h"
+
+namespace clydesdale {
+namespace mr {
+
+Status DefaultMapRunner::Run(MrCluster* cluster, const JobConf& conf,
+                             const InputSplit& split,
+                             InputFormat* input_format, TaskContext* context,
+                             OutputCollector* out) {
+  if (!conf.mapper_factory) {
+    return Status::InvalidArgument("job has no mapper factory");
+  }
+  std::unique_ptr<Mapper> mapper = conf.mapper_factory();
+  CLY_RETURN_IF_ERROR(mapper->Setup(context));
+
+  CLY_ASSIGN_OR_RETURN(
+      std::unique_ptr<RecordReader> reader,
+      input_format->CreateReader(cluster, conf, split, context));
+  Row key, value;
+  int64_t records = 0;
+  while (true) {
+    CLY_ASSIGN_OR_RETURN(bool more, reader->Next(&key, &value));
+    if (!more) break;
+    CLY_RETURN_IF_ERROR(mapper->Map(key, value, context, out));
+    ++records;
+  }
+  context->counters()->Add(kCounterMapInputRecords, records);
+  return mapper->Cleanup(context, out);
+}
+
+}  // namespace mr
+}  // namespace clydesdale

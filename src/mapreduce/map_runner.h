@@ -1,0 +1,40 @@
+#ifndef CLYDESDALE_MAPREDUCE_MAP_RUNNER_H_
+#define CLYDESDALE_MAPREDUCE_MAP_RUNNER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/mr_types.h"
+#include "mapreduce/task_context.h"
+
+namespace clydesdale {
+namespace mr {
+
+/// The Hadoop MapRunner extensibility point (paper §3): owns the loop that
+/// drives records from the split through the map logic. Clydesdale swaps in
+/// a multi-threaded runner (core/star_join_job) without engine changes.
+class MapRunner {
+ public:
+  virtual ~MapRunner() = default;
+
+  /// Processes the whole split, emitting through `out`. `input_format` is the
+  /// job's InputFormat instance, usable to open per-constituent readers.
+  virtual Status Run(MrCluster* cluster, const JobConf& conf,
+                     const InputSplit& split, InputFormat* input_format,
+                     TaskContext* context, OutputCollector* out) = 0;
+};
+
+/// Stock behaviour: open one reader, apply the job's Mapper record by record
+/// in a single thread.
+class DefaultMapRunner final : public MapRunner {
+ public:
+  Status Run(MrCluster* cluster, const JobConf& conf, const InputSplit& split,
+             InputFormat* input_format, TaskContext* context,
+             OutputCollector* out) override;
+};
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_MAP_RUNNER_H_

@@ -1,0 +1,81 @@
+#ifndef CLYDESDALE_MAPREDUCE_MR_TYPES_H_
+#define CLYDESDALE_MAPREDUCE_MR_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/row.h"
+
+namespace clydesdale {
+namespace mr {
+
+class TaskContext;
+
+/// A key/value record flowing between map and reduce.
+struct KeyValue {
+  Row key;
+  Row value;
+};
+
+/// Sink for map or reduce output.
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+  virtual Status Collect(const Row& key, const Row& value) = 0;
+};
+
+/// User map function. One instance per map task (or per thread inside a
+/// multi-threaded runner); Setup runs before the first record.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual Status Setup(TaskContext* context) {
+    (void)context;
+    return Status::OK();
+  }
+  virtual Status Map(const Row& key, const Row& value, TaskContext* context,
+                     OutputCollector* out) = 0;
+  virtual Status Cleanup(TaskContext* context, OutputCollector* out) {
+    (void)context;
+    (void)out;
+    return Status::OK();
+  }
+};
+
+/// User reduce function; also used as a combiner when configured so.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual Status Setup(TaskContext* context) {
+    (void)context;
+    return Status::OK();
+  }
+  virtual Status Reduce(const Row& key, const std::vector<Row>& values,
+                        TaskContext* context, OutputCollector* out) = 0;
+  virtual Status Cleanup(TaskContext* context, OutputCollector* out) {
+    (void)context;
+    (void)out;
+    return Status::OK();
+  }
+};
+
+/// Routes a map-output key to one of `num_partitions` reducers.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual int Partition(const Row& key, int num_partitions) = 0;
+};
+
+/// Default: hash of the whole key.
+class HashPartitioner final : public Partitioner {
+ public:
+  int Partition(const Row& key, int num_partitions) override {
+    return static_cast<int>(key.Hash() % static_cast<uint64_t>(num_partitions));
+  }
+};
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_MR_TYPES_H_

@@ -1,0 +1,59 @@
+#include "mapreduce/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace clydesdale {
+namespace mr {
+
+std::vector<ScheduledTask> ScheduleMapTasks(
+    const std::vector<std::shared_ptr<InputSplit>>& splits, int num_nodes) {
+  std::vector<uint64_t> load(static_cast<size_t>(num_nodes), 0);
+
+  // Largest-first assignment evens out per-node bytes.
+  std::vector<size_t> order(splits.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return splits[a]->Length() > splits[b]->Length();
+  });
+
+  std::vector<ScheduledTask> tasks(splits.size());
+  for (size_t pos : order) {
+    const auto& split = splits[pos];
+    hdfs::NodeId best = hdfs::kNoNode;
+    bool local = false;
+    for (hdfs::NodeId n : split->Locations()) {
+      if (n < 0 || n >= num_nodes) continue;
+      if (best == hdfs::kNoNode ||
+          load[static_cast<size_t>(n)] < load[static_cast<size_t>(best)]) {
+        best = n;
+        local = true;
+      }
+    }
+    if (best == hdfs::kNoNode) {
+      // No local candidate: least-loaded node overall (remote read).
+      best = 0;
+      for (int n = 1; n < num_nodes; ++n) {
+        if (load[static_cast<size_t>(n)] < load[static_cast<size_t>(best)]) {
+          best = n;
+        }
+      }
+      local = false;
+    }
+    load[static_cast<size_t>(best)] += split->Length();
+    tasks[pos] = ScheduledTask{static_cast<int>(pos), split, best, local};
+  }
+  return tasks;
+}
+
+std::vector<hdfs::NodeId> ScheduleReduceTasks(int num_reduce_tasks,
+                                              int num_nodes) {
+  std::vector<hdfs::NodeId> nodes(static_cast<size_t>(num_reduce_tasks));
+  for (int r = 0; r < num_reduce_tasks; ++r) {
+    nodes[static_cast<size_t>(r)] = r % num_nodes;
+  }
+  return nodes;
+}
+
+}  // namespace mr
+}  // namespace clydesdale

@@ -1,0 +1,35 @@
+#ifndef CLYDESDALE_MAPREDUCE_SCHEDULER_H_
+#define CLYDESDALE_MAPREDUCE_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/input_format.h"
+
+namespace clydesdale {
+namespace mr {
+
+/// One map task placed on a node.
+struct ScheduledTask {
+  int task_index = 0;
+  std::shared_ptr<InputSplit> split;
+  hdfs::NodeId node = hdfs::kNoNode;
+  bool data_local = false;
+};
+
+/// Locality-aware placement: splits (largest first) go to the least-loaded
+/// node among their replica holders, falling back to the least-loaded node
+/// anywhere (a rack-remote map). Load is measured in assigned bytes, which
+/// approximates how Hadoop's locality-delay scheduling balances long jobs.
+std::vector<ScheduledTask> ScheduleMapTasks(
+    const std::vector<std::shared_ptr<InputSplit>>& splits, int num_nodes);
+
+/// Reduce tasks are spread round-robin across nodes.
+std::vector<hdfs::NodeId> ScheduleReduceTasks(int num_reduce_tasks,
+                                              int num_nodes);
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_SCHEDULER_H_

@@ -1,0 +1,153 @@
+#include "mapreduce/shuffle.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mapreduce/counters.h"
+#include "storage/row_codec.h"
+
+namespace clydesdale {
+namespace mr {
+
+namespace {
+bool KeyLess(const KeyValue& a, const KeyValue& b) {
+  return a.key.Compare(b.key) < 0;
+}
+
+/// Collector that appends into a vector (combiner output, reducer staging).
+class VectorCollector final : public OutputCollector {
+ public:
+  explicit VectorCollector(std::vector<KeyValue>* out) : out_(out) {}
+  Status Collect(const Row& key, const Row& value) override {
+    out_->push_back(KeyValue{key, value});
+    return Status::OK();
+  }
+
+ private:
+  std::vector<KeyValue>* out_;
+};
+}  // namespace
+
+uint64_t EncodedKeyValueBytes(const Row& key, const Row& value) {
+  return storage::EncodedRowSize(key) + storage::EncodedRowSize(value) + 8;
+}
+
+MapOutputBuffer::MapOutputBuffer(Partitioner* partitioner, int num_partitions)
+    : partitioner_(partitioner),
+      partitions_(static_cast<size_t>(std::max(num_partitions, 1))) {}
+
+Status MapOutputBuffer::Collect(const Row& key, const Row& value) {
+  const int p = partitions_.size() == 1
+                    ? 0
+                    : partitioner_->Partition(key, static_cast<int>(partitions_.size()));
+  if (p < 0 || p >= static_cast<int>(partitions_.size())) {
+    return Status::Internal("partitioner returned out-of-range partition");
+  }
+  partitions_[static_cast<size_t>(p)].push_back(KeyValue{key, value});
+  ++records_;
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<KeyValue>>> MapOutputBuffer::Finish(
+    Reducer* combiner, TaskContext* context) {
+  for (auto& partition : partitions_) {
+    std::stable_sort(partition.begin(), partition.end(), KeyLess);
+    if (combiner == nullptr || partition.empty()) continue;
+
+    context->counters()->Add(kCounterCombineInputRecords,
+                             static_cast<int64_t>(partition.size()));
+    std::vector<KeyValue> combined;
+    VectorCollector collector(&combined);
+    CLY_RETURN_IF_ERROR(combiner->Setup(context));
+    size_t group_start = 0;
+    std::vector<Row> values;
+    for (size_t i = 0; i <= partition.size(); ++i) {
+      const bool boundary =
+          i == partition.size() ||
+          partition[i].key.Compare(partition[group_start].key) != 0;
+      if (!boundary) continue;
+      values.clear();
+      for (size_t j = group_start; j < i; ++j) {
+        values.push_back(partition[j].value);
+      }
+      CLY_RETURN_IF_ERROR(combiner->Reduce(partition[group_start].key, values,
+                                           context, &collector));
+      group_start = i;
+    }
+    CLY_RETURN_IF_ERROR(combiner->Cleanup(context, &collector));
+    context->counters()->Add(kCounterCombineOutputRecords,
+                             static_cast<int64_t>(combined.size()));
+    partition = std::move(combined);
+    // A combiner must preserve key order for the merge; ours produce one
+    // output per group in order, but guard against user combiners that don't.
+    CLY_DCHECK(std::is_sorted(partition.begin(), partition.end(), KeyLess));
+  }
+  return std::move(partitions_);
+}
+
+ShuffleStore::ShuffleStore(int num_partitions)
+    : partitions_(static_cast<size_t>(std::max(num_partitions, 1))) {}
+
+void ShuffleStore::AddRun(int partition, ShuffleRun run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_bytes_ += run.encoded_bytes;
+  partitions_[static_cast<size_t>(partition)].push_back(std::move(run));
+}
+
+std::vector<ShuffleRun> ShuffleStore::TakePartition(int partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto runs = std::move(partitions_[static_cast<size_t>(partition)]);
+  partitions_[static_cast<size_t>(partition)].clear();
+  std::sort(runs.begin(), runs.end(),
+            [](const ShuffleRun& a, const ShuffleRun& b) {
+              return a.map_task < b.map_task;
+            });
+  return runs;
+}
+
+uint64_t ShuffleStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
+                       TaskContext* context, OutputCollector* out,
+                       uint64_t* input_records, uint64_t* input_groups) {
+  // Merge the sorted runs. Run count is modest (== map tasks), so a simple
+  // concatenate + stable sort keeps the code obvious; stability plus the
+  // by-task-index run order makes value order deterministic.
+  std::vector<KeyValue> merged;
+  size_t total = 0;
+  for (const ShuffleRun& run : runs) total += run.records.size();
+  merged.reserve(total);
+  for (ShuffleRun& run : runs) {
+    for (KeyValue& kv : run.records) merged.push_back(std::move(kv));
+  }
+  std::stable_sort(merged.begin(), merged.end(), KeyLess);
+
+  *input_records = merged.size();
+  *input_groups = 0;
+
+  CLY_RETURN_IF_ERROR(reducer->Setup(context));
+  size_t group_start = 0;
+  std::vector<Row> values;
+  for (size_t i = 0; i <= merged.size(); ++i) {
+    const bool boundary = i == merged.size() ||
+                          merged[i].key.Compare(merged[group_start].key) != 0;
+    if (!boundary) continue;
+    if (i == group_start) break;  // empty input
+    values.clear();
+    values.reserve(i - group_start);
+    for (size_t j = group_start; j < i; ++j) {
+      values.push_back(std::move(merged[j].value));
+    }
+    CLY_RETURN_IF_ERROR(
+        reducer->Reduce(merged[group_start].key, values, context, out));
+    ++*input_groups;
+    group_start = i;
+  }
+  return reducer->Cleanup(context, out);
+}
+
+}  // namespace mr
+}  // namespace clydesdale

@@ -1,0 +1,78 @@
+#ifndef CLYDESDALE_MAPREDUCE_SHUFFLE_H_
+#define CLYDESDALE_MAPREDUCE_SHUFFLE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "hdfs/block.h"
+#include "mapreduce/mr_types.h"
+#include "mapreduce/task_context.h"
+
+namespace clydesdale {
+namespace mr {
+
+/// Map-side output buffer: partitions records, sorts each partition by key
+/// at task end, and optionally applies a combiner — Hadoop's spill path,
+/// collapsed to one in-memory spill.
+class MapOutputBuffer final : public OutputCollector {
+ public:
+  MapOutputBuffer(Partitioner* partitioner, int num_partitions);
+
+  Status Collect(const Row& key, const Row& value) override;
+
+  /// Sorts each partition and, when a combiner is given, folds it over each
+  /// key group. Returns the finished partitions (indexed by partition id).
+  Result<std::vector<std::vector<KeyValue>>> Finish(Reducer* combiner,
+                                                    TaskContext* context);
+
+  uint64_t records() const { return records_; }
+
+ private:
+  Partitioner* partitioner_;
+  std::vector<std::vector<KeyValue>> partitions_;
+  uint64_t records_ = 0;
+};
+
+/// One map task's sorted output for one partition.
+struct ShuffleRun {
+  int map_task = 0;
+  hdfs::NodeId map_node = hdfs::kNoNode;
+  std::vector<KeyValue> records;
+  uint64_t encoded_bytes = 0;
+};
+
+/// In-memory stand-in for the map-output files + HTTP fetch path. Thread-safe
+/// producers (map tasks) / single consumer per partition (its reducer).
+class ShuffleStore {
+ public:
+  explicit ShuffleStore(int num_partitions);
+
+  void AddRun(int partition, ShuffleRun run);
+
+  /// All runs for a partition, ordered by map task index (determinism).
+  std::vector<ShuffleRun> TakePartition(int partition);
+
+  uint64_t total_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<ShuffleRun>> partitions_;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Merges sorted runs and feeds key groups to `reducer`. Also used for the
+/// map side's combiner via MapOutputBuffer::Finish.
+Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
+                       TaskContext* context, OutputCollector* out,
+                       uint64_t* input_records, uint64_t* input_groups);
+
+/// Sum of encoded key+value bytes of a record (shuffle accounting unit).
+uint64_t EncodedKeyValueBytes(const Row& key, const Row& value);
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_SHUFFLE_H_

@@ -1,0 +1,44 @@
+#include "mapreduce/task_context.h"
+
+#include "common/strings.h"
+#include "mapreduce/engine.h"
+
+namespace clydesdale {
+namespace mr {
+
+TaskContext::TaskContext(const JobConf* conf, MrCluster* cluster,
+                         int task_index, hdfs::NodeId node, int allowed_threads,
+                         std::shared_ptr<SharedJvmState> shared,
+                         Counters* counters)
+    : conf_(conf),
+      cluster_(cluster),
+      task_index_(task_index),
+      node_(node),
+      allowed_threads_(allowed_threads),
+      shared_(std::move(shared)),
+      counters_(counters) {}
+
+hdfs::LocalStore* TaskContext::local_store() {
+  return cluster_->local_store(node_);
+}
+
+void TaskContext::MergeIoStats(const hdfs::IoStats& stats) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  io_stats_.Add(stats);
+}
+
+Result<std::string> TaskContext::CacheFilePath(
+    const std::string& dfs_path) const {
+  for (const std::string& registered : conf_->distributed_cache) {
+    if (registered == dfs_path) {
+      // The engine materialized the file here during job setup (the instance
+      // id keeps concurrent jobs with equal names apart).
+      return StrCat("/dcache/", conf_->GetInt("mr.job.instance"), dfs_path);
+    }
+  }
+  return Status::NotFound(
+      StrCat("'", dfs_path, "' is not in the job's distributed cache"));
+}
+
+}  // namespace mr
+}  // namespace clydesdale

@@ -1,0 +1,114 @@
+#ifndef CLYDESDALE_MAPREDUCE_TASK_CONTEXT_H_
+#define CLYDESDALE_MAPREDUCE_TASK_CONTEXT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "hdfs/block.h"
+#include "hdfs/local_store.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/job_conf.h"
+
+namespace clydesdale {
+namespace mr {
+
+class MrCluster;
+
+/// Per-(node, job) state shared by consecutive tasks when JVM reuse is on —
+/// the C++ analogue of Hadoop's static-objects-in-a-reused-JVM idiom that
+/// Clydesdale uses to build dimension hash tables once per node (paper §5.2).
+class SharedJvmState {
+ public:
+  /// Returns the value under `key`, constructing it with `factory` on first
+  /// use. Construction is serialized; the factory runs at most once per key.
+  template <typename T>
+  std::shared_ptr<T> GetOrCreate(const std::string& key,
+                                 const std::function<std::shared_ptr<T>()>& factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::shared_ptr<T> created = factory();
+      it = values_.emplace(key, created).first;
+      ++creations_;
+    }
+    return std::static_pointer_cast<T>(it->second);
+  }
+
+  /// How many distinct keys were constructed (== hash-table builds per node
+  /// for Clydesdale jobs; tests assert on this).
+  int64_t creations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return creations_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<void>> values_;
+  int64_t creations_ = 0;
+};
+
+/// Everything a running task can touch: configuration, the cluster services
+/// (DFS, node-local disk, distributed cache), counters and I/O attribution.
+class TaskContext {
+ public:
+  TaskContext(const JobConf* conf, MrCluster* cluster, int task_index,
+              hdfs::NodeId node, int allowed_threads,
+              std::shared_ptr<SharedJvmState> shared, Counters* counters);
+
+  const JobConf& conf() const { return *conf_; }
+  MrCluster* cluster() { return cluster_; }
+  int task_index() const { return task_index_; }
+  hdfs::NodeId node() const { return node_; }
+  /// Number of processor slots the scheduler granted this task (paper §5.2,
+  /// requirement 3). Multi-threaded runners size their thread pool with it.
+  int allowed_threads() const { return allowed_threads_; }
+
+  /// Shared per-(node, job) state; null when JVM reuse is off.
+  SharedJvmState* shared_state() { return shared_.get(); }
+
+  /// This node's local disk.
+  hdfs::LocalStore* local_store();
+
+  /// Local path of a distributed-cache file for the given DFS path, or
+  /// NotFound if the job did not register it.
+  Result<std::string> CacheFilePath(const std::string& dfs_path) const;
+
+  Counters* counters() { return counters_; }
+
+  /// HDFS I/O attribution. Single-threaded task code may pass this to
+  /// readers directly; multi-threaded runners must give each thread its own
+  /// IoStats and fold them in through MergeIoStats.
+  hdfs::IoStats* io_stats() { return &io_stats_; }
+  const hdfs::IoStats& io_stats() const { return io_stats_; }
+  void MergeIoStats(const hdfs::IoStats& stats);
+
+  /// Node-local disk bytes this task read (dimension replicas, dist cache).
+  void AddLocalDiskBytes(uint64_t n) {
+    local_disk_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t local_disk_bytes() const {
+    return local_disk_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const JobConf* conf_;
+  MrCluster* cluster_;
+  int task_index_;
+  hdfs::NodeId node_;
+  int allowed_threads_;
+  std::shared_ptr<SharedJvmState> shared_;
+  Counters* counters_;
+  hdfs::IoStats io_stats_;
+  std::mutex io_mu_;
+  std::atomic<uint64_t> local_disk_bytes_{0};
+};
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_TASK_CONTEXT_H_

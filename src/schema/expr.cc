@@ -1,0 +1,528 @@
+#include "schema/expr.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace clydesdale {
+
+// ---------------------------------------------------------------------------
+// Expr factories
+// ---------------------------------------------------------------------------
+
+Expr::Ptr Expr::Col(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kColumn;
+  e->name_ = std::move(name);
+  return e;
+}
+
+Expr::Ptr Expr::Lit(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+Expr::Ptr Expr::Add(Ptr a, Ptr b) {
+  return MakeBinary(Kind::kAdd, std::move(a), std::move(b));
+}
+Expr::Ptr Expr::Sub(Ptr a, Ptr b) {
+  return MakeBinary(Kind::kSub, std::move(a), std::move(b));
+}
+Expr::Ptr Expr::Mul(Ptr a, Ptr b) {
+  return MakeBinary(Kind::kMul, std::move(a), std::move(b));
+}
+
+Expr::Ptr Expr::MakeBinary(Kind kind, Ptr a, Ptr b) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->left_ = std::move(a);
+  e->right_ = std::move(b);
+  return e;
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      out->push_back(name_);
+      return;
+    case Kind::kLiteral:
+      return;
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+      left_->CollectColumns(out);
+      right_->CollectColumns(out);
+      return;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return name_;
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kAdd:
+      return StrCat("(", left_->ToString(), " + ", right_->ToString(), ")");
+    case Kind::kSub:
+      return StrCat("(", left_->ToString(), " - ", right_->ToString(), ")");
+    case Kind::kMul:
+      return StrCat("(", left_->ToString(), " * ", right_->ToString(), ")");
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Bound scalar nodes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ColumnScalar final : public BoundScalar {
+ public:
+  explicit ColumnScalar(int index) : index_(index) {}
+  Value Eval(const Row& row) const override { return row.Get(index_); }
+  double EvalDouble(const Row& row) const override {
+    return row.Get(index_).AsDouble();
+  }
+
+ private:
+  int index_;
+};
+
+class LiteralScalar final : public BoundScalar {
+ public:
+  explicit LiteralScalar(Value v) : value_(std::move(v)) {}
+  Value Eval(const Row&) const override { return value_; }
+  double EvalDouble(const Row&) const override { return value_.AsDouble(); }
+
+ private:
+  Value value_;
+};
+
+class ArithmeticScalar final : public BoundScalar {
+ public:
+  ArithmeticScalar(Expr::Kind op, BoundScalarPtr l, BoundScalarPtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+
+  Value Eval(const Row& row) const override {
+    // SSB arithmetic is integer (prices/discounts are scaled ints); compute
+    // in int64 when both sides are integer, double otherwise.
+    const Value a = left_->Eval(row);
+    const Value b = right_->Eval(row);
+    const bool integral = a.kind() != TypeKind::kDouble &&
+                          b.kind() != TypeKind::kDouble &&
+                          a.kind() != TypeKind::kString;
+    if (integral) {
+      const int64_t x = a.AsInt64();
+      const int64_t y = b.AsInt64();
+      switch (op_) {
+        case Expr::Kind::kAdd:
+          return Value(x + y);
+        case Expr::Kind::kSub:
+          return Value(x - y);
+        case Expr::Kind::kMul:
+          return Value(x * y);
+        default:
+          break;
+      }
+    }
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    switch (op_) {
+      case Expr::Kind::kAdd:
+        return Value(x + y);
+      case Expr::Kind::kSub:
+        return Value(x - y);
+      case Expr::Kind::kMul:
+        return Value(x * y);
+      default:
+        break;
+    }
+    return Value();
+  }
+
+  double EvalDouble(const Row& row) const override {
+    const double x = left_->EvalDouble(row);
+    const double y = right_->EvalDouble(row);
+    switch (op_) {
+      case Expr::Kind::kAdd:
+        return x + y;
+      case Expr::Kind::kSub:
+        return x - y;
+      case Expr::Kind::kMul:
+        return x * y;
+      default:
+        return 0;
+    }
+  }
+
+ private:
+  Expr::Kind op_;
+  BoundScalarPtr left_;
+  BoundScalarPtr right_;
+};
+
+}  // namespace
+
+Result<BoundScalarPtr> Expr::Bind(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kColumn: {
+      CLY_ASSIGN_OR_RETURN(int idx, schema.Require(name_));
+      return BoundScalarPtr(std::make_shared<ColumnScalar>(idx));
+    }
+    case Kind::kLiteral:
+      return BoundScalarPtr(std::make_shared<LiteralScalar>(literal_));
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul: {
+      CLY_ASSIGN_OR_RETURN(BoundScalarPtr l, left_->Bind(schema));
+      CLY_ASSIGN_OR_RETURN(BoundScalarPtr r, right_->Bind(schema));
+      return BoundScalarPtr(
+          std::make_shared<ArithmeticScalar>(kind_, std::move(l), std::move(r)));
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+// ---------------------------------------------------------------------------
+// Predicate factories
+// ---------------------------------------------------------------------------
+
+Predicate::Ptr Predicate::MakeCompare(Kind kind, std::string col, Value v) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = kind;
+  p->name_ = std::move(col);
+  p->lo_ = std::move(v);
+  return p;
+}
+
+Predicate::Ptr Predicate::True() {
+  static const Ptr kTruePred = std::shared_ptr<Predicate>(new Predicate());
+  return kTruePred;
+}
+
+Predicate::Ptr Predicate::Eq(std::string col, Value v) {
+  return MakeCompare(Kind::kEq, std::move(col), std::move(v));
+}
+Predicate::Ptr Predicate::Ne(std::string col, Value v) {
+  return MakeCompare(Kind::kNe, std::move(col), std::move(v));
+}
+Predicate::Ptr Predicate::Lt(std::string col, Value v) {
+  return MakeCompare(Kind::kLt, std::move(col), std::move(v));
+}
+Predicate::Ptr Predicate::Le(std::string col, Value v) {
+  return MakeCompare(Kind::kLe, std::move(col), std::move(v));
+}
+Predicate::Ptr Predicate::Gt(std::string col, Value v) {
+  return MakeCompare(Kind::kGt, std::move(col), std::move(v));
+}
+Predicate::Ptr Predicate::Ge(std::string col, Value v) {
+  return MakeCompare(Kind::kGe, std::move(col), std::move(v));
+}
+
+Predicate::Ptr Predicate::Between(std::string col, Value lo, Value hi) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kBetween;
+  p->name_ = std::move(col);
+  p->lo_ = std::move(lo);
+  p->hi_ = std::move(hi);
+  return p;
+}
+
+Predicate::Ptr Predicate::In(std::string col, std::vector<Value> values) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kIn;
+  p->name_ = std::move(col);
+  p->set_ = std::move(values);
+  return p;
+}
+
+Predicate::Ptr Predicate::And(std::vector<Ptr> children) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  p->children_ = std::move(children);
+  return p;
+}
+
+Predicate::Ptr Predicate::Or(std::vector<Ptr> children) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  p->children_ = std::move(children);
+  return p;
+}
+
+Predicate::Ptr Predicate::Not(Ptr child) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->children_ = {std::move(child)};
+  return p;
+}
+
+void Predicate::CollectColumns(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const Ptr& c : children_) c->CollectColumns(out);
+      return;
+    default:
+      out->push_back(name_);
+      return;
+  }
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kEq:
+      return StrCat(name_, " = ", lo_.ToString());
+    case Kind::kNe:
+      return StrCat(name_, " != ", lo_.ToString());
+    case Kind::kLt:
+      return StrCat(name_, " < ", lo_.ToString());
+    case Kind::kLe:
+      return StrCat(name_, " <= ", lo_.ToString());
+    case Kind::kGt:
+      return StrCat(name_, " > ", lo_.ToString());
+    case Kind::kGe:
+      return StrCat(name_, " >= ", lo_.ToString());
+    case Kind::kBetween:
+      return StrCat(name_, " between ", lo_.ToString(), " and ",
+                    hi_.ToString());
+    case Kind::kIn: {
+      std::vector<std::string> vs;
+      for (const Value& v : set_) vs.push_back(v.ToString());
+      return StrCat(name_, " in (", StrJoin(vs, ", "), ")");
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> cs;
+      for (const Ptr& c : children_) cs.push_back(c->ToString());
+      return StrCat("(", StrJoin(cs, kind_ == Kind::kAnd ? " and " : " or "),
+                    ")");
+    }
+    case Kind::kNot:
+      return StrCat("not (", children_[0]->ToString(), ")");
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Bound predicate nodes
+// ---------------------------------------------------------------------------
+
+void BoundPredicate::EvalBatch(const RowBatch& batch,
+                               std::vector<uint8_t>* sel) const {
+  const int64_t n = batch.num_rows();
+  CLY_DCHECK(static_cast<int64_t>(sel->size()) == n);
+  for (int64_t i = 0; i < n; ++i) {
+    if ((*sel)[static_cast<size_t>(i)] == 0) continue;
+    if (!Eval(batch.GetRow(i))) (*sel)[static_cast<size_t>(i)] = 0;
+  }
+}
+
+namespace {
+
+class TruePredicate final : public BoundPredicate {
+ public:
+  bool Eval(const Row&) const override { return true; }
+  void EvalBatch(const RowBatch&, std::vector<uint8_t>*) const override {}
+};
+
+/// Generic single-column comparison; ops kEq..kBetween.
+class ComparePredicate final : public BoundPredicate {
+ public:
+  ComparePredicate(Predicate::Kind op, int index, Value lo, Value hi)
+      : op_(op), index_(index), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  bool Eval(const Row& row) const override {
+    return Test(row.Get(index_));
+  }
+
+  void EvalBatch(const RowBatch& batch,
+                 std::vector<uint8_t>* sel) const override {
+    const ColumnVector& col = batch.column(index_);
+    const int64_t n = batch.num_rows();
+    // Tight loop for int32 columns (the common fact-table case).
+    if (col.type() == TypeKind::kInt32 && lo_.kind() != TypeKind::kString) {
+      const auto& data = col.i32();
+      const int64_t lo = lo_.AsInt64();
+      const int64_t hi = op_ == Predicate::Kind::kBetween ? hi_.AsInt64() : 0;
+      for (int64_t i = 0; i < n; ++i) {
+        auto& bit = (*sel)[static_cast<size_t>(i)];
+        if (bit == 0) continue;
+        const int64_t v = data[static_cast<size_t>(i)];
+        bit = TestInt(v, lo, hi) ? 1 : 0;
+      }
+      return;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      auto& bit = (*sel)[static_cast<size_t>(i)];
+      if (bit == 0) continue;
+      bit = Test(col.GetValue(i)) ? 1 : 0;
+    }
+  }
+
+ private:
+  bool TestInt(int64_t v, int64_t lo, int64_t hi) const {
+    switch (op_) {
+      case Predicate::Kind::kEq:
+        return v == lo;
+      case Predicate::Kind::kNe:
+        return v != lo;
+      case Predicate::Kind::kLt:
+        return v < lo;
+      case Predicate::Kind::kLe:
+        return v <= lo;
+      case Predicate::Kind::kGt:
+        return v > lo;
+      case Predicate::Kind::kGe:
+        return v >= lo;
+      case Predicate::Kind::kBetween:
+        return v >= lo && v <= hi;
+      default:
+        return false;
+    }
+  }
+
+  bool Test(const Value& v) const {
+    const int c = v.Compare(lo_);
+    switch (op_) {
+      case Predicate::Kind::kEq:
+        return c == 0;
+      case Predicate::Kind::kNe:
+        return c != 0;
+      case Predicate::Kind::kLt:
+        return c < 0;
+      case Predicate::Kind::kLe:
+        return c <= 0;
+      case Predicate::Kind::kGt:
+        return c > 0;
+      case Predicate::Kind::kGe:
+        return c >= 0;
+      case Predicate::Kind::kBetween:
+        return c >= 0 && v.Compare(hi_) <= 0;
+      default:
+        return false;
+    }
+  }
+
+  Predicate::Kind op_;
+  int index_;
+  Value lo_, hi_;
+};
+
+class InPredicate final : public BoundPredicate {
+ public:
+  InPredicate(int index, std::vector<Value> values)
+      : index_(index), values_(std::move(values)) {}
+
+  bool Eval(const Row& row) const override {
+    const Value& v = row.Get(index_);
+    for (const Value& cand : values_) {
+      if (v.Compare(cand) == 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  int index_;
+  std::vector<Value> values_;
+};
+
+class AndPredicate final : public BoundPredicate {
+ public:
+  explicit AndPredicate(std::vector<BoundPredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  bool Eval(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (!c->Eval(row)) return false;
+    }
+    return true;
+  }
+
+  void EvalBatch(const RowBatch& batch,
+                 std::vector<uint8_t>* sel) const override {
+    for (const auto& c : children_) c->EvalBatch(batch, sel);
+  }
+
+ private:
+  std::vector<BoundPredicatePtr> children_;
+};
+
+class OrPredicate final : public BoundPredicate {
+ public:
+  explicit OrPredicate(std::vector<BoundPredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  bool Eval(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (c->Eval(row)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<BoundPredicatePtr> children_;
+};
+
+class NotPredicate final : public BoundPredicate {
+ public:
+  explicit NotPredicate(BoundPredicatePtr child) : child_(std::move(child)) {}
+  bool Eval(const Row& row) const override { return !child_->Eval(row); }
+
+ private:
+  BoundPredicatePtr child_;
+};
+
+}  // namespace
+
+Result<BoundPredicatePtr> Predicate::Bind(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return BoundPredicatePtr(std::make_shared<TruePredicate>());
+    case Kind::kEq:
+    case Kind::kNe:
+    case Kind::kLt:
+    case Kind::kLe:
+    case Kind::kGt:
+    case Kind::kGe:
+    case Kind::kBetween: {
+      CLY_ASSIGN_OR_RETURN(int idx, schema.Require(name_));
+      return BoundPredicatePtr(
+          std::make_shared<ComparePredicate>(kind_, idx, lo_, hi_));
+    }
+    case Kind::kIn: {
+      CLY_ASSIGN_OR_RETURN(int idx, schema.Require(name_));
+      return BoundPredicatePtr(std::make_shared<InPredicate>(idx, set_));
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<BoundPredicatePtr> bound;
+      bound.reserve(children_.size());
+      for (const Ptr& c : children_) {
+        CLY_ASSIGN_OR_RETURN(BoundPredicatePtr b, c->Bind(schema));
+        bound.push_back(std::move(b));
+      }
+      if (kind_ == Kind::kAnd) {
+        return BoundPredicatePtr(
+            std::make_shared<AndPredicate>(std::move(bound)));
+      }
+      return BoundPredicatePtr(std::make_shared<OrPredicate>(std::move(bound)));
+    }
+    case Kind::kNot: {
+      CLY_ASSIGN_OR_RETURN(BoundPredicatePtr b, children_[0]->Bind(schema));
+      return BoundPredicatePtr(std::make_shared<NotPredicate>(std::move(b)));
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+}  // namespace clydesdale

@@ -1,0 +1,43 @@
+#include "schema/row.h"
+
+#include "common/hash.h"
+
+namespace clydesdale {
+
+Row Row::Project(const std::vector<int>& indexes) const {
+  std::vector<Value> out;
+  out.reserve(indexes.size());
+  for (int i : indexes) out.push_back(values_[static_cast<size_t>(i)]);
+  return Row(std::move(out));
+}
+
+void Row::Extend(const Row& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
+int Row::Compare(const Row& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() == other.values_.size()) return 0;
+  return values_.size() < other.values_.size() ? -1 : 1;
+}
+
+uint64_t Row::Hash() const {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string Row::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out.push_back('|');
+    out += values_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace clydesdale

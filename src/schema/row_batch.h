@@ -1,0 +1,90 @@
+#ifndef CLYDESDALE_SCHEMA_ROW_BATCH_H_
+#define CLYDESDALE_SCHEMA_ROW_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/row.h"
+#include "schema/schema.h"
+
+namespace clydesdale {
+
+/// A single column of values in columnar (structure-of-arrays) layout.
+/// Exactly one of the typed arrays is active, selected by type().
+class ColumnVector {
+ public:
+  explicit ColumnVector(TypeKind type) : type_(type) {}
+
+  TypeKind type() const { return type_; }
+  int64_t size() const;
+  void Clear();
+  void Reserve(int64_t n);
+
+  void Append(const Value& v);
+  void AppendInt32(int32_t v) { i32_.push_back(v); }
+  void AppendInt64(int64_t v) { i64_.push_back(v); }
+  void AppendDouble(double v) { f64_.push_back(v); }
+  void AppendString(std::string v) { str_.push_back(std::move(v)); }
+
+  Value GetValue(int64_t i) const;
+
+  // Direct typed access for tight loops (block probe, vectorized filters).
+  const std::vector<int32_t>& i32() const { return i32_; }
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  const std::vector<std::string>& str() const { return str_; }
+  std::vector<int32_t>* mutable_i32() { return &i32_; }
+  std::vector<int64_t>* mutable_i64() { return &i64_; }
+  std::vector<double>* mutable_f64() { return &f64_; }
+  std::vector<std::string>* mutable_str() { return &str_; }
+
+  /// Key column view: value at i widened to int64 (numeric columns only).
+  int64_t KeyAt(int64_t i) const;
+
+ private:
+  TypeKind type_;
+  std::vector<int32_t> i32_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+};
+
+/// A block of rows in columnar layout. This is what B-CIF readers return and
+/// what the Clydesdale probe loop consumes (paper §5.3: block iteration).
+class RowBatch {
+ public:
+  explicit RowBatch(SchemaPtr schema);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  const ColumnVector& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  ColumnVector* mutable_column(int i) { return &columns_[static_cast<size_t>(i)]; }
+
+  /// Appends a full row; the row arity must match the schema.
+  void AppendRow(const Row& row);
+
+  /// Materializes row i (copies values out of the columns).
+  Row GetRow(int64_t i) const;
+
+  void Clear();
+
+  /// Called by readers after filling columns directly; validates that all
+  /// columns have equal length and records it.
+  Status SealRowCount();
+
+ private:
+  SchemaPtr schema_;
+  std::vector<ColumnVector> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SCHEMA_ROW_BATCH_H_

@@ -1,0 +1,252 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace sim {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct RunningTask {
+  double setup_left = 0;
+  double scan_left = 0;   // bytes
+  double local_left = 0;  // bytes
+  double cpu_left = 0;    // seconds
+  double in_left = 0;     // bytes
+  double out_left = 0;    // bytes
+  double started_at = 0;
+  int node = 0;
+
+  bool InSetup() const { return setup_left > kEps; }
+  bool Done() const {
+    return setup_left <= kEps && scan_left <= kEps && local_left <= kEps &&
+           cpu_left <= kEps && in_left <= kEps && out_left <= kEps;
+  }
+};
+
+/// Current per-demand rates on one node: counts of sharers per resource.
+struct NodeRates {
+  int scan_sharers = 0;
+  int local_sharers = 0;
+  int in_sharers = 0;
+  int out_sharers = 0;
+};
+
+double EstimatedDemandSeconds(const ClusterSpec& spec, const TaskProfile& t) {
+  // Uncontended lower bound, used only for load-balanced placement.
+  return t.setup_s +
+         std::max({t.hdfs_read_bytes / spec.hdfs_scan_bw_per_node,
+                   t.local_read_bytes / spec.local_disk_bw, t.cpu_s,
+                   t.net_in_bytes / spec.net_bw,
+                   t.net_out_bytes / spec.net_bw});
+}
+
+}  // namespace
+
+Result<StageResult> SimulateStage(const ClusterSpec& spec,
+                                  const StageProfile& stage) {
+  StageResult result;
+  result.name = stage.name;
+  result.num_tasks = static_cast<int>(stage.tasks.size());
+  if (stage.tasks.empty()) {
+    result.seconds = stage.startup_s;
+    return result;
+  }
+  const int nodes = spec.worker_nodes;
+  const int slots = std::max(stage.slots_per_node, 1);
+
+  // --- placement ---------------------------------------------------------------
+  std::vector<std::deque<const TaskProfile*>> queues(
+      static_cast<size_t>(nodes));
+  {
+    std::vector<double> load(static_cast<size_t>(nodes), 0);
+    for (const TaskProfile& task : stage.tasks) {
+      int node = task.node;
+      if (node < 0) {
+        node = 0;
+        for (int n = 1; n < nodes; ++n) {
+          if (load[static_cast<size_t>(n)] < load[static_cast<size_t>(node)]) {
+            node = n;
+          }
+        }
+      } else if (node >= nodes) {
+        return Status::InvalidArgument(
+            StrCat("task pinned to node ", node, " of ", nodes));
+      }
+      load[static_cast<size_t>(node)] += EstimatedDemandSeconds(spec, task);
+      queues[static_cast<size_t>(node)].push_back(&task);
+    }
+  }
+
+  // --- event loop ----------------------------------------------------------------
+  std::vector<std::vector<RunningTask>> running(static_cast<size_t>(nodes));
+  double now = 0;
+  double busy_task_seconds = 0;
+  int finished = 0;
+
+  auto start_tasks = [&](int node) {
+    auto& queue = queues[static_cast<size_t>(node)];
+    auto& active = running[static_cast<size_t>(node)];
+    while (static_cast<int>(active.size()) < slots && !queue.empty()) {
+      const TaskProfile* t = queue.front();
+      queue.pop_front();
+      RunningTask rt;
+      rt.setup_left = t->setup_s;
+      rt.scan_left = t->hdfs_read_bytes;
+      rt.local_left = t->local_read_bytes;
+      rt.cpu_left = t->cpu_s;
+      rt.in_left = t->net_in_bytes;
+      rt.out_left = t->net_out_bytes;
+      rt.started_at = now;
+      rt.node = node;
+      active.push_back(rt);
+    }
+  };
+  for (int n = 0; n < nodes; ++n) start_tasks(n);
+
+  const int total = static_cast<int>(stage.tasks.size());
+  // Guard against infinite loops from degenerate inputs.
+  const int max_events = total * 16 + 1024;
+  int events = 0;
+
+  while (finished < total) {
+    if (++events > max_events) {
+      return Status::Internal("event simulator did not converge");
+    }
+    // Retire tasks that are already complete (zero-demand tasks finish
+    // instantly) and backfill their slots before computing rates; repeat
+    // until the backfilled tasks are not themselves already done.
+    for (int n = 0; n < nodes; ++n) {
+      auto& active = running[static_cast<size_t>(n)];
+      bool retired = true;
+      while (retired) {
+        retired = false;
+        for (size_t i = 0; i < active.size();) {
+          if (active[i].Done()) {
+            busy_task_seconds += now - active[i].started_at;
+            active.erase(active.begin() + static_cast<long>(i));
+            ++finished;
+            retired = true;
+          } else {
+            ++i;
+          }
+        }
+        if (retired) start_tasks(n);
+      }
+    }
+    if (finished >= total) break;
+
+    // Compute per-node sharer counts.
+    std::vector<NodeRates> rates(static_cast<size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+      for (const RunningTask& rt : running[static_cast<size_t>(n)]) {
+        if (rt.InSetup()) continue;
+        NodeRates& r = rates[static_cast<size_t>(n)];
+        if (rt.scan_left > kEps) ++r.scan_sharers;
+        if (rt.local_left > kEps) ++r.local_sharers;
+        if (rt.in_left > kEps) ++r.in_sharers;
+        if (rt.out_left > kEps) ++r.out_sharers;
+      }
+    }
+
+    // Find the earliest next demand completion.
+    double dt = kInf;
+    for (int n = 0; n < nodes; ++n) {
+      const NodeRates& r = rates[static_cast<size_t>(n)];
+      for (const RunningTask& rt : running[static_cast<size_t>(n)]) {
+        if (rt.InSetup()) {
+          dt = std::min(dt, rt.setup_left);
+          continue;
+        }
+        if (rt.scan_left > kEps) {
+          dt = std::min(dt, rt.scan_left * r.scan_sharers /
+                                spec.hdfs_scan_bw_per_node);
+        }
+        if (rt.local_left > kEps) {
+          dt = std::min(dt,
+                        rt.local_left * r.local_sharers / spec.local_disk_bw);
+        }
+        if (rt.cpu_left > kEps) dt = std::min(dt, rt.cpu_left);
+        if (rt.in_left > kEps) {
+          dt = std::min(dt, rt.in_left * r.in_sharers / spec.net_bw);
+        }
+        if (rt.out_left > kEps) {
+          dt = std::min(dt, rt.out_left * r.out_sharers / spec.net_bw);
+        }
+      }
+    }
+    if (dt == kInf) {
+      return Status::Internal("no runnable work but tasks unfinished");
+    }
+
+    now += dt;
+    // Advance all demands by dt at their current rates.
+    for (int n = 0; n < nodes; ++n) {
+      const NodeRates& r = rates[static_cast<size_t>(n)];
+      auto& active = running[static_cast<size_t>(n)];
+      for (RunningTask& rt : active) {
+        if (rt.InSetup()) {
+          rt.setup_left = std::max(0.0, rt.setup_left - dt);
+          continue;
+        }
+        if (rt.scan_left > kEps && r.scan_sharers > 0) {
+          rt.scan_left = std::max(
+              0.0, rt.scan_left -
+                       dt * spec.hdfs_scan_bw_per_node / r.scan_sharers);
+        }
+        if (rt.local_left > kEps && r.local_sharers > 0) {
+          rt.local_left = std::max(
+              0.0, rt.local_left - dt * spec.local_disk_bw / r.local_sharers);
+        }
+        if (rt.cpu_left > kEps) {
+          rt.cpu_left = std::max(0.0, rt.cpu_left - dt);
+        }
+        if (rt.in_left > kEps && r.in_sharers > 0) {
+          rt.in_left =
+              std::max(0.0, rt.in_left - dt * spec.net_bw / r.in_sharers);
+        }
+        if (rt.out_left > kEps && r.out_sharers > 0) {
+          rt.out_left =
+              std::max(0.0, rt.out_left - dt * spec.net_bw / r.out_sharers);
+        }
+      }
+      // Retire finished tasks and backfill slots.
+      for (size_t i = 0; i < active.size();) {
+        if (active[i].Done()) {
+          busy_task_seconds += now - active[i].started_at;
+          active.erase(active.begin() + static_cast<long>(i));
+          ++finished;
+        } else {
+          ++i;
+        }
+      }
+      start_tasks(n);
+    }
+  }
+
+  result.seconds = stage.startup_s + now;
+  result.avg_task_s = busy_task_seconds / total;
+  return result;
+}
+
+Result<SimOutcome> SimulateStages(const ClusterSpec& spec,
+                                  const std::vector<StageProfile>& stages) {
+  SimOutcome outcome;
+  for (const StageProfile& stage : stages) {
+    CLY_ASSIGN_OR_RETURN(StageResult r, SimulateStage(spec, stage));
+    outcome.seconds += r.seconds;
+    outcome.stages.push_back(std::move(r));
+  }
+  return outcome;
+}
+
+}  // namespace sim
+}  // namespace clydesdale

@@ -1,0 +1,30 @@
+#ifndef CLYDESDALE_SIM_EVENT_SIM_H_
+#define CLYDESDALE_SIM_EVENT_SIM_H_
+
+#include "common/status.h"
+#include "sim/cluster_spec.h"
+#include "sim/task_profile.h"
+
+namespace clydesdale {
+namespace sim {
+
+/// Discrete-event, processor-sharing simulation of one stage on a cluster:
+/// - each node runs at most `slots_per_node` tasks of the stage at a time;
+/// - a node's HDFS scan bandwidth is shared equally among its tasks that
+///   still have bytes to read (processor sharing), and likewise its local
+///   disk and NIC (in and out separately);
+/// - each task's CPU work runs on its own core at full speed;
+/// - a task finishes when its setup, scan, local reads, CPU, and network
+///   demands are all done.
+/// Unpinned tasks are placed on the least-loaded node (by assigned demand).
+Result<StageResult> SimulateStage(const ClusterSpec& spec,
+                                  const StageProfile& stage);
+
+/// Convenience: simulates stages back to back and sums their times.
+Result<SimOutcome> SimulateStages(const ClusterSpec& spec,
+                                  const std::vector<StageProfile>& stages);
+
+}  // namespace sim
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SIM_EVENT_SIM_H_

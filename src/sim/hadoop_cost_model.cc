@@ -1,0 +1,374 @@
+#include "sim/hadoop_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace sim {
+
+namespace {
+
+/// Average encoded bytes of one shuffled (group key, sums) record.
+constexpr double kGroupRecordBytes = 40.0;
+/// Serialization cost per hash entry on the mapjoin master.
+constexpr double kSerializeNsPerEntry = 1000.0;
+/// Reduce-side cost per record for the small final aggregation.
+constexpr double kFinalAggNsPerRecord = 2000.0;
+
+/// Dimension quantities scale per SSB growth rules (part is sub-linear),
+/// so each dimension gets its own multiplier.
+struct ScaledDim {
+  double rows = 0;
+  double entries = 0;
+  double replica_bytes = 0;
+  double serialized_bytes = 0;
+};
+ScaledDim ScaleDim(const DimStat& d, double measured_sf, double target_sf) {
+  const double k = DimScaleFactor(d, measured_sf, target_sf);
+  return ScaledDim{static_cast<double>(d.rows) * k,
+                   static_cast<double>(d.entries) * k,
+                   static_cast<double>(d.replica_bytes) * k,
+                   static_cast<double>(d.hash_serialized_bytes) * k};
+}
+
+int TaskCount(double bytes, double split_bytes) {
+  return std::max(1, static_cast<int>(std::ceil(bytes / split_bytes)));
+}
+
+}  // namespace
+
+Result<SimOutcome> ModelClydesdale(const ClusterSpec& spec,
+                                   const QueryMeasurement& m,
+                                   const ModelOptions& options) {
+  const double r = options.target_sf / m.measured_sf;
+  const double fact_rows = static_cast<double>(m.fact_rows) * r;
+  const double width =
+      options.columnar ? m.cif_projected_width : m.cif_full_width;
+  const double scan_bytes = fact_rows * width;
+  const double row_ns = options.block_iteration ? spec.cly_row_ns_block
+                                                : spec.cly_row_ns_row_at_a_time;
+
+  // Hash-table acquisition work per build: read the node-local replicas and
+  // insert the dimension rows.
+  double replica_bytes = 0;
+  double build_rows = 0;
+  for (const DimStat& d : m.dims) {
+    const ScaledDim sd = ScaleDim(d, m.measured_sf, options.target_sf);
+    replica_bytes += sd.replica_bytes;
+    build_rows += sd.rows;
+  }
+  const double build_cpu_s = build_rows * spec.hash_build_ns_per_row * 1e-9;
+
+  std::vector<StageProfile> stages;
+
+  StageProfile map_stage;
+  map_stage.name = "star-join map";
+  map_stage.startup_s = spec.job_startup_s;
+  if (options.multithreaded) {
+    // One multi-threaded map task per node (MultiCIF + single-task hint);
+    // the hash tables are built exactly once per node (paper §5).
+    map_stage.slots_per_node = 1;
+    for (int n = 0; n < spec.worker_nodes; ++n) {
+      TaskProfile task;
+      task.node = n;
+      task.setup_s = spec.task_launch_s + build_cpu_s +
+                     replica_bytes / spec.local_disk_bw;
+      task.hdfs_read_bytes = scan_bytes / spec.worker_nodes;
+      // Probe threads occupy every granted slot.
+      task.cpu_s = (fact_rows / spec.worker_nodes) * row_ns * 1e-9 /
+                   spec.map_slots;
+      map_stage.tasks.push_back(task);
+    }
+  } else {
+    // Ablation (§6.5): stock Hadoop behaviour. One single-threaded task per
+    // CIF split, `map_slots` at a time per node, and every task builds its
+    // own copy of the hash tables (no MTMapRunner, no sharing) — the paper's
+    // "each task ... built its own copy". The dimension replicas are hot in
+    // the page cache after the first read.
+    map_stage.slots_per_node = spec.map_slots;
+    const int total_tasks = TaskCount(fact_rows * m.cif_full_width,
+                                      options.cif_split_bytes);
+    for (int t = 0; t < total_tasks; ++t) {
+      TaskProfile task;
+      task.setup_s = spec.task_launch_s + build_cpu_s;
+      task.local_read_bytes =
+          t < spec.worker_nodes
+              ? replica_bytes  // first task per node streams from disk
+              : replica_bytes * (spec.local_disk_bw / spec.page_cache_bw);
+      task.hdfs_read_bytes = scan_bytes / total_tasks;
+      task.cpu_s = (fact_rows / total_tasks) * row_ns * 1e-9;
+      map_stage.tasks.push_back(task);
+    }
+  }
+  stages.push_back(std::move(map_stage));
+
+  // Reduce + client-side sort: tiny next to the scan (paper: <10 s).
+  {
+    StageProfile reduce_stage;
+    reduce_stage.name = "aggregate + sort";
+    const double partials =
+        static_cast<double>(stages[0].tasks.size()) *
+        static_cast<double>(m.groups);
+    TaskProfile reduce;
+    reduce.setup_s = spec.task_launch_s;
+    reduce.net_in_bytes = partials * kGroupRecordBytes;
+    reduce.cpu_s = partials * kFinalAggNsPerRecord * 1e-9 +
+                   static_cast<double>(m.groups) * 1e-6;
+    reduce_stage.tasks.push_back(reduce);
+    reduce_stage.slots_per_node = 1;
+    stages.push_back(std::move(reduce_stage));
+  }
+
+  return SimulateStages(spec, stages);
+}
+
+Result<SimOutcome> ModelHive(const ClusterSpec& spec,
+                             const QueryMeasurement& m,
+                             hive::JoinStrategy strategy,
+                             const ModelOptions& options) {
+  const double r = options.target_sf / m.measured_sf;
+  const double fact_rows = static_cast<double>(m.fact_rows) * r;
+  const int reducers = spec.worker_nodes * spec.reduce_slots;
+  const size_t num_joins = m.spec.dims.size();
+
+  SimOutcome outcome;
+  auto run_stages = [&](const std::vector<StageProfile>& stages) -> Status {
+    CLY_ASSIGN_OR_RETURN(SimOutcome part, SimulateStages(spec, stages));
+    outcome.seconds += part.seconds;
+    for (StageResult& sr : part.stages) outcome.stages.push_back(std::move(sr));
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < num_joins; ++i) {
+    const DimStat& dim = m.dims[i];
+    const ScaledDim sd = ScaleDim(dim, m.measured_sf, options.target_sf);
+    // Input of this join stage: the base fact table (stage 1, RCFile) or the
+    // previous stage's intermediate, which Hive serializes as text.
+    const bool first = i == 0;
+    const double rows_in =
+        first ? fact_rows
+              : static_cast<double>(m.survivors_after[i - 1]) * r;
+    const double read_width = first ? m.rcfile_projected_width
+                                    : m.hive_stage_output_text_width[i - 1];
+    // Split count follows the *stored* size (RCFile cannot shrink splits
+    // under projection; paper §6.3).
+    const double stored_width =
+        first ? m.rcfile_full_width : m.hive_stage_output_text_width[i - 1];
+    const double rows_out = static_cast<double>(m.survivors_after[i]) * r;
+    const double out_bytes = rows_out * m.hive_stage_output_text_width[i];
+    const int map_tasks = TaskCount(rows_in * stored_width, options.split_bytes);
+    // Rows emitted by the fact-side map: stage 1 applies the fact predicate.
+    const double map_out_rows =
+        first ? static_cast<double>(m.predicate_survivors) * r : rows_in;
+
+    if (strategy == hive::JoinStrategy::kMapJoin) {
+      // --- mapjoin (paper Figure 6) ------------------------------------------
+      const double payload = m.hash_payload_per_entry[i];
+      // The broadcast file carries Java-serialized entries; the deserialized
+      // per-slot copy pays object overhead per entry (§6.3: supplier 100 MB
+      // on disk, ~500 MB in memory).
+      const double hash_file_bytes =
+          sd.entries * (payload + spec.java_serialization_overhead);
+      const double hash_memory_bytes =
+          sd.entries * (spec.java_hash_entry_overhead +
+                        payload * spec.java_payload_expansion);
+      // Per-slot copies: the OOM of §6.4.
+      const double per_node_memory =
+          static_cast<double>(spec.map_slots) * hash_memory_bytes;
+      if (per_node_memory > spec.UsableMemory()) {
+        outcome.oom = true;
+        outcome.oom_detail = StrCat(
+            "stage ", i + 1, " (", dim.name, "): ", spec.map_slots,
+            " slots x ",
+            HumanBytes(static_cast<uint64_t>(hash_memory_bytes)),
+            " in-memory hash > ",
+            HumanBytes(static_cast<uint64_t>(spec.UsableMemory())),
+            " usable per node");
+        return outcome;  // the job dies (paper: "did not complete")
+      }
+
+      std::vector<StageProfile> stages;
+      // Master build + HDFS write of the serialized table.
+      {
+        StageProfile build;
+        build.name = StrCat("mapjoin", i + 1, " build ", dim.name);
+        build.startup_s = spec.job_startup_s;
+        TaskProfile master;
+        master.hdfs_read_bytes = sd.replica_bytes;
+        master.cpu_s = sd.rows * spec.hash_build_ns_per_row * 1e-9 +
+                       sd.entries * kSerializeNsPerEntry * 1e-9;
+        master.net_out_bytes = hash_file_bytes * 3;  // replication pipeline
+        build.tasks.push_back(master);
+        build.slots_per_node = 1;
+        stages.push_back(std::move(build));
+      }
+      // Distributed-cache dissemination: every node pulls one copy.
+      {
+        StageProfile cache;
+        cache.name = StrCat("mapjoin", i + 1, " dissemination");
+        for (int n = 0; n < spec.worker_nodes; ++n) {
+          TaskProfile pull;
+          pull.node = n;
+          pull.net_in_bytes = hash_file_bytes;
+          cache.tasks.push_back(pull);
+        }
+        cache.slots_per_node = 1;
+        stages.push_back(std::move(cache));
+      }
+      // Map-only probe over the fact-side table. Every task re-reads and
+      // deserializes the hash table (no JVM reuse; paper §6.3: "this was
+      // done 4,887 times").
+      {
+        StageProfile map_stage;
+        map_stage.name = StrCat("mapjoin", i + 1, " probe");
+        for (int t = 0; t < map_tasks; ++t) {
+          TaskProfile task;
+          task.setup_s = spec.task_launch_s + hash_file_bytes / spec.hash_load_bw;
+          task.hdfs_read_bytes = rows_in * read_width / map_tasks;
+          task.cpu_s = rows_in * spec.hive_map_ns_per_row * 1e-9 / map_tasks;
+          task.net_out_bytes = out_bytes * 2 / map_tasks;  // 2 remote replicas
+          map_stage.tasks.push_back(task);
+        }
+        map_stage.slots_per_node = spec.map_slots;
+        stages.push_back(std::move(map_stage));
+      }
+      CLY_RETURN_IF_ERROR(run_stages(stages));
+    } else {
+      // --- repartition join (sort-merge; paper §6.1) ----------------------------
+      std::vector<StageProfile> stages;
+      const double shuffle_bytes =
+          map_out_rows * m.hive_stage_shuffle_width[i] + sd.entries * 24.0;
+      {
+        StageProfile map_stage;
+        map_stage.name = StrCat("repartition", i + 1, " map ", dim.name);
+        map_stage.startup_s = spec.job_startup_s;
+        const int dim_tasks = TaskCount(sd.replica_bytes, options.split_bytes);
+        const int total_tasks = map_tasks + dim_tasks;
+        for (int t = 0; t < total_tasks; ++t) {
+          TaskProfile task;
+          const bool is_dim = t >= map_tasks;
+          if (is_dim) {
+            task.hdfs_read_bytes = sd.replica_bytes / dim_tasks;
+            task.cpu_s =
+                sd.rows * spec.hive_map_ns_per_row * 1e-9 / dim_tasks;
+          } else {
+            task.hdfs_read_bytes = rows_in * read_width / map_tasks;
+            task.cpu_s =
+                rows_in * spec.hive_map_ns_per_row * 1e-9 / map_tasks;
+            task.net_out_bytes = shuffle_bytes / map_tasks;
+          }
+          task.setup_s = spec.task_launch_s;
+          map_stage.tasks.push_back(task);
+        }
+        map_stage.slots_per_node = spec.map_slots;
+        stages.push_back(std::move(map_stage));
+      }
+      {
+        StageProfile reduce_stage;
+        reduce_stage.name = StrCat("repartition", i + 1, " reduce");
+        const double reduce_records = map_out_rows + sd.entries;
+        for (int rt = 0; rt < reducers; ++rt) {
+          TaskProfile task;
+          task.setup_s = spec.task_launch_s;
+          task.net_in_bytes = shuffle_bytes / reducers;
+          task.cpu_s =
+              reduce_records * spec.hive_reduce_ns_per_row * 1e-9 / reducers;
+          task.net_out_bytes = out_bytes * 2 / reducers;
+          reduce_stage.tasks.push_back(task);
+        }
+        reduce_stage.slots_per_node = spec.reduce_slots;
+        stages.push_back(std::move(reduce_stage));
+      }
+      CLY_RETURN_IF_ERROR(run_stages(stages));
+    }
+  }
+
+  // --- group-by job (paper stage 4) --------------------------------------------
+  {
+    const double rows_in =
+        static_cast<double>(m.survivors_after.back()) * r;
+    const double width = m.hive_stage_output_text_width.back();
+    const int map_tasks = TaskCount(rows_in * width, options.split_bytes);
+    const double groups = static_cast<double>(m.groups);
+    std::vector<StageProfile> stages;
+    {
+      StageProfile map_stage;
+      map_stage.name = "group-by map";
+      map_stage.startup_s = spec.job_startup_s;
+      const double shuffle_bytes =
+          std::min(rows_in, map_tasks * groups) * kGroupRecordBytes;
+      for (int t = 0; t < map_tasks; ++t) {
+        TaskProfile task;
+        task.setup_s = spec.task_launch_s;
+        task.hdfs_read_bytes = rows_in * width / map_tasks;
+        task.cpu_s = rows_in * spec.hive_map_ns_per_row * 1e-9 / map_tasks;
+        task.net_out_bytes = shuffle_bytes / map_tasks;
+        map_stage.tasks.push_back(task);
+      }
+      map_stage.slots_per_node = spec.map_slots;
+      stages.push_back(std::move(map_stage));
+    }
+    {
+      StageProfile reduce_stage;
+      reduce_stage.name = "group-by reduce";
+      const double records = std::min(rows_in, map_tasks * groups);
+      for (int rt = 0; rt < reducers; ++rt) {
+        TaskProfile task;
+        task.setup_s = spec.task_launch_s;
+        task.net_in_bytes = records * kGroupRecordBytes / reducers;
+        task.cpu_s = records * spec.hive_reduce_ns_per_row * 1e-9 / reducers;
+        task.net_out_bytes = groups * kGroupRecordBytes * 2 / reducers;
+        reduce_stage.tasks.push_back(task);
+      }
+      reduce_stage.slots_per_node = spec.reduce_slots;
+      stages.push_back(std::move(reduce_stage));
+    }
+    CLY_RETURN_IF_ERROR(run_stages(stages));
+  }
+
+  // --- order-by job (paper stage 5: ~19 s, mostly startup) -----------------------
+  {
+    std::vector<StageProfile> stages;
+    StageProfile order;
+    order.name = "order-by";
+    order.startup_s = spec.job_startup_s;
+    TaskProfile map_task;
+    map_task.setup_s = spec.task_launch_s;
+    map_task.hdfs_read_bytes = static_cast<double>(m.groups) * kGroupRecordBytes;
+    map_task.cpu_s = static_cast<double>(m.groups) * 2e-6;
+    order.tasks.push_back(map_task);
+    TaskProfile reduce_task;
+    reduce_task.setup_s = spec.task_launch_s;
+    reduce_task.net_in_bytes =
+        static_cast<double>(m.groups) * kGroupRecordBytes;
+    reduce_task.cpu_s = static_cast<double>(m.groups) * 2e-6;
+    order.tasks.push_back(reduce_task);
+    order.slots_per_node = 1;
+    stages.push_back(std::move(order));
+    CLY_RETURN_IF_ERROR(run_stages(stages));
+  }
+
+  return outcome;
+}
+
+DfsIoModel ModelTestDfsIo(const ClusterSpec& spec, double file_mb,
+                          int files_per_node) {
+  DfsIoModel model;
+  model.raw_disk_mb_per_s =
+      spec.disks_per_node * (spec.disk_bw / 1e6) * spec.worker_nodes;
+  // Reads: every node streams its local files at the effective HDFS rate.
+  model.read_mb_per_s = (spec.hdfs_scan_bw_per_node / 1e6) * spec.worker_nodes;
+  // Writes: the replication pipeline sends every block to 2 remote replicas
+  // over the NIC while writing locally; the NIC bounds the effective rate.
+  const double write_per_node =
+      std::min(spec.hdfs_scan_bw_per_node, spec.net_bw / 2.0);
+  model.write_mb_per_s = (write_per_node / 1e6) * spec.worker_nodes;
+  (void)file_mb;
+  (void)files_per_node;
+  return model;
+}
+
+}  // namespace sim
+}  // namespace clydesdale

@@ -1,0 +1,60 @@
+#ifndef CLYDESDALE_SIM_HADOOP_COST_MODEL_H_
+#define CLYDESDALE_SIM_HADOOP_COST_MODEL_H_
+
+#include "hive/hive_plan.h"
+#include "sim/cluster_spec.h"
+#include "sim/event_sim.h"
+#include "sim/task_profile.h"
+#include "sim/workload.h"
+
+namespace clydesdale {
+namespace sim {
+
+/// Scale target and engine knobs for a modeled run.
+struct ModelOptions {
+  /// The paper evaluates SF 1000 (~6 B lineorder rows).
+  double target_sf = 1000;
+  /// Clydesdale ablation switches (paper §6.5); all true = full system.
+  bool multithreaded = true;
+  bool block_iteration = true;
+  bool columnar = true;
+  /// Hadoop split size (also the RCFile row-group/block size at scale).
+  double split_bytes = 128.0 * 1024 * 1024;
+  /// CIF split size at scale (Clydesdale picks rows_per_split itself and
+  /// sizes splits larger than stock blocks). Governs task counts in the
+  /// no-multithreading ablation.
+  double cif_split_bytes = 512.0 * 1024 * 1024;
+};
+
+/// Predicts the cluster-scale runtime of a Clydesdale query: one MapReduce
+/// job whose map tasks build per-node hash tables and scan the fact table
+/// columnar, plus the reduce and client-side sort (paper §4.2, Figure 3).
+/// Workload quantities come from the small-scale functional measurement,
+/// scaled per DESIGN.md §4.
+Result<SimOutcome> ModelClydesdale(const ClusterSpec& spec,
+                                   const QueryMeasurement& m,
+                                   const ModelOptions& options);
+
+/// Predicts the cluster-scale runtime of the Hive baseline: one MR job per
+/// dimension join (repartition or mapjoin), a group-by job, and an order-by
+/// job, with intermediates round-tripping through HDFS (paper §6.3). For
+/// mapjoin, detects the per-slot hash-copy OOM of paper §6.4.
+Result<SimOutcome> ModelHive(const ClusterSpec& spec,
+                             const QueryMeasurement& m,
+                             hive::JoinStrategy strategy,
+                             const ModelOptions& options);
+
+/// TestDFSIO (paper Table 1): aggregate HDFS read and write bandwidth for
+/// `file_mb` per node, with `files_per_node` concurrent streams.
+struct DfsIoModel {
+  double read_mb_per_s = 0;   // cluster aggregate
+  double write_mb_per_s = 0;  // cluster aggregate
+  double raw_disk_mb_per_s = 0;  // raw aggregate for comparison
+};
+DfsIoModel ModelTestDfsIo(const ClusterSpec& spec, double file_mb,
+                          int files_per_node);
+
+}  // namespace sim
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SIM_HADOOP_COST_MODEL_H_

@@ -1,0 +1,3 @@
+#include "sim/task_profile.h"
+
+// Data-only module; this translation unit anchors the CMake target.

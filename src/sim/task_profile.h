@@ -1,0 +1,65 @@
+#ifndef CLYDESDALE_SIM_TASK_PROFILE_H_
+#define CLYDESDALE_SIM_TASK_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clydesdale {
+namespace sim {
+
+/// The simulated resource demands of one task. Setup runs first; then the
+/// scan, the CPU work, and the network transfer proceed in parallel (the
+/// task finishes when the slowest of them does), matching how a Hadoop task
+/// overlaps I/O with processing.
+struct TaskProfile {
+  /// Serial setup seconds (task launch, hash-table build or load).
+  double setup_s = 0;
+  /// Bytes streamed from HDFS through the node's shared scan bandwidth.
+  double hdfs_read_bytes = 0;
+  /// Bytes read from the node-local disk (setup-phase reads go in setup_s;
+  /// this is for reads overlapped with work).
+  double local_read_bytes = 0;
+  /// CPU seconds on one core (divide by thread count before filling in for
+  /// multi-threaded tasks).
+  double cpu_s = 0;
+  /// Bytes received over the node NIC (reduce shuffle in).
+  double net_in_bytes = 0;
+  /// Bytes sent over the node NIC (HDFS write pipeline, shuffle out).
+  double net_out_bytes = 0;
+  /// Pinned node, or -1 to let the stage scheduler place it.
+  int node = -1;
+};
+
+/// One phase of a job (a map wave or a reduce wave).
+struct StageProfile {
+  std::string name;
+  std::vector<TaskProfile> tasks;
+  /// Concurrent tasks of this stage per node.
+  int slots_per_node = 1;
+  /// Job-level startup charged once before the stage (only on the first
+  /// stage of a job).
+  double startup_s = 0;
+};
+
+/// Simulated outcome of one stage.
+struct StageResult {
+  std::string name;
+  double seconds = 0;
+  /// Mean task duration (excluding queueing).
+  double avg_task_s = 0;
+  int num_tasks = 0;
+};
+
+/// Simulated outcome of a whole query.
+struct SimOutcome {
+  double seconds = 0;
+  bool oom = false;
+  std::string oom_detail;
+  std::vector<StageResult> stages;
+};
+
+}  // namespace sim
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SIM_TASK_PROFILE_H_

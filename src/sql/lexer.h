@@ -1,0 +1,44 @@
+#ifndef CLYDESDALE_SQL_LEXER_H_
+#define CLYDESDALE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace clydesdale {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,    // column / table names (also matches keywords; case-insensitive)
+  kNumber,   // integer literal
+  kString,   // 'single quoted'
+  kSymbol,   // ( ) , = != <> < <= > >= + - *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier text lower-cased for keyword matching; original case kept in
+  /// `raw` (SSB strings are case-sensitive, identifiers are not).
+  std::string text;
+  std::string raw;
+  int64_t number = 0;
+  size_t position = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const char* keyword) const {
+    return kind == TokenKind::kIdent && text == keyword;
+  }
+  bool IsSymbol(const char* symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+};
+
+/// Splits a SQL string into tokens. Comments are not supported; strings use
+/// single quotes with '' as the escape.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sql
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SQL_LEXER_H_

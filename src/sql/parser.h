@@ -1,0 +1,37 @@
+#ifndef CLYDESDALE_SQL_PARSER_H_
+#define CLYDESDALE_SQL_PARSER_H_
+
+#include <string>
+
+#include "core/star_query.h"
+#include "core/star_schema.h"
+
+namespace clydesdale {
+namespace sql {
+
+/// Compiles a SQL star-join query against a registered star schema into a
+/// StarQuerySpec — the declarative front end the paper leaves as future work
+/// (§4: "queries are currently written as Java programs").
+///
+/// Supported shape (exactly the SSB family):
+///
+///   SELECT [group columns and] SUM(expr) [AS name], ...
+///   FROM fact_table, dim_table, ...
+///   WHERE fact.fk = dim.pk [AND ...]            -- join conditions
+///     AND column <op> literal                   -- = != < <= > >= BETWEEN IN
+///     AND (col = lit OR col = lit ...)          -- OR only over one column
+///   [GROUP BY col, ...]
+///   [ORDER BY col [ASC|DESC], ...]
+///
+/// Semantics follow the engine's model: every listed dimension must join the
+/// fact table on exactly one fk = pk equality; non-join predicates attach to
+/// whichever table owns the column; selected/grouped dimension columns
+/// become that join's aux columns. Identifiers are case-insensitive; string
+/// literals are not.
+Result<core::StarQuerySpec> ParseStarQuery(const std::string& sql,
+                                           const core::StarSchema& star);
+
+}  // namespace sql
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SQL_PARSER_H_

@@ -1,0 +1,92 @@
+#ifndef CLYDESDALE_SSB_DBGEN_H_
+#define CLYDESDALE_SSB_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "schema/row.h"
+#include "ssb/ssb_schema.h"
+
+namespace clydesdale {
+namespace ssb {
+
+/// Deterministic SSB data generator (the stand-in for the benchmark's dbgen).
+/// Rows are a function of (seed, table, index): two generators with the same
+/// seed and scale produce identical data, and dimension keys referenced by
+/// lineorder always exist.
+class SsbGenerator {
+ public:
+  explicit SsbGenerator(double scale_factor, uint64_t seed = 19920101);
+
+  double scale_factor() const { return sf_; }
+  const SsbCardinalities& cardinalities() const { return card_; }
+
+  /// Dimension rows by key (1-based, up to the table's cardinality).
+  Row CustomerRow(int64_t custkey) const;
+  Row SupplierRow(int64_t suppkey) const;
+  Row PartRow(int64_t partkey) const;
+  /// Date rows by day index (0-based, 0 = 1992-01-01).
+  Row DateRow(int64_t day_index) const;
+
+  /// Sequential lineorder stream; one instance per scan.
+  class LineorderStream {
+   public:
+    /// Returns false when all orders are exhausted.
+    bool Next(Row* out);
+    uint64_t rows_emitted() const { return rows_emitted_; }
+
+   private:
+    friend class SsbGenerator;
+    LineorderStream(const SsbGenerator* gen, uint64_t first_order,
+                    uint64_t order_limit);
+
+    const SsbGenerator* gen_;
+    uint64_t next_order_;
+    uint64_t order_limit_;
+    int line_ = 0;
+    int lines_in_order_ = 0;
+    // Order-level attributes shared by its lines.
+    int32_t custkey_ = 0;
+    int32_t orderdate_ = 0;
+    int64_t commit_base_day_ = 0;
+    int32_t ordtotalprice_ = 0;
+    std::string orderpriority_;
+    Random line_rng_{0};
+    uint64_t rows_emitted_ = 0;
+  };
+
+  /// Stream over all orders, or a sub-range for parallel generation.
+  LineorderStream Lineorders() const;
+  LineorderStream LineorderRange(uint64_t first_order,
+                                 uint64_t order_limit) const;
+
+  /// Total days in the date dimension.
+  int64_t num_dates() const { return static_cast<int64_t>(card_.dates); }
+
+  /// datekey (yyyymmdd) for a 0-based day index and back.
+  int32_t DateKeyForIndex(int64_t day_index) const;
+
+ private:
+  Random RngFor(uint32_t table, int64_t index) const;
+
+  double sf_;
+  uint64_t seed_;
+  SsbCardinalities card_;
+  /// Day index -> (year, month, day, yyyymmdd) precomputed calendar.
+  struct CalendarDay {
+    int16_t year;
+    int8_t month;
+    int8_t day;
+    int32_t datekey;
+    int16_t day_of_year;
+    int8_t day_of_week;  // 0 = Monday (1992-01-01 was a Wednesday = 2)
+  };
+  std::vector<CalendarDay> calendar_;
+};
+
+}  // namespace ssb
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SSB_DBGEN_H_

@@ -1,0 +1,239 @@
+#include "ssb/queries.h"
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace ssb {
+
+using core::AggSpec;
+using core::DimJoinSpec;
+using core::OrderBySpec;
+using core::StarQuerySpec;
+
+namespace {
+
+Value S(const char* s) { return Value(std::string(s)); }
+Value I(int32_t v) { return Value(v); }
+
+DimJoinSpec DateJoin(Predicate::Ptr pred, std::vector<std::string> aux = {}) {
+  return DimJoinSpec{"date", "lo_orderdate", "d_datekey", std::move(pred),
+                     std::move(aux)};
+}
+DimJoinSpec CustomerJoin(Predicate::Ptr pred,
+                         std::vector<std::string> aux = {}) {
+  return DimJoinSpec{"customer", "lo_custkey", "c_custkey", std::move(pred),
+                     std::move(aux)};
+}
+DimJoinSpec SupplierJoin(Predicate::Ptr pred,
+                         std::vector<std::string> aux = {}) {
+  return DimJoinSpec{"supplier", "lo_suppkey", "s_suppkey", std::move(pred),
+                     std::move(aux)};
+}
+DimJoinSpec PartJoin(Predicate::Ptr pred, std::vector<std::string> aux = {}) {
+  return DimJoinSpec{"part", "lo_partkey", "p_partkey", std::move(pred),
+                     std::move(aux)};
+}
+
+/// SUM(lo_extendedprice * lo_discount) — the flight-1 "revenue".
+AggSpec DiscountedRevenue() {
+  return AggSpec{"revenue", Expr::Mul(Expr::Col("lo_extendedprice"),
+                                      Expr::Col("lo_discount"))};
+}
+
+AggSpec SumRevenue() { return AggSpec{"revenue", Expr::Col("lo_revenue")}; }
+
+AggSpec Profit() {
+  return AggSpec{"profit", Expr::Sub(Expr::Col("lo_revenue"),
+                                     Expr::Col("lo_supplycost"))};
+}
+
+StarQuerySpec Q11() {
+  StarQuerySpec q;
+  q.id = "Q1.1";
+  q.fact_predicate = Predicate::And(
+      {Predicate::Between("lo_discount", I(1), I(3)),
+       Predicate::Lt("lo_quantity", I(25))});
+  q.dims = {DateJoin(Predicate::Eq("d_year", I(1993)))};
+  q.aggregates = {DiscountedRevenue()};
+  return q;
+}
+
+StarQuerySpec Q12() {
+  StarQuerySpec q;
+  q.id = "Q1.2";
+  q.fact_predicate = Predicate::And(
+      {Predicate::Between("lo_discount", I(4), I(6)),
+       Predicate::Between("lo_quantity", I(26), I(35))});
+  q.dims = {DateJoin(Predicate::Eq("d_yearmonthnum", I(199401)))};
+  q.aggregates = {DiscountedRevenue()};
+  return q;
+}
+
+StarQuerySpec Q13() {
+  StarQuerySpec q;
+  q.id = "Q1.3";
+  q.fact_predicate = Predicate::And(
+      {Predicate::Between("lo_discount", I(5), I(7)),
+       Predicate::Between("lo_quantity", I(26), I(35))});
+  q.dims = {DateJoin(Predicate::And({Predicate::Eq("d_weeknuminyear", I(6)),
+                                     Predicate::Eq("d_year", I(1994))}))};
+  q.aggregates = {DiscountedRevenue()};
+  return q;
+}
+
+StarQuerySpec Q21() {
+  StarQuerySpec q;
+  q.id = "Q2.1";
+  q.dims = {DateJoin(Predicate::True(), {"d_year"}),
+            PartJoin(Predicate::Eq("p_category", S("MFGR#12")), {"p_brand1"}),
+            SupplierJoin(Predicate::Eq("s_region", S("AMERICA")))};
+  q.aggregates = {SumRevenue()};
+  q.group_by = {"d_year", "p_brand1"};
+  q.order_by = {{"d_year", true}, {"p_brand1", true}};
+  return q;
+}
+
+StarQuerySpec Q22() {
+  StarQuerySpec q;
+  q.id = "Q2.2";
+  q.dims = {DateJoin(Predicate::True(), {"d_year"}),
+            PartJoin(Predicate::Between("p_brand1", S("MFGR#2221"),
+                                        S("MFGR#2228")),
+                     {"p_brand1"}),
+            SupplierJoin(Predicate::Eq("s_region", S("ASIA")))};
+  q.aggregates = {SumRevenue()};
+  q.group_by = {"d_year", "p_brand1"};
+  q.order_by = {{"d_year", true}, {"p_brand1", true}};
+  return q;
+}
+
+StarQuerySpec Q23() {
+  StarQuerySpec q;
+  q.id = "Q2.3";
+  q.dims = {DateJoin(Predicate::True(), {"d_year"}),
+            PartJoin(Predicate::Eq("p_brand1", S("MFGR#2239")), {"p_brand1"}),
+            SupplierJoin(Predicate::Eq("s_region", S("EUROPE")))};
+  q.aggregates = {SumRevenue()};
+  q.group_by = {"d_year", "p_brand1"};
+  q.order_by = {{"d_year", true}, {"p_brand1", true}};
+  return q;
+}
+
+StarQuerySpec Q31() {
+  StarQuerySpec q;
+  q.id = "Q3.1";
+  q.dims = {CustomerJoin(Predicate::Eq("c_region", S("ASIA")), {"c_nation"}),
+            SupplierJoin(Predicate::Eq("s_region", S("ASIA")), {"s_nation"}),
+            DateJoin(Predicate::Between("d_year", I(1992), I(1997)),
+                     {"d_year"})};
+  q.aggregates = {SumRevenue()};
+  q.group_by = {"c_nation", "s_nation", "d_year"};
+  q.order_by = {{"d_year", true}, {"revenue", false}};
+  return q;
+}
+
+StarQuerySpec Q32() {
+  StarQuerySpec q;
+  q.id = "Q3.2";
+  q.dims = {
+      CustomerJoin(Predicate::Eq("c_nation", S("UNITED STATES")), {"c_city"}),
+      SupplierJoin(Predicate::Eq("s_nation", S("UNITED STATES")), {"s_city"}),
+      DateJoin(Predicate::Between("d_year", I(1992), I(1997)), {"d_year"})};
+  q.aggregates = {SumRevenue()};
+  q.group_by = {"c_city", "s_city", "d_year"};
+  q.order_by = {{"d_year", true}, {"revenue", false}};
+  return q;
+}
+
+StarQuerySpec Q33() {
+  StarQuerySpec q;
+  q.id = "Q3.3";
+  // "UNITED KI1"/"UNITED KI5" are cities 1 and 5 of UNITED KINGDOM.
+  const std::vector<Value> cities = {S("UNITED KI1"), S("UNITED KI5")};
+  q.dims = {CustomerJoin(Predicate::In("c_city", cities), {"c_city"}),
+            SupplierJoin(Predicate::In("s_city", cities), {"s_city"}),
+            DateJoin(Predicate::Between("d_year", I(1992), I(1997)),
+                     {"d_year"})};
+  q.aggregates = {SumRevenue()};
+  q.group_by = {"c_city", "s_city", "d_year"};
+  q.order_by = {{"d_year", true}, {"revenue", false}};
+  return q;
+}
+
+StarQuerySpec Q34() {
+  StarQuerySpec q;
+  q.id = "Q3.4";
+  const std::vector<Value> cities = {S("UNITED KI1"), S("UNITED KI5")};
+  q.dims = {CustomerJoin(Predicate::In("c_city", cities), {"c_city"}),
+            SupplierJoin(Predicate::In("s_city", cities), {"s_city"}),
+            DateJoin(Predicate::Eq("d_yearmonth", S("Dec1997")), {"d_year"})};
+  q.aggregates = {SumRevenue()};
+  q.group_by = {"c_city", "s_city", "d_year"};
+  q.order_by = {{"d_year", true}, {"revenue", false}};
+  return q;
+}
+
+StarQuerySpec Q41() {
+  StarQuerySpec q;
+  q.id = "Q4.1";
+  q.dims = {CustomerJoin(Predicate::Eq("c_region", S("AMERICA")),
+                         {"c_nation"}),
+            SupplierJoin(Predicate::Eq("s_region", S("AMERICA"))),
+            PartJoin(Predicate::In("p_mfgr", {S("MFGR#1"), S("MFGR#2")})),
+            DateJoin(Predicate::True(), {"d_year"})};
+  q.aggregates = {Profit()};
+  q.group_by = {"d_year", "c_nation"};
+  q.order_by = {{"d_year", true}, {"c_nation", true}};
+  return q;
+}
+
+StarQuerySpec Q42() {
+  StarQuerySpec q;
+  q.id = "Q4.2";
+  q.dims = {CustomerJoin(Predicate::Eq("c_region", S("AMERICA"))),
+            SupplierJoin(Predicate::Eq("s_region", S("AMERICA")),
+                         {"s_nation"}),
+            PartJoin(Predicate::In("p_mfgr", {S("MFGR#1"), S("MFGR#2")}),
+                     {"p_category"}),
+            DateJoin(Predicate::In("d_year", {I(1997), I(1998)}), {"d_year"})};
+  q.aggregates = {Profit()};
+  q.group_by = {"d_year", "s_nation", "p_category"};
+  q.order_by = {{"d_year", true}, {"s_nation", true}, {"p_category", true}};
+  return q;
+}
+
+StarQuerySpec Q43() {
+  StarQuerySpec q;
+  q.id = "Q4.3";
+  q.dims = {CustomerJoin(Predicate::Eq("c_region", S("AMERICA"))),
+            SupplierJoin(Predicate::Eq("s_nation", S("UNITED STATES")),
+                         {"s_city"}),
+            PartJoin(Predicate::Eq("p_category", S("MFGR#14")), {"p_brand1"}),
+            DateJoin(Predicate::In("d_year", {I(1997), I(1998)}), {"d_year"})};
+  q.aggregates = {Profit()};
+  q.group_by = {"d_year", "s_city", "p_brand1"};
+  q.order_by = {{"d_year", true}, {"s_city", true}, {"p_brand1", true}};
+  return q;
+}
+
+}  // namespace
+
+std::vector<StarQuerySpec> AllQueries() {
+  return {Q11(), Q12(), Q13(), Q21(), Q22(), Q23(), Q31(),
+          Q32(), Q33(), Q34(), Q41(), Q42(), Q43()};
+}
+
+Result<StarQuerySpec> QueryById(const std::string& id) {
+  for (StarQuerySpec& q : AllQueries()) {
+    if (q.id == id) return std::move(q);
+  }
+  return Status::NotFound(StrCat("no SSB query '", id, "'"));
+}
+
+int FlightOf(const std::string& id) {
+  if (id.size() >= 2 && id[0] == 'Q') return id[1] - '0';
+  return 0;
+}
+
+}  // namespace ssb
+}  // namespace clydesdale

@@ -1,0 +1,26 @@
+#ifndef CLYDESDALE_SSB_QUERIES_H_
+#define CLYDESDALE_SSB_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/star_query.h"
+
+namespace clydesdale {
+namespace ssb {
+
+/// The 13 Star Schema Benchmark queries (flights 1-4), expressed as star
+/// query specs. Flight 1 filters the fact table directly and joins only
+/// Date; flight 4 joins all four dimensions (paper §6.2).
+std::vector<core::StarQuerySpec> AllQueries();
+
+/// Lookup by id ("Q1.1" .. "Q4.3").
+Result<core::StarQuerySpec> QueryById(const std::string& id);
+
+/// Query flight (1-4) of a query id.
+int FlightOf(const std::string& id);
+
+}  // namespace ssb
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SSB_QUERIES_H_

@@ -1,0 +1,148 @@
+#include "ssb/reference_executor.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "core/aggregation.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace ssb {
+
+namespace {
+
+struct DimSide {
+  /// pk -> auxiliary columns of qualifying rows.
+  std::unordered_map<int64_t, Row> table;
+  int fk_index = -1;  // position of the FK in the projected fact row
+};
+
+}  // namespace
+
+Result<std::vector<Row>> ExecuteReference(mr::MrCluster* cluster,
+                                          const core::StarSchema& star,
+                                          const core::StarQuerySpec& spec) {
+  // --- build dimension maps ----------------------------------------------------
+  const std::vector<std::string> fact_columns = core::FactColumnsFor(spec);
+  SchemaPtr fact_schema;
+  {
+    std::vector<int> idx;
+    for (const std::string& c : fact_columns) {
+      CLY_ASSIGN_OR_RETURN(int i, star.fact().schema->Require(c));
+      idx.push_back(i);
+    }
+    fact_schema = star.fact().schema->Project(idx);
+  }
+
+  std::vector<DimSide> sides;
+  sides.reserve(spec.dims.size());
+  for (const core::DimJoinSpec& join : spec.dims) {
+    CLY_ASSIGN_OR_RETURN(const core::DimTableInfo* dim, star.dim(join.dimension));
+    CLY_ASSIGN_OR_RETURN(BoundPredicatePtr pred,
+                         join.predicate->Bind(*dim->desc.schema));
+    CLY_ASSIGN_OR_RETURN(int pk, dim->desc.schema->Require(join.dim_pk));
+    std::vector<int> aux;
+    for (const std::string& a : join.aux_columns) {
+      CLY_ASSIGN_OR_RETURN(int i, dim->desc.schema->Require(a));
+      aux.push_back(i);
+    }
+
+    storage::ScanOptions scan;
+    CLY_ASSIGN_OR_RETURN(
+        std::vector<Row> rows,
+        storage::ScanTableToVector(*cluster->dfs(), dim->desc, scan));
+    DimSide side;
+    CLY_ASSIGN_OR_RETURN(side.fk_index, fact_schema->Require(join.fact_fk));
+    for (const Row& row : rows) {
+      if (!pred->Eval(row)) continue;
+      side.table.emplace(row.Get(pk).AsInt64(), row.Project(aux));
+    }
+    sides.push_back(std::move(side));
+  }
+
+  // --- scan + probe + aggregate -------------------------------------------------
+  CLY_ASSIGN_OR_RETURN(BoundPredicatePtr fact_pred,
+                       spec.fact_predicate->Bind(*fact_schema));
+  const core::AggLayout layout = core::AggLayout::For(spec.aggregates);
+  std::vector<BoundScalarPtr> acc_exprs;  // null = the constant 1 (COUNT)
+  for (int expr_index : layout.expr_index()) {
+    if (expr_index < 0) {
+      acc_exprs.push_back(nullptr);
+      continue;
+    }
+    CLY_ASSIGN_OR_RETURN(
+        BoundScalarPtr e,
+        spec.aggregates[static_cast<size_t>(expr_index)].expr->Bind(
+            *fact_schema));
+    acc_exprs.push_back(std::move(e));
+  }
+
+  CLY_ASSIGN_OR_RETURN(std::vector<core::GroupSource> group_sources,
+                       core::ResolveGroupSources(spec, *fact_schema));
+
+  std::unordered_map<Row, std::vector<int64_t>, RowHasher> groups;
+
+  storage::ScanOptions scan;
+  scan.projection = fact_columns;
+  CLY_ASSIGN_OR_RETURN(storage::TableDesc fact_desc,
+                       cluster->GetTable(star.fact().path));
+  CLY_ASSIGN_OR_RETURN(std::vector<storage::StorageSplit> splits,
+                       storage::ListTableSplits(*cluster->dfs(), fact_desc));
+  std::vector<const Row*> matched(sides.size());
+  for (const storage::StorageSplit& split : splits) {
+    CLY_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::RowReader> reader,
+        storage::OpenSplitRowReader(*cluster->dfs(), fact_desc, split, scan));
+    Row row;
+    while (true) {
+      CLY_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      if (!fact_pred->Eval(row)) continue;
+      bool ok = true;
+      for (size_t d = 0; d < sides.size(); ++d) {
+        auto it = sides[d].table.find(row.Get(sides[d].fk_index).AsInt64());
+        if (it == sides[d].table.end()) {
+          ok = false;
+          break;  // early-out
+        }
+        matched[d] = &it->second;
+      }
+      if (!ok) continue;
+
+      Row group_key;
+      group_key.Reserve(static_cast<int>(group_sources.size()));
+      for (const core::GroupSource& src : group_sources) {
+        group_key.Append(src.from_fact
+                             ? row.Get(src.fact_index)
+                             : matched[static_cast<size_t>(src.dim_index)]->Get(
+                                   src.aux_index));
+      }
+      std::vector<int64_t> init(acc_exprs.size());
+      for (size_t a = 0; a < acc_exprs.size(); ++a) {
+        init[a] = core::AggLayout::InitValue(layout.accs()[a]);
+      }
+      auto [it, inserted] =
+          groups.try_emplace(std::move(group_key), std::move(init));
+      std::vector<int64_t> in(acc_exprs.size());
+      for (size_t a = 0; a < acc_exprs.size(); ++a) {
+        in[a] = acc_exprs[a] == nullptr ? 1 : acc_exprs[a]->Eval(row).AsInt64();
+      }
+      layout.Merge(it->second.data(), in.data());
+    }
+  }
+
+  // --- materialize + order -------------------------------------------------------
+  std::vector<Row> result;
+  result.reserve(groups.size());
+  for (auto& [key, accs] : groups) {
+    Row row = key;
+    for (int64_t a : accs) row.Append(Value(a));
+    result.push_back(std::move(row));
+  }
+  CLY_RETURN_IF_ERROR(core::FinalizeAggRows(spec, &result));
+  CLY_RETURN_IF_ERROR(core::SortResultRows(spec, &result));
+  return result;
+}
+
+}  // namespace ssb
+}  // namespace clydesdale

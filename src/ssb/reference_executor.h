@@ -1,0 +1,24 @@
+#ifndef CLYDESDALE_SSB_REFERENCE_EXECUTOR_H_
+#define CLYDESDALE_SSB_REFERENCE_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/star_query.h"
+#include "core/star_schema.h"
+#include "mapreduce/engine.h"
+
+namespace clydesdale {
+namespace ssb {
+
+/// Ground truth: a single-threaded in-memory hash-join executor, independent
+/// of the MapReduce machinery. Tests compare both engines against it.
+/// Result rows are group-by columns then aggregates, ordered by the query's
+/// ORDER BY (with a canonical tiebreak).
+Result<std::vector<Row>> ExecuteReference(mr::MrCluster* cluster,
+                                          const core::StarSchema& star,
+                                          const core::StarQuerySpec& spec);
+
+}  // namespace ssb
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SSB_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,161 @@
+#include "ssb/ssb_schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clydesdale {
+namespace ssb {
+
+namespace {
+constexpr TypeKind kI32 = TypeKind::kInt32;
+constexpr TypeKind kI64 = TypeKind::kInt64;
+constexpr TypeKind kStr = TypeKind::kString;
+}  // namespace
+
+SchemaPtr LineorderSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"lo_orderkey", kI32, 4},
+      {"lo_linenumber", kI32, 4},
+      {"lo_custkey", kI32, 4},
+      {"lo_partkey", kI32, 4},
+      {"lo_suppkey", kI32, 4},
+      {"lo_orderdate", kI32, 4},
+      {"lo_orderpriority", kStr, 10.4},
+      {"lo_shippriority", kI32, 4},
+      {"lo_quantity", kI32, 4},
+      {"lo_extendedprice", kI32, 4},
+      {"lo_ordtotalprice", kI32, 4},
+      {"lo_discount", kI32, 4},
+      {"lo_revenue", kI32, 4},
+      {"lo_supplycost", kI32, 4},
+      {"lo_tax", kI32, 4},
+      {"lo_commitdate", kI32, 4},
+      {"lo_shipmode", kStr, 6.3},
+  });
+  return kSchema;
+}
+
+SchemaPtr CustomerSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"c_custkey", kI32, 4},
+      {"c_name", kStr, 20},
+      {"c_address", kStr, 17},
+      {"c_city", kStr, 12},
+      {"c_nation", kStr, 11.8},
+      {"c_region", kStr, 8.6},
+      {"c_phone", kStr, 17},
+      {"c_mktsegment", kStr, 10.8},
+  });
+  return kSchema;
+}
+
+SchemaPtr SupplierSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"s_suppkey", kI32, 4},
+      {"s_name", kStr, 20},
+      {"s_address", kStr, 17},
+      {"s_city", kStr, 12},
+      {"s_nation", kStr, 11.8},
+      {"s_region", kStr, 8.6},
+      {"s_phone", kStr, 17},
+  });
+  return kSchema;
+}
+
+SchemaPtr PartSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"p_partkey", kI32, 4},
+      {"p_name", kStr, 14},
+      {"p_mfgr", kStr, 8},
+      {"p_category", kStr, 9},
+      {"p_brand1", kStr, 11},
+      {"p_color", kStr, 11},
+      {"p_type", kStr, 22},
+      {"p_size", kI32, 4},
+      {"p_container", kStr, 12},
+  });
+  return kSchema;
+}
+
+SchemaPtr DateSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"d_datekey", kI32, 4},
+      {"d_date", kStr, 20},
+      {"d_dayofweek", kStr, 11},
+      {"d_month", kStr, 10},
+      {"d_year", kI32, 4},
+      {"d_yearmonthnum", kI32, 4},
+      {"d_yearmonth", kStr, 9},
+      {"d_daynuminweek", kI32, 4},
+      {"d_daynuminmonth", kI32, 4},
+      {"d_daynuminyear", kI32, 4},
+      {"d_monthnuminyear", kI32, 4},
+      {"d_weeknuminyear", kI32, 4},
+      {"d_sellingseason", kStr, 9},
+      {"d_lastdayinweekfl", kI32, 4},
+      {"d_lastdayinmonthfl", kI32, 4},
+      {"d_holidayfl", kI32, 4},
+      {"d_weekdayfl", kI32, 4},
+  });
+  return kSchema;
+}
+
+SsbCardinalities CardinalitiesFor(double sf) {
+  SsbCardinalities c;
+  c.orders = static_cast<uint64_t>(std::max(1.0, 1'500'000.0 * sf));
+  c.customers = static_cast<uint64_t>(std::max(25.0, 30'000.0 * sf));
+  c.suppliers = static_cast<uint64_t>(std::max(25.0, 2'000.0 * sf));
+  // SSB spec: 200,000 * (1 + floor(log2(sf))) for sf >= 1; scaled linearly
+  // (with a floor) below that for laptop-scale runs.
+  if (sf >= 1.0) {
+    c.parts = static_cast<uint64_t>(
+        200'000.0 * (1.0 + std::floor(std::log2(sf))));
+  } else {
+    c.parts = static_cast<uint64_t>(std::max(200.0, 200'000.0 * sf));
+  }
+  // 7 full years 1992-1998 with two leap days (1992, 1996). The SSB spec
+  // quotes 2,556; the real calendar has 2,557 days and we keep it exact.
+  c.dates = 2557;
+  return c;
+}
+
+namespace {
+struct Nation {
+  const char* name;
+  const char* region;
+};
+// TPC-H nation -> region mapping, alphabetical by nation.
+constexpr Nation kNations[kNumNations] = {
+    {"ALGERIA", "AFRICA"},        {"ARGENTINA", "AMERICA"},
+    {"BRAZIL", "AMERICA"},        {"CANADA", "AMERICA"},
+    {"EGYPT", "MIDDLE EAST"},     {"ETHIOPIA", "AFRICA"},
+    {"FRANCE", "EUROPE"},         {"GERMANY", "EUROPE"},
+    {"INDIA", "ASIA"},            {"INDONESIA", "ASIA"},
+    {"IRAN", "MIDDLE EAST"},      {"IRAQ", "MIDDLE EAST"},
+    {"JAPAN", "ASIA"},            {"JORDAN", "MIDDLE EAST"},
+    {"KENYA", "AFRICA"},          {"MOROCCO", "AFRICA"},
+    {"MOZAMBIQUE", "AFRICA"},     {"PERU", "AMERICA"},
+    {"CHINA", "ASIA"},            {"ROMANIA", "EUROPE"},
+    {"SAUDI ARABIA", "MIDDLE EAST"}, {"VIETNAM", "ASIA"},
+    {"RUSSIA", "EUROPE"},         {"UNITED KINGDOM", "EUROPE"},
+    {"UNITED STATES", "AMERICA"},
+};
+}  // namespace
+
+const char* NationName(int nation_index) {
+  return kNations[nation_index % kNumNations].name;
+}
+
+const char* RegionOfNation(int nation_index) {
+  return kNations[nation_index % kNumNations].region;
+}
+
+std::string CityName(int nation_index, int city_index) {
+  std::string city(NationName(nation_index));
+  city.resize(9, ' ');
+  city.push_back(static_cast<char>('0' + (city_index % 10)));
+  return city;
+}
+
+}  // namespace ssb
+}  // namespace clydesdale

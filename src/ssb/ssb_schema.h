@@ -1,0 +1,43 @@
+#ifndef CLYDESDALE_SSB_SSB_SCHEMA_H_
+#define CLYDESDALE_SSB_SSB_SCHEMA_H_
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace clydesdale {
+namespace ssb {
+
+/// Star Schema Benchmark tables (O'Neil et al.; paper Figure 1).
+/// Money columns are integer cents; dates are int32 yyyymmdd keys.
+SchemaPtr LineorderSchema();
+SchemaPtr CustomerSchema();
+SchemaPtr SupplierSchema();
+SchemaPtr PartSchema();
+SchemaPtr DateSchema();
+
+/// SSB row counts at scale factor `sf`. Lineorder is approximate (the
+/// generator draws 1..7 lines per order, averaging 4); the others are exact.
+struct SsbCardinalities {
+  uint64_t orders;
+  uint64_t customers;
+  uint64_t suppliers;
+  uint64_t parts;
+  uint64_t dates;  // fixed at 2,556 (1992-01-01 .. 1998-12-31)
+};
+
+SsbCardinalities CardinalitiesFor(double scale_factor);
+
+// Region / nation vocabulary (25 nations, 5 per region, TPC-H mapping).
+inline constexpr int kNumNations = 25;
+inline constexpr int kNumRegions = 5;
+const char* NationName(int nation_index);
+const char* RegionOfNation(int nation_index);
+/// City c (0..9) of a nation: first 9 chars of the nation name (space padded)
+/// + the digit, e.g. "UNITED KI1".
+std::string CityName(int nation_index, int city_index);
+
+}  // namespace ssb
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_SSB_SSB_SCHEMA_H_

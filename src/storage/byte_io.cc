@@ -1,0 +1,4 @@
+#include "storage/byte_io.h"
+
+// Header-only; this translation unit exists so the CMake target has a source
+// and to anchor any future out-of-line additions.

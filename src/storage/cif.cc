@@ -1,0 +1,470 @@
+#include "storage/cif.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "storage/byte_io.h"
+#include "storage/split_util.h"
+
+namespace clydesdale {
+namespace storage {
+
+namespace {
+
+std::string ColumnFilePath(const TableDesc& desc, const std::string& column,
+                           int segment = 0) {
+  if (segment == 0) return StrCat(desc.path, "/", column, ".col");
+  return StrCat(desc.path, "/", column, ".s", segment, ".col");
+}
+
+std::string ColocationGroup(const TableDesc& desc, int segment) {
+  return segment == 0 ? desc.path : StrCat(desc.path, "#s", segment);
+}
+
+// String column block sub-formats: low-cardinality columns (order priority,
+// ship mode, regions, ...) store a dictionary plus one byte per row, which
+// is what brings the full fact row close to the paper's ~56 B binary width.
+constexpr uint8_t kStringPlain = 0;
+constexpr uint8_t kStringDictionary = 1;
+
+/// Serializes one column's buffered values for a split.
+void EncodeColumnBlock(const ColumnVector& col, ByteWriter* out) {
+  const auto nrows = static_cast<uint32_t>(col.size());
+  out->PutU32(nrows);
+  switch (col.type()) {
+    case TypeKind::kInt32:
+      out->PutBytes(col.i32().data(), col.i32().size() * sizeof(int32_t));
+      break;
+    case TypeKind::kInt64:
+      out->PutBytes(col.i64().data(), col.i64().size() * sizeof(int64_t));
+      break;
+    case TypeKind::kDouble:
+      out->PutBytes(col.f64().data(), col.f64().size() * sizeof(double));
+      break;
+    case TypeKind::kString: {
+      // Try dictionary encoding: pays off whenever <=256 distinct values.
+      std::unordered_map<std::string_view, uint8_t> dict;
+      std::vector<std::string_view> order;
+      bool dictionary_ok = true;
+      for (const std::string& s : col.str()) {
+        auto it = dict.find(s);
+        if (it != dict.end()) continue;
+        if (dict.size() == 256 || s.size() > 255) {
+          dictionary_ok = false;
+          break;
+        }
+        dict.emplace(s, static_cast<uint8_t>(dict.size()));
+        order.push_back(s);
+      }
+      if (dictionary_ok && nrows > 0) {
+        out->PutU8(kStringDictionary);
+        out->PutU16(static_cast<uint16_t>(order.size()));
+        for (std::string_view s : order) {
+          out->PutU8(static_cast<uint8_t>(s.size()));
+          out->PutBytes(s.data(), s.size());
+        }
+        for (const std::string& s : col.str()) {
+          out->PutU8(dict.find(s)->second);
+        }
+        break;
+      }
+      out->PutU8(kStringPlain);
+      uint32_t offset = 0;
+      for (const std::string& s : col.str()) {
+        offset += static_cast<uint32_t>(s.size());
+        out->PutU32(offset);
+      }
+      for (const std::string& s : col.str()) {
+        out->PutBytes(s.data(), s.size());
+      }
+      break;
+    }
+  }
+}
+
+Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
+                         ColumnVector* out) {
+  ByteReader reader(data);
+  uint32_t nrows = 0;
+  CLY_RETURN_IF_ERROR(reader.GetU32(&nrows));
+  out->Clear();
+  out->Reserve(nrows);
+  switch (type) {
+    case TypeKind::kInt32: {
+      auto* v = out->mutable_i32();
+      v->resize(nrows);
+      if (reader.remaining() < nrows * sizeof(int32_t)) {
+        return Status::IoError("truncated int32 column block");
+      }
+      std::memcpy(v->data(), data.data() + reader.position(),
+                  nrows * sizeof(int32_t));
+      break;
+    }
+    case TypeKind::kInt64: {
+      auto* v = out->mutable_i64();
+      v->resize(nrows);
+      if (reader.remaining() < nrows * sizeof(int64_t)) {
+        return Status::IoError("truncated int64 column block");
+      }
+      std::memcpy(v->data(), data.data() + reader.position(),
+                  nrows * sizeof(int64_t));
+      break;
+    }
+    case TypeKind::kDouble: {
+      auto* v = out->mutable_f64();
+      v->resize(nrows);
+      if (reader.remaining() < nrows * sizeof(double)) {
+        return Status::IoError("truncated double column block");
+      }
+      std::memcpy(v->data(), data.data() + reader.position(),
+                  nrows * sizeof(double));
+      break;
+    }
+    case TypeKind::kString: {
+      if (nrows == 0) break;
+      uint8_t encoding = 0;
+      CLY_RETURN_IF_ERROR(reader.GetU8(&encoding));
+      auto* v = out->mutable_str();
+      v->reserve(nrows);
+      if (encoding == kStringDictionary) {
+        uint16_t dict_size = 0;
+        CLY_RETURN_IF_ERROR(reader.GetU16(&dict_size));
+        std::vector<std::string> dict;
+        dict.reserve(dict_size);
+        for (uint16_t d = 0; d < dict_size; ++d) {
+          uint8_t len = 0;
+          CLY_RETURN_IF_ERROR(reader.GetU8(&len));
+          if (reader.remaining() < len) {
+            return Status::IoError("truncated dictionary entry");
+          }
+          dict.emplace_back(
+              reinterpret_cast<const char*>(data.data()) + reader.position(),
+              len);
+          CLY_RETURN_IF_ERROR(reader.Skip(len));
+        }
+        if (reader.remaining() < nrows) {
+          return Status::IoError("truncated dictionary codes");
+        }
+        for (uint32_t i = 0; i < nrows; ++i) {
+          const uint8_t code = data[reader.position() + i];
+          if (code >= dict.size()) {
+            return Status::IoError("dictionary code out of range");
+          }
+          v->push_back(dict[code]);
+        }
+        CLY_RETURN_IF_ERROR(reader.Skip(nrows));
+        break;
+      }
+      if (encoding != kStringPlain) {
+        return Status::IoError("unknown string column encoding");
+      }
+      if (reader.remaining() < nrows * sizeof(uint32_t)) {
+        return Status::IoError("truncated string offsets");
+      }
+      std::vector<uint32_t> offsets(nrows);
+      std::memcpy(offsets.data(), data.data() + reader.position(),
+                  nrows * sizeof(uint32_t));
+      CLY_RETURN_IF_ERROR(reader.Skip(nrows * sizeof(uint32_t)));
+      const size_t base = reader.position();
+      const uint32_t total = offsets.back();
+      if (reader.remaining() < total) {
+        return Status::IoError("truncated string bytes");
+      }
+      uint32_t prev = 0;
+      for (uint32_t i = 0; i < nrows; ++i) {
+        v->emplace_back(reinterpret_cast<const char*>(data.data()) + base + prev,
+                        offsets[i] - prev);
+        prev = offsets[i];
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+class CifTableWriter final : public TableWriter {
+ public:
+  CifTableWriter(hdfs::MiniDfs* dfs, TableDesc desc, int segment,
+                 std::vector<std::unique_ptr<hdfs::DfsWriter>> writers)
+      : dfs_(dfs),
+        desc_(std::move(desc)),
+        segment_(segment),
+        writers_(std::move(writers)),
+        buffer_(desc_.schema) {}
+
+  Status Append(const Row& row) override {
+    buffer_.AppendRow(row);
+    ++rows_;
+    if (static_cast<uint64_t>(buffer_.num_rows()) == desc_.rows_per_split) {
+      return FlushSplit();
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (buffer_.num_rows() > 0) CLY_RETURN_IF_ERROR(FlushSplit());
+    for (auto& w : writers_) CLY_RETURN_IF_ERROR(w->Close());
+    if (segment_ == 0) {
+      desc_.num_rows = rows_;
+      if (!desc_.segment_rows.empty()) desc_.segment_rows = {rows_};
+    } else {
+      // Roll-in: merge this segment into the table's metadata.
+      if (desc_.segment_rows.empty()) {
+        desc_.segment_rows.push_back(desc_.num_rows);
+      }
+      desc_.segment_rows.resize(static_cast<size_t>(segment_), 0);
+      desc_.segment_rows.push_back(rows_);
+      desc_.num_rows += rows_;
+    }
+    return SaveTableDesc(dfs_, desc_);
+  }
+
+  uint64_t rows_written() const override { return rows_; }
+
+ private:
+  Status FlushSplit() {
+    ByteWriter encoded;
+    for (int c = 0; c < buffer_.num_columns(); ++c) {
+      encoded.Clear();
+      EncodeColumnBlock(buffer_.column(c), &encoded);
+      if (encoded.size() > dfs_->block_size()) {
+        return Status::InvalidArgument(StrCat(
+            "CIF split of column '", desc_.schema->field(c).name, "' is ",
+            encoded.size(), " bytes but the HDFS block size is ",
+            dfs_->block_size(), "; lower rows_per_split"));
+      }
+      auto& writer = writers_[static_cast<size_t>(c)];
+      CLY_RETURN_IF_ERROR(writer->Append(encoded.bytes()));
+      CLY_RETURN_IF_ERROR(writer->CloseBlock());
+    }
+    buffer_.Clear();
+    return Status::OK();
+  }
+
+  hdfs::MiniDfs* dfs_;
+  TableDesc desc_;
+  const int segment_;
+  std::vector<std::unique_ptr<hdfs::DfsWriter>> writers_;
+  RowBatch buffer_;
+  uint64_t rows_ = 0;
+};
+
+/// Loads the projected columns of one split into a columnar batch.
+Result<RowBatch> LoadCifSplit(const hdfs::MiniDfs& dfs, const TableDesc& desc,
+                              const StorageSplit& split,
+                              const std::vector<int>& projection,
+                              const SchemaPtr& out_schema,
+                              const ScanOptions& options) {
+  RowBatch batch(out_schema);
+  for (size_t p = 0; p < projection.size(); ++p) {
+    const Field& field = desc.schema->field(projection[p]);
+    CLY_ASSIGN_OR_RETURN(
+        std::unique_ptr<hdfs::DfsReader> reader,
+        dfs.Open(ColumnFilePath(desc, field.name, split.segment),
+                 options.reader_node, options.stats));
+    uint64_t begin = 0, end = 0;
+    internal::BlockByteRange(reader->file_info(), split.block_in_segment,
+                             &begin, &end);
+    std::vector<uint8_t> data(end - begin);
+    if (!data.empty()) {
+      CLY_RETURN_IF_ERROR(reader->PRead(begin, data.data(), data.size()));
+    }
+    CLY_RETURN_IF_ERROR(DecodeColumnBlock(
+        data, field.type, batch.mutable_column(static_cast<int>(p))));
+  }
+  CLY_RETURN_IF_ERROR(batch.SealRowCount());
+  return batch;
+}
+
+class CifSplitRowReader final : public RowReader {
+ public:
+  CifSplitRowReader(RowBatch batch, SchemaPtr out_schema)
+      : batch_(std::move(batch)), out_schema_(std::move(out_schema)) {}
+
+  Result<bool> Next(Row* out) override {
+    if (next_ >= batch_.num_rows()) return false;
+    *out = batch_.GetRow(next_++);
+    return true;
+  }
+
+  const SchemaPtr& output_schema() const override { return out_schema_; }
+
+ private:
+  RowBatch batch_;
+  SchemaPtr out_schema_;
+  int64_t next_ = 0;
+};
+
+class CifSplitBatchReader final : public BatchReader {
+ public:
+  CifSplitBatchReader(RowBatch batch, SchemaPtr out_schema)
+      : batch_(std::move(batch)), out_schema_(std::move(out_schema)) {}
+
+  Result<bool> NextBatch(RowBatch* out, int64_t max_rows) override {
+    out->Clear();
+    if (next_ >= batch_.num_rows()) return false;
+    const int64_t take = std::min(max_rows, batch_.num_rows() - next_);
+    // Columnar copy of the slice: one memcpy-ish loop per column instead of
+    // per-row materialization.
+    for (int c = 0; c < batch_.num_columns(); ++c) {
+      const ColumnVector& src = batch_.column(c);
+      ColumnVector* dst = out->mutable_column(c);
+      dst->Reserve(take);
+      switch (src.type()) {
+        case TypeKind::kInt32:
+          dst->mutable_i32()->assign(
+              src.i32().begin() + next_, src.i32().begin() + next_ + take);
+          break;
+        case TypeKind::kInt64:
+          dst->mutable_i64()->assign(
+              src.i64().begin() + next_, src.i64().begin() + next_ + take);
+          break;
+        case TypeKind::kDouble:
+          dst->mutable_f64()->assign(
+              src.f64().begin() + next_, src.f64().begin() + next_ + take);
+          break;
+        case TypeKind::kString:
+          dst->mutable_str()->assign(
+              src.str().begin() + next_, src.str().begin() + next_ + take);
+          break;
+      }
+    }
+    CLY_RETURN_IF_ERROR(out->SealRowCount());
+    next_ += take;
+    return true;
+  }
+
+  const SchemaPtr& output_schema() const override { return out_schema_; }
+
+ private:
+  RowBatch batch_;
+  SchemaPtr out_schema_;
+  int64_t next_ = 0;
+};
+
+}  // namespace
+
+namespace {
+Result<std::unique_ptr<TableWriter>> OpenCifSegmentWriter(hdfs::MiniDfs* dfs,
+                                                          const TableDesc& desc,
+                                                          int segment) {
+  if (desc.rows_per_split == 0) {
+    return Status::InvalidArgument("CIF tables need rows_per_split > 0");
+  }
+  std::vector<std::unique_ptr<hdfs::DfsWriter>> writers;
+  writers.reserve(static_cast<size_t>(desc.schema->num_fields()));
+  for (const Field& f : desc.schema->fields()) {
+    // All column files of a segment join that segment's colocation group.
+    CLY_ASSIGN_OR_RETURN(std::unique_ptr<hdfs::DfsWriter> w,
+                         dfs->Create(ColumnFilePath(desc, f.name, segment),
+                                     ColocationGroup(desc, segment)));
+    writers.push_back(std::move(w));
+  }
+  return std::unique_ptr<TableWriter>(
+      new CifTableWriter(dfs, desc, segment, std::move(writers)));
+}
+}  // namespace
+
+Result<std::unique_ptr<TableWriter>> OpenCifTableWriter(hdfs::MiniDfs* dfs,
+                                                        const TableDesc& desc) {
+  return OpenCifSegmentWriter(dfs, desc, /*segment=*/0);
+}
+
+Result<std::unique_ptr<TableWriter>> AppendCifSegment(hdfs::MiniDfs* dfs,
+                                                      const TableDesc& desc) {
+  if (desc.format != kFormatCif) {
+    return Status::InvalidArgument("roll-in requires a CIF table");
+  }
+  return OpenCifSegmentWriter(dfs, desc, desc.num_segments());
+}
+
+Status RollOutCifSegment(hdfs::MiniDfs* dfs, const TableDesc& desc,
+                         int segment) {
+  if (segment < 0 || segment >= desc.num_segments()) {
+    return Status::InvalidArgument(StrCat("no segment ", segment));
+  }
+  TableDesc updated = desc;
+  if (updated.segment_rows.empty()) {
+    updated.segment_rows = {updated.num_rows};
+  }
+  uint64_t& rows = updated.segment_rows[static_cast<size_t>(segment)];
+  if (rows == 0) {
+    return Status::FailedPrecondition(
+        StrCat("segment ", segment, " was already rolled out"));
+  }
+  for (const Field& f : desc.schema->fields()) {
+    CLY_RETURN_IF_ERROR(dfs->Delete(ColumnFilePath(desc, f.name, segment)));
+  }
+  updated.num_rows -= rows;
+  rows = 0;
+  return SaveTableDesc(dfs, updated);
+}
+
+Result<std::vector<StorageSplit>> ListCifSplits(const hdfs::MiniDfs& dfs,
+                                                const TableDesc& desc) {
+  std::vector<StorageSplit> splits;
+  // Scheduling weight uses the whole row width (all columns), since that is
+  // what a full scan would read.
+  const double row_width = desc.schema->AvgRowWidth();
+  std::vector<uint64_t> segment_rows = desc.segment_rows;
+  if (segment_rows.empty()) segment_rows = {desc.num_rows};
+  uint64_t row_base = 0;
+  for (int seg = 0; seg < static_cast<int>(segment_rows.size()); ++seg) {
+    const uint64_t rows_in_segment = segment_rows[static_cast<size_t>(seg)];
+    if (rows_in_segment == 0) continue;  // rolled out
+    // The anchor is the first column file; colocation makes every column's
+    // block i live on the same nodes.
+    const std::string anchor =
+        ColumnFilePath(desc, desc.schema->field(0).name, seg);
+    CLY_ASSIGN_OR_RETURN(hdfs::FileInfo info, dfs.Stat(anchor));
+    for (size_t b = 0; b < info.blocks.size(); ++b) {
+      StorageSplit split;
+      split.table_path = desc.path;
+      split.format = desc.format;
+      split.index = static_cast<int>(splits.size());
+      split.segment = seg;
+      split.block_in_segment = static_cast<int>(b);
+      split.row_begin = row_base + desc.rows_per_split * b;
+      split.row_end = std::min<uint64_t>(row_base + rows_in_segment,
+                                         row_base + desc.rows_per_split * (b + 1));
+      split.length_bytes = static_cast<uint64_t>(
+          static_cast<double>(split.row_end - split.row_begin) * row_width);
+      CLY_ASSIGN_OR_RETURN(split.preferred_nodes,
+                           dfs.BlockLocations(anchor, static_cast<int>(b)));
+      splits.push_back(std::move(split));
+    }
+    row_base += rows_in_segment;
+  }
+  return splits;
+}
+
+Result<std::unique_ptr<RowReader>> OpenCifSplitRowReader(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc, const StorageSplit& split,
+    const ScanOptions& options) {
+  CLY_ASSIGN_OR_RETURN(std::vector<int> projection,
+                       ResolveProjection(*desc.schema, options));
+  SchemaPtr out_schema = desc.schema->Project(projection);
+  CLY_ASSIGN_OR_RETURN(
+      RowBatch batch,
+      LoadCifSplit(dfs, desc, split, projection, out_schema, options));
+  return std::unique_ptr<RowReader>(
+      new CifSplitRowReader(std::move(batch), std::move(out_schema)));
+}
+
+Result<std::unique_ptr<BatchReader>> OpenCifSplitBatchReader(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc, const StorageSplit& split,
+    const ScanOptions& options) {
+  CLY_ASSIGN_OR_RETURN(std::vector<int> projection,
+                       ResolveProjection(*desc.schema, options));
+  SchemaPtr out_schema = desc.schema->Project(projection);
+  CLY_ASSIGN_OR_RETURN(
+      RowBatch batch,
+      LoadCifSplit(dfs, desc, split, projection, out_schema, options));
+  return std::unique_ptr<BatchReader>(
+      new CifSplitBatchReader(std::move(batch), std::move(out_schema)));
+}
+
+}  // namespace storage
+}  // namespace clydesdale

@@ -1,0 +1,58 @@
+#ifndef CLYDESDALE_STORAGE_CIF_H_
+#define CLYDESDALE_STORAGE_CIF_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace storage {
+
+/// ColumnInputFormat (CIF, paper §4.1): each column lives in its own HDFS
+/// file `<path>/<column>.col`. A table is written in *splits* of
+/// `rows_per_split` rows; the bytes of split i of every column occupy exactly
+/// HDFS block i of that column's file, and all column files share the
+/// colocation group `<path>`, so the colocating placement policy puts block i
+/// of every column on the same replica set. A map task scheduled where its
+/// split is local therefore finds **all** columns locally.
+///
+/// Column block layout: [u32 nrows][values]; fixed-width types store raw
+/// little-endian arrays, strings store nrows u32 end-offsets then the bytes.
+Result<std::unique_ptr<TableWriter>> OpenCifTableWriter(hdfs::MiniDfs* dfs,
+                                                        const TableDesc& desc);
+Result<std::vector<StorageSplit>> ListCifSplits(const hdfs::MiniDfs& dfs,
+                                                const TableDesc& desc);
+
+/// Row-at-a-time reader (plain CIF iteration; pays per-row materialization).
+Result<std::unique_ptr<RowReader>> OpenCifSplitRowReader(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc, const StorageSplit& split,
+    const ScanOptions& options);
+
+/// Block-at-a-time reader (B-CIF, paper §5.3): returns columnar batches and
+/// amortizes the per-record framework cost over a block of rows.
+Result<std::unique_ptr<BatchReader>> OpenCifSplitBatchReader(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc, const StorageSplit& split,
+    const ScanOptions& options);
+
+// --- Roll-in / roll-out (paper §2) -------------------------------------------
+// Unlike sorted-projection designs (Llama), CIF requires no fact order, so
+// appending data is cheap: a roll-in writes a fresh *segment* — a complete
+// set of column files — and a roll-out deletes one; neither touches the
+// existing data.
+
+/// Opens a writer that appends a new segment to an existing CIF table.
+/// Close() merges the segment into the table's metadata (callers holding a
+/// cached TableDesc must reload it).
+Result<std::unique_ptr<TableWriter>> AppendCifSegment(hdfs::MiniDfs* dfs,
+                                                      const TableDesc& desc);
+
+/// Deletes one segment's column files and removes its rows from the
+/// metadata. Rolling out segment 0 of a single-segment table empties it.
+Status RollOutCifSegment(hdfs::MiniDfs* dfs, const TableDesc& desc,
+                         int segment);
+
+}  // namespace storage
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_STORAGE_CIF_H_

@@ -1,0 +1,49 @@
+#ifndef CLYDESDALE_STORAGE_SPLIT_UTIL_H_
+#define CLYDESDALE_STORAGE_SPLIT_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace storage {
+namespace internal {
+
+/// Builds one StorageSplit per HDFS block of `data_path`. Row-aligned block
+/// writing (writers call CloseBlock at row boundaries) makes this exact.
+inline Result<std::vector<StorageSplit>> BuildBlockSplits(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc,
+    const std::string& data_path) {
+  CLY_ASSIGN_OR_RETURN(hdfs::FileInfo info, dfs.Stat(data_path));
+  std::vector<StorageSplit> splits;
+  splits.reserve(info.blocks.size());
+  for (size_t b = 0; b < info.blocks.size(); ++b) {
+    StorageSplit split;
+    split.table_path = desc.path;
+    split.format = desc.format;
+    split.index = static_cast<int>(b);
+    split.length_bytes = info.blocks[b].length;
+    CLY_ASSIGN_OR_RETURN(split.preferred_nodes,
+                         dfs.BlockLocations(data_path, static_cast<int>(b)));
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+/// Byte range [begin, end) of block `index` within `info`.
+inline void BlockByteRange(const hdfs::FileInfo& info, int index,
+                           uint64_t* begin, uint64_t* end) {
+  uint64_t offset = 0;
+  for (int b = 0; b < index; ++b) {
+    offset += info.blocks[static_cast<size_t>(b)].length;
+  }
+  *begin = offset;
+  *end = offset + info.blocks[static_cast<size_t>(index)].length;
+}
+
+}  // namespace internal
+}  // namespace storage
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_STORAGE_SPLIT_UTIL_H_

@@ -1,0 +1,120 @@
+#include "storage/text_format.h"
+
+#include "common/strings.h"
+#include "storage/row_codec.h"
+#include "storage/split_util.h"
+
+namespace clydesdale {
+namespace storage {
+
+namespace {
+
+constexpr const char kDataFile[] = "/data.txt";
+
+class TextTableWriter final : public TableWriter {
+ public:
+  TextTableWriter(hdfs::MiniDfs* dfs, TableDesc desc,
+                  std::unique_ptr<hdfs::DfsWriter> writer)
+      : dfs_(dfs), desc_(std::move(desc)), writer_(std::move(writer)) {}
+
+  Status Append(const Row& row) override {
+    std::string line = FormatRowText(row);
+    line.push_back('\n');
+    // Keep rows block-aligned: if this line would straddle the block
+    // boundary, end the block first.
+    const uint64_t block_size = dfs_->block_size();
+    const uint64_t used = writer_->buffered_bytes();
+    if (used != 0 && used + line.size() > block_size) {
+      CLY_RETURN_IF_ERROR(writer_->CloseBlock());
+    }
+    CLY_RETURN_IF_ERROR(writer_->AppendString(line));
+    ++rows_;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    CLY_RETURN_IF_ERROR(writer_->Close());
+    desc_.num_rows = rows_;
+    return SaveTableDesc(dfs_, desc_);
+  }
+
+  uint64_t rows_written() const override { return rows_; }
+
+ private:
+  hdfs::MiniDfs* dfs_;
+  TableDesc desc_;
+  std::unique_ptr<hdfs::DfsWriter> writer_;
+  uint64_t rows_ = 0;
+};
+
+class TextSplitReader final : public RowReader {
+ public:
+  TextSplitReader(SchemaPtr full_schema, SchemaPtr out_schema,
+                  std::vector<int> projection, std::vector<uint8_t> data)
+      : full_schema_(std::move(full_schema)),
+        out_schema_(std::move(out_schema)),
+        projection_(std::move(projection)),
+        data_(std::move(data)) {}
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= data_.size()) return false;
+    size_t end = pos_;
+    while (end < data_.size() && data_[end] != '\n') ++end;
+    const std::string_view line(reinterpret_cast<const char*>(data_.data()) + pos_,
+                                end - pos_);
+    pos_ = end + 1;
+    if (line.empty()) return Next(out);
+    CLY_RETURN_IF_ERROR(ParseRowText(*full_schema_, line, &scratch_));
+    *out = scratch_.Project(projection_);
+    return true;
+  }
+
+  const SchemaPtr& output_schema() const override { return out_schema_; }
+
+ private:
+  SchemaPtr full_schema_;
+  SchemaPtr out_schema_;
+  std::vector<int> projection_;
+  std::vector<uint8_t> data_;
+  size_t pos_ = 0;
+  Row scratch_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TableWriter>> OpenTextTableWriter(
+    hdfs::MiniDfs* dfs, const TableDesc& desc) {
+  CLY_ASSIGN_OR_RETURN(std::unique_ptr<hdfs::DfsWriter> writer,
+                       dfs->Create(desc.path + kDataFile));
+  return std::unique_ptr<TableWriter>(
+      new TextTableWriter(dfs, desc, std::move(writer)));
+}
+
+Result<std::vector<StorageSplit>> ListTextSplits(const hdfs::MiniDfs& dfs,
+                                                 const TableDesc& desc) {
+  return internal::BuildBlockSplits(dfs, desc, desc.path + kDataFile);
+}
+
+Result<std::unique_ptr<RowReader>> OpenTextSplitReader(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc, const StorageSplit& split,
+    const ScanOptions& options) {
+  CLY_ASSIGN_OR_RETURN(std::vector<int> projection,
+                       ResolveProjection(*desc.schema, options));
+  const std::string data_path = desc.path + kDataFile;
+  CLY_ASSIGN_OR_RETURN(
+      std::unique_ptr<hdfs::DfsReader> reader,
+      dfs.Open(data_path, options.reader_node, options.stats));
+  uint64_t begin = 0, end = 0;
+  internal::BlockByteRange(reader->file_info(), split.index, &begin, &end);
+  std::vector<uint8_t> data(end - begin);
+  if (!data.empty()) {
+    CLY_RETURN_IF_ERROR(reader->PRead(begin, data.data(), data.size()));
+  }
+  SchemaPtr out_schema = desc.schema->Project(projection);
+  return std::unique_ptr<RowReader>(
+      new TextSplitReader(desc.schema, std::move(out_schema),
+                          std::move(projection), std::move(data)));
+}
+
+}  // namespace storage
+}  // namespace clydesdale

@@ -1,0 +1,27 @@
+#ifndef CLYDESDALE_STORAGE_TEXT_FORMAT_H_
+#define CLYDESDALE_STORAGE_TEXT_FORMAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace storage {
+
+/// dbgen-style text tables: one '|'-separated line per row in
+/// `<path>/data.txt`. The writer ends HDFS blocks at line boundaries, so a
+/// split is exactly one block. Readers always pay the full row's bytes; the
+/// projection is applied after parsing.
+Result<std::unique_ptr<TableWriter>> OpenTextTableWriter(hdfs::MiniDfs* dfs,
+                                                         const TableDesc& desc);
+Result<std::vector<StorageSplit>> ListTextSplits(const hdfs::MiniDfs& dfs,
+                                                 const TableDesc& desc);
+Result<std::unique_ptr<RowReader>> OpenTextSplitReader(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc, const StorageSplit& split,
+    const ScanOptions& options);
+
+}  // namespace storage
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_STORAGE_TEXT_FORMAT_H_

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregation.h"
+#include "core/clydesdale.h"
+#include "core/staged_join.h"
+#include "hive/hive_engine.h"
+#include "sql/parser.h"
+#include "ssb/reference_executor.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace core {
+namespace {
+
+// --- AggLayout unit tests -----------------------------------------------------
+
+TEST(AggLayoutTest, SumOnlyLayout) {
+  const AggLayout layout =
+      AggLayout::For({{"a", Expr::Col("x"), AggKind::kSum}});
+  EXPECT_EQ(layout.num_accumulators(), 1);
+  EXPECT_EQ(layout.accs()[0], AccKind::kSum);
+  EXPECT_EQ(layout.expr_index()[0], 0);
+  EXPECT_EQ(layout.AccumulatorNames(), (std::vector<std::string>{"a"}));
+}
+
+TEST(AggLayoutTest, AvgDecomposesIntoSumAndCount) {
+  const AggLayout layout =
+      AggLayout::For({{"m", Expr::Col("x"), AggKind::kAvg},
+                      {"n", nullptr, AggKind::kCount}});
+  EXPECT_EQ(layout.num_accumulators(), 3);
+  EXPECT_EQ(layout.accs()[0], AccKind::kSum);
+  EXPECT_EQ(layout.accs()[1], AccKind::kCount);
+  EXPECT_EQ(layout.accs()[2], AccKind::kCount);
+  EXPECT_EQ(layout.expr_index()[1], -1);
+  EXPECT_EQ(layout.AccumulatorNames(),
+            (std::vector<std::string>{"m_sum", "m_count", "n"}));
+}
+
+TEST(AggLayoutTest, MergeOpsAreCorrect) {
+  const AggLayout layout =
+      AggLayout::For({{"s", Expr::Col("x"), AggKind::kSum},
+                      {"lo", Expr::Col("x"), AggKind::kMin},
+                      {"hi", Expr::Col("x"), AggKind::kMax},
+                      {"n", nullptr, AggKind::kCount}});
+  int64_t acc[4] = {AggLayout::InitValue(AccKind::kSum),
+                    AggLayout::InitValue(AccKind::kMin),
+                    AggLayout::InitValue(AccKind::kMax),
+                    AggLayout::InitValue(AccKind::kCount)};
+  const int64_t in1[4] = {5, 5, 5, 1};
+  const int64_t in2[4] = {3, 3, 3, 1};
+  layout.Merge(acc, in1);
+  layout.Merge(acc, in2);
+  EXPECT_EQ(acc[0], 8);
+  EXPECT_EQ(acc[1], 3);
+  EXPECT_EQ(acc[2], 5);
+  EXPECT_EQ(acc[3], 2);
+}
+
+TEST(AggLayoutTest, MergeIsAssociative) {
+  // Partial merges (map-side + combiner + reducer) must equal a single
+  // pass: merge(merge(a,b),c) == merge(a, merge(b,c)) for all ops.
+  const AggLayout layout =
+      AggLayout::For({{"s", Expr::Col("x"), AggKind::kSum},
+                      {"lo", Expr::Col("x"), AggKind::kMin},
+                      {"hi", Expr::Col("x"), AggKind::kMax}});
+  auto fresh = [&] {
+    return std::vector<int64_t>{AggLayout::InitValue(AccKind::kSum),
+                                AggLayout::InitValue(AccKind::kMin),
+                                AggLayout::InitValue(AccKind::kMax)};
+  };
+  const int64_t inputs[3][3] = {{4, 4, 4}, {-7, -7, -7}, {2, 2, 2}};
+  auto left = fresh();
+  for (const auto& in : inputs) layout.Merge(left.data(), in);
+
+  auto right_tail = fresh();
+  layout.Merge(right_tail.data(), inputs[1]);
+  layout.Merge(right_tail.data(), inputs[2]);
+  auto right = fresh();
+  layout.Merge(right.data(), inputs[0]);
+  layout.Merge(right.data(), right_tail.data());
+  EXPECT_EQ(left, right);
+}
+
+TEST(AggLayoutTest, FinalizeComputesAverage) {
+  const AggLayout layout =
+      AggLayout::For({{"m", Expr::Col("x"), AggKind::kAvg}});
+  // group col "g" + (sum=10, count=4).
+  const Row row({Value("g"), Value(int64_t{10}), Value(int64_t{4})});
+  const Row out = layout.Finalize(row, 1);
+  ASSERT_EQ(out.size(), 2);
+  EXPECT_EQ(out.Get(0).str(), "g");
+  EXPECT_DOUBLE_EQ(out.Get(1).f64(), 2.5);
+}
+
+// --- end-to-end across every engine ---------------------------------------------
+
+class MixedAggTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mr::ClusterOptions copts;
+    copts.num_nodes = 3;
+    copts.map_slots_per_node = 2;
+    copts.dfs_block_size = 128 * 1024;
+    cluster_ = new mr::MrCluster(copts);
+
+    // A tiny hand-checkable star: fact(sale) with store dimension.
+    core::DimTableInfo store;
+    store.name = "store";
+    store.pk = "st_id";
+    store.local_path = "/dimcache/mini/store";
+    store.desc.path = "/mini/store";
+    store.desc.format = storage::kFormatBinaryRow;
+    store.desc.schema = Schema::Make({{"st_id", TypeKind::kInt32, 4},
+                                      {"st_city", TypeKind::kString, 6}});
+    {
+      auto writer = storage::OpenTableWriter(cluster_->dfs(), store.desc);
+      CLY_CHECK(writer.ok());
+      CLY_CHECK_OK((*writer)->Append(Row({Value(int32_t{1}), Value("east")})));
+      CLY_CHECK_OK((*writer)->Append(Row({Value(int32_t{2}), Value("east")})));
+      CLY_CHECK_OK((*writer)->Append(Row({Value(int32_t{3}), Value("west")})));
+      CLY_CHECK_OK((*writer)->Close());
+    }
+    auto loaded_store = cluster_->GetTable(store.desc.path);
+    CLY_CHECK(loaded_store.ok());
+    store.desc = *loaded_store;
+    CLY_CHECK_OK(core::ReplicateDimensionToAllNodes(cluster_, store));
+
+    storage::TableDesc fact;
+    fact.path = "/mini/sales";
+    fact.format = storage::kFormatCif;
+    fact.schema = Schema::Make({{"sa_store", TypeKind::kInt32, 4},
+                                {"sa_amount", TypeKind::kInt32, 4}});
+    fact.rows_per_split = 4;
+    {
+      auto writer = storage::OpenTableWriter(cluster_->dfs(), fact);
+      CLY_CHECK(writer.ok());
+      // east: store 1 -> 10, 20; store 2 -> 5. west: store 3 -> 7, 3.
+      const int32_t rows[][2] = {{1, 10}, {1, 20}, {2, 5}, {3, 7}, {3, 3}};
+      for (const auto& r : rows) {
+        CLY_CHECK_OK((*writer)->Append(Row({Value(r[0]), Value(r[1])})));
+      }
+      CLY_CHECK_OK((*writer)->Close());
+    }
+    auto loaded_fact = cluster_->GetTable(fact.path);
+    CLY_CHECK(loaded_fact.ok());
+    star_ = new core::StarSchema(*loaded_fact, {store});
+  }
+  static void TearDownTestSuite() {
+    delete star_;
+    delete cluster_;
+  }
+
+  static StarQuerySpec MixedQuery() {
+    StarQuerySpec spec;
+    spec.id = "mixed";
+    spec.dims = {{"store", "sa_store", "st_id", Predicate::True(),
+                  {"st_city"}}};
+    spec.aggregates = {
+        {"total", Expr::Col("sa_amount"), AggKind::kSum},
+        {"n", nullptr, AggKind::kCount},
+        {"smallest", Expr::Col("sa_amount"), AggKind::kMin},
+        {"largest", Expr::Col("sa_amount"), AggKind::kMax},
+        {"mean", Expr::Col("sa_amount"), AggKind::kAvg},
+    };
+    spec.group_by = {"st_city"};
+    spec.order_by = {{"st_city", true}};
+    return spec;
+  }
+
+  static void CheckRows(const std::vector<Row>& rows, const char* label) {
+    // east: total 35, n 3, min 5, max 20, avg 35/3. west: 10, 2, 3, 7, 5.0.
+    ASSERT_EQ(rows.size(), 2u) << label;
+    EXPECT_EQ(rows[0].Get(0).str(), "east") << label;
+    EXPECT_EQ(rows[0].Get(1).i64(), 35) << label;
+    EXPECT_EQ(rows[0].Get(2).i64(), 3) << label;
+    EXPECT_EQ(rows[0].Get(3).i64(), 5) << label;
+    EXPECT_EQ(rows[0].Get(4).i64(), 20) << label;
+    EXPECT_DOUBLE_EQ(rows[0].Get(5).f64(), 35.0 / 3.0) << label;
+    EXPECT_EQ(rows[1].Get(0).str(), "west") << label;
+    EXPECT_EQ(rows[1].Get(1).i64(), 10) << label;
+    EXPECT_EQ(rows[1].Get(2).i64(), 2) << label;
+    EXPECT_EQ(rows[1].Get(3).i64(), 3) << label;
+    EXPECT_EQ(rows[1].Get(4).i64(), 7) << label;
+    EXPECT_DOUBLE_EQ(rows[1].Get(5).f64(), 5.0) << label;
+  }
+
+  static mr::MrCluster* cluster_;
+  static core::StarSchema* star_;
+};
+
+mr::MrCluster* MixedAggTest::cluster_ = nullptr;
+core::StarSchema* MixedAggTest::star_ = nullptr;
+
+TEST_F(MixedAggTest, ReferenceExecutor) {
+  auto rows = ssb::ExecuteReference(cluster_, *star_, MixedQuery());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  CheckRows(*rows, "reference");
+}
+
+TEST_F(MixedAggTest, ClydesdaleAllModes) {
+  for (int mode = 0; mode < 3; ++mode) {
+    ClydesdaleOptions options;
+    if (mode == 1) options.multithreaded = false;
+    if (mode == 2) options.map_side_agg = false;  // per-row emit + combiner
+    ClydesdaleEngine engine(cluster_, *star_, options);
+    auto result = engine.Execute(MixedQuery());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    CheckRows(result->rows, "clydesdale");
+  }
+}
+
+TEST_F(MixedAggTest, HiveBothStrategies) {
+  for (auto strategy :
+       {hive::JoinStrategy::kRepartition, hive::JoinStrategy::kMapJoin}) {
+    hive::HiveOptions options;
+    options.strategy = strategy;
+    hive::HiveEngine engine(cluster_, *star_, options);
+    auto result = engine.Execute(MixedQuery());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    CheckRows(result->rows, hive::JoinStrategyName(strategy));
+  }
+}
+
+TEST_F(MixedAggTest, StagedJoin) {
+  auto star = std::make_shared<const core::StarSchema>(*star_);
+  // Budget of 1 forces the repartition path + final aggregation stage.
+  auto result =
+      ExecuteStagedStarJoin(cluster_, star, MixedQuery(), {}, 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  CheckRows(result->rows, "staged");
+}
+
+TEST_F(MixedAggTest, SqlFrontEnd) {
+  auto spec = sql::ParseStarQuery(
+      "SELECT st_city, SUM(sa_amount) AS total, COUNT(*) AS n, "
+      "MIN(sa_amount) AS smallest, MAX(sa_amount) AS largest, "
+      "AVG(sa_amount) AS mean "
+      "FROM sales, store WHERE sa_store = st_id "
+      "GROUP BY st_city ORDER BY st_city",
+      *star_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->aggregates.size(), 5u);
+  EXPECT_EQ(spec->aggregates[1].kind, AggKind::kCount);
+  EXPECT_EQ(spec->aggregates[4].kind, AggKind::kAvg);
+
+  ClydesdaleEngine engine(cluster_, *star_, {});
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  CheckRows(result->rows, "sql");
+}
+
+TEST_F(MixedAggTest, OrderByAverage) {
+  // ORDER BY a finalized double column.
+  auto spec = sql::ParseStarQuery(
+      "SELECT st_city, AVG(sa_amount) AS mean FROM sales, store "
+      "WHERE sa_store = st_id GROUP BY st_city ORDER BY mean DESC",
+      *star_);
+  ASSERT_TRUE(spec.ok());
+  ClydesdaleEngine engine(cluster_, *star_, {});
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].Get(0).str(), "east");  // 11.67 > 5.0
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace clydesdale

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IoError("disk gone");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(st.message(), "disk gone");
+  EXPECT_EQ(st.ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::NotFound("x");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "x");
+  EXPECT_EQ(st.message(), "x");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status st = Status::Internal("boom").WithContext("stage 2");
+  EXPECT_EQ(st.message(), "stage 2: boom");
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::IoError("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  CLY_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  *out = doubled;
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status st = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Random a2(123);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(3, 17);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(HashTest, Mix64SpreadsBits) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Mix64 is a bijective finalizer; 0 maps to 0 by construction.
+  EXPECT_EQ(Mix64(0), 0u);
+  EXPECT_NE(Mix64(1) >> 32, 0u);  // high bits populated
+}
+
+TEST(HashTest, HashStringStable) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a|b|c", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a||c", '|'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", '|'), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StrJoinRoundTrips) {
+  EXPECT_EQ(StrJoin({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("n=", 42, "!"), "n=42!");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(87), "87 B");
+  EXPECT_EQ(HumanBytes(12000), "12 KB");
+  EXPECT_EQ(HumanBytes(334000000000ULL), "334 GB");
+  EXPECT_EQ(HumanBytes(1500), "1.5 KB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.5), "500 ms");
+  EXPECT_EQ(HumanSeconds(95.0), "95.0 s");
+  EXPECT_EQ(HumanSeconds(600.0), "10.0 min");
+}
+
+TEST(StringsTest, PadBothDirections) {
+  EXPECT_EQ(Pad("ab", 4), "ab  ");
+  EXPECT_EQ(Pad("ab", -4), "  ab");
+  EXPECT_EQ(Pad("abcdef", 4), "abcdef");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/ssb/lineorder", "/ssb"));
+  EXPECT_FALSE(StartsWith("/x", "/ssb"));
+  EXPECT_TRUE(EndsWith("data.col", ".col"));
+  EXPECT_FALSE(EndsWith("data.col", ".rc"));
+}
+
+}  // namespace
+}  // namespace clydesdale

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/dim_hash_table.h"
+#include "storage/binary_row_format.h"
+
+namespace clydesdale {
+namespace core {
+namespace {
+
+SchemaPtr DimSchema() {
+  return Schema::Make({{"pk", TypeKind::kInt32, 4},
+                       {"nation", TypeKind::kString, 10},
+                       {"region", TypeKind::kString, 8}});
+}
+
+std::vector<uint8_t> MakeStream(int rows) {
+  std::vector<Row> data;
+  const char* regions[] = {"ASIA", "EUROPE"};
+  for (int i = 1; i <= rows; ++i) {
+    data.push_back(Row({Value(int32_t{i}),
+                        Value(std::string("nation") + std::to_string(i % 5)),
+                        Value(regions[i % 2])}));
+  }
+  return storage::EncodeRowStream(data);
+}
+
+TEST(DimHashTableTest, BuildsAndProbes) {
+  auto stream = MakeStream(100);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {"nation"});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->entries(), 100u);
+  const Row* aux = (*table)->Probe(7);
+  ASSERT_NE(aux, nullptr);
+  EXPECT_EQ(aux->Get(0).str(), "nation2");
+  EXPECT_EQ((*table)->Probe(101), nullptr);
+  EXPECT_EQ((*table)->Probe(0), nullptr);
+  EXPECT_EQ((*table)->Probe(-5), nullptr);
+}
+
+TEST(DimHashTableTest, PredicateFiltersEntries) {
+  auto stream = MakeStream(100);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::Eq("region", Value("ASIA")),
+                                   "pk", {"nation"});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->entries(), 50u);
+  EXPECT_EQ((*table)->stats().input_rows, 100u);
+  // Even pks have region ASIA (regions[i % 2]).
+  EXPECT_EQ((*table)->Probe(3), nullptr);
+  EXPECT_NE((*table)->Probe(4), nullptr);
+}
+
+TEST(DimHashTableTest, ZeroAuxColumnsYieldEmptyPayload) {
+  auto stream = MakeStream(10);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {});
+  ASSERT_TRUE(table.ok());
+  const Row* aux = (*table)->Probe(1);
+  ASSERT_NE(aux, nullptr);
+  EXPECT_TRUE(aux->empty());
+}
+
+TEST(DimHashTableTest, EmptyQualifyingSetProbesCleanly) {
+  auto stream = MakeStream(10);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::Eq("region", Value("MARS")),
+                                   "pk", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->entries(), 0u);
+  EXPECT_EQ((*table)->Probe(1), nullptr);
+}
+
+TEST(DimHashTableTest, MemoryEstimateGrowsWithEntries) {
+  auto small_stream = MakeStream(10);
+  auto big_stream = MakeStream(1000);
+  auto small = DimHashTable::Build(*DimSchema(), small_stream.data(),
+                                   small_stream.size(), *Predicate::True(),
+                                   "pk", {"nation"});
+  auto big = DimHashTable::Build(*DimSchema(), big_stream.data(),
+                                 big_stream.size(), *Predicate::True(), "pk",
+                                 {"nation"});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT((*big)->stats().memory_bytes, (*small)->stats().memory_bytes * 10);
+}
+
+TEST(DimHashTableTest, UnknownColumnsFailCleanly) {
+  auto stream = MakeStream(10);
+  EXPECT_FALSE(DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "nope", {})
+                   .ok());
+  EXPECT_FALSE(DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {"nope"})
+                   .ok());
+}
+
+TEST(DimHashTableTest, CorruptStreamFails) {
+  auto stream = MakeStream(10);
+  stream.resize(stream.size() - 3);  // truncate mid-row
+  EXPECT_FALSE(DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {})
+                   .ok());
+}
+
+// Property-style sweep: every inserted key must probe back to its payload,
+// across a range of table sizes (resize boundaries, collisions).
+class DimHashTableSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DimHashTableSizeTest, AllKeysProbeBack) {
+  const int n = GetParam();
+  auto stream = MakeStream(n);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {"region"});
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->entries(), static_cast<uint64_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    const Row* aux = (*table)->Probe(i);
+    ASSERT_NE(aux, nullptr) << "key " << i;
+    EXPECT_EQ(aux->Get(0).str(), i % 2 == 0 ? "ASIA" : "EUROPE");
+  }
+  for (int i = n + 1; i <= n + 100; ++i) {
+    EXPECT_EQ((*table)->Probe(i), nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DimHashTableSizeTest,
+                         ::testing::Values(1, 2, 3, 15, 16, 17, 255, 256, 257,
+                                           1000, 4096));
+
+}  // namespace
+}  // namespace core
+}  // namespace clydesdale

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/clydesdale.h"
+#include "hive/hive_engine.h"
+#include "ssb/loader.h"
+#include "ssb/queries.h"
+#include "ssb/reference_executor.h"
+
+namespace clydesdale {
+namespace {
+
+/// Shared fixture: one loaded SSB cluster reused across all queries (loading
+/// dominates test time).
+class EngineIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mr::ClusterOptions copts;
+    copts.num_nodes = 4;
+    copts.map_slots_per_node = 2;
+    copts.dfs_block_size = 256 * 1024;
+    cluster_ = new mr::MrCluster(copts);
+
+    ssb::SsbLoadOptions options;
+    options.scale_factor = 0.002;
+    auto dataset = ssb::LoadSsb(cluster_, options);
+    CLY_CHECK(dataset.ok());
+    dataset_ = new ssb::SsbDataset(std::move(*dataset));
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete cluster_;
+    dataset_ = nullptr;
+    cluster_ = nullptr;
+  }
+
+  static core::StarSchema HiveStar() {
+    core::StarSchema star = dataset_->star;
+    *star.mutable_fact() = dataset_->fact_rcfile;
+    return star;
+  }
+
+  static std::vector<Row> Reference(const core::StarQuerySpec& spec) {
+    auto rows = ssb::ExecuteReference(cluster_, dataset_->star, spec);
+    CLY_CHECK(rows.ok());
+    return std::move(*rows);
+  }
+
+  static void ExpectRowsEqual(const std::vector<Row>& expected,
+                              const std::vector<Row>& actual,
+                              const std::string& label) {
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(expected[i], actual[i])
+          << label << " row " << i << ": expected "
+          << expected[i].ToString() << " got " << actual[i].ToString();
+    }
+  }
+
+  static mr::MrCluster* cluster_;
+  static ssb::SsbDataset* dataset_;
+};
+
+mr::MrCluster* EngineIntegrationTest::cluster_ = nullptr;
+ssb::SsbDataset* EngineIntegrationTest::dataset_ = nullptr;
+
+class AllQueriesTest : public EngineIntegrationTest,
+                       public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(AllQueriesTest, ClydesdaleMatchesReference) {
+  auto spec = ssb::QueryById(GetParam());
+  ASSERT_TRUE(spec.ok());
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, {});
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectRowsEqual(Reference(*spec), result->rows, "clydesdale " + GetParam());
+  EXPECT_EQ(result->stage_reports.size(), 1u) << "one MR job per query";
+}
+
+TEST_P(AllQueriesTest, HiveRepartitionMatchesReference) {
+  auto spec = ssb::QueryById(GetParam());
+  ASSERT_TRUE(spec.ok());
+  hive::HiveOptions options;
+  options.strategy = hive::JoinStrategy::kRepartition;
+  hive::HiveEngine engine(cluster_, HiveStar(), options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectRowsEqual(Reference(*spec), result->rows, "hive-rp " + GetParam());
+  // One MR job per dimension + group-by + order-by (paper §6.3).
+  EXPECT_EQ(result->stage_reports.size(), spec->dims.size() + 2);
+}
+
+TEST_P(AllQueriesTest, HiveMapJoinMatchesReference) {
+  auto spec = ssb::QueryById(GetParam());
+  ASSERT_TRUE(spec.ok());
+  hive::HiveOptions options;
+  options.strategy = hive::JoinStrategy::kMapJoin;
+  hive::HiveEngine engine(cluster_, HiveStar(), options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectRowsEqual(Reference(*spec), result->rows, "hive-mj " + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ssb, AllQueriesTest,
+    ::testing::Values("Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1",
+                      "Q3.2", "Q3.3", "Q3.4", "Q4.1", "Q4.2", "Q4.3"),
+    [](const auto& info) {
+      std::string name = info.param;
+      name.erase(std::remove(name.begin(), name.end(), '.'), name.end());
+      return name;
+    });
+
+TEST_F(EngineIntegrationTest, AblationTogglesPreserveResults) {
+  auto spec = ssb::QueryById("Q2.1");
+  ASSERT_TRUE(spec.ok());
+  const std::vector<Row> expected = Reference(*spec);
+
+  for (int mask = 0; mask < 8; ++mask) {
+    core::ClydesdaleOptions options;
+    options.block_iteration = (mask & 1) != 0;
+    options.columnar = (mask & 2) != 0;
+    options.multithreaded = (mask & 4) != 0;
+    core::ClydesdaleEngine engine(cluster_, dataset_->star, options);
+    auto result = engine.Execute(*spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " mask " << mask;
+    ExpectRowsEqual(expected, result->rows,
+                    "ablation mask " + std::to_string(mask));
+  }
+}
+
+TEST_F(EngineIntegrationTest, NonColumnarReadsMoreBytes) {
+  auto spec = ssb::QueryById("Q2.1");
+  ASSERT_TRUE(spec.ok());
+
+  core::ClydesdaleEngine columnar(cluster_, dataset_->star, {});
+  core::ClydesdaleOptions wide_options;
+  wide_options.columnar = false;
+  core::ClydesdaleEngine wide(cluster_, dataset_->star, wide_options);
+
+  auto narrow_result = columnar.Execute(*spec);
+  auto wide_result = wide.Execute(*spec);
+  ASSERT_TRUE(narrow_result.ok());
+  ASSERT_TRUE(wide_result.ok());
+  const auto bytes = [](const core::QueryResult& r) {
+    uint64_t total = 0;
+    for (const auto& report : r.stage_reports) {
+      total += report.TotalMapInputBytes();
+    }
+    return total;
+  };
+  // Q2.1 touches 4 of 17 columns; reading everything must cost ~3-4x more.
+  EXPECT_GT(bytes(*wide_result), bytes(*narrow_result) * 2);
+}
+
+TEST_F(EngineIntegrationTest, JvmReuseBuildsHashTablesOncePerNode) {
+  auto spec = ssb::QueryById("Q3.1");
+  ASSERT_TRUE(spec.ok());
+
+  core::ClydesdaleOptions options;
+  options.multisplit_size = 2;  // force several tasks per node
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok());
+
+  const int64_t builds = result->Counter(core::kCounterHashBuilds);
+  const int64_t dims = static_cast<int64_t>(spec->dims.size());
+  EXPECT_EQ(builds, dims * cluster_->num_nodes())
+      << "hash tables must be built exactly once per node (paper §5.2)";
+  EXPECT_GT(result->stage_reports[0].map_tasks.size(),
+            static_cast<size_t>(cluster_->num_nodes()));
+}
+
+TEST_F(EngineIntegrationTest, WithoutJvmReuseEveryTaskBuilds) {
+  auto spec = ssb::QueryById("Q3.1");
+  ASSERT_TRUE(spec.ok());
+
+  core::ClydesdaleOptions options;
+  options.multithreaded = false;  // stock mappers
+  options.jvm_reuse = false;
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok());
+
+  const int64_t builds = result->Counter(core::kCounterHashBuilds);
+  const int64_t tasks =
+      static_cast<int64_t>(result->stage_reports[0].map_tasks.size());
+  EXPECT_EQ(builds, tasks * static_cast<int64_t>(spec->dims.size()))
+      << "without reuse every map task rebuilds every table";
+}
+
+TEST_F(EngineIntegrationTest, MapSideAggOffStillCorrectViaCombiner) {
+  auto spec = ssb::QueryById("Q3.2");
+  ASSERT_TRUE(spec.ok());
+  core::ClydesdaleOptions options;
+  options.map_side_agg = false;
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok());
+  ExpectRowsEqual(Reference(*spec), result->rows, "combiner path");
+  EXPECT_GT(result->Counter(mr::kCounterCombineInputRecords), 0);
+}
+
+TEST_F(EngineIntegrationTest, SurvivesDimensionReplicaLoss) {
+  auto spec = ssb::QueryById("Q2.2");
+  ASSERT_TRUE(spec.ok());
+  // Wipe one node's local dimension cache: tasks there must re-fetch the
+  // master copy from HDFS (paper §4) and still produce correct results.
+  cluster_->local_store(1)->Wipe();
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, {});
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectRowsEqual(Reference(*spec), result->rows, "replica loss");
+  // The wiped node now has its replicas back.
+  for (const auto& [name, dim] : dataset_->star.dims()) {
+    if (name == "part" || name == "supplier" || name == "date") {
+      EXPECT_TRUE(cluster_->local_store(1)->Exists(dim.local_path)) << name;
+    }
+  }
+}
+
+TEST_F(EngineIntegrationTest, SingleMapTaskPerNodeWhenMultithreaded) {
+  auto spec = ssb::QueryById("Q2.3");
+  ASSERT_TRUE(spec.ok());
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, {});
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok());
+  // Default multisplit packing: one map task per node that holds data.
+  EXPECT_LE(result->stage_reports[0].map_tasks.size(),
+            static_cast<size_t>(cluster_->num_nodes()));
+}
+
+TEST_F(EngineIntegrationTest, ClydesdaleMapsAreDataLocal) {
+  auto spec = ssb::QueryById("Q1.1");
+  ASSERT_TRUE(spec.ok());
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, {});
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok());
+  const auto& report = result->stage_reports[0];
+  for (const auto& task : report.map_tasks) {
+    EXPECT_TRUE(task.data_local) << "task " << task.index;
+    EXPECT_EQ(task.hdfs_remote_bytes, 0u) << "task " << task.index;
+  }
+}
+
+TEST_F(EngineIntegrationTest, ConcurrentQueriesShareTheCluster) {
+  // Two different queries run simultaneously against the same cluster;
+  // both must be correct (exercises thread safety of the DFS, table cache,
+  // shuffle, and shared-state registries under concurrent jobs).
+  auto q1 = ssb::QueryById("Q2.1");
+  auto q2 = ssb::QueryById("Q3.2");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  const std::vector<Row> expected1 = Reference(*q1);
+  const std::vector<Row> expected2 = Reference(*q2);
+
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, {});
+  Status st1, st2;
+  std::vector<Row> rows1, rows2;
+  std::thread t1([&] {
+    for (int i = 0; i < 3; ++i) {
+      auto r = engine.Execute(*q1);
+      if (!r.ok()) {
+        st1 = r.status();
+        return;
+      }
+      rows1 = std::move(r->rows);
+    }
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 3; ++i) {
+      auto r = engine.Execute(*q2);
+      if (!r.ok()) {
+        st2 = r.status();
+        return;
+      }
+      rows2 = std::move(r->rows);
+    }
+  });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(st1.ok()) << st1.ToString();
+  ASSERT_TRUE(st2.ok()) << st2.ToString();
+  ExpectRowsEqual(expected1, rows1, "concurrent Q2.1");
+  ExpectRowsEqual(expected2, rows2, "concurrent Q3.2");
+}
+
+}  // namespace
+}  // namespace clydesdale

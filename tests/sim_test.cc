@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster_spec.h"
+#include "sim/event_sim.h"
+#include "sim/hadoop_cost_model.h"
+#include "sim/workload.h"
+#include "ssb/loader.h"
+#include "ssb/queries.h"
+
+namespace clydesdale {
+namespace sim {
+namespace {
+
+ClusterSpec TinySpec() {
+  ClusterSpec spec = ClusterSpec::ClusterA();
+  spec.worker_nodes = 2;
+  spec.map_slots = 2;
+  spec.hdfs_scan_bw_per_node = 100e6;
+  spec.local_disk_bw = 100e6;
+  spec.net_bw = 100e6;
+  spec.task_launch_s = 0;
+  spec.job_startup_s = 0;
+  return spec;
+}
+
+TaskProfile ScanTask(double bytes, int node = -1) {
+  TaskProfile t;
+  t.hdfs_read_bytes = bytes;
+  t.node = node;
+  return t;
+}
+
+TEST(EventSimTest, EmptyStageTakesOnlyStartup) {
+  StageProfile stage;
+  stage.name = "empty";
+  stage.startup_s = 7;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->seconds, 7.0);
+  EXPECT_EQ(result->num_tasks, 0);
+}
+
+TEST(EventSimTest, SingleScanTaskIsBandwidthBound) {
+  StageProfile stage;
+  stage.tasks = {ScanTask(500e6, 0)};  // 500 MB at 100 MB/s
+  stage.slots_per_node = 1;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->seconds, 5.0, 0.01);
+}
+
+TEST(EventSimTest, ScanBandwidthIsSharedOnANode) {
+  // Two concurrent scanners on one node halve each other's rate: total time
+  // equals one task reading both files.
+  StageProfile stage;
+  stage.tasks = {ScanTask(100e6, 0), ScanTask(100e6, 0)};
+  stage.slots_per_node = 2;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->seconds, 2.0, 0.01);
+}
+
+TEST(EventSimTest, SlotsLimitConcurrency) {
+  // Four equal tasks, one slot: strictly serial.
+  StageProfile stage;
+  for (int i = 0; i < 4; ++i) stage.tasks.push_back(ScanTask(100e6, 0));
+  stage.slots_per_node = 1;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->seconds, 4.0, 0.01);
+}
+
+TEST(EventSimTest, CpuOverlapsWithScan) {
+  TaskProfile t = ScanTask(100e6, 0);  // 1 s of I/O
+  t.cpu_s = 3.0;                       // but 3 s of CPU
+  StageProfile stage;
+  stage.tasks = {t};
+  stage.slots_per_node = 1;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->seconds, 3.0, 0.01);  // max, not sum
+}
+
+TEST(EventSimTest, SetupSerializesBeforeWork) {
+  TaskProfile t = ScanTask(100e6, 0);
+  t.setup_s = 2.0;
+  StageProfile stage;
+  stage.tasks = {t};
+  stage.slots_per_node = 1;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->seconds, 3.0, 0.01);  // 2 s setup + 1 s scan
+}
+
+TEST(EventSimTest, UnpinnedTasksBalanceAcrossNodes) {
+  // Four tasks, two nodes, one slot each: 2 waves, not 4.
+  StageProfile stage;
+  for (int i = 0; i < 4; ++i) stage.tasks.push_back(ScanTask(100e6));
+  stage.slots_per_node = 1;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->seconds, 2.0, 0.01);
+}
+
+TEST(EventSimTest, NetworkDirectionsAreIndependent) {
+  TaskProfile sender;
+  sender.net_out_bytes = 100e6;
+  sender.node = 0;
+  TaskProfile receiver;
+  receiver.net_in_bytes = 100e6;
+  receiver.node = 0;
+  StageProfile stage;
+  stage.tasks = {sender, receiver};
+  stage.slots_per_node = 2;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  // Full duplex: in and out do not contend.
+  EXPECT_NEAR(result->seconds, 1.0, 0.01);
+}
+
+TEST(EventSimTest, ZeroDemandTasksFinishImmediately) {
+  StageProfile stage;
+  stage.tasks.assign(5, TaskProfile{});
+  stage.slots_per_node = 1;
+  auto result = SimulateStage(TinySpec(), stage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->seconds, 0.0, 1e-9);
+}
+
+TEST(EventSimTest, RejectsBadPinning) {
+  StageProfile stage;
+  stage.tasks = {ScanTask(1e6, 99)};
+  EXPECT_FALSE(SimulateStage(TinySpec(), stage).ok());
+}
+
+TEST(EventSimTest, StagesRunSequentially) {
+  StageProfile a;
+  a.name = "a";
+  a.tasks = {ScanTask(100e6, 0)};
+  a.slots_per_node = 1;
+  StageProfile b = a;
+  b.name = "b";
+  auto outcome = SimulateStages(TinySpec(), {a, b});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NEAR(outcome->seconds, 2.0, 0.01);
+  EXPECT_EQ(outcome->stages.size(), 2u);
+}
+
+TEST(ClusterSpecTest, PaperTopologies) {
+  const ClusterSpec a = ClusterSpec::ClusterA();
+  EXPECT_EQ(a.worker_nodes, 8);
+  EXPECT_EQ(a.map_slots, 6);
+  EXPECT_EQ(a.reduce_slots, 1);
+  EXPECT_EQ(a.mem_bytes, 16ULL * 1000 * 1000 * 1000);
+  EXPECT_EQ(a.disks_per_node, 8);
+  const ClusterSpec b = ClusterSpec::ClusterB();
+  EXPECT_EQ(b.worker_nodes, 40);
+  EXPECT_EQ(b.mem_bytes, 32ULL * 1000 * 1000 * 1000);
+  EXPECT_EQ(b.disks_per_node, 5);
+  EXPECT_LT(b.hive_map_ns_per_row, a.hive_map_ns_per_row);
+}
+
+// ---------------------------------------------------------------------------
+// Workload measurement + cost model, over a small loaded dataset.
+// ---------------------------------------------------------------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mr::ClusterOptions copts;
+    copts.num_nodes = 3;
+    copts.dfs_block_size = 256 * 1024;
+    cluster_ = new mr::MrCluster(copts);
+    ssb::SsbLoadOptions load;
+    load.scale_factor = 0.01;
+    auto dataset = ssb::LoadSsb(cluster_, load);
+    CLY_CHECK(dataset.ok());
+    dataset_ = new ssb::SsbDataset(std::move(*dataset));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete cluster_;
+  }
+
+  static QueryMeasurement Measure(const std::string& id) {
+    auto spec = ssb::QueryById(id);
+    CLY_CHECK(spec.ok());
+    auto m = MeasureQuery(cluster_, *dataset_, *spec);
+    CLY_CHECK(m.ok());
+    return std::move(*m);
+  }
+
+  static mr::MrCluster* cluster_;
+  static ssb::SsbDataset* dataset_;
+};
+
+mr::MrCluster* WorkloadTest::cluster_ = nullptr;
+ssb::SsbDataset* WorkloadTest::dataset_ = nullptr;
+
+TEST_F(WorkloadTest, WidthsAreSane) {
+  const QueryMeasurement m = Measure("Q2.1");
+  // Q2.1 projects 4 int32 columns -> ~16 B/row columnar.
+  EXPECT_NEAR(m.cif_projected_width, 16.0, 1.0);
+  EXPECT_GT(m.cif_full_width, 50.0);
+  EXPECT_LT(m.cif_full_width, 75.0);
+  EXPECT_GT(m.rcfile_full_width, m.cif_full_width);
+}
+
+TEST_F(WorkloadTest, SelectivitiesFollowTheSpec) {
+  const QueryMeasurement m = Measure("Q2.1");
+  ASSERT_EQ(m.dims.size(), 3u);
+  // Date join has no predicate: every date qualifies.
+  EXPECT_EQ(m.dims[0].name, "date");
+  EXPECT_EQ(m.dims[0].entries, m.dims[0].rows);
+  EXPECT_FALSE(m.dims[0].scales_with_sf);
+  // p_category = MFGR#12 is 1 of 25 categories.
+  EXPECT_EQ(m.dims[1].name, "part");
+  EXPECT_NEAR(static_cast<double>(m.dims[1].entries) / m.dims[1].rows, 0.04,
+              0.02);
+  // s_region = AMERICA is 1 of 5 regions.
+  EXPECT_EQ(m.dims[2].name, "supplier");
+  EXPECT_NEAR(static_cast<double>(m.dims[2].entries) / m.dims[2].rows, 0.2,
+              0.15);
+}
+
+TEST_F(WorkloadTest, SurvivorsShrinkMonotonically) {
+  const QueryMeasurement m = Measure("Q3.1");
+  ASSERT_EQ(m.survivors_after.size(), 3u);
+  EXPECT_GE(m.predicate_survivors, m.survivors_after[0]);
+  EXPECT_GE(m.survivors_after[0], m.survivors_after[1]);
+  EXPECT_GE(m.survivors_after[1], m.survivors_after[2]);
+  EXPECT_GT(m.groups, 0u);
+}
+
+TEST_F(WorkloadTest, DimScaleFollowsSsbGrowth) {
+  const QueryMeasurement m = Measure("Q4.1");
+  for (const DimStat& dim : m.dims) {
+    const double k = DimScaleFactor(dim, 0.01, 1000.0);
+    if (dim.name == "date") {
+      EXPECT_DOUBLE_EQ(k, 1.0);
+    } else if (dim.name == "part") {
+      // Part grows with log2(sf), far slower than the 100,000x fact growth.
+      EXPECT_LT(k, 5000.0);
+      EXPECT_GT(k, 100.0);
+    } else {
+      // Linear growth, except that tiny scale factors hit the generator's
+      // row-count floor (supplier has 25 rows at sf 0.01, not 20).
+      const auto measured = ssb::CardinalitiesFor(0.01);
+      const auto target = ssb::CardinalitiesFor(1000.0);
+      const double expected =
+          dim.name == "customer"
+              ? static_cast<double>(target.customers) / measured.customers
+              : static_cast<double>(target.suppliers) / measured.suppliers;
+      EXPECT_DOUBLE_EQ(k, expected) << dim.name;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ClydesdaleModelMatchesPaperScale) {
+  const QueryMeasurement m = Measure("Q2.1");
+  ModelOptions options;
+  auto outcome = ModelClydesdale(ClusterSpec::ClusterA(), m, options);
+  ASSERT_TRUE(outcome.ok());
+  // Paper §6.3: 215 s. Reproduce within a factor of 1.5.
+  EXPECT_GT(outcome->seconds, 215.0 / 1.5);
+  EXPECT_LT(outcome->seconds, 215.0 * 1.5);
+}
+
+TEST_F(WorkloadTest, HiveRepartitionModelMatchesPaperScale) {
+  const QueryMeasurement m = Measure("Q2.1");
+  ModelOptions options;
+  auto outcome = ModelHive(ClusterSpec::ClusterA(), m,
+                           hive::JoinStrategy::kRepartition, options);
+  ASSERT_TRUE(outcome.ok());
+  // Paper §6.3: 17,700 s. Reproduce within a factor of 1.5.
+  EXPECT_GT(outcome->seconds, 17700.0 / 1.5);
+  EXPECT_LT(outcome->seconds, 17700.0 * 1.5);
+}
+
+TEST_F(WorkloadTest, MapJoinOomPatternMatchesPaper) {
+  // Paper §6.4: Q3.1, Q4.1-Q4.3 OOM on cluster A; everything runs on B.
+  ModelOptions options;
+  for (const char* id :
+       {"Q1.1", "Q2.1", "Q2.3", "Q3.1", "Q3.2", "Q4.1", "Q4.2", "Q4.3"}) {
+    const QueryMeasurement m = Measure(id);
+    auto a = ModelHive(ClusterSpec::ClusterA(), m,
+                       hive::JoinStrategy::kMapJoin, options);
+    auto b = ModelHive(ClusterSpec::ClusterB(), m,
+                       hive::JoinStrategy::kMapJoin, options);
+    ASSERT_TRUE(a.ok()) << id;
+    ASSERT_TRUE(b.ok()) << id;
+    const std::string sid(id);
+    const bool expect_oom_on_a =
+        sid == "Q3.1" || sid == "Q4.1" || sid == "Q4.2" || sid == "Q4.3";
+    EXPECT_EQ(a->oom, expect_oom_on_a) << id << ": " << a->oom_detail;
+    EXPECT_FALSE(b->oom) << id << ": " << b->oom_detail;
+  }
+}
+
+TEST_F(WorkloadTest, ClydesdaleBeatsHiveEverywhere) {
+  ModelOptions options;
+  for (const ClusterSpec& spec :
+       {ClusterSpec::ClusterA(), ClusterSpec::ClusterB()}) {
+    for (const core::StarQuerySpec& q : ssb::AllQueries()) {
+      auto m = MeasureQuery(cluster_, *dataset_, q);
+      ASSERT_TRUE(m.ok());
+      auto cly = ModelClydesdale(spec, *m, options);
+      auto rp =
+          ModelHive(spec, *m, hive::JoinStrategy::kRepartition, options);
+      ASSERT_TRUE(cly.ok());
+      ASSERT_TRUE(rp.ok());
+      EXPECT_GT(rp->seconds, cly->seconds * 3)
+          << q.id << " on cluster " << spec.name;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, AblationsAlwaysSlowDown) {
+  ModelOptions full;
+  for (const core::StarQuerySpec& q : ssb::AllQueries()) {
+    auto m = MeasureQuery(cluster_, *dataset_, q);
+    ASSERT_TRUE(m.ok());
+    auto base = ModelClydesdale(ClusterSpec::ClusterA(), *m, full);
+    ASSERT_TRUE(base.ok());
+    for (int which = 0; which < 3; ++which) {
+      ModelOptions ablated = full;
+      if (which == 0) ablated.block_iteration = false;
+      if (which == 1) ablated.columnar = false;
+      if (which == 2) ablated.multithreaded = false;
+      auto slower = ModelClydesdale(ClusterSpec::ClusterA(), *m, ablated);
+      ASSERT_TRUE(slower.ok());
+      EXPECT_GE(slower->seconds, base->seconds * 0.999)
+          << q.id << " ablation " << which;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, TestDfsIoShowsHdfsBelowRaw) {
+  for (const ClusterSpec& spec :
+       {ClusterSpec::ClusterA(), ClusterSpec::ClusterB()}) {
+    const DfsIoModel model = ModelTestDfsIo(spec, 1000.0, 2);
+    EXPECT_LT(model.read_mb_per_s, model.raw_disk_mb_per_s * 0.5)
+        << spec.name;
+    EXPECT_LE(model.write_mb_per_s, model.read_mb_per_s) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace clydesdale

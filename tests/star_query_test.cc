@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/star_query.h"
+#include "ssb/queries.h"
+
+namespace clydesdale {
+namespace core {
+namespace {
+
+StarQuerySpec TwoDimSpec() {
+  StarQuerySpec spec;
+  spec.id = "T";
+  spec.fact_predicate = Predicate::Lt("f_qty", Value(int32_t{10}));
+  spec.dims = {
+      {"d1", "f_k1", "d1_pk", Predicate::True(), {"d1_a", "d1_b"}},
+      {"d2", "f_k2", "d2_pk", Predicate::True(), {}},
+  };
+  spec.aggregates = {{"total", Expr::Mul(Expr::Col("f_qty"),
+                                         Expr::Col("f_price"))}};
+  spec.group_by = {"d1_a"};
+  spec.order_by = {{"total", false}};
+  return spec;
+}
+
+TEST(StarQueryTest, FactColumnsCoverFksPredicatesAndAggregates) {
+  const auto cols = FactColumnsFor(TwoDimSpec());
+  EXPECT_EQ(cols, (std::vector<std::string>{"f_k1", "f_k2", "f_qty",
+                                            "f_price"}));
+}
+
+TEST(StarQueryTest, FactColumnsDeduplicated) {
+  StarQuerySpec spec = TwoDimSpec();
+  spec.aggregates.push_back({"qty2", Expr::Col("f_qty")});
+  const auto cols = FactColumnsFor(spec);
+  EXPECT_EQ(std::count(cols.begin(), cols.end(), "f_qty"), 1);
+}
+
+TEST(StarQueryTest, OutputColumnsAreGroupsThenAggregates) {
+  EXPECT_EQ(OutputColumnsOf(TwoDimSpec()),
+            (std::vector<std::string>{"d1_a", "total"}));
+}
+
+TEST(StarQueryTest, ResolveGroupSourcesFindsAuxColumns) {
+  auto fact_schema = Schema::Make({{"f_k1", TypeKind::kInt32, 0},
+                                   {"f_k2", TypeKind::kInt32, 0},
+                                   {"f_qty", TypeKind::kInt32, 0},
+                                   {"f_price", TypeKind::kInt32, 0}});
+  auto sources = ResolveGroupSources(TwoDimSpec(), *fact_schema);
+  ASSERT_TRUE(sources.ok());
+  ASSERT_EQ(sources->size(), 1u);
+  EXPECT_FALSE((*sources)[0].from_fact);
+  EXPECT_EQ((*sources)[0].dim_index, 0);
+  EXPECT_EQ((*sources)[0].aux_index, 0);
+}
+
+TEST(StarQueryTest, ResolveGroupSourcesFallsBackToFact) {
+  StarQuerySpec spec = TwoDimSpec();
+  spec.group_by = {"f_qty"};
+  auto fact_schema = Schema::Make({{"f_qty", TypeKind::kInt32, 0}});
+  auto sources = ResolveGroupSources(spec, *fact_schema);
+  ASSERT_TRUE(sources.ok());
+  EXPECT_TRUE((*sources)[0].from_fact);
+  EXPECT_EQ((*sources)[0].fact_index, 0);
+}
+
+TEST(StarQueryTest, ResolveGroupSourcesRejectsUnknown) {
+  StarQuerySpec spec = TwoDimSpec();
+  spec.group_by = {"nowhere"};
+  auto fact_schema = Schema::Make({{"f_qty", TypeKind::kInt32, 0}});
+  EXPECT_FALSE(ResolveGroupSources(spec, *fact_schema).ok());
+}
+
+TEST(StarQueryTest, SortResultRowsHonorsDirectionAndTiebreak) {
+  StarQuerySpec spec = TwoDimSpec();  // order by total desc
+  std::vector<Row> rows = {
+      Row({Value("b"), Value(int64_t{5})}),
+      Row({Value("a"), Value(int64_t{9})}),
+      Row({Value("c"), Value(int64_t{5})}),
+  };
+  ASSERT_TRUE(SortResultRows(spec, &rows).ok());
+  EXPECT_EQ(rows[0].Get(1).i64(), 9);
+  // Equal totals tie-break on the full row: "b" before "c".
+  EXPECT_EQ(rows[1].Get(0).str(), "b");
+  EXPECT_EQ(rows[2].Get(0).str(), "c");
+}
+
+TEST(StarQueryTest, SortResultRowsRejectsUnknownColumn) {
+  StarQuerySpec spec = TwoDimSpec();
+  spec.order_by = {{"missing", true}};
+  std::vector<Row> rows;
+  EXPECT_FALSE(SortResultRows(spec, &rows).ok());
+}
+
+TEST(StarQueryTest, EmptyOrderByIsCanonical) {
+  StarQuerySpec spec = TwoDimSpec();
+  spec.order_by.clear();
+  std::vector<Row> rows = {
+      Row({Value("b"), Value(int64_t{1})}),
+      Row({Value("a"), Value(int64_t{2})}),
+  };
+  ASSERT_TRUE(SortResultRows(spec, &rows).ok());
+  EXPECT_EQ(rows[0].Get(0).str(), "a");
+}
+
+TEST(StarQueryTest, SsbQ21ReferencesThePaperColumns) {
+  auto q = ssb::QueryById("Q2.1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->dims[0].dimension, "date");
+  EXPECT_EQ(q->dims[1].fact_fk, "lo_partkey");
+  EXPECT_EQ(q->group_by,
+            (std::vector<std::string>{"d_year", "p_brand1"}));
+  EXPECT_EQ(OutputColumnsOf(*q),
+            (std::vector<std::string>{"d_year", "p_brand1", "revenue"}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace clydesdale
