@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_cluster_a"
+  "../bench/bench_fig7_cluster_a.pdb"
+  "CMakeFiles/bench_fig7_cluster_a.dir/bench_fig7_cluster_a.cpp.o"
+  "CMakeFiles/bench_fig7_cluster_a.dir/bench_fig7_cluster_a.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cluster_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_cluster_b.cpp" "bench_build/CMakeFiles/bench_fig8_cluster_b.dir/bench_fig8_cluster_b.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig8_cluster_b.dir/bench_fig8_cluster_b.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_ssb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

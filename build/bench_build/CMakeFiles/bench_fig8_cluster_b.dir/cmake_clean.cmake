@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_cluster_b"
+  "../bench/bench_fig8_cluster_b.pdb"
+  "CMakeFiles/bench_fig8_cluster_b.dir/bench_fig8_cluster_b.cpp.o"
+  "CMakeFiles/bench_fig8_cluster_b.dir/bench_fig8_cluster_b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cluster_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_shuffle"
+  "../bench/bench_micro_shuffle.pdb"
+  "CMakeFiles/bench_micro_shuffle.dir/bench_micro_shuffle.cpp.o"
+  "CMakeFiles/bench_micro_shuffle.dir/bench_micro_shuffle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

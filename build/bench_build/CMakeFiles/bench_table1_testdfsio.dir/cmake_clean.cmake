@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_testdfsio"
+  "../bench/bench_table1_testdfsio.pdb"
+  "CMakeFiles/bench_table1_testdfsio.dir/bench_table1_testdfsio.cpp.o"
+  "CMakeFiles/bench_table1_testdfsio.dir/bench_table1_testdfsio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_testdfsio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

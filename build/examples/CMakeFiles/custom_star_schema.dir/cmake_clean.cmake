@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_star_schema.dir/custom_star_schema.cpp.o"
+  "CMakeFiles/custom_star_schema.dir/custom_star_schema.cpp.o.d"
+  "custom_star_schema"
+  "custom_star_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_star_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

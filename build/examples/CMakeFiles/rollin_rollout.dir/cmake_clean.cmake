@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollin_rollout.dir/rollin_rollout.cpp.o"
+  "CMakeFiles/rollin_rollout.dir/rollin_rollout.cpp.o.d"
+  "rollin_rollout"
+  "rollin_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollin_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssb_demo.dir/ssb_demo.cpp.o"
+  "CMakeFiles/ssb_demo.dir/ssb_demo.cpp.o.d"
+  "ssb_demo"
+  "ssb_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssb_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_common.dir/common/logging.cc.o"
+  "CMakeFiles/cly_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/cly_common.dir/common/status.cc.o"
+  "CMakeFiles/cly_common.dir/common/status.cc.o.d"
+  "CMakeFiles/cly_common.dir/common/strings.cc.o"
+  "CMakeFiles/cly_common.dir/common/strings.cc.o.d"
+  "libcly_common.a"
+  "libcly_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

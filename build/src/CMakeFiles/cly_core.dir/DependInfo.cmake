@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/CMakeFiles/cly_core.dir/core/aggregation.cc.o" "gcc" "src/CMakeFiles/cly_core.dir/core/aggregation.cc.o.d"
+  "/root/repo/src/core/clydesdale.cc" "src/CMakeFiles/cly_core.dir/core/clydesdale.cc.o" "gcc" "src/CMakeFiles/cly_core.dir/core/clydesdale.cc.o.d"
+  "/root/repo/src/core/dim_hash_table.cc" "src/CMakeFiles/cly_core.dir/core/dim_hash_table.cc.o" "gcc" "src/CMakeFiles/cly_core.dir/core/dim_hash_table.cc.o.d"
+  "/root/repo/src/core/staged_join.cc" "src/CMakeFiles/cly_core.dir/core/staged_join.cc.o" "gcc" "src/CMakeFiles/cly_core.dir/core/staged_join.cc.o.d"
+  "/root/repo/src/core/star_join_job.cc" "src/CMakeFiles/cly_core.dir/core/star_join_job.cc.o" "gcc" "src/CMakeFiles/cly_core.dir/core/star_join_job.cc.o.d"
+  "/root/repo/src/core/star_query.cc" "src/CMakeFiles/cly_core.dir/core/star_query.cc.o" "gcc" "src/CMakeFiles/cly_core.dir/core/star_query.cc.o.d"
+  "/root/repo/src/core/star_schema.cc" "src/CMakeFiles/cly_core.dir/core/star_schema.cc.o" "gcc" "src/CMakeFiles/cly_core.dir/core/star_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_core.dir/core/aggregation.cc.o"
+  "CMakeFiles/cly_core.dir/core/aggregation.cc.o.d"
+  "CMakeFiles/cly_core.dir/core/clydesdale.cc.o"
+  "CMakeFiles/cly_core.dir/core/clydesdale.cc.o.d"
+  "CMakeFiles/cly_core.dir/core/dim_hash_table.cc.o"
+  "CMakeFiles/cly_core.dir/core/dim_hash_table.cc.o.d"
+  "CMakeFiles/cly_core.dir/core/staged_join.cc.o"
+  "CMakeFiles/cly_core.dir/core/staged_join.cc.o.d"
+  "CMakeFiles/cly_core.dir/core/star_join_job.cc.o"
+  "CMakeFiles/cly_core.dir/core/star_join_job.cc.o.d"
+  "CMakeFiles/cly_core.dir/core/star_query.cc.o"
+  "CMakeFiles/cly_core.dir/core/star_query.cc.o.d"
+  "CMakeFiles/cly_core.dir/core/star_schema.cc.o"
+  "CMakeFiles/cly_core.dir/core/star_schema.cc.o.d"
+  "libcly_core.a"
+  "libcly_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

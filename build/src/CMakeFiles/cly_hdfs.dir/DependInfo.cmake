@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/block.cc" "src/CMakeFiles/cly_hdfs.dir/hdfs/block.cc.o" "gcc" "src/CMakeFiles/cly_hdfs.dir/hdfs/block.cc.o.d"
+  "/root/repo/src/hdfs/datanode.cc" "src/CMakeFiles/cly_hdfs.dir/hdfs/datanode.cc.o" "gcc" "src/CMakeFiles/cly_hdfs.dir/hdfs/datanode.cc.o.d"
+  "/root/repo/src/hdfs/dfs.cc" "src/CMakeFiles/cly_hdfs.dir/hdfs/dfs.cc.o" "gcc" "src/CMakeFiles/cly_hdfs.dir/hdfs/dfs.cc.o.d"
+  "/root/repo/src/hdfs/local_store.cc" "src/CMakeFiles/cly_hdfs.dir/hdfs/local_store.cc.o" "gcc" "src/CMakeFiles/cly_hdfs.dir/hdfs/local_store.cc.o.d"
+  "/root/repo/src/hdfs/namenode.cc" "src/CMakeFiles/cly_hdfs.dir/hdfs/namenode.cc.o" "gcc" "src/CMakeFiles/cly_hdfs.dir/hdfs/namenode.cc.o.d"
+  "/root/repo/src/hdfs/placement_policy.cc" "src/CMakeFiles/cly_hdfs.dir/hdfs/placement_policy.cc.o" "gcc" "src/CMakeFiles/cly_hdfs.dir/hdfs/placement_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

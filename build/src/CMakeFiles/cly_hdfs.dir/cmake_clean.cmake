@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_hdfs.dir/hdfs/block.cc.o"
+  "CMakeFiles/cly_hdfs.dir/hdfs/block.cc.o.d"
+  "CMakeFiles/cly_hdfs.dir/hdfs/datanode.cc.o"
+  "CMakeFiles/cly_hdfs.dir/hdfs/datanode.cc.o.d"
+  "CMakeFiles/cly_hdfs.dir/hdfs/dfs.cc.o"
+  "CMakeFiles/cly_hdfs.dir/hdfs/dfs.cc.o.d"
+  "CMakeFiles/cly_hdfs.dir/hdfs/local_store.cc.o"
+  "CMakeFiles/cly_hdfs.dir/hdfs/local_store.cc.o.d"
+  "CMakeFiles/cly_hdfs.dir/hdfs/namenode.cc.o"
+  "CMakeFiles/cly_hdfs.dir/hdfs/namenode.cc.o.d"
+  "CMakeFiles/cly_hdfs.dir/hdfs/placement_policy.cc.o"
+  "CMakeFiles/cly_hdfs.dir/hdfs/placement_policy.cc.o.d"
+  "libcly_hdfs.a"
+  "libcly_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hive/agg_stages.cc" "src/CMakeFiles/cly_hive.dir/hive/agg_stages.cc.o" "gcc" "src/CMakeFiles/cly_hive.dir/hive/agg_stages.cc.o.d"
+  "/root/repo/src/hive/hive_engine.cc" "src/CMakeFiles/cly_hive.dir/hive/hive_engine.cc.o" "gcc" "src/CMakeFiles/cly_hive.dir/hive/hive_engine.cc.o.d"
+  "/root/repo/src/hive/hive_plan.cc" "src/CMakeFiles/cly_hive.dir/hive/hive_plan.cc.o" "gcc" "src/CMakeFiles/cly_hive.dir/hive/hive_plan.cc.o.d"
+  "/root/repo/src/hive/map_join.cc" "src/CMakeFiles/cly_hive.dir/hive/map_join.cc.o" "gcc" "src/CMakeFiles/cly_hive.dir/hive/map_join.cc.o.d"
+  "/root/repo/src/hive/repartition_join.cc" "src/CMakeFiles/cly_hive.dir/hive/repartition_join.cc.o" "gcc" "src/CMakeFiles/cly_hive.dir/hive/repartition_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

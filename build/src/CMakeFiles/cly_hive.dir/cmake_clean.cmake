@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_hive.dir/hive/agg_stages.cc.o"
+  "CMakeFiles/cly_hive.dir/hive/agg_stages.cc.o.d"
+  "CMakeFiles/cly_hive.dir/hive/hive_engine.cc.o"
+  "CMakeFiles/cly_hive.dir/hive/hive_engine.cc.o.d"
+  "CMakeFiles/cly_hive.dir/hive/hive_plan.cc.o"
+  "CMakeFiles/cly_hive.dir/hive/hive_plan.cc.o.d"
+  "CMakeFiles/cly_hive.dir/hive/map_join.cc.o"
+  "CMakeFiles/cly_hive.dir/hive/map_join.cc.o.d"
+  "CMakeFiles/cly_hive.dir/hive/repartition_join.cc.o"
+  "CMakeFiles/cly_hive.dir/hive/repartition_join.cc.o.d"
+  "libcly_hive.a"
+  "libcly_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cly_hive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/counters.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/counters.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/counters.cc.o.d"
+  "/root/repo/src/mapreduce/engine.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/engine.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/engine.cc.o.d"
+  "/root/repo/src/mapreduce/input_format.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/input_format.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/input_format.cc.o.d"
+  "/root/repo/src/mapreduce/job_conf.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/job_conf.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/job_conf.cc.o.d"
+  "/root/repo/src/mapreduce/job_report.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/job_report.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/job_report.cc.o.d"
+  "/root/repo/src/mapreduce/map_runner.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/map_runner.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/map_runner.cc.o.d"
+  "/root/repo/src/mapreduce/output_format.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/output_format.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/output_format.cc.o.d"
+  "/root/repo/src/mapreduce/scheduler.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/scheduler.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/scheduler.cc.o.d"
+  "/root/repo/src/mapreduce/shuffle.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/shuffle.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/shuffle.cc.o.d"
+  "/root/repo/src/mapreduce/task_context.cc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/task_context.cc.o" "gcc" "src/CMakeFiles/cly_mapreduce.dir/mapreduce/task_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/counters.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/counters.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/engine.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/engine.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/input_format.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/input_format.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/job_conf.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/job_conf.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/job_report.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/job_report.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/map_runner.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/map_runner.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/output_format.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/output_format.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/scheduler.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/scheduler.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/shuffle.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/shuffle.cc.o.d"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/task_context.cc.o"
+  "CMakeFiles/cly_mapreduce.dir/mapreduce/task_context.cc.o.d"
+  "libcly_mapreduce.a"
+  "libcly_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_schema.dir/schema/expr.cc.o"
+  "CMakeFiles/cly_schema.dir/schema/expr.cc.o.d"
+  "CMakeFiles/cly_schema.dir/schema/row.cc.o"
+  "CMakeFiles/cly_schema.dir/schema/row.cc.o.d"
+  "CMakeFiles/cly_schema.dir/schema/row_batch.cc.o"
+  "CMakeFiles/cly_schema.dir/schema/row_batch.cc.o.d"
+  "CMakeFiles/cly_schema.dir/schema/schema.cc.o"
+  "CMakeFiles/cly_schema.dir/schema/schema.cc.o.d"
+  "CMakeFiles/cly_schema.dir/schema/value.cc.o"
+  "CMakeFiles/cly_schema.dir/schema/value.cc.o.d"
+  "libcly_schema.a"
+  "libcly_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_spec.cc" "src/CMakeFiles/cly_sim.dir/sim/cluster_spec.cc.o" "gcc" "src/CMakeFiles/cly_sim.dir/sim/cluster_spec.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/cly_sim.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/cly_sim.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/sim/hadoop_cost_model.cc" "src/CMakeFiles/cly_sim.dir/sim/hadoop_cost_model.cc.o" "gcc" "src/CMakeFiles/cly_sim.dir/sim/hadoop_cost_model.cc.o.d"
+  "/root/repo/src/sim/task_profile.cc" "src/CMakeFiles/cly_sim.dir/sim/task_profile.cc.o" "gcc" "src/CMakeFiles/cly_sim.dir/sim/task_profile.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/CMakeFiles/cly_sim.dir/sim/workload.cc.o" "gcc" "src/CMakeFiles/cly_sim.dir/sim/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_ssb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_sim.dir/sim/cluster_spec.cc.o"
+  "CMakeFiles/cly_sim.dir/sim/cluster_spec.cc.o.d"
+  "CMakeFiles/cly_sim.dir/sim/event_sim.cc.o"
+  "CMakeFiles/cly_sim.dir/sim/event_sim.cc.o.d"
+  "CMakeFiles/cly_sim.dir/sim/hadoop_cost_model.cc.o"
+  "CMakeFiles/cly_sim.dir/sim/hadoop_cost_model.cc.o.d"
+  "CMakeFiles/cly_sim.dir/sim/task_profile.cc.o"
+  "CMakeFiles/cly_sim.dir/sim/task_profile.cc.o.d"
+  "CMakeFiles/cly_sim.dir/sim/workload.cc.o"
+  "CMakeFiles/cly_sim.dir/sim/workload.cc.o.d"
+  "libcly_sim.a"
+  "libcly_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

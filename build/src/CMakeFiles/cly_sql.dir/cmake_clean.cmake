@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/cly_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/cly_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/cly_sql.dir/sql/parser.cc.o.d"
+  "libcly_sql.a"
+  "libcly_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

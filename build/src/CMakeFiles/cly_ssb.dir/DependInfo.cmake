@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssb/dbgen.cc" "src/CMakeFiles/cly_ssb.dir/ssb/dbgen.cc.o" "gcc" "src/CMakeFiles/cly_ssb.dir/ssb/dbgen.cc.o.d"
+  "/root/repo/src/ssb/loader.cc" "src/CMakeFiles/cly_ssb.dir/ssb/loader.cc.o" "gcc" "src/CMakeFiles/cly_ssb.dir/ssb/loader.cc.o.d"
+  "/root/repo/src/ssb/queries.cc" "src/CMakeFiles/cly_ssb.dir/ssb/queries.cc.o" "gcc" "src/CMakeFiles/cly_ssb.dir/ssb/queries.cc.o.d"
+  "/root/repo/src/ssb/reference_executor.cc" "src/CMakeFiles/cly_ssb.dir/ssb/reference_executor.cc.o" "gcc" "src/CMakeFiles/cly_ssb.dir/ssb/reference_executor.cc.o.d"
+  "/root/repo/src/ssb/ssb_schema.cc" "src/CMakeFiles/cly_ssb.dir/ssb/ssb_schema.cc.o" "gcc" "src/CMakeFiles/cly_ssb.dir/ssb/ssb_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_ssb.dir/ssb/dbgen.cc.o"
+  "CMakeFiles/cly_ssb.dir/ssb/dbgen.cc.o.d"
+  "CMakeFiles/cly_ssb.dir/ssb/loader.cc.o"
+  "CMakeFiles/cly_ssb.dir/ssb/loader.cc.o.d"
+  "CMakeFiles/cly_ssb.dir/ssb/queries.cc.o"
+  "CMakeFiles/cly_ssb.dir/ssb/queries.cc.o.d"
+  "CMakeFiles/cly_ssb.dir/ssb/reference_executor.cc.o"
+  "CMakeFiles/cly_ssb.dir/ssb/reference_executor.cc.o.d"
+  "CMakeFiles/cly_ssb.dir/ssb/ssb_schema.cc.o"
+  "CMakeFiles/cly_ssb.dir/ssb/ssb_schema.cc.o.d"
+  "libcly_ssb.a"
+  "libcly_ssb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/binary_row_format.cc" "src/CMakeFiles/cly_storage.dir/storage/binary_row_format.cc.o" "gcc" "src/CMakeFiles/cly_storage.dir/storage/binary_row_format.cc.o.d"
+  "/root/repo/src/storage/byte_io.cc" "src/CMakeFiles/cly_storage.dir/storage/byte_io.cc.o" "gcc" "src/CMakeFiles/cly_storage.dir/storage/byte_io.cc.o.d"
+  "/root/repo/src/storage/cif.cc" "src/CMakeFiles/cly_storage.dir/storage/cif.cc.o" "gcc" "src/CMakeFiles/cly_storage.dir/storage/cif.cc.o.d"
+  "/root/repo/src/storage/rcfile.cc" "src/CMakeFiles/cly_storage.dir/storage/rcfile.cc.o" "gcc" "src/CMakeFiles/cly_storage.dir/storage/rcfile.cc.o.d"
+  "/root/repo/src/storage/row_codec.cc" "src/CMakeFiles/cly_storage.dir/storage/row_codec.cc.o" "gcc" "src/CMakeFiles/cly_storage.dir/storage/row_codec.cc.o.d"
+  "/root/repo/src/storage/table_format.cc" "src/CMakeFiles/cly_storage.dir/storage/table_format.cc.o" "gcc" "src/CMakeFiles/cly_storage.dir/storage/table_format.cc.o.d"
+  "/root/repo/src/storage/text_format.cc" "src/CMakeFiles/cly_storage.dir/storage/text_format.cc.o" "gcc" "src/CMakeFiles/cly_storage.dir/storage/text_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cly_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

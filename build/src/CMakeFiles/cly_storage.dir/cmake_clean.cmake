@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cly_storage.dir/storage/binary_row_format.cc.o"
+  "CMakeFiles/cly_storage.dir/storage/binary_row_format.cc.o.d"
+  "CMakeFiles/cly_storage.dir/storage/byte_io.cc.o"
+  "CMakeFiles/cly_storage.dir/storage/byte_io.cc.o.d"
+  "CMakeFiles/cly_storage.dir/storage/cif.cc.o"
+  "CMakeFiles/cly_storage.dir/storage/cif.cc.o.d"
+  "CMakeFiles/cly_storage.dir/storage/rcfile.cc.o"
+  "CMakeFiles/cly_storage.dir/storage/rcfile.cc.o.d"
+  "CMakeFiles/cly_storage.dir/storage/row_codec.cc.o"
+  "CMakeFiles/cly_storage.dir/storage/row_codec.cc.o.d"
+  "CMakeFiles/cly_storage.dir/storage/table_format.cc.o"
+  "CMakeFiles/cly_storage.dir/storage/table_format.cc.o.d"
+  "CMakeFiles/cly_storage.dir/storage/text_format.cc.o"
+  "CMakeFiles/cly_storage.dir/storage/text_format.cc.o.d"
+  "libcly_storage.a"
+  "libcly_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cly_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

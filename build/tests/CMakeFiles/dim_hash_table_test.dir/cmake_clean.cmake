@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dim_hash_table_test.dir/dim_hash_table_test.cc.o"
+  "CMakeFiles/dim_hash_table_test.dir/dim_hash_table_test.cc.o.d"
+  "dim_hash_table_test"
+  "dim_hash_table_test.pdb"
+  "dim_hash_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dim_hash_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_plan_test.dir/hive_plan_test.cc.o"
+  "CMakeFiles/hive_plan_test.dir/hive_plan_test.cc.o.d"
+  "hive_plan_test"
+  "hive_plan_test.pdb"
+  "hive_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollin_test.dir/rollin_test.cc.o"
+  "CMakeFiles/rollin_test.dir/rollin_test.cc.o.d"
+  "rollin_test"
+  "rollin_test.pdb"
+  "rollin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staged_join_test.dir/staged_join_test.cc.o"
+  "CMakeFiles/staged_join_test.dir/staged_join_test.cc.o.d"
+  "staged_join_test"
+  "staged_join_test.pdb"
+  "staged_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staged_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_query_test.dir/star_query_test.cc.o"
+  "CMakeFiles/star_query_test.dir/star_query_test.cc.o.d"
+  "star_query_test"
+  "star_query_test.pdb"
+  "star_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
