@@ -1,8 +1,10 @@
 #include "core/aggregation.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace clydesdale {
@@ -124,17 +126,162 @@ Status FinalizeAggRows(const StarQuerySpec& spec, std::vector<Row>* rows) {
   return Status::OK();
 }
 
+// --- group-key codec ---------------------------------------------------------
+
+namespace group_key {
+
+namespace {
+
+template <typename T>
+void AppendScalar(T v, std::vector<uint8_t>* out) {
+  uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T ReadScalar(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void AppendValue(const Value& v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case TypeKind::kInt32:
+      AppendScalar(v.i32(), out);
+      return;
+    case TypeKind::kInt64:
+      AppendScalar(v.i64(), out);
+      return;
+    case TypeKind::kDouble:
+      AppendScalar(v.f64(), out);
+      return;
+    case TypeKind::kString: {
+      const std::string& s = v.str();
+      AppendScalar(static_cast<uint32_t>(s.size()), out);
+      out->insert(out->end(), s.begin(), s.end());
+      return;
+    }
+  }
+}
+
+void AppendRow(const Row& row, std::vector<uint8_t>* out) {
+  for (const Value& v : row.values()) AppendValue(v, out);
+}
+
+Row DecodeRow(const uint8_t* data, size_t len) {
+  Row row;
+  size_t pos = 0;
+  while (pos < len) {
+    const TypeKind kind = static_cast<TypeKind>(data[pos++]);
+    switch (kind) {
+      case TypeKind::kInt32:
+        row.Append(Value(ReadScalar<int32_t>(data + pos)));
+        pos += sizeof(int32_t);
+        break;
+      case TypeKind::kInt64:
+        row.Append(Value(ReadScalar<int64_t>(data + pos)));
+        pos += sizeof(int64_t);
+        break;
+      case TypeKind::kDouble:
+        row.Append(Value(ReadScalar<double>(data + pos)));
+        pos += sizeof(double);
+        break;
+      case TypeKind::kString: {
+        const uint32_t n = ReadScalar<uint32_t>(data + pos);
+        pos += sizeof(uint32_t);
+        row.Append(Value(std::string(reinterpret_cast<const char*>(data + pos),
+                                     n)));
+        pos += n;
+        break;
+      }
+    }
+  }
+  CLY_DCHECK(pos == len);
+  return row;
+}
+
+}  // namespace group_key
+
+// --- HashAggregator ----------------------------------------------------------
+
+int64_t* HashAggregator::FindOrCreate(const uint8_t* key, size_t len,
+                                      uint64_t hash) {
+  // Grow at 70% load (checked before the probe so the loop below always
+  // terminates on an empty slot).
+  if ((num_groups_ + 1) * 10 > capacity_ * 7) {
+    Rehash(capacity_ == 0 ? 16 : capacity_ * 2);
+  }
+  size_t slot = static_cast<size_t>(hash) & (capacity_ - 1);
+  while (true) {
+    Slot& s = slots_[slot];
+    if (s.key_len == kEmpty) {
+      s.hash = hash;
+      s.key_offset = static_cast<uint32_t>(key_arena_.size());
+      s.key_len = static_cast<uint32_t>(len);
+      key_arena_.insert(key_arena_.end(), key, key + len);
+      ++num_groups_;
+      int64_t* accs = accs_.data() + slot * num_accs_;
+      for (size_t a = 0; a < num_accs_; ++a) {
+        accs[a] = AggLayout::InitValue(layout_.accs()[a]);
+      }
+      return accs;
+    }
+    if (s.hash == hash && s.key_len == len &&
+        std::memcmp(key_arena_.data() + s.key_offset, key, len) == 0) {
+      return accs_.data() + slot * num_accs_;
+    }
+    slot = (slot + 1) & (capacity_ - 1);
+  }
+}
+
+void HashAggregator::Rehash(size_t new_capacity) {
+  std::vector<Slot> old_slots = std::move(slots_);
+  std::vector<int64_t> old_accs = std::move(accs_);
+  const size_t old_capacity = capacity_;
+  capacity_ = new_capacity;
+  slots_.assign(capacity_, Slot{});
+  accs_.resize(capacity_ * num_accs_);
+  for (size_t i = 0; i < old_capacity; ++i) {
+    const Slot& s = old_slots[i];
+    if (s.key_len == kEmpty) continue;
+    size_t slot = static_cast<size_t>(s.hash) & (capacity_ - 1);
+    while (slots_[slot].key_len != kEmpty) slot = (slot + 1) & (capacity_ - 1);
+    slots_[slot] = s;
+    std::memcpy(accs_.data() + slot * num_accs_,
+                old_accs.data() + i * num_accs_, num_accs_ * sizeof(int64_t));
+  }
+}
+
+uint64_t HashAggregator::memory_bytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         accs_.capacity() * sizeof(int64_t) + key_arena_.capacity();
+}
+
 void HashAggregator::MergeFrom(const HashAggregator& other) {
-  for (const auto& [key, accs] : other.groups_) {
-    Add(key, accs.data());
+  for (size_t i = 0; i < other.capacity_; ++i) {
+    const Slot& s = other.slots_[i];
+    if (s.key_len == kEmpty) continue;
+    int64_t* accs = FindOrCreate(other.key_arena_.data() + s.key_offset,
+                                 s.key_len, s.hash);
+    layout_.Merge(accs, other.accs_.data() + i * other.num_accs_);
   }
 }
 
 Status HashAggregator::Emit(mr::OutputCollector* out) const {
-  for (const auto& [key, accs] : groups_) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& s = slots_[i];
+    if (s.key_len == kEmpty) continue;
+    const Row key =
+        group_key::DecodeRow(key_arena_.data() + s.key_offset, s.key_len);
     Row value;
-    value.Reserve(static_cast<int>(accs.size()));
-    for (int64_t a : accs) value.Append(Value(a));
+    value.Reserve(static_cast<int>(num_accs_));
+    const int64_t* accs = accs_.data() + i * num_accs_;
+    for (size_t a = 0; a < num_accs_; ++a) value.Append(Value(accs[a]));
     CLY_RETURN_IF_ERROR(out->Collect(key, value));
   }
   return Status::OK();

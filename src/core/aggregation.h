@@ -2,9 +2,9 @@
 #define CLYDESDALE_CORE_AGGREGATION_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "core/star_query.h"
 #include "mapreduce/mr_types.h"
@@ -63,16 +63,56 @@ class AggLayout {
 /// group columns ++ aggregate values) before the final ORDER BY.
 Status FinalizeAggRows(const StarQuerySpec& spec, std::vector<Row>* rows);
 
+/// Group-key wire codec: a Row of group columns flattened to bytes so the
+/// aggregation table can hash and compare keys with memcmp and store them in
+/// one arena. Fixed-width encoding for int/date columns (1 tag byte + the
+/// scalar), length-prefixed bytes for strings. Values that compare equal and
+/// share a kind encode identically, which is all aggregation needs: group
+/// keys come from the same column sources on every row.
+namespace group_key {
+
+/// Appends the encoding of one value.
+void AppendValue(const Value& v, std::vector<uint8_t>* out);
+
+/// Appends every column of `row` (the full group key).
+void AppendRow(const Row& row, std::vector<uint8_t>* out);
+
+/// Decodes an encoded key back into a Row (Emit-time only).
+Row DecodeRow(const uint8_t* data, size_t len);
+
+inline uint64_t Hash(const uint8_t* data, size_t len) {
+  return HashBytes(data, len);
+}
+
+}  // namespace group_key
+
 /// Map-side partial aggregation: group key -> running accumulators. Each
 /// join thread owns one; they merge at task end, so no synchronization
 /// during the probe loop.
+///
+/// Open addressing with linear probing over a power-of-two slot array.
+/// Encoded keys live in one append-only arena and accumulators in one flat
+/// int64 array indexed by slot — no per-group heap allocations and no
+/// Row::Hash dispatch on the add path. Keys decode back to Rows only when
+/// Emit materializes the task output.
 class HashAggregator {
  public:
-  explicit HashAggregator(AggLayout layout) : layout_(std::move(layout)) {}
+  explicit HashAggregator(AggLayout layout)
+      : layout_(std::move(layout)),
+        num_accs_(static_cast<size_t>(layout_.num_accumulators())) {}
 
+  /// Row-key convenience path (row readers, merges, tests).
   void Add(const Row& group_key, const int64_t* inputs) {
-    auto [it, inserted] = groups_.try_emplace(group_key, InitAccs());
-    layout_.Merge(it->second.data(), inputs);
+    key_scratch_.clear();
+    group_key::AppendRow(group_key, &key_scratch_);
+    AddEncoded(key_scratch_.data(), key_scratch_.size(), inputs);
+  }
+
+  /// Hot path: the caller already holds the encoded key (the vectorized
+  /// probe loop encodes straight from column data).
+  void AddEncoded(const uint8_t* key, size_t len, const int64_t* inputs) {
+    int64_t* accs = FindOrCreate(key, len, group_key::Hash(key, len));
+    layout_.Merge(accs, inputs);
   }
 
   void MergeFrom(const HashAggregator& other);
@@ -80,21 +120,32 @@ class HashAggregator {
   /// Emits each group as (key, row of accumulator values).
   Status Emit(mr::OutputCollector* out) const;
 
-  size_t num_groups() const { return groups_.size(); }
+  size_t num_groups() const { return num_groups_; }
   const AggLayout& layout() const { return layout_; }
+  /// Resident bytes of the slot array, accumulators, and key arena.
+  uint64_t memory_bytes() const;
 
  private:
-  std::vector<int64_t> InitAccs() const {
-    std::vector<int64_t> accs(static_cast<size_t>(layout_.num_accumulators()));
-    for (int a = 0; a < layout_.num_accumulators(); ++a) {
-      accs[static_cast<size_t>(a)] =
-          AggLayout::InitValue(layout_.accs()[static_cast<size_t>(a)]);
-    }
-    return accs;
-  }
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t key_offset = 0;
+    uint32_t key_len = kEmpty;
+  };
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  /// Accumulators of the group with this encoded key, inserting (and
+  /// initializing) on first sight.
+  int64_t* FindOrCreate(const uint8_t* key, size_t len, uint64_t hash);
+  void Rehash(size_t new_capacity);
 
   AggLayout layout_;
-  std::unordered_map<Row, std::vector<int64_t>, RowHasher> groups_;
+  size_t num_accs_;
+  size_t capacity_ = 0;  // power of two (0 until first Add)
+  size_t num_groups_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<int64_t> accs_;       // capacity * num_accs_, slot-indexed
+  std::vector<uint8_t> key_arena_;  // encoded keys, append-only
+  std::vector<uint8_t> key_scratch_;
 };
 
 /// Reducer (and combiner) that merges accumulator rows element-wise per key

@@ -17,6 +17,66 @@ size_t CapacityFor(size_t entries) {
 }
 }  // namespace
 
+void DimHashTable::ProbeBatch(const int64_t* keys, int64_t n,
+                              const Row** out) const {
+  if (capacity_ == 0) {
+    for (int64_t i = 0; i < n; ++i) out[i] = nullptr;
+    return;
+  }
+  const Slot* const slot_data = slots_.data();
+  const Row* const payload_data = payloads_.data();
+  const size_t mask = capacity_ - 1;
+
+  constexpr int kStride = 256;
+  size_t slot[kStride];
+  int32_t todo[kStride];
+  for (int64_t base = 0; base < n; base += kStride) {
+    const int m = static_cast<int>(std::min<int64_t>(kStride, n - base));
+    const int64_t* stride_keys = keys + base;
+    const Row** stride_out = out + base;
+    // Hash every lane and prefetch its home slot before touching any of
+    // them: by resolve time the slot loads are in flight or done.
+    for (int i = 0; i < m; ++i) {
+      slot[i] = static_cast<size_t>(
+                    Mix64(static_cast<uint64_t>(stride_keys[i]))) &
+                mask;
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(&slot_data[slot[i]], /*rw=*/0, /*locality=*/1);
+#endif
+    }
+    // Resolve every lane at its current slot; hit/miss/keep-scanning are
+    // computed as data (conditional moves + compaction counter), never as
+    // branches. Lanes that landed on another key's slot advance together in
+    // the next round — with load factor <= 1/2 few lanes survive a round.
+    int live = 0;
+    for (int i = 0; i < m; ++i) {
+      const Slot& s = slot_data[slot[i]];
+      const bool empty = s.payload_index < 0;
+      const bool match = !empty & (s.key == stride_keys[i]);
+      stride_out[i] =
+          match ? payload_data + s.payload_index : nullptr;
+      todo[live] = i;
+      live += static_cast<int>(!(empty | match));
+    }
+    while (live > 0) {
+      int next_live = 0;
+      for (int t = 0; t < live; ++t) {
+        const int i = todo[t];
+        const size_t advanced = (slot[i] + 1) & mask;
+        slot[i] = advanced;
+        const Slot& s = slot_data[advanced];
+        const bool empty = s.payload_index < 0;
+        const bool match = !empty & (s.key == stride_keys[i]);
+        stride_out[i] =
+            match ? payload_data + s.payload_index : nullptr;
+        todo[next_live] = i;
+        next_live += static_cast<int>(!(empty | match));
+      }
+      live = next_live;
+    }
+  }
+}
+
 void DimHashTable::Insert(int64_t key, Row payload) {
   size_t slot = static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) &
                 (capacity_ - 1);

@@ -51,6 +51,15 @@ class DimHashTable {
     }
   }
 
+  /// Batch probe over a gathered key column: out[i] = Probe(keys[i]), but
+  /// restructured for selection-vector joins. Per stride of keys it hashes
+  /// and software-prefetches every home slot up front, then resolves all
+  /// lanes with conditional moves, compacting the unresolved lanes and
+  /// advancing them together round by round — the hit/miss/continue
+  /// decisions never become branches, so random keys cost no branch
+  /// mispredictions (the dominant cost of the scalar probe loop).
+  void ProbeBatch(const int64_t* keys, int64_t n, const Row** out) const;
+
   uint64_t entries() const { return stats_.entries; }
   const BuildStats& stats() const { return stats_; }
 

@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "core/aggregation.h"
+#include "core/vector_probe.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/input_format.h"
 
@@ -82,9 +83,26 @@ struct ProbeSink {
   HashAggregator agg;
   uint64_t probe_rows = 0;
   uint64_t join_output_rows = 0;
+  uint64_t probe_batches = 0;
   /// Non-null when map-side aggregation is off: emit per joined row.
   mr::OutputCollector* direct_out = nullptr;
 };
+
+/// One thread's vectorized pipeline over the bound plan (scratch buffers are
+/// per-instance, so per-thread).
+std::unique_ptr<VectorizedProbe> MakeVectorizedProbe(
+    const BoundPlan& plan, const QueryHashTables& tables) {
+  std::vector<const DimHashTable*> dim_tables;
+  dim_tables.reserve(tables.tables.size());
+  for (const auto& t : tables.tables) dim_tables.push_back(t.get());
+  std::vector<const BoundScalar*> acc_exprs;
+  acc_exprs.reserve(plan.acc_exprs.size());
+  for (const auto& e : plan.acc_exprs) acc_exprs.push_back(e.get());
+  return std::make_unique<VectorizedProbe>(plan.fact_pred.get(),
+                                           plan.fk_index, std::move(dim_tables),
+                                           plan.group_sources,
+                                           std::move(acc_exprs));
+}
 
 /// The inner join+aggregate step for one fact row that already passed the
 /// fact predicate. `matched` is scratch of size dims.
@@ -132,69 +150,23 @@ Status JoinAndAggregateRow(const BoundPlan& plan, const QueryHashTables& tables,
   return Status::OK();
 }
 
-/// Block-iteration probe (B-CIF): vectorized fact predicate, then probe the
-/// qualifying rows.
-Status ProcessBatches(const BoundPlan& plan, const QueryHashTables& tables,
-                      storage::BatchReader* reader, int64_t batch_rows,
-                      ProbeSink* sink) {
+/// Block-iteration probe (B-CIF): the whole filter→probe→aggregate pipeline
+/// stays columnar inside VectorizedProbe; this loop just pulls batches and
+/// routes them to the sink mode the plan asked for.
+Status ProcessBatches(const BoundPlan& plan, storage::BatchReader* reader,
+                      int64_t batch_rows, ProbeSink* sink,
+                      VectorizedProbe* probe) {
   RowBatch batch(plan.fact_schema);
-  std::vector<uint8_t> sel;
-  std::vector<const Row*> matched(tables.tables.size());
   while (true) {
     CLY_ASSIGN_OR_RETURN(bool more, reader->NextBatch(&batch, batch_rows));
     if (!more) break;
-    const int64_t n = batch.num_rows();
-    sink->probe_rows += static_cast<uint64_t>(n);
-    sel.assign(static_cast<size_t>(n), 1);
-    plan.fact_pred->EvalBatch(batch, &sel);
-    for (int64_t i = 0; i < n; ++i) {
-      if (sel[static_cast<size_t>(i)] == 0) continue;
-      // Fast-path key probe straight off the columns; materialize the row
-      // only for survivors of every join.
-      bool ok = true;
-      for (size_t d = 0; d < tables.tables.size(); ++d) {
-        matched[d] = tables.tables[d]->Probe(
-            batch.column(plan.fk_index[d]).KeyAt(i));
-        if (matched[d] == nullptr) {
-          ok = false;
-          break;
-        }
-      }
-      if (!ok) continue;
-      ++sink->join_output_rows;
-      const Row row = batch.GetRow(i);
-      if (plan.emit_joined_rows) {
-        Row empty_key;
-        CLY_RETURN_IF_ERROR(sink->direct_out->Collect(
-            empty_key, GatherSources(plan.emit_sources, row, matched)));
-        continue;
-      }
-      Row group_key;
-      group_key.Reserve(static_cast<int>(plan.group_sources.size()));
-      for (const GroupSource& src : plan.group_sources) {
-        group_key.Append(
-            src.from_fact
-                ? row.Get(src.fact_index)
-                : matched[static_cast<size_t>(src.dim_index)]->Get(src.aux_index));
-      }
-      if (sink->direct_out != nullptr) {
-        Row value;
-        value.Reserve(static_cast<int>(plan.acc_exprs.size()));
-        for (const BoundScalarPtr& e : plan.acc_exprs) {
-          value.Append(
-              Value(e == nullptr ? int64_t{1} : e->Eval(row).AsInt64()));
-        }
-        CLY_RETURN_IF_ERROR(sink->direct_out->Collect(group_key, value));
-        continue;
-      }
-      int64_t values[16];
-      CLY_CHECK(plan.acc_exprs.size() <= 16);
-      for (size_t a = 0; a < plan.acc_exprs.size(); ++a) {
-        values[a] = plan.acc_exprs[a] == nullptr
-                        ? 1
-                        : plan.acc_exprs[a]->Eval(row).AsInt64();
-      }
-      sink->agg.Add(group_key, values);
+    if (plan.emit_joined_rows) {
+      CLY_RETURN_IF_ERROR(probe->ProcessBatchEmitJoined(
+          batch, plan.emit_sources, sink->direct_out));
+    } else if (sink->direct_out != nullptr) {
+      CLY_RETURN_IF_ERROR(probe->ProcessBatchCollect(batch, sink->direct_out));
+    } else {
+      CLY_RETURN_IF_ERROR(probe->ProcessBatchAgg(batch, &sink->agg));
     }
   }
   return Status::OK();
@@ -327,9 +299,11 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
 
   auto worker = [&](int t) {
     ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
+    std::unique_ptr<VectorizedProbe> vec;
+    if (options_.block_iteration) vec = MakeVectorizedProbe(plan, *tables);
     while (true) {
       const size_t mine = next.fetch_add(1, std::memory_order_relaxed);
-      if (mine >= constituents.size()) return;
+      if (mine >= constituents.size()) break;
       storage::ScanOptions scan;
       scan.projection = projection;
       scan.reader_node = context->node();
@@ -338,8 +312,8 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
       if (options_.block_iteration) {
         auto reader = storage::OpenSplitBatchReader(
             *cluster->dfs(), fact_desc, *constituents[mine], scan);
-        st = reader.ok() ? ProcessBatches(plan, *tables, reader->get(),
-                                          options_.batch_rows, sink)
+        st = reader.ok() ? ProcessBatches(plan, reader->get(),
+                                          options_.batch_rows, sink, vec.get())
                          : reader.status();
       } else {
         auto reader = storage::OpenSplitRowReader(
@@ -349,8 +323,13 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
       }
       if (!st.ok()) {
         statuses[static_cast<size_t>(t)] = st;
-        return;
+        break;
       }
+    }
+    if (vec != nullptr) {
+      sink->probe_rows += vec->stats().rows_in;
+      sink->join_output_rows += vec->stats().join_rows;
+      sink->probe_batches += vec->stats().batches;
     }
   };
 
@@ -363,12 +342,17 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
     for (std::thread& th : threads) th.join();
   }
 
-  uint64_t probe_rows = 0, join_rows = 0;
+  uint64_t probe_rows = 0, join_rows = 0, probe_batches = 0;
+  uint64_t agg_groups = 0, agg_bytes = 0;
   for (int t = 0; t < num_threads; ++t) {
     CLY_RETURN_IF_ERROR(statuses[static_cast<size_t>(t)]);
     context->MergeIoStats(io[static_cast<size_t>(t)]);
-    probe_rows += sinks[static_cast<size_t>(t)]->probe_rows;
-    join_rows += sinks[static_cast<size_t>(t)]->join_output_rows;
+    ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
+    probe_rows += sink->probe_rows;
+    join_rows += sink->join_output_rows;
+    probe_batches += sink->probe_batches;
+    agg_groups += sink->agg.num_groups();
+    agg_bytes += sink->agg.memory_bytes();
   }
   context->counters()->Add(kCounterProbeRows,
                            static_cast<int64_t>(probe_rows));
@@ -376,6 +360,16 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
                            static_cast<int64_t>(join_rows));
   context->counters()->Add(mr::kCounterMapInputRecords,
                            static_cast<int64_t>(probe_rows));
+  if (probe_batches > 0) {
+    context->counters()->Add(kCounterProbeBatches,
+                             static_cast<int64_t>(probe_batches));
+  }
+  if (options_.map_side_agg && !plan.emit_joined_rows) {
+    context->counters()->Add(kCounterAggGroups,
+                             static_cast<int64_t>(agg_groups));
+    context->counters()->Add(kCounterAggBytes,
+                             static_cast<int64_t>(agg_bytes));
+  }
 
   if (options_.map_side_agg && !plan.emit_joined_rows) {
     // Merge the per-thread partial aggregates and emit once.

@@ -53,6 +53,11 @@ inline constexpr const char kCounterHashEntries[] = "CLY_HASH_ENTRIES";
 inline constexpr const char kCounterHashBytes[] = "CLY_HASH_MEMORY_BYTES";
 inline constexpr const char kCounterProbeRows[] = "CLY_PROBE_INPUT_ROWS";
 inline constexpr const char kCounterJoinOutputRows[] = "CLY_JOIN_OUTPUT_ROWS";
+// Vectorized-pipeline counters: blocks through the selection-vector probe
+// loop, and the per-thread partial-aggregate table shape at task end.
+inline constexpr const char kCounterProbeBatches[] = "CLY_PROBE_BATCHES";
+inline constexpr const char kCounterAggGroups[] = "CLY_AGG_PARTIAL_GROUPS";
+inline constexpr const char kCounterAggBytes[] = "CLY_AGG_MEMORY_BYTES";
 
 /// The dimension hash tables of one query on one node.
 struct QueryHashTables {

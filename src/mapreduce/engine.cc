@@ -85,21 +85,6 @@ class OutputFormatCollector final : public OutputCollector {
   std::atomic<uint64_t> bytes_{0};
 };
 
-/// Thread-safe collector wrapper used by multi-threaded map runners over a
-/// MapOutputBuffer (whose Collect is not thread-safe).
-class LockedCollector final : public OutputCollector {
- public:
-  explicit LockedCollector(OutputCollector* inner) : inner_(inner) {}
-  Status Collect(const Row& key, const Row& value) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return inner_->Collect(key, value);
-  }
-
- private:
-  std::mutex mu_;
-  OutputCollector* inner_;
-};
-
 /// Copies every distributed-cache file from DFS onto every node's local
 /// disk, once per node per job (paper §6.1: Hive's mapjoin dissemination).
 Status DistributeCache(MrCluster* cluster, const JobConf& conf,
@@ -147,6 +132,7 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
   JobReport report;
   report.job_name = conf.job_name;
   report.num_nodes = cluster->num_nodes();
+  const uint64_t dfs_written_before = cluster->dfs()->TotalIo().bytes_written;
 
   std::unique_ptr<InputFormat> input_format = conf.input_format_factory();
   std::unique_ptr<OutputFormat> output_format = conf.output_format_factory();
@@ -207,10 +193,11 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
       std::unique_ptr<Partitioner> partitioner =
           conf.partitioner_factory ? conf.partitioner_factory()
                                    : std::make_unique<HashPartitioner>();
-      MapOutputBuffer buffer(partitioner.get(), num_reduces);
-      LockedCollector locked(&buffer);
+      // Sharded per-thread buffers: no lock on the per-record collect path
+      // even when the map runner collects from many threads at once.
+      ShardedCollector buffer(partitioner.get(), num_reduces);
       outcome.status = runner->Run(cluster, conf, *task.split,
-                                   input_format.get(), &context, &locked);
+                                   input_format.get(), &context, &buffer);
       if (outcome.status.ok()) {
         std::unique_ptr<Reducer> combiner =
             conf.combiner_factory ? conf.combiner_factory() : nullptr;
@@ -356,9 +343,12 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
   }
 
   CLY_RETURN_IF_ERROR(output_format->Commit(cluster, conf));
+  // Bytes this job actually pushed into DFS (output commit, staged-join
+  // intermediates): the delta of the cluster-wide write ledger.
   report.counters.Add(
       kCounterHdfsBytesWritten,
-      static_cast<int64_t>(0));  // writes tracked by the DFS ledger
+      static_cast<int64_t>(cluster->dfs()->TotalIo().bytes_written -
+                           dfs_written_before));
   report.wall_seconds = job_timer.ElapsedSeconds();
 
   JobResult result;

@@ -1,6 +1,8 @@
 #include "mapreduce/shuffle.h"
 
 #include <algorithm>
+#include <atomic>
+#include <queue>
 
 #include "common/logging.h"
 #include "mapreduce/counters.h"
@@ -26,6 +28,44 @@ class VectorCollector final : public OutputCollector {
  private:
   std::vector<KeyValue>* out_;
 };
+
+/// Sorts one partition by key and, when a combiner is given, folds it over
+/// each key group in place. Shared by MapOutputBuffer::Finish and
+/// ShardedCollector::Finish.
+Status SortAndCombinePartition(std::vector<KeyValue>* partition,
+                               Reducer* combiner, TaskContext* context) {
+  std::stable_sort(partition->begin(), partition->end(), KeyLess);
+  if (combiner == nullptr || partition->empty()) return Status::OK();
+
+  context->counters()->Add(kCounterCombineInputRecords,
+                           static_cast<int64_t>(partition->size()));
+  std::vector<KeyValue> combined;
+  VectorCollector collector(&combined);
+  CLY_RETURN_IF_ERROR(combiner->Setup(context));
+  size_t group_start = 0;
+  std::vector<Row> values;
+  for (size_t i = 0; i <= partition->size(); ++i) {
+    const bool boundary =
+        i == partition->size() ||
+        (*partition)[i].key.Compare((*partition)[group_start].key) != 0;
+    if (!boundary) continue;
+    values.clear();
+    for (size_t j = group_start; j < i; ++j) {
+      values.push_back((*partition)[j].value);
+    }
+    CLY_RETURN_IF_ERROR(combiner->Reduce((*partition)[group_start].key, values,
+                                         context, &collector));
+    group_start = i;
+  }
+  CLY_RETURN_IF_ERROR(combiner->Cleanup(context, &collector));
+  context->counters()->Add(kCounterCombineOutputRecords,
+                           static_cast<int64_t>(combined.size()));
+  *partition = std::move(combined);
+  // A combiner must preserve key order for the merge; ours produce one
+  // output per group in order, but guard against user combiners that don't.
+  CLY_DCHECK(std::is_sorted(partition->begin(), partition->end(), KeyLess));
+  return Status::OK();
+}
 }  // namespace
 
 uint64_t EncodedKeyValueBytes(const Row& key, const Row& value) {
@@ -51,38 +91,70 @@ Status MapOutputBuffer::Collect(const Row& key, const Row& value) {
 Result<std::vector<std::vector<KeyValue>>> MapOutputBuffer::Finish(
     Reducer* combiner, TaskContext* context) {
   for (auto& partition : partitions_) {
-    std::stable_sort(partition.begin(), partition.end(), KeyLess);
-    if (combiner == nullptr || partition.empty()) continue;
-
-    context->counters()->Add(kCounterCombineInputRecords,
-                             static_cast<int64_t>(partition.size()));
-    std::vector<KeyValue> combined;
-    VectorCollector collector(&combined);
-    CLY_RETURN_IF_ERROR(combiner->Setup(context));
-    size_t group_start = 0;
-    std::vector<Row> values;
-    for (size_t i = 0; i <= partition.size(); ++i) {
-      const bool boundary =
-          i == partition.size() ||
-          partition[i].key.Compare(partition[group_start].key) != 0;
-      if (!boundary) continue;
-      values.clear();
-      for (size_t j = group_start; j < i; ++j) {
-        values.push_back(partition[j].value);
-      }
-      CLY_RETURN_IF_ERROR(combiner->Reduce(partition[group_start].key, values,
-                                           context, &collector));
-      group_start = i;
-    }
-    CLY_RETURN_IF_ERROR(combiner->Cleanup(context, &collector));
-    context->counters()->Add(kCounterCombineOutputRecords,
-                             static_cast<int64_t>(combined.size()));
-    partition = std::move(combined);
-    // A combiner must preserve key order for the merge; ours produce one
-    // output per group in order, but guard against user combiners that don't.
-    CLY_DCHECK(std::is_sorted(partition.begin(), partition.end(), KeyLess));
+    CLY_RETURN_IF_ERROR(SortAndCombinePartition(&partition, combiner, context));
   }
   return std::move(partitions_);
+}
+
+ShardedCollector::ShardedCollector(Partitioner* partitioner,
+                                   int num_partitions)
+    : id_([] {
+        static std::atomic<uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()),
+      partitioner_(partitioner),
+      num_partitions_(num_partitions) {}
+
+MapOutputBuffer* ShardedCollector::ShardForThisThread() {
+  // Cache the (collector id, shard) pair per thread: repeat Collects from
+  // the same thread bypass the mutex entirely. The id check guards against
+  // a stale entry left by a previous collector this thread fed.
+  thread_local uint64_t cached_id = 0;
+  thread_local MapOutputBuffer* cached_shard = nullptr;
+  if (cached_id == id_) return cached_shard;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(
+      std::make_unique<MapOutputBuffer>(partitioner_, num_partitions_));
+  cached_id = id_;
+  cached_shard = shards_.back().get();
+  return cached_shard;
+}
+
+Status ShardedCollector::Collect(const Row& key, const Row& value) {
+  return ShardForThisThread()->Collect(key, value);
+}
+
+uint64_t ShardedCollector::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->records();
+  return total;
+}
+
+int ShardedCollector::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(shards_.size());
+}
+
+Result<std::vector<std::vector<KeyValue>>> ShardedCollector::Finish(
+    Reducer* combiner, TaskContext* context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<KeyValue>> merged(
+      static_cast<size_t>(std::max(num_partitions_, 1)));
+  for (auto& shard : shards_) {
+    for (size_t p = 0; p < merged.size(); ++p) {
+      auto& from = shard->partitions_[p];
+      merged[p].insert(merged[p].end(),
+                       std::make_move_iterator(from.begin()),
+                       std::make_move_iterator(from.end()));
+      from.clear();
+    }
+  }
+  for (auto& partition : merged) {
+    CLY_RETURN_IF_ERROR(SortAndCombinePartition(&partition, combiner, context));
+  }
+  return merged;
 }
 
 ShuffleStore::ShuffleStore(int num_partitions)
@@ -110,41 +182,59 @@ uint64_t ShuffleStore::total_bytes() const {
   return total_bytes_;
 }
 
+namespace {
+/// Cursor into one sorted run during the k-way merge.
+struct MergeCursor {
+  size_t run = 0;
+  size_t pos = 0;
+};
+}  // namespace
+
 Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
                        TaskContext* context, OutputCollector* out,
                        uint64_t* input_records, uint64_t* input_groups) {
-  // Merge the sorted runs. Run count is modest (== map tasks), so a simple
-  // concatenate + stable sort keeps the code obvious; stability plus the
-  // by-task-index run order makes value order deterministic.
-  std::vector<KeyValue> merged;
-  size_t total = 0;
-  for (const ShuffleRun& run : runs) total += run.records.size();
-  merged.reserve(total);
-  for (ShuffleRun& run : runs) {
-    for (KeyValue& kv : run.records) merged.push_back(std::move(kv));
-  }
-  std::stable_sort(merged.begin(), merged.end(), KeyLess);
-
-  *input_records = merged.size();
+  // K-way heap merge over the per-map-task sorted runs: each key group is
+  // assembled and handed to the reducer as soon as its last record leaves
+  // the heap — nothing is concatenated or re-sorted. Equal keys pop in run
+  // order (runs arrive sorted by map task index; within a run, positions
+  // advance monotonically), so value order matches the old stable-sort path.
+  *input_records = 0;
+  for (const ShuffleRun& run : runs) *input_records += run.records.size();
   *input_groups = 0;
 
+  auto greater = [&runs](const MergeCursor& a, const MergeCursor& b) {
+    const int c = runs[a.run].records[a.pos].key.Compare(
+        runs[b.run].records[b.pos].key);
+    if (c != 0) return c > 0;
+    return a.run > b.run;
+  };
+  std::priority_queue<MergeCursor, std::vector<MergeCursor>, decltype(greater)>
+      heap(greater);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].records.empty()) heap.push(MergeCursor{r, 0});
+  }
+
   CLY_RETURN_IF_ERROR(reducer->Setup(context));
-  size_t group_start = 0;
+  Row group_key;
   std::vector<Row> values;
-  for (size_t i = 0; i <= merged.size(); ++i) {
-    const bool boundary = i == merged.size() ||
-                          merged[i].key.Compare(merged[group_start].key) != 0;
-    if (!boundary) continue;
-    if (i == group_start) break;  // empty input
-    values.clear();
-    values.reserve(i - group_start);
-    for (size_t j = group_start; j < i; ++j) {
-      values.push_back(std::move(merged[j].value));
+  while (!heap.empty()) {
+    const MergeCursor cursor = heap.top();
+    heap.pop();
+    KeyValue& kv = runs[cursor.run].records[cursor.pos];
+    if (!values.empty() && kv.key.Compare(group_key) != 0) {
+      CLY_RETURN_IF_ERROR(reducer->Reduce(group_key, values, context, out));
+      ++*input_groups;
+      values.clear();
     }
-    CLY_RETURN_IF_ERROR(
-        reducer->Reduce(merged[group_start].key, values, context, out));
+    if (values.empty()) group_key = kv.key;
+    values.push_back(std::move(kv.value));
+    if (cursor.pos + 1 < runs[cursor.run].records.size()) {
+      heap.push(MergeCursor{cursor.run, cursor.pos + 1});
+    }
+  }
+  if (!values.empty()) {
+    CLY_RETURN_IF_ERROR(reducer->Reduce(group_key, values, context, out));
     ++*input_groups;
-    group_start = i;
   }
   return reducer->Cleanup(context, out);
 }

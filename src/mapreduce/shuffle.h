@@ -31,9 +31,44 @@ class MapOutputBuffer final : public OutputCollector {
   uint64_t records() const { return records_; }
 
  private:
+  friend class ShardedCollector;
+
   Partitioner* partitioner_;
   std::vector<std::vector<KeyValue>> partitions_;
   uint64_t records_ = 0;
+};
+
+/// Collector for multi-threaded map runners: every calling thread gets its
+/// own MapOutputBuffer shard on first Collect, so the hot path touches only
+/// thread-private state — no global lock per record (the old LockedCollector
+/// serialised every Collect). The mutex is taken once per thread, at shard
+/// creation. Finish concatenates the shards per partition and then sorts and
+/// combines once. Requires a thread-safe (stateless) Partitioner; the stock
+/// HashPartitioner qualifies.
+class ShardedCollector final : public OutputCollector {
+ public:
+  ShardedCollector(Partitioner* partitioner, int num_partitions);
+
+  Status Collect(const Row& key, const Row& value) override;
+
+  /// Same contract as MapOutputBuffer::Finish, over the union of all shards.
+  Result<std::vector<std::vector<KeyValue>>> Finish(Reducer* combiner,
+                                                    TaskContext* context);
+
+  uint64_t records() const;
+  int num_shards() const;
+
+ private:
+  MapOutputBuffer* ShardForThisThread();
+
+  /// Distinguishes this collector from any earlier one whose shard a thread
+  /// may still have cached in its thread_local slot (monotone, never reused,
+  /// so a recycled address can't alias a stale cache entry).
+  const uint64_t id_;
+  Partitioner* const partitioner_;
+  const int num_partitions_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MapOutputBuffer>> shards_;
 };
 
 /// One map task's sorted output for one partition.
@@ -63,8 +98,10 @@ class ShuffleStore {
   uint64_t total_bytes_ = 0;
 };
 
-/// Merges sorted runs and feeds key groups to `reducer`. Also used for the
-/// map side's combiner via MapOutputBuffer::Finish.
+/// K-way merges the sorted runs and streams key groups to `reducer` — no
+/// concatenated copy of the partition is ever materialised. Ties between
+/// runs break by map task index, matching the order a stable sort over the
+/// by-task concatenation would produce.
 Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
                        TaskContext* context, OutputCollector* out,
                        uint64_t* input_records, uint64_t* input_groups);

@@ -78,6 +78,13 @@ std::string Expr::ToString() const {
 // Bound scalar nodes
 // ---------------------------------------------------------------------------
 
+void BoundScalar::EvalBatch(const RowBatch& batch, const int32_t* sel_idx,
+                            int64_t n, int64_t* out) const {
+  for (int64_t j = 0; j < n; ++j) {
+    out[j] = Eval(batch.GetRow(sel_idx[j])).AsInt64();
+  }
+}
+
 namespace {
 
 class ColumnScalar final : public BoundScalar {
@@ -86,6 +93,43 @@ class ColumnScalar final : public BoundScalar {
   Value Eval(const Row& row) const override { return row.Get(index_); }
   double EvalDouble(const Row& row) const override {
     return row.Get(index_).AsDouble();
+  }
+
+  void EvalBatch(const RowBatch& batch, const int32_t* sel_idx, int64_t n,
+                 int64_t* out) const override {
+    const ColumnVector& col = batch.column(index_);
+    switch (col.type()) {
+      case TypeKind::kInt32: {
+        const auto& data = col.i32();
+        for (int64_t j = 0; j < n; ++j) {
+          out[j] = data[static_cast<size_t>(sel_idx[j])];
+        }
+        return;
+      }
+      case TypeKind::kInt64: {
+        const auto& data = col.i64();
+        for (int64_t j = 0; j < n; ++j) {
+          out[j] = data[static_cast<size_t>(sel_idx[j])];
+        }
+        return;
+      }
+      case TypeKind::kDouble: {
+        // Per-element truncation == Eval(row).AsInt64() for a lone column.
+        const auto& data = col.f64();
+        for (int64_t j = 0; j < n; ++j) {
+          out[j] = static_cast<int64_t>(data[static_cast<size_t>(sel_idx[j])]);
+        }
+        return;
+      }
+      case TypeKind::kString:
+        break;  // falls through to the scalar path (which reports the error)
+    }
+    BoundScalar::EvalBatch(batch, sel_idx, n, out);
+  }
+
+  bool IntegerTypedIn(const RowBatch& batch) const override {
+    const TypeKind t = batch.column(index_).type();
+    return t == TypeKind::kInt32 || t == TypeKind::kInt64;
   }
 
  private:
@@ -97,6 +141,17 @@ class LiteralScalar final : public BoundScalar {
   explicit LiteralScalar(Value v) : value_(std::move(v)) {}
   Value Eval(const Row&) const override { return value_; }
   double EvalDouble(const Row&) const override { return value_.AsDouble(); }
+
+  void EvalBatch(const RowBatch&, const int32_t*, int64_t n,
+                 int64_t* out) const override {
+    const int64_t v = value_.AsInt64();
+    for (int64_t j = 0; j < n; ++j) out[j] = v;
+  }
+
+  bool IntegerTypedIn(const RowBatch&) const override {
+    return value_.kind() == TypeKind::kInt32 ||
+           value_.kind() == TypeKind::kInt64;
+  }
 
  private:
   Value value_;
@@ -157,6 +212,37 @@ class ArithmeticScalar final : public BoundScalar {
       default:
         return 0;
     }
+  }
+
+  void EvalBatch(const RowBatch& batch, const int32_t* sel_idx, int64_t n,
+                 int64_t* out) const override {
+    // Integer-only subtrees vectorize (the SSB case: scaled-int prices and
+    // discounts); anything touching a double keeps the exact scalar
+    // semantics of Eval, which widens to double and truncates once.
+    if (!IntegerTypedIn(batch)) {
+      BoundScalar::EvalBatch(batch, sel_idx, n, out);
+      return;
+    }
+    std::vector<int64_t> lhs(static_cast<size_t>(n));
+    left_->EvalBatch(batch, sel_idx, n, lhs.data());
+    right_->EvalBatch(batch, sel_idx, n, out);
+    switch (op_) {
+      case Expr::Kind::kAdd:
+        for (int64_t j = 0; j < n; ++j) out[j] = lhs[static_cast<size_t>(j)] + out[j];
+        return;
+      case Expr::Kind::kSub:
+        for (int64_t j = 0; j < n; ++j) out[j] = lhs[static_cast<size_t>(j)] - out[j];
+        return;
+      case Expr::Kind::kMul:
+        for (int64_t j = 0; j < n; ++j) out[j] = lhs[static_cast<size_t>(j)] * out[j];
+        return;
+      default:
+        return;
+    }
+  }
+
+  bool IntegerTypedIn(const RowBatch& batch) const override {
+    return left_->IntegerTypedIn(batch) && right_->IntegerTypedIn(batch);
   }
 
  private:

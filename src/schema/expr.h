@@ -124,6 +124,24 @@ class BoundScalar {
   virtual Value Eval(const Row& row) const = 0;
   /// Numeric fast path used by aggregation (widens to double).
   virtual double EvalDouble(const Row& row) const { return Eval(row).AsDouble(); }
+
+  /// Column-wise evaluation over a selection vector (mirrors
+  /// BoundPredicate::EvalBatch): for each of the `n` selected row indexes
+  /// writes the int64-widened value of batch row sel_idx[j] to out[j]. The
+  /// base implementation falls back to scalar Eval per row, so every
+  /// expression kind works; column refs, literals, and integer arithmetic
+  /// override it with tight column loops.
+  virtual void EvalBatch(const RowBatch& batch, const int32_t* sel_idx,
+                         int64_t n, int64_t* out) const;
+
+  /// True when EvalBatch over `batch` is exact: every input this expression
+  /// touches is integer-typed, so per-element int64 widening matches the
+  /// scalar Eval-then-truncate semantics. Mixed double arithmetic must keep
+  /// the scalar path (it truncates only the final result).
+  virtual bool IntegerTypedIn(const RowBatch& batch) const {
+    (void)batch;
+    return false;
+  }
 };
 
 /// Predicate evaluator with a row path and a selective batch path.

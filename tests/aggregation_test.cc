@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/aggregation.h"
 #include "core/clydesdale.h"
 #include "core/staged_join.h"
@@ -90,6 +92,123 @@ TEST(AggLayoutTest, FinalizeComputesAverage) {
   ASSERT_EQ(out.size(), 2);
   EXPECT_EQ(out.Get(0).str(), "g");
   EXPECT_DOUBLE_EQ(out.Get(1).f64(), 2.5);
+}
+
+// --- HashAggregator unit tests ------------------------------------------------
+
+/// Captures Emit output so tests can compare aggregator contents.
+class VectorCollector final : public mr::OutputCollector {
+ public:
+  Status Collect(const Row& key, const Row& value) override {
+    pairs_.emplace_back(key, value);
+    return Status::OK();
+  }
+  /// Pairs in deterministic (key) order — emit order follows slot order,
+  /// which differs between aggregators that saw inserts in different order.
+  std::vector<std::pair<Row, Row>> Sorted() const {
+    auto sorted = pairs_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.Compare(b.first) < 0;
+              });
+    return sorted;
+  }
+
+ private:
+  std::vector<std::pair<Row, Row>> pairs_;
+};
+
+AggLayout FourAccLayout() {
+  return AggLayout::For({{"s", Expr::Col("x"), AggKind::kSum},
+                         {"lo", Expr::Col("x"), AggKind::kMin},
+                         {"hi", Expr::Col("x"), AggKind::kMax},
+                         {"n", nullptr, AggKind::kCount}});
+}
+
+TEST(HashAggregatorTest, MergeFromMatchesSingleAggregator) {
+  const AggLayout layout = FourAccLayout();
+  HashAggregator single(layout);
+  std::vector<HashAggregator> partials(3, HashAggregator(layout));
+
+  // Deterministic mixed-type keys (string city + int32 bucket); enough
+  // distinct groups to force rehashing in every aggregator.
+  uint64_t state = 42;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const Row key({Value(std::string("city") + std::to_string(next() % 37)),
+                   Value(static_cast<int32_t>(next() % 11))});
+    const int64_t x = static_cast<int64_t>(next() % 2000) - 1000;
+    const int64_t inputs[4] = {x, x, x, 1};
+    single.Add(key, inputs);
+    partials[i % 3].Add(key, inputs);
+  }
+
+  HashAggregator merged(layout);
+  for (const auto& partial : partials) merged.MergeFrom(partial);
+  EXPECT_EQ(merged.num_groups(), single.num_groups());
+
+  VectorCollector from_single, from_merged;
+  ASSERT_TRUE(single.Emit(&from_single).ok());
+  ASSERT_TRUE(merged.Emit(&from_merged).ok());
+  const auto expected = from_single.Sorted();
+  const auto actual = from_merged.Sorted();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].first.Compare(expected[i].first), 0) << "group " << i;
+    EXPECT_EQ(actual[i].second.Compare(expected[i].second), 0)
+        << "accumulators for group " << i;
+  }
+}
+
+TEST(HashAggregatorTest, MergeFromEmptyIsANoOp) {
+  const AggLayout layout = FourAccLayout();
+  HashAggregator agg(layout);
+  const int64_t inputs[4] = {5, 5, 5, 1};
+  agg.Add(Row({Value("g")}), inputs);
+
+  HashAggregator empty(layout);
+  agg.MergeFrom(empty);        // empty -> populated: no change
+  EXPECT_EQ(agg.num_groups(), 1u);
+
+  HashAggregator target(layout);
+  target.MergeFrom(agg);       // populated -> empty: full copy
+  EXPECT_EQ(target.num_groups(), 1u);
+  VectorCollector out;
+  ASSERT_TRUE(target.Emit(&out).ok());
+  const auto pairs = out.Sorted();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first.Get(0).str(), "g");
+  EXPECT_EQ(pairs[0].second.Get(0).i64(), 5);
+  EXPECT_EQ(pairs[0].second.Get(3).i64(), 1);
+}
+
+TEST(HashAggregatorTest, AddEncodedMatchesRowAdd) {
+  const AggLayout layout = FourAccLayout();
+  HashAggregator via_row(layout);
+  HashAggregator via_encoded(layout);
+  std::vector<uint8_t> key_bytes;
+  for (int i = 0; i < 50; ++i) {
+    const Row key({Value(static_cast<int32_t>(i % 7))});
+    const int64_t inputs[4] = {i, i, i, 1};
+    via_row.Add(key, inputs);
+    key_bytes.clear();
+    group_key::AppendRow(key, &key_bytes);
+    via_encoded.AddEncoded(key_bytes.data(), key_bytes.size(), inputs);
+  }
+  EXPECT_EQ(via_encoded.num_groups(), via_row.num_groups());
+  VectorCollector a, b;
+  ASSERT_TRUE(via_row.Emit(&a).ok());
+  ASSERT_TRUE(via_encoded.Emit(&b).ok());
+  const auto ea = a.Sorted();
+  const auto eb = b.Sorted();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].first.Compare(eb[i].first), 0);
+    EXPECT_EQ(ea[i].second.Compare(eb[i].second), 0);
+  }
 }
 
 // --- end-to-end across every engine ---------------------------------------------

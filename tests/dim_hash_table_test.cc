@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "core/dim_hash_table.h"
 #include "storage/binary_row_format.h"
 
@@ -101,6 +102,129 @@ TEST(DimHashTableTest, CorruptStreamFails) {
   EXPECT_FALSE(DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
                                    *Predicate::True(), "pk", {})
                    .ok());
+}
+
+TEST(DimHashTableTest, NegativeKeysProbeBack) {
+  std::vector<Row> data;
+  for (int i = 0; i < 10; ++i) {
+    data.push_back(Row({Value(int32_t{-100 + i * 7}),
+                        Value(std::string("n") + std::to_string(i)),
+                        Value("ASIA")}));
+  }
+  auto stream = storage::EncodeRowStream(data);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {"nation"});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->entries(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    const Row* aux = (*table)->Probe(-100 + i * 7);
+    ASSERT_NE(aux, nullptr) << "key " << -100 + i * 7;
+    EXPECT_EQ(aux->Get(0).str(), std::string("n") + std::to_string(i));
+  }
+  EXPECT_EQ((*table)->Probe(-101), nullptr);
+  EXPECT_EQ((*table)->Probe(100), nullptr);
+}
+
+TEST(DimHashTableTest, DuplicatePrimaryKeysKeepFirstInScanOrder) {
+  // Dimension streams with repeated pks are tolerated: both rows occupy a
+  // slot, but probes resolve to the first row in scan order (the linear
+  // probe stops at the first matching key).
+  std::vector<Row> data = {
+      Row({Value(int32_t{7}), Value("first"), Value("ASIA")}),
+      Row({Value(int32_t{7}), Value("second"), Value("ASIA")}),
+      Row({Value(int32_t{9}), Value("other"), Value("EUROPE")}),
+  };
+  auto stream = storage::EncodeRowStream(data);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {"nation"});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->entries(), 3u);
+  const Row* aux = (*table)->Probe(7);
+  ASSERT_NE(aux, nullptr);
+  EXPECT_EQ(aux->Get(0).str(), "first");
+}
+
+TEST(DimHashTableTest, CollisionChainMissWalksToEmptySlot) {
+  // Craft keys that all hash to the same home slot so probes must walk a
+  // full linear chain. Build sizes the table at the smallest power of two
+  // >= 2 * entries, so 8 colliding entries land in a capacity-16 table and
+  // a 9th colliding absent key has to traverse all 8 before the empty slot.
+  constexpr size_t kCapacity = 16;
+  std::vector<int32_t> colliding;
+  for (int32_t k = 1; colliding.size() < 9; ++k) {
+    if ((Mix64(static_cast<uint64_t>(k)) & (kCapacity - 1)) == 0) {
+      colliding.push_back(k);
+    }
+  }
+  std::vector<Row> data;
+  for (size_t i = 0; i < 8; ++i) {
+    data.push_back(Row({Value(colliding[i]),
+                        Value(std::string("n") + std::to_string(i)),
+                        Value("ASIA")}));
+  }
+  auto stream = storage::EncodeRowStream(data);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {"nation"});
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->entries(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    const Row* aux = (*table)->Probe(colliding[i]);
+    ASSERT_NE(aux, nullptr) << "key " << colliding[i];
+    EXPECT_EQ(aux->Get(0).str(), std::string("n") + std::to_string(i));
+  }
+  // The 9th key shares the home slot but was never inserted: the chain walk
+  // must pass every occupied slot and stop at the empty one with a miss.
+  EXPECT_EQ((*table)->Probe(colliding[8]), nullptr);
+
+  // The batch probe walks the same chains branchlessly.
+  std::vector<int64_t> keys(colliding.begin(), colliding.end());
+  std::vector<const Row*> out(keys.size());
+  (*table)->ProbeBatch(keys.data(), static_cast<int64_t>(keys.size()),
+                       out.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(out[i], (*table)->Probe(keys[i])) << "key " << keys[i];
+  }
+}
+
+TEST(DimHashTableTest, ProbeBatchMatchesScalarProbe) {
+  auto stream = MakeStream(500);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::True(), "pk", {"nation"});
+  ASSERT_TRUE(table.ok());
+  // Mixed hits, misses, zero, and negative keys; more than one 256-key
+  // stride so the batch loop crosses its internal boundary.
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 700; ++i) {
+    switch (i % 5) {
+      case 0: keys.push_back(i % 500 + 1); break;        // hit
+      case 1: keys.push_back(500 + i); break;            // miss (too large)
+      case 2: keys.push_back(-i); break;                 // miss (negative)
+      case 3: keys.push_back(0); break;                  // miss (zero)
+      default: keys.push_back(499 - i % 499); break;     // hit
+    }
+  }
+  std::vector<const Row*> out(keys.size(), nullptr);
+  (*table)->ProbeBatch(keys.data(), static_cast<int64_t>(keys.size()),
+                       out.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(out[i], (*table)->Probe(keys[i])) << "lane " << i << " key "
+                                                << keys[i];
+  }
+}
+
+TEST(DimHashTableTest, ProbeBatchOnEmptyTableReturnsAllNull) {
+  auto stream = MakeStream(10);
+  auto table = DimHashTable::Build(*DimSchema(), stream.data(), stream.size(),
+                                   *Predicate::Eq("region", Value("MARS")),
+                                   "pk", {});
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->entries(), 0u);
+  std::vector<int64_t> keys = {1, 2, 3, -4, 0};
+  std::vector<const Row*> out(keys.size(),
+                              reinterpret_cast<const Row*>(0x1));
+  (*table)->ProbeBatch(keys.data(), static_cast<int64_t>(keys.size()),
+                       out.data());
+  for (const Row* r : out) EXPECT_EQ(r, nullptr);
 }
 
 // Property-style sweep: every inserted key must probe back to its payload,
