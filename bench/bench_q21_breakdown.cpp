@@ -4,8 +4,11 @@
 // (~15,142 s) and repartition plan (~17,700 s).
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.h"
+#include "core/clydesdale.h"
+#include "mapreduce/job_trace.h"
 
 using namespace clydesdale;        // NOLINT(build/namespaces)
 using namespace clydesdale::bench; // NOLINT(build/namespaces)
@@ -63,5 +66,24 @@ int main() {
   std::printf("speedups: %.0fx over mapjoin, %.0fx over repartition "
               "(paper: ~70x, ~82x)\n",
               mj->seconds / cly->seconds, rp->seconds / cly->seconds);
+
+  // With CLY_TRACE_DIR set, re-run Q2.1 through the functional engine with
+  // span tracing on: the engine drops a Chrome trace (chrome://tracing /
+  // Perfetto) + plain-text timeline there, giving the measured counterpart
+  // of the modeled breakdown above. run_benches.sh publishes the artifact.
+  const char* trace_dir = std::getenv("CLY_TRACE_DIR");
+  if (trace_dir != nullptr && trace_dir[0] != '\0') {
+    core::ClydesdaleOptions copts;
+    copts.trace = true;
+    copts.trace_dir = trace_dir;
+    core::ClydesdaleEngine engine(env.cluster.get(), env.dataset.star, copts);
+    auto traced = engine.Execute(*query);
+    CLY_CHECK(traced.ok());
+    const mr::JobReport& report = traced->stage_reports[0];
+    std::printf("\ntraced functional run (SF%g): %s\n",
+                MeasurementScaleFactor(),
+                mr::CriticalPath(report).ToString().c_str());
+    std::printf("trace artifacts written to %s\n", trace_dir);
+  }
   return 0;
 }

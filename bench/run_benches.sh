@@ -60,3 +60,25 @@ for path in sorted(tmp_dir.glob("*.json")):
 out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 print(f"wrote {out_path} ({len(merged)} benchmarks)")
 EOF
+
+# Traced Q2.1 breakdown: publish the Chrome trace + timeline the
+# observability layer emits (load the .trace.json in chrome://tracing or
+# https://ui.perfetto.dev for the per-stage drill-down).
+Q21_BIN="${BENCH_DIR}/bench_q21_breakdown"
+if [ -x "${Q21_BIN}" ]; then
+  TRACE_DIR="${TMP_DIR}/q21_trace"
+  mkdir -p "${TRACE_DIR}"
+  echo "== bench_q21_breakdown (traced, CLY_BENCH_SF=${CLY_BENCH_SF})"
+  CLY_TRACE_DIR="${TRACE_DIR}" "${Q21_BIN}" >/dev/null
+  OUT_DIR="$(dirname "${OUT_JSON}")"
+  for f in "${TRACE_DIR}"/*.trace.json; do
+    [ -e "${f}" ] || continue
+    cp "${f}" "${OUT_DIR}/BENCH_q21.trace.json"
+    echo "wrote ${OUT_DIR}/BENCH_q21.trace.json"
+  done
+  for f in "${TRACE_DIR}"/*.timeline.txt; do
+    [ -e "${f}" ] || continue
+    cp "${f}" "${OUT_DIR}/BENCH_q21.timeline.txt"
+    echo "wrote ${OUT_DIR}/BENCH_q21.timeline.txt"
+  done
+fi

@@ -32,6 +32,11 @@ std::mutex& EmitMutex() {
   static std::mutex* const kMutex = new std::mutex();
   return *kMutex;
 }
+
+std::string& ThreadLogContext() {
+  thread_local std::string context;
+  return context;
+}
 }  // namespace
 
 void SetLogThreshold(LogLevel level) {
@@ -41,6 +46,16 @@ void SetLogThreshold(LogLevel level) {
 LogLevel GetLogThreshold() {
   return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
 }
+
+const std::string& LogContext() { return ThreadLogContext(); }
+
+ScopedLogContext::ScopedLogContext(std::string context) {
+  std::string& slot = ThreadLogContext();
+  saved_ = std::move(slot);
+  slot = std::move(context);
+}
+
+ScopedLogContext::~ScopedLogContext() { ThreadLogContext() = std::move(saved_); }
 
 namespace internal {
 
@@ -54,6 +69,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       if (*p == '/') base = p + 1;
     }
     stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    const std::string& context = ThreadLogContext();
+    if (!context.empty()) stream_ << "[" << context << "] ";
   }
 }
 

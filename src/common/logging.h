@@ -12,6 +12,26 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 
+/// The calling thread's ambient log context ("" when unset). Non-empty
+/// context is prepended to every CLY_LOG line the thread emits, e.g.
+/// "[I engine.cc:42] [q2.1/m-17@node3] ...", so interleaved multi-slot
+/// task logs stay attributable.
+const std::string& LogContext();
+
+/// RAII setter for the calling thread's log context; restores the previous
+/// context on destruction, so nested scopes (job > task) compose.
+class ScopedLogContext {
+ public:
+  explicit ScopedLogContext(std::string context);
+  ~ScopedLogContext();
+
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+
+ private:
+  std::string saved_;
+};
+
 namespace internal {
 
 /// Stream-style log sink. Emits on destruction; aborts the process for kFatal.

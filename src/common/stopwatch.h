@@ -22,6 +22,12 @@ class Stopwatch {
         .count();
   }
 
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -44,6 +44,7 @@ Result<QueryResult> ClydesdaleEngine::Execute(const StarQuerySpec& spec) {
   conf.num_reduce_tasks = options_.reduce_tasks;
   conf.jvm_reuse = options_.jvm_reuse;
   conf.single_task_per_node = options_.multithreaded;
+  ApplyTraceConf(options_, &conf);
 
   conf.Set(mr::kConfInputTable, star_->fact().path);
   // Columnar pushdown: only the query's fact columns; the §6.5 ablation

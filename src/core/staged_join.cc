@@ -338,6 +338,7 @@ Result<QueryResult> ExecuteStagedStarJoin(
 
     mr::JobConf conf;
     conf.job_name = StrCat("clydesdale-", spec.id, "#stage", j + 1);
+    ApplyTraceConf(options, &conf);
 
     if (group.repartition) {
       // --- oversized dimension: sort-merge join stage --------------------------
@@ -497,6 +498,7 @@ Result<QueryResult> ExecuteStagedStarJoin(
 
     mr::JobConf conf;
     conf.job_name = StrCat("clydesdale-", spec.id, "#agg");
+    ApplyTraceConf(options, &conf);
     conf.jvm_reuse = options.jvm_reuse;
     conf.single_task_per_node = options.multithreaded;
     conf.Set(mr::kConfInputTable, current_table);

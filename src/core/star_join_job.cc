@@ -8,6 +8,8 @@
 #include "core/vector_probe.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/input_format.h"
+#include "mapreduce/job_trace.h"
+#include "obs/trace.h"
 
 namespace clydesdale {
 namespace core {
@@ -200,9 +202,18 @@ Result<std::vector<std::string>> ProjectionFromConf(const mr::JobConf& conf) {
 
 }  // namespace
 
+void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf) {
+  if (options.trace) conf->SetBool(mr::kConfTraceEnabled, true);
+  if (!options.trace_dir.empty()) {
+    conf->Set(mr::kConfTraceDir, options.trace_dir);
+  }
+}
+
 Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
     mr::TaskContext* context, const StarSchema& star,
     const StarQuerySpec& spec) {
+  obs::Span build_span(context->trace(), "hash-build", "stage",
+                       context->task_index(), context->node());
   auto tables = std::make_shared<QueryHashTables>();
   for (const DimJoinSpec& join : spec.dims) {
     CLY_ASSIGN_OR_RETURN(const DimTableInfo* dim, star.dim(join.dimension));
@@ -228,6 +239,10 @@ Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
 Result<std::shared_ptr<QueryHashTables>> GetOrBuildHashTables(
     mr::TaskContext* context, const StarSchema& star,
     const StarQuerySpec& spec) {
+  // The JVM-reuse amortisation, made visible: the first task on a node pays
+  // a nested "hash-build"; later tasks' "hash-tables" spans are near-zero.
+  obs::Span amortise_span(context->trace(), "hash-tables", "stage",
+                          context->task_index(), context->node());
   Status build_status;
   std::shared_ptr<QueryHashTables> tables =
       context->shared_state()->GetOrCreate<QueryHashTables>(
@@ -298,6 +313,10 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
   }
 
   auto worker = [&](int t) {
+    // One probe span per worker thread: the fused scan/filter/probe/agg
+    // pipeline over this thread's share of the constituents.
+    obs::Span probe_span(context->trace(), "probe", "stage",
+                         context->task_index(), context->node());
     ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
     std::unique_ptr<VectorizedProbe> vec;
     if (options_.block_iteration) vec = MakeVectorizedProbe(plan, *tables);
@@ -353,6 +372,12 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
     probe_batches += sink->probe_batches;
     agg_groups += sink->agg.num_groups();
     agg_bytes += sink->agg.memory_bytes();
+    if (context->histograms() != nullptr && sink->probe_rows > 0) {
+      context->histograms()
+          ->Get(kHistProbeHitPct)
+          ->Record(static_cast<int64_t>(100 * sink->join_output_rows /
+                                        sink->probe_rows));
+    }
   }
   context->counters()->Add(kCounterProbeRows,
                            static_cast<int64_t>(probe_rows));
@@ -373,6 +398,8 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
 
   if (options_.map_side_agg && !plan.emit_joined_rows) {
     // Merge the per-thread partial aggregates and emit once.
+    obs::Span agg_span(context->trace(), "aggregate", "stage",
+                       context->task_index(), context->node());
     for (int t = 1; t < num_threads; ++t) {
       sinks[0]->agg.MergeFrom(sinks[static_cast<size_t>(t)]->agg);
     }
@@ -435,6 +462,12 @@ Status StarJoinMapper::Cleanup(mr::TaskContext* context,
                            static_cast<int64_t>(s->sink.probe_rows));
   context->counters()->Add(kCounterJoinOutputRows,
                            static_cast<int64_t>(s->sink.join_output_rows));
+  if (context->histograms() != nullptr && s->sink.probe_rows > 0) {
+    context->histograms()
+        ->Get(kHistProbeHitPct)
+        ->Record(static_cast<int64_t>(100 * s->sink.join_output_rows /
+                                      s->sink.probe_rows));
+  }
   if (options_.map_side_agg && !s->plan.emit_joined_rows) {
     CLY_RETURN_IF_ERROR(s->sink.agg.Emit(out));
   }

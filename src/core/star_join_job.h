@@ -38,7 +38,18 @@ struct ClydesdaleOptions {
   int64_t batch_rows = 4096;
   /// CIF splits packed per multi-split; 0 = all of a node's splits at once.
   int64_t multisplit_size = 0;
+  /// Span tracing for every stage job (obs.trace.enabled). Counters and
+  /// histograms are always maintained; only span recording is gated.
+  bool trace = false;
+  /// When tracing, write <job>-<instance>.trace.json/.timeline.txt into
+  /// this directory (obs.trace.dir). Empty = keep spans in-memory only.
+  std::string trace_dir;
 };
+
+/// Forwards the options' trace knobs into a stage job's conf; every
+/// Clydesdale stage job (single-job, staged fallback) goes through this so
+/// traces stay comparable across plans.
+void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf);
 
 /// Conf key: comma-separated output columns for staged-join stages. When
 /// set, the star-join map emits joined rows projected to these columns (one
@@ -58,6 +69,11 @@ inline constexpr const char kCounterJoinOutputRows[] = "CLY_JOIN_OUTPUT_ROWS";
 inline constexpr const char kCounterProbeBatches[] = "CLY_PROBE_BATCHES";
 inline constexpr const char kCounterAggGroups[] = "CLY_AGG_PARTIAL_GROUPS";
 inline constexpr const char kCounterAggBytes[] = "CLY_AGG_MEMORY_BYTES";
+
+/// Histogram (JobReport::histograms): per-probe-thread join hit rate as a
+/// percentage (100 * join output rows / probed rows) — the paper's
+/// predicate+join selectivity, distributionally.
+inline constexpr const char kHistProbeHitPct[] = "CLY_PROBE_HIT_PCT";
 
 /// The dimension hash tables of one query on one node.
 struct QueryHashTables {

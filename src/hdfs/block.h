@@ -48,14 +48,22 @@ struct IoStats {
   uint64_t remote_bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t read_ops = 0;
+  /// Wall time spent fetching blocks from datanodes. Accumulated in
+  /// nanoseconds so sub-microsecond fetches of small blocks still add up;
+  /// consumers report microseconds via read_micros().
+  uint64_t read_nanos = 0;
 
   uint64_t TotalRead() const { return local_bytes_read + remote_bytes_read; }
+
+  /// Rounds up so a task that performed any fetch never reports 0us.
+  uint64_t read_micros() const { return (read_nanos + 999) / 1000; }
 
   void Add(const IoStats& other) {
     local_bytes_read += other.local_bytes_read;
     remote_bytes_read += other.remote_bytes_read;
     bytes_written += other.bytes_written;
     read_ops += other.read_ops;
+    read_nanos += other.read_nanos;
   }
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 
 namespace clydesdale {
@@ -281,10 +282,14 @@ Status DfsReader::FetchBlock(int block_index) {
     return Status::IoError(StrCat("no alive replica for block ", block.id,
                                   " of ", info_.path));
   }
+  Stopwatch fetch_timer;
   CLY_ASSIGN_OR_RETURN(cached_data_, dfs_->data_node(source)->ReadReplica(block.id));
   cached_block_ = block_index;
   cached_local_ = source == reader_node_;
-  if (stats_ != nullptr) stats_->read_ops += 1;
+  if (stats_ != nullptr) {
+    stats_->read_ops += 1;
+    stats_->read_nanos += static_cast<uint64_t>(fetch_timer.ElapsedNanos());
+  }
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include "hive/agg_stages.h"
 #include "hive/map_join.h"
 #include "hive/repartition_join.h"
+#include "mapreduce/job_trace.h"
 
 namespace clydesdale {
 namespace hive {
@@ -16,6 +17,12 @@ HiveEngine::HiveEngine(mr::MrCluster* cluster, core::StarSchema star,
 
 Result<core::QueryResult> HiveEngine::Execute(const core::StarQuerySpec& spec) {
   Stopwatch timer;
+  auto apply_trace = [this](mr::JobConf* conf) {
+    if (options_.trace) conf->SetBool(mr::kConfTraceEnabled, true);
+    if (!options_.trace_dir.empty()) {
+      conf->Set(mr::kConfTraceDir, options_.trace_dir);
+    }
+  };
   const std::string scratch =
       StrCat(options_.scratch_root, "/", JoinStrategyName(options_.strategy));
   CLY_ASSIGN_OR_RETURN(HivePlan plan, CompileHivePlan(star_, spec, scratch));
@@ -43,6 +50,7 @@ Result<core::QueryResult> HiveEngine::Execute(const core::StarQuerySpec& spec) {
       CLY_ASSIGN_OR_RETURN(conf, MakeMapJoinJob(stage, hash_file));
     }
     conf.job_name = StrCat("hive-", spec.id, "-", conf.job_name);
+    apply_trace(&conf);
     CLY_ASSIGN_OR_RETURN(mr::JobResult job, mr::RunJob(cluster_, conf));
     result.stage_reports.push_back(std::move(job.report));
   }
@@ -58,6 +66,7 @@ Result<core::QueryResult> HiveEngine::Execute(const core::StarQuerySpec& spec) {
     CLY_ASSIGN_OR_RETURN(mr::JobConf conf,
                          MakeGroupByJob(plan.agg, options_.reduce_tasks));
     conf.job_name = StrCat("hive-", spec.id, "-groupby");
+    apply_trace(&conf);
     CLY_ASSIGN_OR_RETURN(mr::JobResult job, mr::RunJob(cluster_, conf));
     result.stage_reports.push_back(std::move(job.report));
   }
@@ -66,6 +75,7 @@ Result<core::QueryResult> HiveEngine::Execute(const core::StarQuerySpec& spec) {
   {
     CLY_ASSIGN_OR_RETURN(mr::JobConf conf, MakeOrderByJob(plan.agg));
     conf.job_name = StrCat("hive-", spec.id, "-orderby");
+    apply_trace(&conf);
     CLY_ASSIGN_OR_RETURN(mr::JobResult job, mr::RunJob(cluster_, conf));
     result.rows = std::move(job.output_rows);
     result.stage_reports.push_back(std::move(job.report));

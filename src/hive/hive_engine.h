@@ -18,6 +18,12 @@ struct HiveOptions {
   std::string scratch_root = "/tmp/hive";
   /// Drop intermediate tables after the query finishes.
   bool cleanup_intermediates = true;
+  /// Span tracing for every stage job, mirroring ClydesdaleOptions::trace —
+  /// a traced Hive run and a traced Clydesdale run of the same query yield
+  /// directly comparable Chrome traces.
+  bool trace = false;
+  /// When tracing, write per-stage trace/timeline files here.
+  std::string trace_dir;
 };
 
 /// The Hive baseline (paper §6.1): compiles a star query into a chain of

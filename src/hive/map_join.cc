@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "mapreduce/input_format.h"
+#include "obs/trace.h"
 #include "storage/binary_row_format.h"
 #include "storage/table_format.h"
 
@@ -70,7 +71,10 @@ Result<std::string> BuildMapJoinHashFile(mr::MrCluster* cluster,
 Status MapJoinMapper::Setup(mr::TaskContext* context) {
   // Every map task re-reads and deserializes the broadcast hash table from
   // the node's local disk (the distributed-cache copy) — the per-task
-  // reload Clydesdale's JVM reuse avoids (paper §6.3).
+  // reload Clydesdale's JVM reuse avoids (paper §6.3). The span makes the
+  // repeated cost directly comparable to Clydesdale's "hash-tables" spans.
+  obs::Span load_span(context->trace(), "hash-load", "stage",
+                      context->task_index(), context->node());
   CLY_ASSIGN_OR_RETURN(std::string local_path,
                        context->CacheFilePath(hash_file_));
   CLY_ASSIGN_OR_RETURN(hdfs::BlockBuffer bytes,

@@ -5,6 +5,21 @@
 namespace clydesdale {
 namespace mr {
 
+std::vector<std::string> StandardCounterNames() {
+  return {
+      kCounterHdfsBytesReadLocal,  kCounterHdfsBytesReadRemote,
+      kCounterHdfsBytesWritten,    kCounterLocalBytesRead,
+      kCounterMapInputRecords,     kCounterMapOutputRecords,
+      kCounterMapOutputBytes,      kCounterCombineInputRecords,
+      kCounterCombineOutputRecords, kCounterReduceInputRecords,
+      kCounterReduceInputGroups,   kCounterReduceOutputRecords,
+      kCounterShuffleBytes,        kCounterShuffleBytesRemote,
+      kCounterDataLocalMaps,       kCounterRackRemoteMaps,
+      kCounterDistCacheBytes,      kCounterHdfsReadOps,
+      kCounterHdfsReadMicros,
+  };
+}
+
 void Counters::Add(const std::string& name, int64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
   values_[name] += delta;

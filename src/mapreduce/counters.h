@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace clydesdale {
 namespace mr {
@@ -23,9 +24,16 @@ inline constexpr const char kCounterReduceInputRecords[] = "REDUCE_INPUT_RECORDS
 inline constexpr const char kCounterReduceInputGroups[] = "REDUCE_INPUT_GROUPS";
 inline constexpr const char kCounterReduceOutputRecords[] = "REDUCE_OUTPUT_RECORDS";
 inline constexpr const char kCounterShuffleBytes[] = "SHUFFLE_BYTES";
+inline constexpr const char kCounterShuffleBytesRemote[] = "SHUFFLE_BYTES_REMOTE";
 inline constexpr const char kCounterDataLocalMaps[] = "DATA_LOCAL_MAPS";
 inline constexpr const char kCounterRackRemoteMaps[] = "RACK_REMOTE_MAPS";
 inline constexpr const char kCounterDistCacheBytes[] = "DISTRIBUTED_CACHE_BYTES";
+inline constexpr const char kCounterHdfsReadOps[] = "HDFS_READ_OPS";
+inline constexpr const char kCounterHdfsReadMicros[] = "HDFS_READ_MICROS";
+
+/// Every engine-maintained counter name above, for audits asserting that a
+/// suitably shaped job populates all of them (tests/mapreduce_test.cc).
+std::vector<std::string> StandardCounterNames();
 
 /// Named monotonically increasing job statistics, Hadoop-style. Thread-safe.
 class Counters {
@@ -42,12 +50,18 @@ class Counters {
     }
     return *this;
   }
-  Counters(Counters&& other) noexcept : values_(other.Snapshot()) {}
+  // Moves steal the map under the source's lock, so the noexcept claim is
+  // honest (no allocation on this path, unlike Snapshot()).
+  Counters(Counters&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    values_ = std::move(other.values_);
+    other.values_.clear();
+  }
   Counters& operator=(Counters&& other) noexcept {
     if (this != &other) {
-      auto snapshot = other.Snapshot();
-      std::lock_guard<std::mutex> lock(mu_);
-      values_ = std::move(snapshot);
+      std::scoped_lock lock(mu_, other.mu_);
+      values_ = std::move(other.values_);
+      other.values_.clear();
     }
     return *this;
   }

@@ -9,9 +9,11 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "mapreduce/input_format.h"
+#include "mapreduce/job_trace.h"
 #include "mapreduce/map_runner.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/shuffle.h"
+#include "obs/trace.h"
 
 namespace clydesdale {
 namespace mr {
@@ -134,6 +136,15 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
   report.num_nodes = cluster->num_nodes();
   const uint64_t dfs_written_before = cluster->dfs()->TotalIo().bytes_written;
 
+  // A null recorder pointer is how "tracing off" reaches every Span below:
+  // spans constructed against nullptr cost two stores.
+  obs::TraceRecorder trace_recorder;
+  obs::TraceRecorder* trace =
+      conf.GetBool(kConfTraceEnabled) ? &trace_recorder : nullptr;
+  ScopedLogContext job_log_context(conf.job_name);
+  obs::Span job_span(trace, conf.job_name, "job");
+  obs::Span setup_span(trace, "setup", "phase");
+
   std::unique_ptr<InputFormat> input_format = conf.input_format_factory();
   std::unique_ptr<OutputFormat> output_format = conf.output_format_factory();
   CLY_RETURN_IF_ERROR(output_format->Open(cluster, conf));
@@ -143,6 +154,7 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
                        input_format->GetSplits(cluster, conf));
   std::vector<ScheduledTask> scheduled =
       ScheduleMapTasks(splits, cluster->num_nodes());
+  setup_span.End();
 
   const int num_reduces = std::max(conf.num_reduce_tasks, 0);
   const bool map_only = num_reduces == 0;
@@ -174,7 +186,10 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
         conf.jvm_reuse ? cluster->SharedStateFor(instance, task.node)
                        : std::make_shared<SharedJvmState>();
     TaskContext context(&conf, cluster, task.task_index, task.node,
-                        task_threads, shared, &report.counters);
+                        task_threads, shared, &report.counters, trace,
+                        &report.histograms);
+    ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/true));
+    obs::Span task_span(trace, "map-task", "task", task.task_index, task.node);
 
     std::unique_ptr<MapRunner> runner =
         conf.map_runner_factory ? conf.map_runner_factory()
@@ -234,8 +249,18 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
     tr.local_disk_bytes = context.local_disk_bytes();
     tr.output_records = out_records;
     tr.output_bytes = out_bytes;
+    task_span.End();
     tr.wall_seconds = timer.ElapsedSeconds();
+    report.histograms.Get(kHistMapTaskMicros)->Record(timer.ElapsedMicros());
+    if (context.io_stats()->read_ops > 0) {
+      report.histograms.Get(kHistHdfsReadMicros)
+          ->Record(static_cast<int64_t>(context.io_stats()->read_micros()));
+    }
 
+    report.counters.Add(kCounterHdfsReadOps,
+                        static_cast<int64_t>(context.io_stats()->read_ops));
+    report.counters.Add(kCounterHdfsReadMicros,
+                        static_cast<int64_t>(context.io_stats()->read_micros()));
     report.counters.Add(kCounterHdfsBytesReadLocal,
                         static_cast<int64_t>(tr.hdfs_local_bytes));
     report.counters.Add(kCounterHdfsBytesReadRemote,
@@ -251,6 +276,7 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
   };
 
   {
+    obs::Span map_phase_span(trace, "map-phase", "phase");
     std::vector<std::thread> workers;
     for (int n = 0; n < cluster->num_nodes(); ++n) {
       for (int s = 0; s < concurrency; ++s) {
@@ -282,6 +308,7 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
 
   // --- reduce phase ----------------------------------------------------------
   if (!map_only) {
+    obs::Span reduce_phase_span(trace, "reduce-phase", "phase");
     const std::vector<hdfs::NodeId> reduce_nodes =
         ScheduleReduceTasks(num_reduces, cluster->num_nodes());
     std::vector<MapTaskOutcome> reduce_outcomes(
@@ -292,16 +319,27 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
       MapTaskOutcome& outcome = reduce_outcomes[static_cast<size_t>(r)];
       const hdfs::NodeId node = reduce_nodes[static_cast<size_t>(r)];
       TaskContext context(&conf, cluster, r, node, /*allowed_threads=*/1,
-                          std::make_shared<SharedJvmState>(), &report.counters);
+                          std::make_shared<SharedJvmState>(), &report.counters,
+                          trace, &report.histograms);
+      ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/false));
+      obs::Span task_span(trace, "reduce-task", "task", r, node);
+
+      Stopwatch fetch_timer;
+      obs::Span fetch_span(trace, "shuffle-fetch", "stage", r, node);
       std::vector<ShuffleRun> runs = shuffle.TakePartition(r);
+      fetch_span.End();
+      report.histograms.Get(kHistShuffleFetchMicros)
+          ->Record(fetch_timer.ElapsedMicros());
 
       TaskReport& tr = outcome.report;
       tr.index = r;
       tr.is_map = false;
       tr.node = node;
+      obs::Histogram* fetch_bytes = report.histograms.Get(kHistShuffleFetchBytes);
       for (const ShuffleRun& run : runs) {
         tr.shuffle_bytes_total += run.encoded_bytes;
         if (run.map_node != node) tr.shuffle_bytes_remote += run.encoded_bytes;
+        fetch_bytes->Record(static_cast<int64_t>(run.encoded_bytes));
       }
 
       std::unique_ptr<Reducer> reducer = conf.reducer_factory();
@@ -314,7 +352,10 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
       tr.output_bytes = out.bytes();
       tr.hdfs_local_bytes = context.io_stats()->local_bytes_read;
       tr.hdfs_remote_bytes = context.io_stats()->remote_bytes_read;
+      task_span.End();
       tr.wall_seconds = timer.ElapsedSeconds();
+      report.histograms.Get(kHistReduceTaskMicros)
+          ->Record(timer.ElapsedMicros());
 
       report.counters.Add(kCounterReduceInputRecords,
                           static_cast<int64_t>(in_records));
@@ -324,6 +365,13 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
                           static_cast<int64_t>(out.records()));
       report.counters.Add(kCounterShuffleBytes,
                           static_cast<int64_t>(tr.shuffle_bytes_total));
+      report.counters.Add(kCounterShuffleBytesRemote,
+                          static_cast<int64_t>(tr.shuffle_bytes_remote));
+      report.counters.Add(kCounterHdfsReadOps,
+                          static_cast<int64_t>(context.io_stats()->read_ops));
+      report.counters.Add(
+          kCounterHdfsReadMicros,
+          static_cast<int64_t>(context.io_stats()->read_micros()));
     };
 
     std::vector<std::thread> reducers;
@@ -342,7 +390,10 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
     }
   }
 
-  CLY_RETURN_IF_ERROR(output_format->Commit(cluster, conf));
+  {
+    obs::Span commit_span(trace, "commit", "phase");
+    CLY_RETURN_IF_ERROR(output_format->Commit(cluster, conf));
+  }
   // Bytes this job actually pushed into DFS (output commit, staged-join
   // intermediates): the delta of the cluster-wide write ledger.
   report.counters.Add(
@@ -350,6 +401,17 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
       static_cast<int64_t>(cluster->dfs()->TotalIo().bytes_written -
                            dfs_written_before));
   report.wall_seconds = job_timer.ElapsedSeconds();
+
+  if (trace != nullptr) {
+    job_span.End();
+    report.spans = trace_recorder.Drain();
+    const std::string trace_dir = conf.Get(kConfTraceDir);
+    if (!trace_dir.empty()) {
+      CLY_RETURN_IF_ERROR(WriteJobTrace(report, trace_dir, instance));
+      CLY_LOG(Debug) << "wrote trace to " << trace_dir << "/" << conf.job_name
+                     << "-" << instance << ".trace.json";
+    }
+  }
 
   JobResult result;
   result.output_rows = output_format->TakeRows();

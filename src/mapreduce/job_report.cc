@@ -1,6 +1,7 @@
 #include "mapreduce/job_report.h"
 
 #include "common/strings.h"
+#include "mapreduce/job_trace.h"
 
 namespace clydesdale {
 namespace mr {
@@ -32,12 +33,30 @@ int JobReport::DataLocalMaps() const {
   return n;
 }
 
+namespace {
+
+/// " name p50/p95/p99=a/b/c<unit>" or "" when the histogram is absent.
+std::string PercentileTriple(const obs::HistogramRegistry& histograms,
+                             const char* name, const char* label,
+                             const char* unit) {
+  const obs::Histogram* h = histograms.Find(name);
+  if (h == nullptr || h->Count() == 0) return "";
+  return StrCat(", ", label, " p50/p95/p99=", h->Percentile(0.50), "/",
+                h->Percentile(0.95), "/", h->Percentile(0.99), unit);
+}
+
+}  // namespace
+
 std::string JobReport::Summary() const {
   return StrCat(job_name, ": ", map_tasks.size(), " map / ",
                 reduce_tasks.size(), " reduce tasks, input ",
                 HumanBytes(TotalMapInputBytes()), ", shuffle ",
                 HumanBytes(TotalShuffleBytes()), ", ", DataLocalMaps(),
-                " data-local maps, ", FormatDouble(wall_seconds, 3), "s");
+                " data-local maps",
+                PercentileTriple(histograms, kHistMapTaskMicros, "map", "us"),
+                PercentileTriple(histograms, kHistShuffleFetchBytes,
+                                 "shuffle-fetch", "B"),
+                ", ", FormatDouble(wall_seconds, 3), "s");
 }
 
 }  // namespace mr

@@ -7,6 +7,8 @@
 
 #include "hdfs/block.h"
 #include "mapreduce/counters.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 namespace clydesdale {
 namespace mr {
@@ -42,6 +44,12 @@ struct JobReport {
   std::vector<TaskReport> map_tasks;
   std::vector<TaskReport> reduce_tasks;
   Counters counters;
+  /// Distribution metrics (map time, shuffle bytes, group sizes, ...) keyed
+  /// by the kHist* names in job_trace.h. Always populated.
+  obs::HistogramRegistry histograms;
+  /// Spans drained from the job's TraceRecorder, sorted by start time.
+  /// Empty unless the job ran with kConfTraceEnabled.
+  std::vector<obs::SpanRecord> spans;
   double wall_seconds = 0;
 
   uint64_t TotalMapInputBytes() const;

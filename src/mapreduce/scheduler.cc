@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
+
 namespace clydesdale {
 namespace mr {
 
@@ -43,6 +45,14 @@ std::vector<ScheduledTask> ScheduleMapTasks(
     load[static_cast<size_t>(best)] += split->Length();
     tasks[pos] = ScheduledTask{static_cast<int>(pos), split, best, local};
   }
+
+  int data_local = 0;
+  for (const ScheduledTask& t : tasks) data_local += t.data_local ? 1 : 0;
+  const auto [min_load, max_load] =
+      std::minmax_element(load.begin(), load.end());
+  CLY_LOG(Debug) << "scheduled " << tasks.size() << " map tasks ("
+                 << data_local << " data-local) across " << num_nodes
+                 << " nodes, per-node bytes " << *min_load << ".." << *max_load;
   return tasks;
 }
 

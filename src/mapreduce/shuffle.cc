@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/job_trace.h"
 #include "storage/row_codec.h"
 
 namespace clydesdale {
@@ -90,6 +91,8 @@ Status MapOutputBuffer::Collect(const Row& key, const Row& value) {
 
 Result<std::vector<std::vector<KeyValue>>> MapOutputBuffer::Finish(
     Reducer* combiner, TaskContext* context) {
+  obs::Span sort_span(context->trace(), "sort", "stage", context->task_index(),
+                      context->node());
   for (auto& partition : partitions_) {
     CLY_RETURN_IF_ERROR(SortAndCombinePartition(&partition, combiner, context));
   }
@@ -139,6 +142,10 @@ int ShardedCollector::num_shards() const {
 
 Result<std::vector<std::vector<KeyValue>>> ShardedCollector::Finish(
     Reducer* combiner, TaskContext* context) {
+  // The "spill" of our collapsed spill path: concatenate shards, sort, and
+  // (optionally) combine. One span covers it all.
+  obs::Span sort_span(context->trace(), "sort", "stage", context->task_index(),
+                      context->node());
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::vector<KeyValue>> merged(
       static_cast<size_t>(std::max(num_partitions_, 1)));
@@ -198,9 +205,15 @@ Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
   // the heap — nothing is concatenated or re-sorted. Equal keys pop in run
   // order (runs arrive sorted by map task index; within a run, positions
   // advance monotonically), so value order matches the old stable-sort path.
+  obs::Span merge_span(context->trace(), "merge-reduce", "stage",
+                       context->task_index(), context->node());
   *input_records = 0;
   for (const ShuffleRun& run : runs) *input_records += run.records.size();
   *input_groups = 0;
+
+  // Group sizes go into a task-local histogram first: the registry's mutex
+  // must not be touched once per key group on this hot path.
+  obs::Histogram group_sizes;
 
   auto greater = [&runs](const MergeCursor& a, const MergeCursor& b) {
     const int c = runs[a.run].records[a.pos].key.Compare(
@@ -224,6 +237,7 @@ Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
     if (!values.empty() && kv.key.Compare(group_key) != 0) {
       CLY_RETURN_IF_ERROR(reducer->Reduce(group_key, values, context, out));
       ++*input_groups;
+      group_sizes.Record(static_cast<int64_t>(values.size()));
       values.clear();
     }
     if (values.empty()) group_key = kv.key;
@@ -235,6 +249,10 @@ Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
   if (!values.empty()) {
     CLY_RETURN_IF_ERROR(reducer->Reduce(group_key, values, context, out));
     ++*input_groups;
+    group_sizes.Record(static_cast<int64_t>(values.size()));
+  }
+  if (context->histograms() != nullptr) {
+    context->histograms()->Get(kHistReduceGroupSize)->MergeFrom(group_sizes);
   }
   return reducer->Cleanup(context, out);
 }

@@ -9,14 +9,22 @@ namespace mr {
 TaskContext::TaskContext(const JobConf* conf, MrCluster* cluster,
                          int task_index, hdfs::NodeId node, int allowed_threads,
                          std::shared_ptr<SharedJvmState> shared,
-                         Counters* counters)
+                         Counters* counters, obs::TraceRecorder* trace,
+                         obs::HistogramRegistry* histograms)
     : conf_(conf),
       cluster_(cluster),
       task_index_(task_index),
       node_(node),
       allowed_threads_(allowed_threads),
       shared_(std::move(shared)),
-      counters_(counters) {}
+      counters_(counters),
+      trace_(trace),
+      histograms_(histograms) {}
+
+std::string TaskContext::DebugLabel(bool is_map) const {
+  return StrCat(conf_->job_name, "/", is_map ? "m" : "r", "-", task_index_,
+                "@node", node_);
+}
 
 hdfs::LocalStore* TaskContext::local_store() {
   return cluster_->local_store(node_);

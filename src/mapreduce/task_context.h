@@ -13,6 +13,8 @@
 #include "hdfs/local_store.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/job_conf.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 namespace clydesdale {
 namespace mr {
@@ -58,7 +60,9 @@ class TaskContext {
  public:
   TaskContext(const JobConf* conf, MrCluster* cluster, int task_index,
               hdfs::NodeId node, int allowed_threads,
-              std::shared_ptr<SharedJvmState> shared, Counters* counters);
+              std::shared_ptr<SharedJvmState> shared, Counters* counters,
+              obs::TraceRecorder* trace = nullptr,
+              obs::HistogramRegistry* histograms = nullptr);
 
   const JobConf& conf() const { return *conf_; }
   MrCluster* cluster() { return cluster_; }
@@ -79,6 +83,19 @@ class TaskContext {
   Result<std::string> CacheFilePath(const std::string& dfs_path) const;
 
   Counters* counters() { return counters_; }
+
+  /// The job's span sink, or null when tracing is off — pass directly to
+  /// obs::Span, which treats null as "record nothing".
+  obs::TraceRecorder* trace() { return trace_; }
+
+  /// The job's distribution metrics, or null outside a real engine run.
+  /// Hot loops should record into a task-local obs::Histogram and merge
+  /// once at task end rather than hitting the registry per record.
+  obs::HistogramRegistry* histograms() { return histograms_; }
+
+  /// "job/m-3@node1" (or r- for reduces): the task's log identity, used
+  /// for ScopedLogContext and trace span labels.
+  std::string DebugLabel(bool is_map) const;
 
   /// HDFS I/O attribution. Single-threaded task code may pass this to
   /// readers directly; multi-threaded runners must give each thread its own
@@ -103,6 +120,8 @@ class TaskContext {
   int allowed_threads_;
   std::shared_ptr<SharedJvmState> shared_;
   Counters* counters_;
+  obs::TraceRecorder* trace_;
+  obs::HistogramRegistry* histograms_;
   hdfs::IoStats io_stats_;
   std::mutex io_mu_;
   std::atomic<uint64_t> local_disk_bytes_{0};

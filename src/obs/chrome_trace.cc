@@ -1,0 +1,78 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace clydesdale {
+namespace obs {
+
+namespace {
+
+/// JSON string escape for span names (control chars, quotes, backslash).
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            const std::string& process_name) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Metadata: name the job-level process lane (pid -1).
+  out << R"({"name":"process_name","ph":"M","pid":-1,"tid":0,"args":{"name":)";
+  AppendJsonString(out, process_name);
+  out << "}}";
+  for (const SpanRecord& span : spans) {
+    out << ",\n{\"name\":";
+    AppendJsonString(out, span.name);
+    out << ",\"cat\":";
+    AppendJsonString(out, span.category);
+    out << ",\"ph\":\"X\",\"ts\":" << span.start_us
+        << ",\"dur\":" << span.dur_us << ",\"pid\":" << span.node
+        << ",\"tid\":" << span.tid << ",\"args\":{\"task\":" << span.task
+        << ",\"node\":" << span.node << ",\"depth\":" << span.depth << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                        const std::string& process_name,
+                        const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open trace file: " + path);
+  file << ChromeTraceJson(spans, process_name);
+  file.close();
+  if (!file) return Status::IoError("short write to trace file: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace clydesdale

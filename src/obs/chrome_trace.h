@@ -1,0 +1,29 @@
+#ifndef CLYDESDALE_OBS_CHROME_TRACE_H_
+#define CLYDESDALE_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace clydesdale {
+namespace obs {
+
+/// Renders spans as Chrome trace_event JSON (the format chrome://tracing
+/// and https://ui.perfetto.dev load). Each span becomes one complete ("X")
+/// event; pid = node id (so each simulated node gets a lane group) and
+/// tid = the recorder-assigned thread id. `process_name` labels pid -1,
+/// the job-level lane for spans not bound to a node.
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            const std::string& process_name);
+
+/// Writes ChromeTraceJson(spans) to `path`, overwriting.
+Status WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                        const std::string& process_name,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_OBS_CHROME_TRACE_H_

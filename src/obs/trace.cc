@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace clydesdale {
+namespace obs {
+
+namespace {
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(NextRecorderId()), epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // Cache the (recorder id, buffer) pair per thread: repeat spans from the
+  // same thread bypass the mutex entirely. The id check guards against a
+  // stale entry left by a previous recorder this thread fed.
+  thread_local uint64_t cached_id = 0;
+  thread_local ThreadBuffer* cached_buffer = nullptr;
+  if (cached_id == id_) return cached_buffer;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->tid = static_cast<int>(buffers_.size()) - 1;
+  cached_id = id_;
+  cached_buffer = buffers_.back().get();
+  return cached_buffer;
+}
+
+std::vector<SpanRecord> TraceRecorder::Drain() {
+  std::vector<SpanRecord> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buffer : buffers_) {
+      all.insert(all.end(), std::make_move_iterator(buffer->spans.begin()),
+                 std::make_move_iterator(buffer->spans.end()));
+      buffer->spans.clear();
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.dur_us > b.dur_us;  // parents before children
+                   });
+  return all;
+}
+
+size_t TraceRecorder::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->spans.size();
+  return n;
+}
+
+Span::Span(TraceRecorder* recorder, std::string name, const char* category,
+           int task, int node)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) return;  // tracing off: near-zero cost
+  buffer_ = recorder_->BufferForThisThread();
+  record_.name = std::move(name);
+  record_.category = category;
+  record_.task = task;
+  record_.node = node;
+  record_.tid = buffer_->tid;
+  record_.depth = buffer_->depth++;
+  record_.start_us = recorder_->NowMicros();
+}
+
+void Span::End() {
+  if (recorder_ == nullptr) return;
+  record_.dur_us = recorder_->NowMicros() - record_.start_us;
+  --buffer_->depth;
+  buffer_->spans.push_back(std::move(record_));
+  recorder_ = nullptr;
+}
+
+}  // namespace obs
+}  // namespace clydesdale

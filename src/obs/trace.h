@@ -1,0 +1,101 @@
+#ifndef CLYDESDALE_OBS_TRACE_H_
+#define CLYDESDALE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clydesdale {
+namespace obs {
+
+/// One finished span. Timestamps are microseconds relative to the owning
+/// TraceRecorder's creation (one recorder per job, so traces start at 0).
+struct SpanRecord {
+  std::string name;             ///< e.g. "map-task", "probe", "hash-build"
+  const char* category = "";    ///< "job" | "phase" | "task" | "stage"
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  int task = -1;                ///< task index, -1 for job/phase spans
+  int node = -1;                ///< node id, -1 when not node-bound
+  int tid = 0;                  ///< recorder-assigned dense thread id
+  int depth = 0;                ///< nesting depth within the thread at start
+
+  int64_t end_us() const { return start_us + dur_us; }
+};
+
+/// Thread-safe span sink with per-thread buffers: starting/ending a span
+/// touches only thread-private state, so the hot path takes no lock (the
+/// recorder mutex is held once per thread, at buffer registration). Spans
+/// are unbounded in-memory; Drain() after all producers stopped.
+///
+/// Disabled tracing is represented by a null recorder: Span's constructor
+/// against nullptr is a couple of stores, so instrumentation can stay in
+/// place unconditionally.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since this recorder was created (steady clock).
+  int64_t NowMicros() const;
+
+  /// Moves out every recorded span, sorted by (start, longer-first) so
+  /// parents precede their children. Call only after all span-producing
+  /// threads have finished (joined); concurrent Drain is not supported.
+  std::vector<SpanRecord> Drain();
+
+  /// Spans recorded so far. Like Drain, only meaningful at quiescence.
+  size_t num_spans() const;
+
+ private:
+  friend class Span;
+
+  struct ThreadBuffer {
+    std::vector<SpanRecord> spans;
+    int tid = 0;
+    int depth = 0;  ///< open-span nesting of the owning thread
+  };
+
+  /// This thread's buffer, registering it on first use. The returned
+  /// pointer is owned by the recorder and stable until destruction.
+  ThreadBuffer* BufferForThisThread();
+
+  /// Distinguishes this recorder from any earlier one whose buffer a thread
+  /// may still have cached in its thread_local slot (monotone, never
+  /// reused — same idiom as mr::ShardedCollector).
+  const uint64_t id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) into `recorder`, or does
+/// nothing when `recorder` is null. Must be started and ended on the same
+/// thread (the span lives in that thread's buffer).
+class Span {
+ public:
+  Span(TraceRecorder* recorder, std::string name, const char* category,
+       int task = -1, int node = -1);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early; the destructor becomes a no-op. Idempotent.
+  void End();
+
+ private:
+  TraceRecorder* recorder_;
+  TraceRecorder::ThreadBuffer* buffer_ = nullptr;
+  SpanRecord record_;
+};
+
+}  // namespace obs
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_OBS_TRACE_H_

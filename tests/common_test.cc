@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -162,6 +164,51 @@ TEST(StringsTest, StartsEndsWith) {
   EXPECT_FALSE(StartsWith("/x", "/ssb"));
   EXPECT_TRUE(EndsWith("data.col", ".col"));
   EXPECT_FALSE(EndsWith("data.col", ".rc"));
+}
+
+TEST(LoggingTest, ScopedLogContextNestsAndRestores) {
+  EXPECT_EQ(LogContext(), "");
+  {
+    ScopedLogContext job("q2.1");
+    EXPECT_EQ(LogContext(), "q2.1");
+    {
+      ScopedLogContext task("q2.1/m-17@node3");
+      EXPECT_EQ(LogContext(), "q2.1/m-17@node3");
+    }
+    EXPECT_EQ(LogContext(), "q2.1");
+  }
+  EXPECT_EQ(LogContext(), "");
+}
+
+TEST(LoggingTest, LogContextIsPerThread) {
+  ScopedLogContext mine("main-thread");
+  std::string seen_in_thread;
+  std::thread other([&] {
+    seen_in_thread = LogContext();  // must not inherit the main thread's
+    ScopedLogContext theirs("worker");
+    EXPECT_EQ(LogContext(), "worker");
+  });
+  other.join();
+  EXPECT_EQ(seen_in_thread, "");
+  EXPECT_EQ(LogContext(), "main-thread");
+}
+
+TEST(LoggingTest, ContextAppearsInEmittedLines) {
+  ScopedLogContext context("job/m-17@node3");
+  testing::internal::CaptureStderr();
+  CLY_LOG(Warning) << "slow task";
+  const std::string line = testing::internal::GetCapturedStderr();
+  EXPECT_NE(line.find("[job/m-17@node3] "), std::string::npos) << line;
+  EXPECT_NE(line.find("slow task"), std::string::npos) << line;
+}
+
+TEST(LoggingTest, NoContextMeansNoBracket) {
+  testing::internal::CaptureStderr();
+  CLY_LOG(Warning) << "plain line";
+  const std::string line = testing::internal::GetCapturedStderr();
+  EXPECT_NE(line.find("] plain line"), std::string::npos) << line;
+  EXPECT_EQ(line.find("] [", line.find("common_test")), std::string::npos)
+      << line;
 }
 
 }  // namespace

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <thread>
 
+#include "common/strings.h"
 #include "core/clydesdale.h"
 #include "hive/hive_engine.h"
+#include "mapreduce/job_trace.h"
 #include "ssb/loader.h"
 #include "ssb/queries.h"
 #include "ssb/reference_executor.h"
@@ -243,6 +248,136 @@ TEST_F(EngineIntegrationTest, ClydesdaleMapsAreDataLocal) {
     EXPECT_TRUE(task.data_local) << "task " << task.index;
     EXPECT_EQ(task.hdfs_remote_bytes, 0u) << "task " << task.index;
   }
+}
+
+TEST_F(EngineIntegrationTest, TracedRunEmitsSpansTimelineAndCriticalPath) {
+  auto spec = ssb::QueryById("Q2.1");
+  ASSERT_TRUE(spec.ok());
+  const std::string trace_dir =
+      ::testing::TempDir() + "/cly_traced_q21";
+  std::filesystem::remove_all(trace_dir);  // stale files from earlier runs
+  std::filesystem::create_directories(trace_dir);
+
+  core::ClydesdaleOptions options;
+  options.trace = true;
+  options.trace_dir = trace_dir;
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectRowsEqual(Reference(*spec), result->rows, "traced Q2.1");
+
+  ASSERT_EQ(result->stage_reports.size(), 1u);
+  const mr::JobReport& report = result->stage_reports[0];
+  ASSERT_FALSE(report.spans.empty());
+
+  // The span taxonomy covers the job, its phases, tasks, and the
+  // star-join stages (hash-table amortisation + probe).
+  std::set<std::string> names;
+  for (const obs::SpanRecord& span : report.spans) names.insert(span.name);
+  for (const char* expected :
+       {"setup", "map-phase", "map-task", "hash-tables", "probe"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span: " << expected;
+  }
+
+  // Phase spans partition the job: their sum must account for the wall
+  // time (small scheduling gaps allowed; tiny runs get absolute slack).
+  double phase_sum = 0;
+  for (const obs::SpanRecord& span : report.spans) {
+    if (std::string_view(span.category) == "phase") {
+      phase_sum += static_cast<double>(span.dur_us) * 1e-6;
+    }
+  }
+  EXPECT_NEAR(phase_sum, report.wall_seconds,
+              0.05 * report.wall_seconds + 0.005);
+
+  // Summary surfaces the latency/volume distributions.
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("map p50/p95/p99="), std::string::npos) << summary;
+
+  // The critical path names the straggler chain out of this report.
+  const mr::CriticalPathReport path = mr::CriticalPath(report);
+  EXPECT_GE(path.slowest_map, 0);
+  EXPECT_GT(path.map_phase_seconds, 0);
+  EXPECT_GE(path.map_skew, 1.0);
+  const std::string chain = path.ToString();
+  EXPECT_NE(chain.find(StrCat("m-", path.slowest_map, "@node",
+                              path.slowest_map_node)),
+            std::string::npos)
+      << chain;
+  if (!report.reduce_tasks.empty()) {
+    EXPECT_NE(chain.find("shuffle barrier"), std::string::npos) << chain;
+  }
+
+  // Trace + timeline files landed in the requested directory.
+  bool saw_trace = false, saw_timeline = false;
+  for (const auto& entry : std::filesystem::directory_iterator(trace_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".trace.json") != std::string::npos) {
+      saw_trace = true;
+      std::ifstream file(entry.path());
+      std::string content((std::istreambuf_iterator<char>(file)),
+                          std::istreambuf_iterator<char>());
+      EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+      EXPECT_NE(content.find("\"map-task\""), std::string::npos);
+    }
+    if (name.find(".timeline.txt") != std::string::npos) saw_timeline = true;
+  }
+  EXPECT_TRUE(saw_trace);
+  EXPECT_TRUE(saw_timeline);
+
+  // Standard counters flow through a traced star-join run too.
+  EXPECT_GT(result->Counter(mr::kCounterMapInputRecords), 0);
+  EXPECT_GT(result->Counter(mr::kCounterHdfsReadOps), 0);
+}
+
+TEST_F(EngineIntegrationTest, TracingOffRecordsNoSpans) {
+  auto spec = ssb::QueryById("Q1.1");
+  ASSERT_TRUE(spec.ok());
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, {});
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok());
+  for (const mr::JobReport& report : result->stage_reports) {
+    EXPECT_TRUE(report.spans.empty());
+    // Histograms stay on regardless: they feed Summary() percentiles.
+    ASSERT_NE(report.histograms.Find(mr::kHistMapTaskMicros), nullptr);
+    EXPECT_GT(report.histograms.Find(mr::kHistMapTaskMicros)->Count(), 0);
+  }
+}
+
+TEST_F(EngineIntegrationTest, HiveStagesEachEmitTraces) {
+  auto spec = ssb::QueryById("Q1.1");
+  ASSERT_TRUE(spec.ok());
+  const std::string trace_dir = ::testing::TempDir() + "/hive_traced_q11";
+  std::filesystem::remove_all(trace_dir);  // stale files from earlier runs
+  std::filesystem::create_directories(trace_dir);
+
+  hive::HiveOptions options;
+  options.strategy = hive::JoinStrategy::kMapJoin;
+  options.trace = true;
+  options.trace_dir = trace_dir;
+  hive::HiveEngine engine(cluster_, HiveStar(), options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectRowsEqual(Reference(*spec), result->rows, "traced hive Q1.1");
+
+  // Every stage job recorded spans; the map-join stages show the per-task
+  // hash reload Clydesdale's JVM reuse amortises away.
+  ASSERT_EQ(result->stage_reports.size(), spec->dims.size() + 2);
+  bool saw_hash_load = false;
+  for (const mr::JobReport& report : result->stage_reports) {
+    EXPECT_FALSE(report.spans.empty()) << report.job_name;
+    for (const obs::SpanRecord& span : report.spans) {
+      if (span.name == "hash-load") saw_hash_load = true;
+    }
+  }
+  EXPECT_TRUE(saw_hash_load);
+  size_t trace_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(trace_dir)) {
+    if (entry.path().string().find(".trace.json") != std::string::npos) {
+      ++trace_files;
+    }
+  }
+  EXPECT_EQ(trace_files, result->stage_reports.size());
 }
 
 TEST_F(EngineIntegrationTest, ConcurrentQueriesShareTheCluster) {

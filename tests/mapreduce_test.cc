@@ -427,6 +427,116 @@ TEST(MapReduceTest, DistributedCacheMaterializesOnEveryNode) {
             7 * cluster.num_nodes());
 }
 
+/// Wraps a split, overriding its claimed locations — lets the audit below
+/// force data-local, guaranteed-remote, and no-preference scheduling.
+class RelocatedSplit final : public InputSplit {
+ public:
+  RelocatedSplit(std::shared_ptr<InputSplit> base,
+                 std::vector<hdfs::NodeId> locations)
+      : base_(std::move(base)), locations_(std::move(locations)) {}
+  uint64_t Length() const override { return base_->Length(); }
+  std::vector<hdfs::NodeId> Locations() const override { return locations_; }
+  std::vector<const storage::StorageSplit*> Constituents() const override {
+    return base_->Constituents();
+  }
+
+ private:
+  std::shared_ptr<InputSplit> base_;
+  std::vector<hdfs::NodeId> locations_;
+};
+
+/// TableInputFormat whose splits cycle through three location shapes:
+/// truthful (local reads), complement-of-truth (scheduler places the task
+/// "locally" but every replica lives elsewhere, so reads are remote), and
+/// empty (scheduler counts the task rack-remote).
+class LocationSkewInputFormat final : public TableInputFormat {
+ public:
+  explicit LocationSkewInputFormat(int num_nodes) : num_nodes_(num_nodes) {}
+
+  Result<std::vector<std::shared_ptr<InputSplit>>> GetSplits(
+      MrCluster* cluster, const JobConf& conf) override {
+    CLY_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<InputSplit>> splits,
+                         TableInputFormat::GetSplits(cluster, conf));
+    for (size_t i = 0; i < splits.size(); ++i) {
+      if (i % 3 == 0) continue;  // truthful locations
+      std::vector<hdfs::NodeId> locations;
+      if (i % 3 == 1) {
+        const std::vector<hdfs::NodeId> real = splits[i]->Locations();
+        for (hdfs::NodeId n = 0; n < num_nodes_; ++n) {
+          if (std::find(real.begin(), real.end(), n) == real.end()) {
+            locations.push_back(n);
+          }
+        }
+      }
+      splits[i] =
+          std::make_shared<RelocatedSplit>(splits[i], std::move(locations));
+    }
+    return splits;
+  }
+
+ private:
+  int num_nodes_;
+};
+
+/// Word-count mapper that also reads the distributed-cache file from node
+/// local disk, charging the bytes to LOCAL_DISK_BYTES_READ.
+class CacheChargingMapper final : public Mapper {
+ public:
+  Status Setup(TaskContext* context) override {
+    CLY_ASSIGN_OR_RETURN(std::string path,
+                         context->CacheFilePath("/cache/audit"));
+    CLY_ASSIGN_OR_RETURN(hdfs::BlockBuffer data,
+                         context->local_store()->Read(path));
+    context->AddLocalDiskBytes(data->size());
+    return Status::OK();
+  }
+  Status Map(const Row& key, const Row& value, TaskContext*,
+             OutputCollector* out) override {
+    (void)key;
+    return out->Collect(Row({value.Get(0)}), Row({value.Get(1)}));
+  }
+};
+
+/// One suitably shaped job must populate every standard counter: a counter
+/// nobody can drive is dead weight (and a counter silently stuck at zero is
+/// worse). Shapes: combiner + reduces (COMBINE_*/REDUCE_*/SHUFFLE_*), table
+/// output (HDFS_BYTES_WRITTEN), a distributed-cache read charged to local
+/// disk, and split-location skew for the locality and remote-read counters.
+TEST(MapReduceTest, StandardCountersAllPopulated) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 2000);  // ~16 blocks: every location shape occurs
+  ASSERT_TRUE(cluster.dfs()->WriteFile("/cache/audit", "audit-payload").ok());
+
+  JobConf conf = WordCountJob("/words", 2);
+  conf.job_name = "counter-audit";
+  conf.distributed_cache = {"/cache/audit"};
+  conf.combiner_factory = [] { return std::make_unique<SumCountsReducer>(); };
+  const int num_nodes = cluster.num_nodes();
+  conf.input_format_factory = [num_nodes] {
+    return std::make_unique<LocationSkewInputFormat>(num_nodes);
+  };
+  conf.mapper_factory = [] { return std::make_unique<CacheChargingMapper>(); };
+  conf.Set(kConfOutputTable, "/audit_counts");
+  conf.Set(kConfOutputColumns, "word:string,total:int64");
+  conf.output_format_factory = [] {
+    return std::make_unique<TableOutputFormat>();
+  };
+
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const std::string& name : StandardCounterNames()) {
+    EXPECT_GT(result->report.counters.Get(name), 0) << name;
+  }
+
+  // The relabelled splits changed where work ran, not what it computed.
+  auto desc = cluster.GetTable("/audit_counts");
+  ASSERT_TRUE(desc.ok());
+  storage::ScanOptions scan;
+  auto rows = storage::ScanTableToVector(*cluster.dfs(), *desc, scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(ToCounts(*rows).at("ant"), 500);
+}
+
 TEST(MultiTableInputTest, TagsRecordsByTableOrdinal) {
   MrCluster cluster(SmallCluster());
   WriteWordTable(&cluster, 30);
