@@ -2,7 +2,9 @@
 # Runs every google-benchmark micro suite and merges the JSON outputs into
 # one BENCH_micro.json: benchmark name -> { rows_per_sec, wall_seconds }.
 #
-# Usage: run_benches.sh [bench_dir] [output_json]
+# Usage: run_benches.sh [--q21-json] [bench_dir] [output_json]
+#   --q21-json   also run the Q2.1 barrier-vs-pipelined shuffle A/B and
+#                write BENCH_q21.json next to the merged output
 #   bench_dir    directory holding the bench_micro_* binaries
 #                (default: build/bench relative to the repo root)
 #   output_json  merged output path (default: BENCH_micro.json in $PWD)
@@ -11,6 +13,16 @@
 # bench_smoke CMake target pins it to 0.01 for a fast smoke pass.
 
 set -euo pipefail
+
+EMIT_Q21_JSON=0
+POSITIONAL=()
+for arg in "$@"; do
+  case "${arg}" in
+    --q21-json) EMIT_Q21_JSON=1 ;;
+    *) POSITIONAL+=("${arg}") ;;
+  esac
+done
+set -- "${POSITIONAL[@]:-}"
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 BENCH_DIR="${1:-${SCRIPT_DIR}/../build/bench}"
@@ -69,8 +81,15 @@ if [ -x "${Q21_BIN}" ]; then
   TRACE_DIR="${TMP_DIR}/q21_trace"
   mkdir -p "${TRACE_DIR}"
   echo "== bench_q21_breakdown (traced, CLY_BENCH_SF=${CLY_BENCH_SF})"
-  CLY_TRACE_DIR="${TRACE_DIR}" "${Q21_BIN}" >/dev/null
   OUT_DIR="$(dirname "${OUT_JSON}")"
+  Q21_JSON=""
+  if [ "${EMIT_Q21_JSON}" = "1" ]; then
+    Q21_JSON="${OUT_DIR}/BENCH_q21.json"
+  fi
+  CLY_TRACE_DIR="${TRACE_DIR}" CLY_Q21_JSON="${Q21_JSON}" "${Q21_BIN}" >/dev/null
+  if [ -n "${Q21_JSON}" ] && [ -e "${Q21_JSON}" ]; then
+    echo "wrote ${Q21_JSON} (barrier vs pipelined shuffle A/B)"
+  fi
   for f in "${TRACE_DIR}"/*.trace.json; do
     [ -e "${f}" ] || continue
     cp "${f}" "${OUT_DIR}/BENCH_q21.trace.json"

@@ -207,6 +207,7 @@ void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf) {
   if (!options.trace_dir.empty()) {
     conf->Set(mr::kConfTraceDir, options.trace_dir);
   }
+  conf->pipelined_shuffle = options.pipelined_shuffle;
 }
 
 Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
@@ -267,18 +268,18 @@ Result<std::shared_ptr<QueryHashTables>> GetOrBuildHashTables(
 // StarJoinMapRunner (MTMapRunner)
 // ---------------------------------------------------------------------------
 
-Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
-                              const mr::InputSplit& split,
+Status StarJoinMapRunner::Run(const mr::InputSplit& split,
                               mr::InputFormat* input_format,
                               mr::TaskContext* context,
                               mr::OutputCollector* out) {
   (void)input_format;
+  const mr::JobConf& conf = context->conf();
   // buildHashTables(conf) — once per node thanks to the shared state.
   CLY_ASSIGN_OR_RETURN(std::shared_ptr<QueryHashTables> tables,
                        GetOrBuildHashTables(context, *star_, spec_));
 
   CLY_ASSIGN_OR_RETURN(storage::TableDesc fact_desc,
-                       cluster->GetTable(star_->fact().path));
+                       context->cluster()->GetTable(star_->fact().path));
   CLY_ASSIGN_OR_RETURN(std::vector<std::string> projection,
                        ProjectionFromConf(conf));
   std::vector<int> projection_idx;
@@ -330,13 +331,13 @@ Status StarJoinMapRunner::Run(mr::MrCluster* cluster, const mr::JobConf& conf,
       Status st;
       if (options_.block_iteration) {
         auto reader = storage::OpenSplitBatchReader(
-            *cluster->dfs(), fact_desc, *constituents[mine], scan);
+            *context->cluster()->dfs(), fact_desc, *constituents[mine], scan);
         st = reader.ok() ? ProcessBatches(plan, reader->get(),
                                           options_.batch_rows, sink, vec.get())
                          : reader.status();
       } else {
         auto reader = storage::OpenSplitRowReader(
-            *cluster->dfs(), fact_desc, *constituents[mine], scan);
+            *context->cluster()->dfs(), fact_desc, *constituents[mine], scan);
         st = reader.ok() ? ProcessRows(plan, *tables, reader->get(), sink)
                          : reader.status();
       }

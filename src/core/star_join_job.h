@@ -38,6 +38,10 @@ struct ClydesdaleOptions {
   int64_t batch_rows = 4096;
   /// CIF splits packed per multi-split; 0 = all of a node's splits at once.
   int64_t multisplit_size = 0;
+  /// Overlap reduce-side shuffle fetch with the map phase (JobConf::
+  /// pipelined_shuffle). Off = classic map→reduce barrier; output is
+  /// byte-identical either way, the knob exists for A/B measurement.
+  bool pipelined_shuffle = true;
   /// Span tracing for every stage job (obs.trace.enabled). Counters and
   /// histograms are always maintained; only span recording is gated.
   bool trace = false;
@@ -46,9 +50,9 @@ struct ClydesdaleOptions {
   std::string trace_dir;
 };
 
-/// Forwards the options' trace knobs into a stage job's conf; every
-/// Clydesdale stage job (single-job, staged fallback) goes through this so
-/// traces stay comparable across plans.
+/// Forwards the options' engine knobs (trace, pipelined shuffle) into a
+/// stage job's conf; every Clydesdale stage job (single-job, staged
+/// fallback) goes through this so traces stay comparable across plans.
 void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf);
 
 /// Conf key: comma-separated output columns for staged-join stages. When
@@ -103,8 +107,7 @@ class StarJoinMapRunner final : public mr::MapRunner {
                     StarQuerySpec spec, ClydesdaleOptions options)
       : star_(std::move(star)), spec_(std::move(spec)), options_(options) {}
 
-  Status Run(mr::MrCluster* cluster, const mr::JobConf& conf,
-             const mr::InputSplit& split, mr::InputFormat* input_format,
+  Status Run(const mr::InputSplit& split, mr::InputFormat* input_format,
              mr::TaskContext* context, mr::OutputCollector* out) override;
 
  private:

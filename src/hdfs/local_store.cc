@@ -42,9 +42,28 @@ Status LocalStore::Delete(const std::string& path) {
   return Status::OK();
 }
 
+uint64_t LocalStore::DeleteWithPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t removed = 0;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = files_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 void LocalStore::Wipe() {
   std::lock_guard<std::mutex> lock(mu_);
   files_.clear();
+}
+
+size_t LocalStore::file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
 }
 
 }  // namespace hdfs

@@ -31,9 +31,15 @@ class LocalStore {
   Result<BlockBuffer> Read(const std::string& path) const;
   bool Exists(const std::string& path) const;
   Status Delete(const std::string& path);
+  /// Deletes every file whose path starts with `prefix` and returns how many
+  /// were removed (job-scratch GC: "/shuffle/<instance>/", "/dcache/...").
+  uint64_t DeleteWithPrefix(const std::string& prefix);
   /// Drops everything (simulates a local disk failure; paper §4: nodes that
   /// lost their dimension copy re-fetch from HDFS).
   void Wipe();
+
+  /// Files currently stored (leak tests).
+  size_t file_count() const;
 
   uint64_t bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
   uint64_t bytes_written() const {

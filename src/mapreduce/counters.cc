@@ -16,7 +16,7 @@ std::vector<std::string> StandardCounterNames() {
       kCounterShuffleBytes,        kCounterShuffleBytesRemote,
       kCounterDataLocalMaps,       kCounterRackRemoteMaps,
       kCounterDistCacheBytes,      kCounterHdfsReadOps,
-      kCounterHdfsReadMicros,
+      kCounterHdfsReadMicros,      kCounterSchedPulls,
   };
 }
 

@@ -30,6 +30,7 @@ inline constexpr const char kCounterRackRemoteMaps[] = "RACK_REMOTE_MAPS";
 inline constexpr const char kCounterDistCacheBytes[] = "DISTRIBUTED_CACHE_BYTES";
 inline constexpr const char kCounterHdfsReadOps[] = "HDFS_READ_OPS";
 inline constexpr const char kCounterHdfsReadMicros[] = "HDFS_READ_MICROS";
+inline constexpr const char kCounterSchedPulls[] = "SCHED_PULLS";
 
 /// Every engine-maintained counter name above, for audits asserting that a
 /// suitably shaped job populates all of them (tests/mapreduce_test.cc).

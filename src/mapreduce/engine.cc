@@ -1,17 +1,13 @@
 #include "mapreduce/engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <deque>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "mapreduce/input_format.h"
+#include "mapreduce/job_runner.h"
 #include "mapreduce/job_trace.h"
-#include "mapreduce/map_runner.h"
-#include "mapreduce/scheduler.h"
 #include "mapreduce/shuffle.h"
 #include "obs/trace.h"
 
@@ -28,9 +24,27 @@ MrCluster::MrCluster(ClusterOptions options)
         return dfs_options;
       }()) {
   local_stores_.reserve(static_cast<size_t>(options_.num_nodes));
+  trackers_.reserve(static_cast<size_t>(options_.num_nodes));
   for (int n = 0; n < options_.num_nodes; ++n) {
     local_stores_.push_back(std::make_unique<hdfs::LocalStore>(n));
   }
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    trackers_.push_back(std::make_unique<TaskTracker>(
+        n, options_.map_slots_per_node, options_.reduce_slots_per_node));
+  }
+}
+
+MrCluster::~MrCluster() {
+  // A straggler worker finishing its last attempt calls WakeAllTrackers on
+  // its way out, touching *sibling* trackers' condition variables. Destroying
+  // trackers one by one would free tracker A's cv while tracker B's worker
+  // can still poke it — so stop every pool before destroying any tracker.
+  for (auto& tracker : trackers_) tracker->BeginShutdown();
+  for (auto& tracker : trackers_) tracker->JoinWorkers();
+}
+
+void MrCluster::WakeAllTrackers() {
+  for (auto& tracker : trackers_) tracker->Wake();
 }
 
 Result<storage::TableDesc> MrCluster::GetTable(const std::string& path) {
@@ -59,33 +73,20 @@ std::shared_ptr<SharedJvmState> MrCluster::SharedStateFor(int64_t job_instance,
   return slot;
 }
 
+void MrCluster::ReleaseJobState(int64_t job_instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shared_states_.lower_bound({job_instance, hdfs::NodeId{0}});
+  while (it != shared_states_.end() && it->first.first == job_instance) {
+    it = shared_states_.erase(it);
+  }
+}
+
 int64_t MrCluster::NextJobInstance() {
   std::lock_guard<std::mutex> lock(mu_);
   return next_job_instance_++;
 }
 
 namespace {
-
-/// Collector for map-only jobs: records go straight to the output format.
-class OutputFormatCollector final : public OutputCollector {
- public:
-  explicit OutputFormatCollector(OutputFormat* out) : out_(out) {}
-
-  Status Collect(const Row& key, const Row& value) override {
-    records_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(EncodedKeyValueBytes(key, value),
-                     std::memory_order_relaxed);
-    return out_->Write(key, value);
-  }
-
-  uint64_t records() const { return records_.load(std::memory_order_relaxed); }
-  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
-
- private:
-  OutputFormat* out_;
-  std::atomic<uint64_t> records_{0};
-  std::atomic<uint64_t> bytes_{0};
-};
 
 /// Copies every distributed-cache file from DFS onto every node's local
 /// disk, once per node per job (paper §6.1: Hive's mapjoin dissemination).
@@ -107,10 +108,69 @@ Status DistributeCache(MrCluster* cluster, const JobConf& conf,
   return Status::OK();
 }
 
-struct MapTaskOutcome {
-  Status status;
-  TaskReport report;
+/// Deletes the job's scratch from every node — encoded shuffle runs and
+/// distributed-cache copies — and drops its JVM-reuse registry entries.
+/// Without this, back-to-back jobs (an SSB sweep) leak simulated local disk.
+void GarbageCollectJobScratch(MrCluster* cluster, int64_t instance) {
+  const std::string shuffle_prefix = StrCat("/shuffle/", instance, "/");
+  const std::string dcache_prefix = StrCat("/dcache/", instance, "/");
+  uint64_t removed = 0;
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    removed += cluster->local_store(n)->DeleteWithPrefix(shuffle_prefix);
+    removed += cluster->local_store(n)->DeleteWithPrefix(dcache_prefix);
+  }
+  cluster->ReleaseJobState(instance);
+  if (removed > 0) {
+    CLY_LOG(Debug) << "job " << instance << " scratch GC removed " << removed
+                   << " local files";
+  }
+}
+
+/// Runs the scratch GC on every exit path of RunJob, success or error.
+struct ScratchGcGuard {
+  MrCluster* cluster;
+  int64_t instance;
+  ~ScratchGcGuard() { GarbageCollectJobScratch(cluster, instance); }
 };
+
+/// Appends the derived "shuffle-overlap" span: the window between the first
+/// reducer fetch and the end of the last map task. Synthesised post-drain
+/// because the window straddles threads (a Span must start and end on one).
+/// Category "overlap" keeps it out of the phase accounting — phase spans
+/// tile the wall clock; this one deliberately overlaps map-phase.
+void AppendShuffleOverlapSpan(std::vector<obs::SpanRecord>* spans) {
+  int64_t last_map_end = 0;
+  bool saw_map = false;
+  int64_t first_fetch = 0;
+  bool saw_fetch = false;
+  for (const obs::SpanRecord& span : *spans) {
+    if (span.name == "map-task") {
+      saw_map = true;
+      last_map_end = std::max(last_map_end, span.end_us());
+    } else if (span.name == "shuffle-fetch") {
+      if (!saw_fetch || span.start_us < first_fetch) {
+        first_fetch = span.start_us;
+      }
+      saw_fetch = true;
+    }
+  }
+  if (!saw_map || !saw_fetch || first_fetch >= last_map_end) return;
+  obs::SpanRecord overlap;
+  overlap.name = "shuffle-overlap";
+  overlap.category = "overlap";
+  overlap.start_us = first_fetch;
+  overlap.dur_us = last_map_end - first_fetch;
+  overlap.depth = 1;
+  spans->push_back(std::move(overlap));
+  std::stable_sort(spans->begin(), spans->end(),
+                   [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+                     if (a.start_us != b.start_us) {
+                       return a.start_us < b.start_us;
+                     }
+                     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                     return a.depth < b.depth;
+                   });
+}
 
 }  // namespace
 
@@ -130,6 +190,8 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
     return Status::InvalidArgument(
         "job has reduce tasks but no reducer factory");
   }
+
+  ScratchGcGuard scratch_gc{cluster, instance};
 
   JobReport report;
   report.job_name = conf.job_name;
@@ -152,243 +214,18 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
 
   CLY_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<InputSplit>> splits,
                        input_format->GetSplits(cluster, conf));
-  std::vector<ScheduledTask> scheduled =
-      ScheduleMapTasks(splits, cluster->num_nodes());
+
+  // Map and reduce phases both run inside the runner: trackers pull attempts
+  // (late-binding locality), maps publish shuffle runs as they finish, and
+  // reducers fetch + merge those runs while the map phase is still going
+  // (unless conf.pipelined_shuffle is off). The shared_ptr keeps the runner
+  // alive for any tracker worker still unwinding after the job completes.
+  // Construction (attempt table, scheduling policy) is still setup time.
+  auto runner = std::make_shared<JobRunner>(
+      cluster, &conf, instance, std::move(splits), input_format.get(),
+      output_format.get(), &report, trace);
   setup_span.End();
-
-  const int num_reduces = std::max(conf.num_reduce_tasks, 0);
-  const bool map_only = num_reduces == 0;
-  ShuffleStore shuffle(std::max(num_reduces, 1));
-  OutputFormatCollector direct_out(output_format.get());
-
-  // --- map phase -------------------------------------------------------------
-  // Per-node FIFO queues; each node runs `concurrency` task-slots worth of
-  // worker threads (1 when the job asked for a single task per node, in which
-  // case the task itself may use all the node's slots).
-  const int slots = cluster->options().map_slots_per_node;
-  const int concurrency = conf.single_task_per_node ? 1 : slots;
-  const int task_threads = conf.single_task_per_node ? slots : 1;
-
-  std::vector<std::deque<const ScheduledTask*>> queues(
-      static_cast<size_t>(cluster->num_nodes()));
-  for (const ScheduledTask& task : scheduled) {
-    queues[static_cast<size_t>(task.node)].push_back(&task);
-  }
-
-  std::vector<MapTaskOutcome> outcomes(scheduled.size());
-  std::vector<std::mutex> queue_mu(static_cast<size_t>(cluster->num_nodes()));
-
-  auto run_map_task = [&](const ScheduledTask& task) {
-    Stopwatch timer;
-    MapTaskOutcome& outcome = outcomes[static_cast<size_t>(task.task_index)];
-
-    std::shared_ptr<SharedJvmState> shared =
-        conf.jvm_reuse ? cluster->SharedStateFor(instance, task.node)
-                       : std::make_shared<SharedJvmState>();
-    TaskContext context(&conf, cluster, task.task_index, task.node,
-                        task_threads, shared, &report.counters, trace,
-                        &report.histograms);
-    ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/true));
-    obs::Span task_span(trace, "map-task", "task", task.task_index, task.node);
-
-    std::unique_ptr<MapRunner> runner =
-        conf.map_runner_factory ? conf.map_runner_factory()
-                                : std::make_unique<DefaultMapRunner>();
-
-    uint64_t out_records = 0;
-    uint64_t out_bytes = 0;
-    if (map_only) {
-      const uint64_t before_r = direct_out.records();
-      const uint64_t before_b = direct_out.bytes();
-      outcome.status = runner->Run(cluster, conf, *task.split,
-                                   input_format.get(), &context, &direct_out);
-      out_records = direct_out.records() - before_r;
-      out_bytes = direct_out.bytes() - before_b;
-    } else {
-      std::unique_ptr<Partitioner> partitioner =
-          conf.partitioner_factory ? conf.partitioner_factory()
-                                   : std::make_unique<HashPartitioner>();
-      // Sharded per-thread buffers: no lock on the per-record collect path
-      // even when the map runner collects from many threads at once.
-      ShardedCollector buffer(partitioner.get(), num_reduces);
-      outcome.status = runner->Run(cluster, conf, *task.split,
-                                   input_format.get(), &context, &buffer);
-      if (outcome.status.ok()) {
-        std::unique_ptr<Reducer> combiner =
-            conf.combiner_factory ? conf.combiner_factory() : nullptr;
-        out_records = buffer.records();
-        auto finished = buffer.Finish(combiner.get(), &context);
-        if (!finished.ok()) {
-          outcome.status = finished.status();
-        } else {
-          for (int p = 0; p < num_reduces; ++p) {
-            auto& partition = (*finished)[static_cast<size_t>(p)];
-            if (partition.empty()) continue;
-            ShuffleRun run;
-            run.map_task = task.task_index;
-            run.map_node = task.node;
-            for (const KeyValue& kv : partition) {
-              run.encoded_bytes += EncodedKeyValueBytes(kv.key, kv.value);
-            }
-            out_bytes += run.encoded_bytes;
-            run.records = std::move(partition);
-            shuffle.AddRun(p, std::move(run));
-          }
-        }
-      }
-    }
-
-    TaskReport& tr = outcome.report;
-    tr.index = task.task_index;
-    tr.is_map = true;
-    tr.node = task.node;
-    tr.data_local = task.data_local;
-    tr.num_constituents = static_cast<int>(task.split->Constituents().size());
-    tr.hdfs_local_bytes = context.io_stats()->local_bytes_read;
-    tr.hdfs_remote_bytes = context.io_stats()->remote_bytes_read;
-    tr.local_disk_bytes = context.local_disk_bytes();
-    tr.output_records = out_records;
-    tr.output_bytes = out_bytes;
-    task_span.End();
-    tr.wall_seconds = timer.ElapsedSeconds();
-    report.histograms.Get(kHistMapTaskMicros)->Record(timer.ElapsedMicros());
-    if (context.io_stats()->read_ops > 0) {
-      report.histograms.Get(kHistHdfsReadMicros)
-          ->Record(static_cast<int64_t>(context.io_stats()->read_micros()));
-    }
-
-    report.counters.Add(kCounterHdfsReadOps,
-                        static_cast<int64_t>(context.io_stats()->read_ops));
-    report.counters.Add(kCounterHdfsReadMicros,
-                        static_cast<int64_t>(context.io_stats()->read_micros()));
-    report.counters.Add(kCounterHdfsBytesReadLocal,
-                        static_cast<int64_t>(tr.hdfs_local_bytes));
-    report.counters.Add(kCounterHdfsBytesReadRemote,
-                        static_cast<int64_t>(tr.hdfs_remote_bytes));
-    report.counters.Add(kCounterLocalBytesRead,
-                        static_cast<int64_t>(tr.local_disk_bytes));
-    report.counters.Add(kCounterMapOutputRecords,
-                        static_cast<int64_t>(out_records));
-    report.counters.Add(kCounterMapOutputBytes,
-                        static_cast<int64_t>(out_bytes));
-    report.counters.Add(
-        task.data_local ? kCounterDataLocalMaps : kCounterRackRemoteMaps, 1);
-  };
-
-  {
-    obs::Span map_phase_span(trace, "map-phase", "phase");
-    std::vector<std::thread> workers;
-    for (int n = 0; n < cluster->num_nodes(); ++n) {
-      for (int s = 0; s < concurrency; ++s) {
-        workers.emplace_back([&, n] {
-          while (true) {
-            const ScheduledTask* task = nullptr;
-            {
-              std::lock_guard<std::mutex> lock(queue_mu[static_cast<size_t>(n)]);
-              auto& q = queues[static_cast<size_t>(n)];
-              if (q.empty()) return;
-              task = q.front();
-              q.pop_front();
-            }
-            run_map_task(*task);
-          }
-        });
-      }
-    }
-    for (std::thread& w : workers) w.join();
-  }
-
-  for (MapTaskOutcome& outcome : outcomes) {
-    if (!outcome.status.ok()) {
-      return outcome.status.WithContext(
-          StrCat(conf.job_name, " map task ", outcome.report.index));
-    }
-    report.map_tasks.push_back(std::move(outcome.report));
-  }
-
-  // --- reduce phase ----------------------------------------------------------
-  if (!map_only) {
-    obs::Span reduce_phase_span(trace, "reduce-phase", "phase");
-    const std::vector<hdfs::NodeId> reduce_nodes =
-        ScheduleReduceTasks(num_reduces, cluster->num_nodes());
-    std::vector<MapTaskOutcome> reduce_outcomes(
-        static_cast<size_t>(num_reduces));
-
-    auto run_reduce_task = [&](int r) {
-      Stopwatch timer;
-      MapTaskOutcome& outcome = reduce_outcomes[static_cast<size_t>(r)];
-      const hdfs::NodeId node = reduce_nodes[static_cast<size_t>(r)];
-      TaskContext context(&conf, cluster, r, node, /*allowed_threads=*/1,
-                          std::make_shared<SharedJvmState>(), &report.counters,
-                          trace, &report.histograms);
-      ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/false));
-      obs::Span task_span(trace, "reduce-task", "task", r, node);
-
-      Stopwatch fetch_timer;
-      obs::Span fetch_span(trace, "shuffle-fetch", "stage", r, node);
-      std::vector<ShuffleRun> runs = shuffle.TakePartition(r);
-      fetch_span.End();
-      report.histograms.Get(kHistShuffleFetchMicros)
-          ->Record(fetch_timer.ElapsedMicros());
-
-      TaskReport& tr = outcome.report;
-      tr.index = r;
-      tr.is_map = false;
-      tr.node = node;
-      obs::Histogram* fetch_bytes = report.histograms.Get(kHistShuffleFetchBytes);
-      for (const ShuffleRun& run : runs) {
-        tr.shuffle_bytes_total += run.encoded_bytes;
-        if (run.map_node != node) tr.shuffle_bytes_remote += run.encoded_bytes;
-        fetch_bytes->Record(static_cast<int64_t>(run.encoded_bytes));
-      }
-
-      std::unique_ptr<Reducer> reducer = conf.reducer_factory();
-      OutputFormatCollector out(output_format.get());
-      uint64_t in_records = 0, in_groups = 0;
-      outcome.status = ReducePartition(std::move(runs), reducer.get(), &context,
-                                       &out, &in_records, &in_groups);
-      tr.input_records = in_records;
-      tr.output_records = out.records();
-      tr.output_bytes = out.bytes();
-      tr.hdfs_local_bytes = context.io_stats()->local_bytes_read;
-      tr.hdfs_remote_bytes = context.io_stats()->remote_bytes_read;
-      task_span.End();
-      tr.wall_seconds = timer.ElapsedSeconds();
-      report.histograms.Get(kHistReduceTaskMicros)
-          ->Record(timer.ElapsedMicros());
-
-      report.counters.Add(kCounterReduceInputRecords,
-                          static_cast<int64_t>(in_records));
-      report.counters.Add(kCounterReduceInputGroups,
-                          static_cast<int64_t>(in_groups));
-      report.counters.Add(kCounterReduceOutputRecords,
-                          static_cast<int64_t>(out.records()));
-      report.counters.Add(kCounterShuffleBytes,
-                          static_cast<int64_t>(tr.shuffle_bytes_total));
-      report.counters.Add(kCounterShuffleBytesRemote,
-                          static_cast<int64_t>(tr.shuffle_bytes_remote));
-      report.counters.Add(kCounterHdfsReadOps,
-                          static_cast<int64_t>(context.io_stats()->read_ops));
-      report.counters.Add(
-          kCounterHdfsReadMicros,
-          static_cast<int64_t>(context.io_stats()->read_micros()));
-    };
-
-    std::vector<std::thread> reducers;
-    reducers.reserve(static_cast<size_t>(num_reduces));
-    for (int r = 0; r < num_reduces; ++r) {
-      reducers.emplace_back(run_reduce_task, r);
-    }
-    for (std::thread& t : reducers) t.join();
-
-    for (MapTaskOutcome& outcome : reduce_outcomes) {
-      if (!outcome.status.ok()) {
-        return outcome.status.WithContext(
-            StrCat(conf.job_name, " reduce task ", outcome.report.index));
-      }
-      report.reduce_tasks.push_back(std::move(outcome.report));
-    }
-  }
+  CLY_RETURN_IF_ERROR(runner->Execute(runner));
 
   {
     obs::Span commit_span(trace, "commit", "phase");
@@ -405,6 +242,7 @@ Result<JobResult> RunJob(MrCluster* cluster, const JobConf& user_conf) {
   if (trace != nullptr) {
     job_span.End();
     report.spans = trace_recorder.Drain();
+    AppendShuffleOverlapSpan(&report.spans);
     const std::string trace_dir = conf.Get(kConfTraceDir);
     if (!trace_dir.empty()) {
       CLY_RETURN_IF_ERROR(WriteJobTrace(report, trace_dir, instance));

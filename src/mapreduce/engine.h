@@ -16,6 +16,7 @@
 #include "mapreduce/job_report.h"
 #include "mapreduce/output_format.h"
 #include "mapreduce/task_context.h"
+#include "mapreduce/task_tracker.h"
 #include "storage/table_format.h"
 
 namespace clydesdale {
@@ -31,12 +32,14 @@ struct ClusterOptions {
   int dfs_replication = 3;
 };
 
-/// A simulated Hadoop cluster: the DFS, per-node local disks, slot
-/// configuration, and the JVM-reuse state registry. Owns nothing about any
-/// particular job; jobs run against it via RunJob.
+/// A simulated Hadoop cluster: the DFS, per-node local disks, the persistent
+/// per-node TaskTracker pools, and the JVM-reuse state registry. Owns nothing
+/// about any particular job; jobs run against it via RunJob, which hands a
+/// JobRunner to the trackers.
 class MrCluster {
  public:
   explicit MrCluster(ClusterOptions options);
+  ~MrCluster();  ///< Drains every tracker pool before destroying any tracker.
 
   const ClusterOptions& options() const { return options_; }
   int num_nodes() const { return options_.num_nodes; }
@@ -46,6 +49,13 @@ class MrCluster {
   hdfs::LocalStore* local_store(hdfs::NodeId node) {
     return local_stores_[static_cast<size_t>(node)].get();
   }
+  /// The node's persistent executor pool.
+  TaskTracker* tracker(hdfs::NodeId node) {
+    return trackers_[static_cast<size_t>(node)].get();
+  }
+  /// Pokes every tracker to re-evaluate runnable work (slot freed, phase
+  /// transition, abort). Callers must not hold a JobRunner lock.
+  void WakeAllTrackers();
 
   /// Loads (and caches) a table's metadata.
   Result<storage::TableDesc> GetTable(const std::string& path);
@@ -56,6 +66,10 @@ class MrCluster {
   /// hands these to tasks when the job enables jvm_reuse.
   std::shared_ptr<SharedJvmState> SharedStateFor(int64_t job_instance,
                                                  hdfs::NodeId node);
+
+  /// Drops the job's JVM-reuse registry entries (commit-time GC; the shared
+  /// state dies with the last task still holding its shared_ptr).
+  void ReleaseJobState(int64_t job_instance);
 
   /// Allocates a unique job instance id.
   int64_t NextJobInstance();
@@ -70,6 +84,10 @@ class MrCluster {
   std::map<std::pair<int64_t, hdfs::NodeId>, std::shared_ptr<SharedJvmState>>
       shared_states_;
   int64_t next_job_instance_ = 1;
+
+  /// Declared last: tracker workers may touch the members above until their
+  /// pools drain, so they must be destroyed first.
+  std::vector<std::unique_ptr<TaskTracker>> trackers_;
 };
 
 /// The outcome of RunJob: execution report plus, for memory-output jobs, the
@@ -79,9 +97,10 @@ struct JobResult {
   std::vector<Row> output_rows;
 };
 
-/// Runs one MapReduce job to completion on the cluster: splits, locality
-/// scheduling, map phase (multi-slot, threaded), combiner, shuffle + sort,
-/// reduce phase, output commit.
+/// Runs one MapReduce job to completion on the cluster: splits, pull-based
+/// locality scheduling over the persistent tracker pools, combiner, sorted
+/// shuffle (pipelined with the map phase by default), reduce, output commit,
+/// and job-scratch GC (shuffle runs + dcache files) on every exit path.
 Result<JobResult> RunJob(MrCluster* cluster, const JobConf& conf);
 
 }  // namespace mr

@@ -17,6 +17,8 @@ namespace mr {
 /// model replays these profiles at cluster scale.
 struct TaskReport {
   int index = 0;
+  /// Which attempt at this task produced the report (0 unless retried).
+  int attempt = 0;
   bool is_map = true;
   hdfs::NodeId node = hdfs::kNoNode;
   /// Input bytes read from HDFS, split by locality.

@@ -1,0 +1,455 @@
+#include "mapreduce/job_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/job_trace.h"
+#include "mapreduce/map_runner.h"
+#include "mapreduce/task_context.h"
+#include "mapreduce/task_tracker.h"
+#include "storage/byte_io.h"
+#include "storage/row_codec.h"
+
+namespace clydesdale {
+namespace mr {
+
+namespace {
+/// LocalStore path of one map task's encoded run for one partition. The
+/// instance prefix scopes the job's scratch so commit-time GC can delete it
+/// wholesale (and concurrent jobs never collide).
+std::string ShuffleRunPath(int64_t instance, int map_task, int partition) {
+  return StrCat("/shuffle/", instance, "/m-", map_task, ".p", partition);
+}
+}  // namespace
+
+JobRunner::JobRunner(MrCluster* cluster, const JobConf* conf, int64_t instance,
+                     std::vector<std::shared_ptr<InputSplit>> splits,
+                     InputFormat* input_format, OutputFormat* output_format,
+                     JobReport* report, obs::TraceRecorder* trace)
+    : cluster_(cluster),
+      conf_(conf),
+      instance_(instance),
+      splits_(std::move(splits)),
+      input_format_(input_format),
+      output_format_(output_format),
+      report_(report),
+      trace_(trace),
+      num_reduces_(std::max(conf->num_reduce_tasks, 0)),
+      map_only_(num_reduces_ == 0),
+      pipelined_(conf->pipelined_shuffle),
+      map_cap_per_node_(conf->single_task_per_node
+                            ? 1
+                            : cluster->options().map_slots_per_node),
+      task_threads_(conf->single_task_per_node
+                        ? cluster->options().map_slots_per_node
+                        : 1),
+      shuffle_(std::max(num_reduces_, 1)),
+      direct_out_(output_format),
+      policy_(splits_, cluster->num_nodes()),
+      running_maps_(static_cast<size_t>(cluster->num_nodes()), 0),
+      maps_unfinished_(static_cast<int>(splits_.size())),
+      reduces_unfinished_(map_only_ ? 0 : num_reduces_) {
+  map_attempts_.reserve(splits_.size());
+  for (size_t i = 0; i < splits_.size(); ++i) {
+    map_attempts_.push_back(std::make_unique<TaskAttempt>(
+        static_cast<int>(i), /*attempt=*/0, /*is_map=*/true));
+  }
+  reduce_attempts_.reserve(static_cast<size_t>(num_reduces_));
+  for (int r = 0; r < num_reduces_; ++r) {
+    reduce_attempts_.push_back(
+        std::make_unique<TaskAttempt>(r, /*attempt=*/0, /*is_map=*/false));
+  }
+  if (maps_unfinished_ == 0) shuffle_.CloseProducers();
+}
+
+std::vector<bool> JobRunner::SaturationLocked() const {
+  std::vector<bool> saturated(running_maps_.size());
+  for (size_t n = 0; n < running_maps_.size(); ++n) {
+    saturated[n] = running_maps_[n] >= map_cap_per_node_;
+  }
+  return saturated;
+}
+
+bool JobRunner::HasRunnableWork(hdfs::NodeId node, bool reduce_slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) return false;
+  if (reduce_slot) {
+    if (map_only_) return false;
+    if (!pipelined_ && maps_unfinished_ > 0) return false;
+    for (const auto& attempt : reduce_attempts_) {
+      if (attempt->state() == AttemptState::kQueued) return true;
+    }
+    return false;
+  }
+  if (running_maps_[static_cast<size_t>(node)] >= map_cap_per_node_) {
+    return false;
+  }
+  return policy_.HasEligible(node, SaturationLocked());
+}
+
+TaskAttempt* JobRunner::ClaimLocked(hdfs::NodeId node, bool reduce_slot) {
+  if (aborted_) return nullptr;
+  if (reduce_slot) {
+    if (map_only_ || (!pipelined_ && maps_unfinished_ > 0)) return nullptr;
+    for (auto& attempt : reduce_attempts_) {
+      if (attempt->state() != AttemptState::kQueued) continue;
+      // Late-binding reduce placement: the task runs wherever a reduce slot
+      // asked for it first (reduce input comes over the simulated network
+      // either way; shuffle locality is accounted per fetched run).
+      attempt->node = node;
+      (void)attempt->Transition(AttemptState::kRunning);
+      report_->counters.Add(kCounterSchedPulls, 1);
+      return attempt.get();
+    }
+    return nullptr;
+  }
+  if (running_maps_[static_cast<size_t>(node)] >= map_cap_per_node_) {
+    return nullptr;
+  }
+  const MapSchedulingPolicy::Choice choice =
+      policy_.Pull(node, SaturationLocked());
+  if (choice.task_index < 0) return nullptr;
+  TaskAttempt* attempt =
+      map_attempts_[static_cast<size_t>(choice.task_index)].get();
+  attempt->node = node;
+  attempt->data_local = choice.data_local;
+  attempt->split = splits_[static_cast<size_t>(choice.task_index)];
+  (void)attempt->Transition(AttemptState::kRunning);
+  ++running_maps_[static_cast<size_t>(node)];
+  report_->counters.Add(kCounterSchedPulls, 1);
+  // Locality is recorded from the actual pull-time decision, not a plan.
+  report_->counters.Add(
+      choice.data_local ? kCounterDataLocalMaps : kCounterRackRemoteMaps, 1);
+  return attempt;
+}
+
+bool JobRunner::TryRunWork(hdfs::NodeId node, bool reduce_slot) {
+  TaskAttempt* attempt = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = ClaimLocked(node, reduce_slot);
+  }
+  if (attempt == nullptr) return false;
+  // The claim changed slot occupancy, which can make reserved splits
+  // stealable elsewhere; wake outside our lock (lock order: tracker first).
+  cluster_->WakeAllTrackers();
+  Status status = attempt->is_map() ? RunMapAttempt(attempt)
+                                    : RunReduceAttempt(attempt);
+  FinishAttempt(attempt, std::move(status));
+  return true;
+}
+
+bool JobRunner::aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_;
+}
+
+void JobRunner::FinishAttempt(TaskAttempt* attempt, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt->status = status;
+    (void)attempt->Transition(status.ok() ? AttemptState::kSucceeded
+                                          : AttemptState::kFailed);
+    if (attempt->is_map()) {
+      --running_maps_[static_cast<size_t>(attempt->node)];
+      --maps_unfinished_;
+      if (maps_unfinished_ == 0) shuffle_.CloseProducers();
+    } else {
+      --reduces_unfinished_;
+    }
+    if (!status.ok()) {
+      if (first_failure_.ok()) {
+        first_failure_ = status;
+        first_failure_context_ =
+            StrCat(conf_->job_name,
+                   attempt->is_map() ? " map task " : " reduce task ",
+                   attempt->task_index());
+      }
+      if (!aborted_) {
+        // Kill everything still queued; running attempts finish on their
+        // own (pipelined reducers bail at their next abort check, or drain
+        // once CloseProducers unblocks their fetch wait).
+        aborted_ = true;
+        const Status killed = Status::Internal("attempt killed: job aborted");
+        for (auto& a : map_attempts_) {
+          if (a->state() != AttemptState::kQueued) continue;
+          a->status = killed;
+          (void)a->Transition(AttemptState::kFailed);
+          --maps_unfinished_;
+        }
+        for (auto& a : reduce_attempts_) {
+          if (a->state() != AttemptState::kQueued) continue;
+          a->status = killed;
+          (void)a->Transition(AttemptState::kFailed);
+          --reduces_unfinished_;
+        }
+        shuffle_.CloseProducers();
+      }
+    }
+  }
+  cluster_->WakeAllTrackers();
+  done_cv_.notify_all();
+}
+
+Status JobRunner::RunMapAttempt(TaskAttempt* attempt) {
+  Stopwatch timer;
+  const int index = attempt->task_index();
+  const hdfs::NodeId node = attempt->node;
+
+  std::shared_ptr<SharedJvmState> shared =
+      conf_->jvm_reuse ? cluster_->SharedStateFor(instance_, node)
+                       : std::make_shared<SharedJvmState>();
+  TaskContext context(conf_, cluster_, index, node, task_threads_, shared,
+                      &report_->counters, trace_, &report_->histograms,
+                      attempt->attempt());
+  ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/true));
+  obs::Span task_span(trace_, "map-task", "task", index, node);
+
+  std::unique_ptr<MapRunner> runner =
+      conf_->map_runner_factory ? conf_->map_runner_factory()
+                                : std::make_unique<DefaultMapRunner>();
+
+  Status status = Status::OK();
+  uint64_t out_records = 0;
+  uint64_t out_bytes = 0;
+  if (map_only_) {
+    const uint64_t before_r = direct_out_.records();
+    const uint64_t before_b = direct_out_.bytes();
+    status = runner->Run(*attempt->split, input_format_, &context, &direct_out_);
+    out_records = direct_out_.records() - before_r;
+    out_bytes = direct_out_.bytes() - before_b;
+  } else {
+    std::unique_ptr<Partitioner> partitioner =
+        conf_->partitioner_factory ? conf_->partitioner_factory()
+                                   : std::make_unique<HashPartitioner>();
+    // Sharded per-thread buffers: no lock on the per-record collect path
+    // even when the map runner collects from many threads at once.
+    ShardedCollector buffer(partitioner.get(), num_reduces_);
+    status = runner->Run(*attempt->split, input_format_, &context, &buffer);
+    if (status.ok()) {
+      std::unique_ptr<Reducer> combiner =
+          conf_->combiner_factory ? conf_->combiner_factory() : nullptr;
+      out_records = buffer.records();
+      auto finished = buffer.Finish(combiner.get(), &context);
+      if (!finished.ok()) {
+        status = finished.status();
+      } else {
+        // Stage every partition's run (encoded spill on this node's disk)
+        // before publishing any, so a failure can't leak half a task into
+        // the shuffle.
+        std::vector<std::pair<int, ShuffleRun>> pending;
+        for (int p = 0; p < num_reduces_ && status.ok(); ++p) {
+          auto& partition = (*finished)[static_cast<size_t>(p)];
+          if (partition.empty()) continue;
+          ShuffleRun run;
+          run.map_task = index;
+          run.map_node = node;
+          storage::ByteWriter encoded;
+          for (const KeyValue& kv : partition) {
+            run.encoded_bytes += EncodedKeyValueBytes(kv.key, kv.value);
+            storage::EncodeRow(kv.key, &encoded);
+            storage::EncodeRow(kv.value, &encoded);
+          }
+          out_bytes += run.encoded_bytes;
+          run.records = std::move(partition);
+          run.local_path = ShuffleRunPath(instance_, index, p);
+          status = cluster_->local_store(node)->Write(run.local_path,
+                                                      encoded.Release());
+          if (status.ok()) pending.emplace_back(p, std::move(run));
+        }
+        if (status.ok()) {
+          // Publish immediately: the partition's reducer may fetch these
+          // runs before this task's siblings have even started.
+          for (auto& [p, run] : pending) shuffle_.PublishRun(p, std::move(run));
+        }
+      }
+    }
+  }
+
+  TaskReport& tr = attempt->report;
+  tr.index = index;
+  tr.attempt = attempt->attempt();
+  tr.is_map = true;
+  tr.node = node;
+  tr.data_local = attempt->data_local;
+  tr.num_constituents =
+      static_cast<int>(attempt->split->Constituents().size());
+  tr.hdfs_local_bytes = context.io_stats()->local_bytes_read;
+  tr.hdfs_remote_bytes = context.io_stats()->remote_bytes_read;
+  tr.local_disk_bytes = context.local_disk_bytes();
+  tr.output_records = out_records;
+  tr.output_bytes = out_bytes;
+  task_span.End();
+  tr.wall_seconds = timer.ElapsedSeconds();
+  report_->histograms.Get(kHistMapTaskMicros)->Record(timer.ElapsedMicros());
+  if (context.io_stats()->read_ops > 0) {
+    report_->histograms.Get(kHistHdfsReadMicros)
+        ->Record(static_cast<int64_t>(context.io_stats()->read_micros()));
+  }
+
+  report_->counters.Add(kCounterHdfsReadOps,
+                        static_cast<int64_t>(context.io_stats()->read_ops));
+  report_->counters.Add(
+      kCounterHdfsReadMicros,
+      static_cast<int64_t>(context.io_stats()->read_micros()));
+  report_->counters.Add(kCounterHdfsBytesReadLocal,
+                        static_cast<int64_t>(tr.hdfs_local_bytes));
+  report_->counters.Add(kCounterHdfsBytesReadRemote,
+                        static_cast<int64_t>(tr.hdfs_remote_bytes));
+  report_->counters.Add(kCounterLocalBytesRead,
+                        static_cast<int64_t>(tr.local_disk_bytes));
+  report_->counters.Add(kCounterMapOutputRecords,
+                        static_cast<int64_t>(out_records));
+  report_->counters.Add(kCounterMapOutputBytes,
+                        static_cast<int64_t>(out_bytes));
+  return status;
+}
+
+Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
+  Stopwatch timer;
+  const int r = attempt->task_index();
+  const hdfs::NodeId node = attempt->node;
+  TaskContext context(conf_, cluster_, r, node, /*allowed_threads=*/1,
+                      std::make_shared<SharedJvmState>(), &report_->counters,
+                      trace_, &report_->histograms, attempt->attempt());
+  ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/false));
+  obs::Span task_span(trace_, "reduce-task", "task", r, node);
+
+  TaskReport& tr = attempt->report;
+  tr.index = r;
+  tr.attempt = attempt->attempt();
+  tr.is_map = false;
+  tr.node = node;
+
+  obs::Histogram* fetch_bytes = report_->histograms.Get(kHistShuffleFetchBytes);
+  ShuffleMerger merger;
+
+  // Simulated HTTP fetch of one batch of runs: read each encoded run file
+  // from its map node's disk (charging that node's read ledger) and fold
+  // the records into the merge.
+  auto fetch_batch = [&](std::vector<ShuffleRun> batch) -> Status {
+    for (const ShuffleRun& run : batch) {
+      tr.shuffle_bytes_total += run.encoded_bytes;
+      if (run.map_node != node) tr.shuffle_bytes_remote += run.encoded_bytes;
+      fetch_bytes->Record(static_cast<int64_t>(run.encoded_bytes));
+      if (!run.local_path.empty() && run.map_node != hdfs::kNoNode) {
+        CLY_RETURN_IF_ERROR(
+            cluster_->local_store(run.map_node)->Read(run.local_path).status());
+      }
+    }
+    merger.Add(std::move(batch));
+    return Status::OK();
+  };
+
+  if (pipelined_) {
+    // Fetch-as-published: drain run batches while the map phase is still
+    // producing them. Merge order stays identical to the barrier path (see
+    // ShuffleMerger), so the interleaving never shows in the output.
+    while (true) {
+      std::vector<ShuffleRun> batch;
+      if (!shuffle_.AwaitNewRuns(r, &batch)) break;
+      if (aborted()) return Status::Internal("job aborted");
+      Stopwatch fetch_timer;
+      obs::Span fetch_span(trace_, "shuffle-fetch", "stage", r, node);
+      CLY_RETURN_IF_ERROR(fetch_batch(std::move(batch)));
+      fetch_span.End();
+      report_->histograms.Get(kHistShuffleFetchMicros)
+          ->Record(fetch_timer.ElapsedMicros());
+    }
+  } else {
+    Stopwatch fetch_timer;
+    obs::Span fetch_span(trace_, "shuffle-fetch", "stage", r, node);
+    CLY_RETURN_IF_ERROR(fetch_batch(shuffle_.TakePartition(r)));
+    fetch_span.End();
+    report_->histograms.Get(kHistShuffleFetchMicros)
+        ->Record(fetch_timer.ElapsedMicros());
+  }
+  if (aborted()) return Status::Internal("job aborted");
+
+  std::unique_ptr<Reducer> reducer = conf_->reducer_factory();
+  OutputFormatCollector out(output_format_);
+  tr.input_records = merger.input_records();
+  uint64_t in_groups = 0;
+  Status status = ReduceMergedRecords(merger.Take(), reducer.get(), &context,
+                                      &out, &in_groups);
+
+  tr.output_records = out.records();
+  tr.output_bytes = out.bytes();
+  tr.hdfs_local_bytes = context.io_stats()->local_bytes_read;
+  tr.hdfs_remote_bytes = context.io_stats()->remote_bytes_read;
+  task_span.End();
+  tr.wall_seconds = timer.ElapsedSeconds();
+  report_->histograms.Get(kHistReduceTaskMicros)->Record(timer.ElapsedMicros());
+
+  report_->counters.Add(kCounterReduceInputRecords,
+                        static_cast<int64_t>(tr.input_records));
+  report_->counters.Add(kCounterReduceInputGroups,
+                        static_cast<int64_t>(in_groups));
+  report_->counters.Add(kCounterReduceOutputRecords,
+                        static_cast<int64_t>(out.records()));
+  report_->counters.Add(kCounterShuffleBytes,
+                        static_cast<int64_t>(tr.shuffle_bytes_total));
+  report_->counters.Add(kCounterShuffleBytesRemote,
+                        static_cast<int64_t>(tr.shuffle_bytes_remote));
+  report_->counters.Add(kCounterHdfsReadOps,
+                        static_cast<int64_t>(context.io_stats()->read_ops));
+  report_->counters.Add(
+      kCounterHdfsReadMicros,
+      static_cast<int64_t>(context.io_stats()->read_micros()));
+  return status;
+}
+
+Status JobRunner::Execute(const std::shared_ptr<JobRunner>& self) {
+  // Tracker detach is inside the last phase span: it contends with every
+  // worker the completion wake-up just roused, and an untimed multi-ms
+  // lock handoff there would punch a hole in the phase accounting (the
+  // integration suite asserts phase spans tile the job's wall clock).
+  {
+    // The map phase span covers submission to last map completion; with the
+    // pipelined shuffle, reduce attempts are already fetching inside this
+    // window (the derived shuffle-overlap span measures by how much).
+    obs::Span map_phase_span(trace_, "map-phase", "phase");
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      cluster_->tracker(n)->Attach(self);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return maps_unfinished_ == 0; });
+    }
+    if (map_only_) {
+      for (int n = 0; n < cluster_->num_nodes(); ++n) {
+        cluster_->tracker(n)->Detach(this);
+      }
+    }
+  }
+  if (!map_only_) {
+    obs::Span reduce_phase_span(trace_, "reduce-phase", "phase");
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return reduces_unfinished_ == 0; });
+    }
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      cluster_->tracker(n)->Detach(this);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_failure_.ok()) {
+    return first_failure_.WithContext(first_failure_context_);
+  }
+  for (auto& attempt : map_attempts_) {
+    report_->map_tasks.push_back(std::move(attempt->report));
+  }
+  for (auto& attempt : reduce_attempts_) {
+    report_->reduce_tasks.push_back(std::move(attempt->report));
+  }
+  return Status::OK();
+}
+
+}  // namespace mr
+}  // namespace clydesdale

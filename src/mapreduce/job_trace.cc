@@ -73,6 +73,7 @@ CriticalPathReport CriticalPath(const JobReport& report) {
   out.reduce_phase_seconds =
       PhaseSeconds(report, "reduce-phase", reduce_skew.slowest_seconds);
   out.commit_seconds = PhaseSeconds(report, "commit", 0);
+  out.shuffle_overlap_seconds = PhaseSeconds(report, "shuffle-overlap", 0);
   return out;
 }
 
@@ -88,10 +89,18 @@ std::string CriticalPathReport::ToString() const {
     out += "no maps";
   }
   if (slowest_reduce >= 0) {
-    out += StrCat(" -> shuffle barrier -> r-", slowest_reduce, "@node",
-                  slowest_reduce_node, " (",
-                  FormatDouble(slowest_reduce_seconds, 3), "s, skew ",
-                  FormatDouble(reduce_skew, 2), ")");
+    // "shuffle overlap" replaces "shuffle barrier" when reducers were
+    // already fetching during the map phase (pipelined shuffle).
+    out += shuffle_overlap_seconds > 0
+               ? StrCat(" -> shuffle overlap ",
+                        FormatDouble(shuffle_overlap_seconds, 3), "s -> r-",
+                        slowest_reduce, "@node", slowest_reduce_node, " (",
+                        FormatDouble(slowest_reduce_seconds, 3), "s, skew ",
+                        FormatDouble(reduce_skew, 2), ")")
+               : StrCat(" -> shuffle barrier -> r-", slowest_reduce, "@node",
+                        slowest_reduce_node, " (",
+                        FormatDouble(slowest_reduce_seconds, 3), "s, skew ",
+                        FormatDouble(reduce_skew, 2), ")");
   } else {
     out += " -> map-only";
   }

@@ -33,9 +33,12 @@ inline constexpr const char kHistHdfsReadMicros[] = "HDFS_READ_MICROS";
 /// 1 means the phase is balanced, large skew names the straggler.
 struct CriticalPathReport {
   double setup_seconds = 0;       ///< pre-map work (splits, cache, open)
-  double map_phase_seconds = 0;   ///< start of first map to shuffle barrier
+  double map_phase_seconds = 0;   ///< start of first map to last map done
   double reduce_phase_seconds = 0;
   double commit_seconds = 0;
+  /// Pipelined shuffle: how long reducers were fetching while maps still
+  /// ran (the derived "shuffle-overlap" span). 0 = hard barrier.
+  double shuffle_overlap_seconds = 0;
   double wall_seconds = 0;
 
   int slowest_map = -1;  ///< task index, -1 when the job had no maps

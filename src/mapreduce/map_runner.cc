@@ -5,10 +5,10 @@
 namespace clydesdale {
 namespace mr {
 
-Status DefaultMapRunner::Run(MrCluster* cluster, const JobConf& conf,
-                             const InputSplit& split,
+Status DefaultMapRunner::Run(const InputSplit& split,
                              InputFormat* input_format, TaskContext* context,
                              OutputCollector* out) {
+  const JobConf& conf = context->conf();
   if (!conf.mapper_factory) {
     return Status::InvalidArgument("job has no mapper factory");
   }
@@ -17,7 +17,7 @@ Status DefaultMapRunner::Run(MrCluster* cluster, const JobConf& conf,
 
   CLY_ASSIGN_OR_RETURN(
       std::unique_ptr<RecordReader> reader,
-      input_format->CreateReader(cluster, conf, split, context));
+      input_format->CreateReader(context->cluster(), conf, split, context));
   Row key, value;
   int64_t records = 0;
   while (true) {

@@ -20,8 +20,10 @@ class MapRunner {
 
   /// Processes the whole split, emitting through `out`. `input_format` is the
   /// job's InputFormat instance, usable to open per-constituent readers.
-  virtual Status Run(MrCluster* cluster, const JobConf& conf,
-                     const InputSplit& split, InputFormat* input_format,
+  /// Cluster services and the job configuration come from `context`
+  /// (context->cluster() / context->conf()) — runners see only what a task
+  /// is allowed to touch, not the engine's internals.
+  virtual Status Run(const InputSplit& split, InputFormat* input_format,
                      TaskContext* context, OutputCollector* out) = 0;
 };
 
@@ -29,9 +31,8 @@ class MapRunner {
 /// in a single thread.
 class DefaultMapRunner final : public MapRunner {
  public:
-  Status Run(MrCluster* cluster, const JobConf& conf, const InputSplit& split,
-             InputFormat* input_format, TaskContext* context,
-             OutputCollector* out) override;
+  Status Run(const InputSplit& split, InputFormat* input_format,
+             TaskContext* context, OutputCollector* out) override;
 };
 
 }  // namespace mr

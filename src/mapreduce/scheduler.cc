@@ -8,61 +8,75 @@
 namespace clydesdale {
 namespace mr {
 
-std::vector<ScheduledTask> ScheduleMapTasks(
-    const std::vector<std::shared_ptr<InputSplit>>& splits, int num_nodes) {
-  std::vector<uint64_t> load(static_cast<size_t>(num_nodes), 0);
-
-  // Largest-first assignment evens out per-node bytes.
-  std::vector<size_t> order(splits.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return splits[a]->Length() > splits[b]->Length();
-  });
-
-  std::vector<ScheduledTask> tasks(splits.size());
-  for (size_t pos : order) {
-    const auto& split = splits[pos];
-    hdfs::NodeId best = hdfs::kNoNode;
-    bool local = false;
+MapSchedulingPolicy::MapSchedulingPolicy(
+    const std::vector<std::shared_ptr<InputSplit>>& splits, int num_nodes)
+    : num_nodes_(num_nodes),
+      claimed_(splits.size(), 0),
+      local_(static_cast<size_t>(num_nodes)),
+      assigned_bytes_(static_cast<size_t>(num_nodes), 0),
+      remaining_(static_cast<int>(splits.size())) {
+  lengths_.reserve(splits.size());
+  locations_.reserve(splits.size());
+  for (const auto& split : splits) {
+    lengths_.push_back(split->Length());
+    std::vector<hdfs::NodeId> holders;
     for (hdfs::NodeId n : split->Locations()) {
-      if (n < 0 || n >= num_nodes) continue;
-      if (best == hdfs::kNoNode ||
-          load[static_cast<size_t>(n)] < load[static_cast<size_t>(best)]) {
-        best = n;
-        local = true;
-      }
+      if (n >= 0 && n < num_nodes_) holders.push_back(n);
     }
-    if (best == hdfs::kNoNode) {
-      // No local candidate: least-loaded node overall (remote read).
-      best = 0;
-      for (int n = 1; n < num_nodes; ++n) {
-        if (load[static_cast<size_t>(n)] < load[static_cast<size_t>(best)]) {
-          best = n;
-        }
-      }
-      local = false;
-    }
-    load[static_cast<size_t>(best)] += split->Length();
-    tasks[pos] = ScheduledTask{static_cast<int>(pos), split, best, local};
+    locations_.push_back(std::move(holders));
   }
 
-  int data_local = 0;
-  for (const ScheduledTask& t : tasks) data_local += t.data_local ? 1 : 0;
-  const auto [min_load, max_load] =
-      std::minmax_element(load.begin(), load.end());
-  CLY_LOG(Debug) << "scheduled " << tasks.size() << " map tasks ("
-                 << data_local << " data-local) across " << num_nodes
-                 << " nodes, per-node bytes " << *min_load << ".." << *max_load;
-  return tasks;
+  order_.resize(splits.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [this](int a, int b) {
+    return lengths_[static_cast<size_t>(a)] > lengths_[static_cast<size_t>(b)];
+  });
+  for (int idx : order_) {
+    for (hdfs::NodeId n : locations_[static_cast<size_t>(idx)]) {
+      local_[static_cast<size_t>(n)].push_back(idx);
+    }
+  }
 }
 
-std::vector<hdfs::NodeId> ScheduleReduceTasks(int num_reduce_tasks,
-                                              int num_nodes) {
-  std::vector<hdfs::NodeId> nodes(static_cast<size_t>(num_reduce_tasks));
-  for (int r = 0; r < num_reduce_tasks; ++r) {
-    nodes[static_cast<size_t>(r)] = r % num_nodes;
+MapSchedulingPolicy::Choice MapSchedulingPolicy::FindEligible(
+    hdfs::NodeId node, const std::vector<bool>& node_saturated) const {
+  // Largest unclaimed node-local split first.
+  for (int idx : local_[static_cast<size_t>(node)]) {
+    if (!claimed_[static_cast<size_t>(idx)]) return Choice{idx, true};
   }
-  return nodes;
+  // Remote fallback: largest remaining anywhere, unless the split is
+  // reserved for a replica holder that still has a free slot.
+  for (int idx : order_) {
+    if (claimed_[static_cast<size_t>(idx)]) continue;
+    bool reserved = false;
+    for (hdfs::NodeId holder : locations_[static_cast<size_t>(idx)]) {
+      if (!node_saturated[static_cast<size_t>(holder)]) {
+        reserved = true;
+        break;
+      }
+    }
+    if (!reserved) return Choice{idx, false};
+  }
+  return Choice{};
+}
+
+MapSchedulingPolicy::Choice MapSchedulingPolicy::Pull(
+    hdfs::NodeId node, const std::vector<bool>& node_saturated) {
+  Choice choice = FindEligible(node, node_saturated);
+  if (choice.task_index < 0) return choice;
+  claimed_[static_cast<size_t>(choice.task_index)] = 1;
+  assigned_bytes_[static_cast<size_t>(node)] +=
+      lengths_[static_cast<size_t>(choice.task_index)];
+  --remaining_;
+  CLY_LOG(Debug) << "pull: node " << node << " claims m-" << choice.task_index
+                 << (choice.data_local ? " (data-local)" : " (rack-remote)")
+                 << ", " << remaining_ << " splits left";
+  return choice;
+}
+
+bool MapSchedulingPolicy::HasEligible(
+    hdfs::NodeId node, const std::vector<bool>& node_saturated) const {
+  return FindEligible(node, node_saturated).task_index >= 0;
 }
 
 }  // namespace mr

@@ -1,6 +1,7 @@
 #ifndef CLYDESDALE_MAPREDUCE_SCHEDULER_H_
 #define CLYDESDALE_MAPREDUCE_SCHEDULER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -10,24 +11,65 @@
 namespace clydesdale {
 namespace mr {
 
-/// One map task placed on a node.
-struct ScheduledTask {
-  int task_index = 0;
-  std::shared_ptr<InputSplit> split;
-  hdfs::NodeId node = hdfs::kNoNode;
-  bool data_local = false;
+/// Late-binding map placement, consulted one pull at a time: when a tracker
+/// slot frees up it asks the policy for work, and the answer is made with
+/// up-to-the-moment knowledge of what every other node is doing — the shape
+/// of Hadoop's heartbeat scheduling, replacing the old static
+/// ScheduleMapTasks placement pass.
+///
+/// A pull prefers the largest unclaimed split stored on the pulling node
+/// (largest-first evens out per-node bytes over the job). With no local
+/// candidate the puller falls back to the largest remaining split anywhere —
+/// a rack-remote map — but skips splits whose replica holders still have a
+/// free map slot, since those nodes will pull their local work themselves
+/// the moment a slot opens. That reservation is the locality-delay analogue:
+/// without it, whichever node finishes first would steal still-idle nodes'
+/// local splits in the first heartbeat.
+///
+/// Not thread-safe; the JobRunner serialises pulls under its own lock.
+class MapSchedulingPolicy {
+ public:
+  MapSchedulingPolicy(const std::vector<std::shared_ptr<InputSplit>>& splits,
+                      int num_nodes);
+
+  struct Choice {
+    int task_index = -1;  ///< -1: nothing grantable to this node right now
+    bool data_local = false;
+  };
+
+  /// Answers one pull from `node` and claims the chosen split.
+  /// `node_saturated[n]` marks nodes with no free map slot (claimed splits
+  /// local to an unsaturated node are never handed out remotely).
+  Choice Pull(hdfs::NodeId node, const std::vector<bool>& node_saturated);
+
+  /// Would Pull grant this node anything? Claims nothing.
+  bool HasEligible(hdfs::NodeId node,
+                   const std::vector<bool>& node_saturated) const;
+
+  /// Unclaimed splits left.
+  int remaining() const { return remaining_; }
+
+  /// Input bytes claimed by pulls from `node` so far (fairness tests).
+  uint64_t assigned_bytes(hdfs::NodeId node) const {
+    return assigned_bytes_[static_cast<size_t>(node)];
+  }
+
+ private:
+  Choice FindEligible(hdfs::NodeId node,
+                      const std::vector<bool>& node_saturated) const;
+
+  int num_nodes_;
+  std::vector<uint64_t> lengths_;
+  /// Valid (in-cluster) replica holders per split.
+  std::vector<std::vector<hdfs::NodeId>> locations_;
+  std::vector<char> claimed_;
+  /// Per node: its local split indices, largest first.
+  std::vector<std::vector<int>> local_;
+  /// All split indices, largest first (remote fallback scan order).
+  std::vector<int> order_;
+  std::vector<uint64_t> assigned_bytes_;
+  int remaining_ = 0;
 };
-
-/// Locality-aware placement: splits (largest first) go to the least-loaded
-/// node among their replica holders, falling back to the least-loaded node
-/// anywhere (a rack-remote map). Load is measured in assigned bytes, which
-/// approximates how Hadoop's locality-delay scheduling balances long jobs.
-std::vector<ScheduledTask> ScheduleMapTasks(
-    const std::vector<std::shared_ptr<InputSplit>>& splits, int num_nodes);
-
-/// Reduce tasks are spread round-robin across nodes.
-std::vector<hdfs::NodeId> ScheduleReduceTasks(int num_reduce_tasks,
-                                              int num_nodes);
 
 }  // namespace mr
 }  // namespace clydesdale

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <queue>
+#include <cstddef>
 
 #include "common/logging.h"
 #include "mapreduce/counters.h"
@@ -165,23 +165,49 @@ Result<std::vector<std::vector<KeyValue>>> ShardedCollector::Finish(
 }
 
 ShuffleStore::ShuffleStore(int num_partitions)
-    : partitions_(static_cast<size_t>(std::max(num_partitions, 1))) {}
+    : partitions_(static_cast<size_t>(std::max(num_partitions, 1))),
+      consumed_(static_cast<size_t>(std::max(num_partitions, 1)), 0) {}
 
-void ShuffleStore::AddRun(int partition, ShuffleRun run) {
-  std::lock_guard<std::mutex> lock(mu_);
-  total_bytes_ += run.encoded_bytes;
-  partitions_[static_cast<size_t>(partition)].push_back(std::move(run));
+void ShuffleStore::PublishRun(int partition, ShuffleRun run) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_bytes_ += run.encoded_bytes;
+    partitions_[static_cast<size_t>(partition)].push_back(std::move(run));
+  }
+  cv_.notify_all();
+}
+
+void ShuffleStore::CloseProducers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
 }
 
 std::vector<ShuffleRun> ShuffleStore::TakePartition(int partition) {
   std::lock_guard<std::mutex> lock(mu_);
   auto runs = std::move(partitions_[static_cast<size_t>(partition)]);
   partitions_[static_cast<size_t>(partition)].clear();
+  consumed_[static_cast<size_t>(partition)] = 0;
   std::sort(runs.begin(), runs.end(),
             [](const ShuffleRun& a, const ShuffleRun& b) {
               return a.map_task < b.map_task;
             });
   return runs;
+}
+
+bool ShuffleStore::AwaitNewRuns(int partition, std::vector<ShuffleRun>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& runs = partitions_[static_cast<size_t>(partition)];
+  size_t& consumed = consumed_[static_cast<size_t>(partition)];
+  cv_.wait(lock, [&] { return closed_ || consumed < runs.size(); });
+  if (consumed >= runs.size()) return false;  // closed and drained
+  for (size_t i = consumed; i < runs.size(); ++i) {
+    out->push_back(std::move(runs[i]));
+  }
+  consumed = runs.size();
+  return true;
 }
 
 uint64_t ShuffleStore::total_bytes() const {
@@ -190,61 +216,56 @@ uint64_t ShuffleStore::total_bytes() const {
 }
 
 namespace {
-/// Cursor into one sorted run during the k-way merge.
-struct MergeCursor {
-  size_t run = 0;
-  size_t pos = 0;
-};
+/// The merge's total order: key, then producing map task. In-run position
+/// never needs comparing — equivalent records always come from the same run
+/// (one run per map task per partition), and both the per-run sort and the
+/// stable inplace_merge below preserve in-run order among equivalents.
+bool MergedLess(const MergedRecord& a, const MergedRecord& b) {
+  const int c = a.kv.key.Compare(b.kv.key);
+  if (c != 0) return c < 0;
+  return a.map_task < b.map_task;
+}
 }  // namespace
 
-Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
-                       TaskContext* context, OutputCollector* out,
-                       uint64_t* input_records, uint64_t* input_groups) {
-  // K-way heap merge over the per-map-task sorted runs: each key group is
-  // assembled and handed to the reducer as soon as its last record leaves
-  // the heap — nothing is concatenated or re-sorted. Equal keys pop in run
-  // order (runs arrive sorted by map task index; within a run, positions
-  // advance monotonically), so value order matches the old stable-sort path.
+void ShuffleMerger::Add(std::vector<ShuffleRun> runs) {
+  for (ShuffleRun& run : runs) {
+    input_records_ += run.records.size();
+    const size_t old_size = merged_.size();
+    merged_.reserve(old_size + run.records.size());
+    for (KeyValue& kv : run.records) {
+      merged_.push_back(MergedRecord{std::move(kv), run.map_task});
+    }
+    // Each run arrives key-sorted with a single map_task, so it is already
+    // sorted under MergedLess; one stable merge folds it in.
+    std::inplace_merge(merged_.begin(),
+                       merged_.begin() + static_cast<ptrdiff_t>(old_size),
+                       merged_.end(), MergedLess);
+  }
+}
+
+Status ReduceMergedRecords(std::vector<MergedRecord> records, Reducer* reducer,
+                           TaskContext* context, OutputCollector* out,
+                           uint64_t* input_groups) {
   obs::Span merge_span(context->trace(), "merge-reduce", "stage",
                        context->task_index(), context->node());
-  *input_records = 0;
-  for (const ShuffleRun& run : runs) *input_records += run.records.size();
   *input_groups = 0;
 
   // Group sizes go into a task-local histogram first: the registry's mutex
   // must not be touched once per key group on this hot path.
   obs::Histogram group_sizes;
 
-  auto greater = [&runs](const MergeCursor& a, const MergeCursor& b) {
-    const int c = runs[a.run].records[a.pos].key.Compare(
-        runs[b.run].records[b.pos].key);
-    if (c != 0) return c > 0;
-    return a.run > b.run;
-  };
-  std::priority_queue<MergeCursor, std::vector<MergeCursor>, decltype(greater)>
-      heap(greater);
-  for (size_t r = 0; r < runs.size(); ++r) {
-    if (!runs[r].records.empty()) heap.push(MergeCursor{r, 0});
-  }
-
   CLY_RETURN_IF_ERROR(reducer->Setup(context));
   Row group_key;
   std::vector<Row> values;
-  while (!heap.empty()) {
-    const MergeCursor cursor = heap.top();
-    heap.pop();
-    KeyValue& kv = runs[cursor.run].records[cursor.pos];
-    if (!values.empty() && kv.key.Compare(group_key) != 0) {
+  for (MergedRecord& record : records) {
+    if (!values.empty() && record.kv.key.Compare(group_key) != 0) {
       CLY_RETURN_IF_ERROR(reducer->Reduce(group_key, values, context, out));
       ++*input_groups;
       group_sizes.Record(static_cast<int64_t>(values.size()));
       values.clear();
     }
-    if (values.empty()) group_key = kv.key;
-    values.push_back(std::move(kv.value));
-    if (cursor.pos + 1 < runs[cursor.run].records.size()) {
-      heap.push(MergeCursor{cursor.run, cursor.pos + 1});
-    }
+    if (values.empty()) group_key = record.kv.key;
+    values.push_back(std::move(record.kv.value));
   }
   if (!values.empty()) {
     CLY_RETURN_IF_ERROR(reducer->Reduce(group_key, values, context, out));
@@ -255,6 +276,16 @@ Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
     context->histograms()->Get(kHistReduceGroupSize)->MergeFrom(group_sizes);
   }
   return reducer->Cleanup(context, out);
+}
+
+Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
+                       TaskContext* context, OutputCollector* out,
+                       uint64_t* input_records, uint64_t* input_groups) {
+  ShuffleMerger merger;
+  merger.Add(std::move(runs));
+  *input_records = merger.input_records();
+  return ReduceMergedRecords(merger.Take(), reducer, context, out,
+                             input_groups);
 }
 
 }  // namespace mr

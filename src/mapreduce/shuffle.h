@@ -1,9 +1,11 @@
 #ifndef CLYDESDALE_MAPREDUCE_SHUFFLE_H_
 #define CLYDESDALE_MAPREDUCE_SHUFFLE_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -77,31 +79,87 @@ struct ShuffleRun {
   hdfs::NodeId map_node = hdfs::kNoNode;
   std::vector<KeyValue> records;
   uint64_t encoded_bytes = 0;
+  /// LocalStore path of the encoded run on the map node ("" for runs built
+  /// directly in tests). Reducers fetch it to charge the map node's disk.
+  std::string local_path;
 };
 
 /// In-memory stand-in for the map-output files + HTTP fetch path. Thread-safe
 /// producers (map tasks) / single consumer per partition (its reducer).
+///
+/// Two consumption modes: the barrier path takes a whole partition at once
+/// after every producer finished (TakePartition); the pipelined path drains
+/// runs incrementally as maps publish them (AwaitNewRuns), unblocking for
+/// good once CloseProducers marks the map side done.
 class ShuffleStore {
  public:
   explicit ShuffleStore(int num_partitions);
 
-  void AddRun(int partition, ShuffleRun run);
+  /// Makes one map task's run visible to the partition's reducer. In the
+  /// pipelined engine this happens the moment the map attempt succeeds —
+  /// there is no job-wide barrier between publish and fetch.
+  void PublishRun(int partition, ShuffleRun run);
+
+  /// No further PublishRun calls will happen; wakes blocked reducers.
+  void CloseProducers();
 
   /// All runs for a partition, ordered by map task index (determinism).
   std::vector<ShuffleRun> TakePartition(int partition);
+
+  /// Blocks until the partition has unconsumed runs or producers are closed.
+  /// Moves the new runs (arrival order) into `out` and returns true; returns
+  /// false once closed and fully drained. Single consumer per partition.
+  bool AwaitNewRuns(int partition, std::vector<ShuffleRun>* out);
 
   uint64_t total_bytes() const;
 
  private:
   mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::vector<std::vector<ShuffleRun>> partitions_;
+  /// Per partition: how many runs the consumer already drained.
+  std::vector<size_t> consumed_;
   uint64_t total_bytes_ = 0;
+  bool closed_ = false;
 };
 
-/// K-way merges the sorted runs and streams key groups to `reducer` — no
-/// concatenated copy of the partition is ever materialised. Ties between
+/// One record in merge order, tagged with its producing map task — the
+/// tie-break that keeps incremental merging byte-identical to the barrier
+/// k-way merge.
+struct MergedRecord {
+  KeyValue kv;
+  int map_task = 0;
+};
+
+/// Incrementally merges sorted runs as they arrive. Total order is (key,
+/// map task, in-run position): exactly what the barrier path's k-way heap
+/// pops, so a reducer fed run-by-run produces byte-identical output no
+/// matter how publish and fetch interleave.
+class ShuffleMerger {
+ public:
+  /// Folds a batch of runs into the merged sequence (any arrival order).
+  void Add(std::vector<ShuffleRun> runs);
+
+  uint64_t input_records() const { return input_records_; }
+
+  /// The fully merged sequence; the merger is empty afterwards.
+  std::vector<MergedRecord> Take() { return std::move(merged_); }
+
+ private:
+  std::vector<MergedRecord> merged_;
+  uint64_t input_records_ = 0;
+};
+
+/// Streams the merged sequence's key groups to `reducer` (Setup / Reduce per
+/// group / Cleanup), recording group sizes into kHistReduceGroupSize.
+Status ReduceMergedRecords(std::vector<MergedRecord> records, Reducer* reducer,
+                           TaskContext* context, OutputCollector* out,
+                           uint64_t* input_groups);
+
+/// Merges the sorted runs and streams key groups to `reducer`. Ties between
 /// runs break by map task index, matching the order a stable sort over the
-/// by-task concatenation would produce.
+/// by-task concatenation would produce. Barrier-mode convenience over
+/// ShuffleMerger + ReduceMergedRecords.
 Status ReducePartition(std::vector<ShuffleRun> runs, Reducer* reducer,
                        TaskContext* context, OutputCollector* out,
                        uint64_t* input_records, uint64_t* input_groups);

@@ -1,0 +1,42 @@
+#include "mapreduce/task_attempt.h"
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace mr {
+
+const char* AttemptStateName(AttemptState state) {
+  switch (state) {
+    case AttemptState::kQueued:
+      return "queued";
+    case AttemptState::kRunning:
+      return "running";
+    case AttemptState::kSucceeded:
+      return "succeeded";
+    case AttemptState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Status TaskAttempt::Transition(AttemptState next) {
+  const bool valid =
+      (state_ == AttemptState::kQueued && next == AttemptState::kRunning) ||
+      (state_ == AttemptState::kQueued && next == AttemptState::kFailed) ||
+      (state_ == AttemptState::kRunning && next == AttemptState::kSucceeded) ||
+      (state_ == AttemptState::kRunning && next == AttemptState::kFailed);
+  if (!valid) {
+    return Status::Internal(StrCat("invalid attempt transition for ", Label(),
+                                   ": ", AttemptStateName(state_), " -> ",
+                                   AttemptStateName(next)));
+  }
+  state_ = next;
+  return Status::OK();
+}
+
+std::string TaskAttempt::Label() const {
+  return StrCat(is_map_ ? "m" : "r", "-", task_index_, ".", attempt_);
+}
+
+}  // namespace mr
+}  // namespace clydesdale

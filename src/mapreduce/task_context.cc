@@ -10,7 +10,7 @@ TaskContext::TaskContext(const JobConf* conf, MrCluster* cluster,
                          int task_index, hdfs::NodeId node, int allowed_threads,
                          std::shared_ptr<SharedJvmState> shared,
                          Counters* counters, obs::TraceRecorder* trace,
-                         obs::HistogramRegistry* histograms)
+                         obs::HistogramRegistry* histograms, int attempt)
     : conf_(conf),
       cluster_(cluster),
       task_index_(task_index),
@@ -19,11 +19,17 @@ TaskContext::TaskContext(const JobConf* conf, MrCluster* cluster,
       shared_(std::move(shared)),
       counters_(counters),
       trace_(trace),
-      histograms_(histograms) {}
+      histograms_(histograms),
+      attempt_(attempt) {}
 
 std::string TaskContext::DebugLabel(bool is_map) const {
+  // Attempt 0 stays terse ("job/m-3@node1"); retries show ".<attempt>".
+  if (attempt_ == 0) {
+    return StrCat(conf_->job_name, "/", is_map ? "m" : "r", "-", task_index_,
+                  "@node", node_);
+  }
   return StrCat(conf_->job_name, "/", is_map ? "m" : "r", "-", task_index_,
-                "@node", node_);
+                ".", attempt_, "@node", node_);
 }
 
 hdfs::LocalStore* TaskContext::local_store() {

@@ -62,11 +62,13 @@ class TaskContext {
               hdfs::NodeId node, int allowed_threads,
               std::shared_ptr<SharedJvmState> shared, Counters* counters,
               obs::TraceRecorder* trace = nullptr,
-              obs::HistogramRegistry* histograms = nullptr);
+              obs::HistogramRegistry* histograms = nullptr, int attempt = 0);
 
   const JobConf& conf() const { return *conf_; }
   MrCluster* cluster() { return cluster_; }
   int task_index() const { return task_index_; }
+  /// Attempt number of this execution (0 unless the task was retried).
+  int attempt() const { return attempt_; }
   hdfs::NodeId node() const { return node_; }
   /// Number of processor slots the scheduler granted this task (paper §5.2,
   /// requirement 3). Multi-threaded runners size their thread pool with it.
@@ -122,6 +124,7 @@ class TaskContext {
   Counters* counters_;
   obs::TraceRecorder* trace_;
   obs::HistogramRegistry* histograms_;
+  int attempt_;
   hdfs::IoStats io_stats_;
   std::mutex io_mu_;
   std::atomic<uint64_t> local_disk_bytes_{0};

@@ -1,0 +1,95 @@
+#include "mapreduce/task_tracker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mapreduce/job_runner.h"
+
+namespace clydesdale {
+namespace mr {
+
+TaskTracker::TaskTracker(hdfs::NodeId node, int map_slots, int reduce_slots)
+    : node_(node),
+      map_slots_(std::max(map_slots, 1)),
+      reduce_slots_(std::max(reduce_slots, 1)) {
+  workers_.reserve(static_cast<size_t>(map_slots_ + reduce_slots_));
+  for (int s = 0; s < map_slots_; ++s) {
+    workers_.emplace_back([this] { WorkerLoop(/*reduce_slot=*/false); });
+  }
+  for (int s = 0; s < reduce_slots_; ++s) {
+    workers_.emplace_back([this] { WorkerLoop(/*reduce_slot=*/true); });
+  }
+}
+
+TaskTracker::~TaskTracker() {
+  BeginShutdown();
+  JoinWorkers();
+}
+
+void TaskTracker::BeginShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void TaskTracker::JoinWorkers() {
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void TaskTracker::Attach(std::shared_ptr<JobRunner> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+}
+
+void TaskTracker::Detach(const JobRunner* job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                               [job](const std::shared_ptr<JobRunner>& j) {
+                                 return j.get() == job;
+                               }),
+                jobs_.end());
+  }
+  cv_.notify_all();
+}
+
+void TaskTracker::Wake() {
+  // Taking the lock (even empty) orders this wake after any worker's
+  // check-then-wait: a worker that just saw "no work" is already inside
+  // cv_.wait by the time we can acquire mu_, so the notify reaches it.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+}
+
+void TaskTracker::WorkerLoop(bool reduce_slot) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    std::shared_ptr<JobRunner> job;
+    for (const std::shared_ptr<JobRunner>& j : jobs_) {
+      if (j->HasRunnableWork(node_, reduce_slot)) {
+        job = j;
+        break;
+      }
+    }
+    if (job == nullptr) {
+      if (shutdown_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    // Run outside the tracker lock; the shared_ptr keeps the runner alive
+    // even if the job finishes (and is detached) while this attempt runs.
+    lock.unlock();
+    job->TryRunWork(node_, reduce_slot);
+    lock.lock();
+  }
+}
+
+}  // namespace mr
+}  // namespace clydesdale

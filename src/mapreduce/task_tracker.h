@@ -1,0 +1,79 @@
+#ifndef CLYDESDALE_MAPREDUCE_TASK_TRACKER_H_
+#define CLYDESDALE_MAPREDUCE_TASK_TRACKER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hdfs/block.h"
+
+namespace clydesdale {
+namespace mr {
+
+class JobRunner;
+
+/// One node's persistent executor: a slot-bounded worker pool that outlives
+/// any single job, the analogue of a Hadoop TaskTracker daemon (and of its
+/// reused JVMs — workers, like reused JVMs, are started once and handed task
+/// after task). Owned by MrCluster, one per node.
+///
+/// Workers are pull-driven: each loops over the attached jobs asking
+/// HasRunnableWork and sleeps on a condition variable when every job says
+/// no — an idle tracker never spins. Map slots and reduce slots get separate
+/// workers because a pipelined reducer parks inside the shuffle wait while
+/// maps are still running; sharing slots would let waiting reducers starve
+/// the maps they are waiting on.
+///
+/// Lock order: tracker mutex before JobRunner mutex (workers hold mu_ while
+/// polling jobs). JobRunner must therefore only call Wake/Attach/Detach
+/// while not holding its own lock.
+class TaskTracker {
+ public:
+  TaskTracker(hdfs::NodeId node, int map_slots, int reduce_slots);
+  ~TaskTracker();  ///< Drains: signals shutdown and joins every worker.
+
+  /// Two-phase shutdown, for owners of *several* trackers. A worker finishing
+  /// its last attempt wakes every sibling tracker (WakeAllTrackers), so no
+  /// tracker's condition variable may be destroyed while any tracker still
+  /// has a live worker: signal all pools first, then join all, then destroy.
+  /// ~TaskTracker calls both, so standalone use needs neither.
+  void BeginShutdown();  ///< Sets the shutdown flag and wakes the pool.
+  void JoinWorkers();    ///< Joins every worker; idempotent.
+
+  TaskTracker(const TaskTracker&) = delete;
+  TaskTracker& operator=(const TaskTracker&) = delete;
+
+  hdfs::NodeId node() const { return node_; }
+  int map_slots() const { return map_slots_; }
+  int reduce_slots() const { return reduce_slots_; }
+
+  /// Makes the job's work visible to this tracker's workers.
+  void Attach(std::shared_ptr<JobRunner> job);
+  /// Removes the job; the caller must have waited for all its attempts to
+  /// reach a terminal state first.
+  void Detach(const JobRunner* job);
+
+  /// Re-evaluate runnable work (a slot freed elsewhere, the map phase
+  /// finished, a job aborted). Safe from any thread not holding mu_.
+  void Wake();
+
+ private:
+  void WorkerLoop(bool reduce_slot);
+
+  const hdfs::NodeId node_;
+  const int map_slots_;
+  const int reduce_slots_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::vector<std::shared_ptr<JobRunner>> jobs_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_TASK_TRACKER_H_

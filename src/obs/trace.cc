@@ -51,7 +51,12 @@ std::vector<SpanRecord> TraceRecorder::Drain() {
   std::stable_sort(all.begin(), all.end(),
                    [](const SpanRecord& a, const SpanRecord& b) {
                      if (a.start_us != b.start_us) return a.start_us < b.start_us;
-                     return a.dur_us > b.dur_us;  // parents before children
+                     // Parents before children; depth breaks the tie when a
+                     // parent and its zero-length children share a start_us
+                     // (records land in the buffer at span *end*, so buffer
+                     // order alone would put children first).
+                     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                     return a.depth < b.depth;
                    });
   return all;
 }

@@ -280,7 +280,10 @@ TEST_F(EngineIntegrationTest, TracedRunEmitsSpansTimelineAndCriticalPath) {
   }
 
   // Phase spans partition the job: their sum must account for the wall
-  // time (small scheduling gaps allowed; tiny runs get absolute slack).
+  // time (small scheduling gaps allowed; the absolute slack covers one
+  // stray scheduler timeslice landing between spans on a tiny run under
+  // parallel test load). The derived shuffle-overlap span has category
+  // "overlap", not "phase" — it deliberately double-counts map time.
   double phase_sum = 0;
   for (const obs::SpanRecord& span : report.spans) {
     if (std::string_view(span.category) == "phase") {
@@ -288,7 +291,7 @@ TEST_F(EngineIntegrationTest, TracedRunEmitsSpansTimelineAndCriticalPath) {
     }
   }
   EXPECT_NEAR(phase_sum, report.wall_seconds,
-              0.05 * report.wall_seconds + 0.005);
+              0.05 * report.wall_seconds + 0.010);
 
   // Summary surfaces the latency/volume distributions.
   const std::string summary = report.Summary();
@@ -305,7 +308,12 @@ TEST_F(EngineIntegrationTest, TracedRunEmitsSpansTimelineAndCriticalPath) {
             std::string::npos)
       << chain;
   if (!report.reduce_tasks.empty()) {
-    EXPECT_NE(chain.find("shuffle barrier"), std::string::npos) << chain;
+    // Pipelined shuffle prints "shuffle overlap"; a run where no reducer
+    // fetched before the last map finished keeps the barrier wording.
+    const bool names_handoff =
+        chain.find("shuffle barrier") != std::string::npos ||
+        chain.find("shuffle overlap") != std::string::npos;
+    EXPECT_TRUE(names_handoff) << chain;
   }
 
   // Trace + timeline files landed in the requested directory.

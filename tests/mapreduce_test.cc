@@ -218,54 +218,85 @@ TEST(MapReduceTest, JvmReuseSharesStateAcrossTasksOnANode) {
   SUCCEED();
 }
 
-TEST(SchedulerTest, PrefersLocalNodes) {
+namespace {
+
+std::vector<std::shared_ptr<InputSplit>> MakeSplits(
+    const std::vector<std::pair<uint64_t, std::vector<hdfs::NodeId>>>& specs) {
   std::vector<std::shared_ptr<InputSplit>> splits;
-  for (int i = 0; i < 8; ++i) {
+  int index = 0;
+  for (const auto& [length, nodes] : specs) {
     storage::StorageSplit s;
-    s.index = i;
-    s.length_bytes = 100;
-    s.preferred_nodes = {i % 4};
+    s.index = index++;
+    s.length_bytes = length;
+    s.preferred_nodes = nodes;
     splits.push_back(std::make_shared<StorageInputSplit>(std::move(s)));
   }
-  auto tasks = ScheduleMapTasks(splits, 4);
-  ASSERT_EQ(tasks.size(), 8u);
-  for (const ScheduledTask& t : tasks) {
-    EXPECT_TRUE(t.data_local);
-    EXPECT_EQ(t.node, t.task_index % 4);
+  return splits;
+}
+
+}  // namespace
+
+TEST(SchedulerPolicyTest, PullPrefersLocalSplits) {
+  std::vector<std::pair<uint64_t, std::vector<hdfs::NodeId>>> specs;
+  for (int i = 0; i < 8; ++i) specs.push_back({100, {i % 4}});
+  MapSchedulingPolicy policy(MakeSplits(specs), 4);
+  const std::vector<bool> none_saturated(4, false);
+  for (int round = 0; round < 2; ++round) {
+    for (hdfs::NodeId n = 0; n < 4; ++n) {
+      auto choice = policy.Pull(n, none_saturated);
+      ASSERT_GE(choice.task_index, 0);
+      EXPECT_TRUE(choice.data_local);
+      EXPECT_EQ(choice.task_index % 4, n);
+    }
   }
+  EXPECT_EQ(policy.remaining(), 0);
 }
 
-TEST(SchedulerTest, BalancesLoadAcrossReplicaHolders) {
-  // All splits prefer nodes {0,1}; load should split evenly between them.
-  std::vector<std::shared_ptr<InputSplit>> splits;
-  for (int i = 0; i < 10; ++i) {
-    storage::StorageSplit s;
-    s.index = i;
-    s.length_bytes = 100;
-    s.preferred_nodes = {0, 1};
-    splits.push_back(std::make_shared<StorageInputSplit>(std::move(s)));
+TEST(SchedulerPolicyTest, RemoteFallbackRespectsReservations) {
+  // The only split lives on node 1. While node 1 still has a free slot the
+  // split is reserved for it; node 0 gets nothing. Once node 1 saturates,
+  // node 0 may steal it as a rack-remote map.
+  MapSchedulingPolicy policy(MakeSplits({{100, {1}}}), 2);
+  std::vector<bool> saturated(2, false);
+  EXPECT_FALSE(policy.HasEligible(0, saturated));
+  EXPECT_EQ(policy.Pull(0, saturated).task_index, -1);
+  saturated[1] = true;
+  ASSERT_TRUE(policy.HasEligible(0, saturated));
+  auto choice = policy.Pull(0, saturated);
+  EXPECT_EQ(choice.task_index, 0);
+  EXPECT_FALSE(choice.data_local);
+  EXPECT_EQ(policy.remaining(), 0);
+}
+
+TEST(SchedulerPolicyTest, FallsBackToRemoteWhenNoPreference) {
+  MapSchedulingPolicy policy(MakeSplits({{100, {}}}), 3);
+  const std::vector<bool> none_saturated(3, false);
+  ASSERT_TRUE(policy.HasEligible(2, none_saturated));
+  auto choice = policy.Pull(2, none_saturated);
+  EXPECT_EQ(choice.task_index, 0);
+  EXPECT_FALSE(choice.data_local);
+}
+
+TEST(SchedulerPolicyTest, LargestFirstBalancesSkewedSplitSizes) {
+  // Node 0 holds one huge split plus small ones; node 1 holds mediums.
+  // Largest-first pulls mean each node works off its biggest obligations
+  // first, so per-node assigned bytes track what is stored there rather
+  // than claim order.
+  std::vector<std::pair<uint64_t, std::vector<hdfs::NodeId>>> specs = {
+      {1000, {0}}, {10, {0}}, {20, {0}}, {400, {1}}, {300, {1}}, {330, {1}}};
+  MapSchedulingPolicy policy(MakeSplits(specs), 2);
+  const std::vector<bool> none_saturated(2, false);
+  // Alternate pulls until the queue drains, mimicking two equal trackers.
+  bool progressed = true;
+  while (policy.remaining() > 0 && progressed) {
+    progressed = false;
+    for (hdfs::NodeId n = 0; n < 2; ++n) {
+      if (policy.Pull(n, none_saturated).task_index >= 0) progressed = true;
+    }
   }
-  auto tasks = ScheduleMapTasks(splits, 4);
-  int per_node[4] = {0, 0, 0, 0};
-  for (const ScheduledTask& t : tasks) per_node[t.node]++;
-  EXPECT_EQ(per_node[0], 5);
-  EXPECT_EQ(per_node[1], 5);
-  EXPECT_EQ(per_node[2], 0);
-}
-
-TEST(SchedulerTest, FallsBackToRemoteWhenNoPreference) {
-  std::vector<std::shared_ptr<InputSplit>> splits;
-  storage::StorageSplit s;
-  s.length_bytes = 100;
-  splits.push_back(std::make_shared<StorageInputSplit>(std::move(s)));
-  auto tasks = ScheduleMapTasks(splits, 3);
-  ASSERT_EQ(tasks.size(), 1u);
-  EXPECT_FALSE(tasks[0].data_local);
-}
-
-TEST(SchedulerTest, ReduceRoundRobin) {
-  auto nodes = ScheduleReduceTasks(5, 3);
-  EXPECT_EQ(nodes, (std::vector<hdfs::NodeId>{0, 1, 2, 0, 1}));
+  EXPECT_EQ(policy.remaining(), 0);
+  EXPECT_EQ(policy.assigned_bytes(0), 1030u);
+  EXPECT_EQ(policy.assigned_bytes(1), 1030u);
 }
 
 TEST(ShuffleTest, MapOutputBufferSortsAndCombines) {

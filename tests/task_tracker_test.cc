@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/job_trace.h"
+#include "mapreduce/task_attempt.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace mr {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.map_slots_per_node = 2;
+  options.dfs_block_size = 1024;
+  options.dfs_replication = 2;
+  return options;
+}
+
+storage::TableDesc WriteWordTable(MrCluster* cluster, int rows) {
+  storage::TableDesc desc;
+  desc.path = "/words";
+  desc.format = storage::kFormatBinaryRow;
+  desc.schema = Schema::Make(
+      {{"word", TypeKind::kString, 8}, {"n", TypeKind::kInt64, 8}});
+  auto writer = storage::OpenTableWriter(cluster->dfs(), desc);
+  CLY_CHECK(writer.ok());
+  const char* vocab[] = {"ant", "bee", "cat", "dog", "eel", "fox"};
+  for (int i = 0; i < rows; ++i) {
+    CLY_CHECK_OK((*writer)->Append(
+        Row({Value(vocab[i % 6]), Value(int64_t{1})})));
+  }
+  CLY_CHECK_OK((*writer)->Close());
+  auto loaded = cluster->GetTable(desc.path);
+  CLY_CHECK(loaded.ok());
+  return *loaded;
+}
+
+class WordCountMapper final : public Mapper {
+ public:
+  /// Optional per-task delay: stretches the map phase so pipelined reducers
+  /// demonstrably fetch while maps are still running.
+  explicit WordCountMapper(int setup_sleep_ms = 0)
+      : setup_sleep_ms_(setup_sleep_ms) {}
+
+  Status Setup(TaskContext*) override {
+    if (setup_sleep_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(setup_sleep_ms_));
+    }
+    return Status::OK();
+  }
+  Status Map(const Row& key, const Row& value, TaskContext*,
+             OutputCollector* out) override {
+    (void)key;
+    return out->Collect(Row({value.Get(0)}), Row({value.Get(1)}));
+  }
+
+ private:
+  int setup_sleep_ms_;
+};
+
+class SumCountsReducer final : public Reducer {
+ public:
+  Status Reduce(const Row& key, const std::vector<Row>& values, TaskContext*,
+                OutputCollector* out) override {
+    int64_t total = 0;
+    for (const Row& v : values) total += v.Get(0).i64();
+    return out->Collect(key, Row({Value(total)}));
+  }
+};
+
+JobConf WordCountJob(const std::string& table, int reduces) {
+  JobConf conf;
+  conf.job_name = "wordcount";
+  conf.num_reduce_tasks = reduces;
+  conf.Set(kConfInputTable, table);
+  conf.input_format_factory = [] {
+    return std::make_unique<TableInputFormat>();
+  };
+  conf.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  conf.reducer_factory = [] { return std::make_unique<SumCountsReducer>(); };
+  conf.output_format_factory = [] {
+    return std::make_unique<MemoryOutputFormat>();
+  };
+  return conf;
+}
+
+// ---------------------------------------------------------------------------
+// TaskAttempt state machine
+// ---------------------------------------------------------------------------
+
+TEST(TaskAttemptTest, HappyPathTransitions) {
+  TaskAttempt attempt(3, 0, /*is_map=*/true);
+  EXPECT_EQ(attempt.state(), AttemptState::kQueued);
+  EXPECT_FALSE(attempt.terminal());
+  EXPECT_EQ(attempt.Label(), "m-3.0");
+
+  ASSERT_TRUE(attempt.Transition(AttemptState::kRunning).ok());
+  EXPECT_EQ(attempt.state(), AttemptState::kRunning);
+  ASSERT_TRUE(attempt.Transition(AttemptState::kSucceeded).ok());
+  EXPECT_TRUE(attempt.terminal());
+}
+
+TEST(TaskAttemptTest, FailureEdges) {
+  // running -> failed (task code errored).
+  TaskAttempt ran(0, 0, /*is_map=*/true);
+  ASSERT_TRUE(ran.Transition(AttemptState::kRunning).ok());
+  ASSERT_TRUE(ran.Transition(AttemptState::kFailed).ok());
+  EXPECT_TRUE(ran.terminal());
+
+  // queued -> failed (killed before launch on job abort).
+  TaskAttempt killed(1, 2, /*is_map=*/false);
+  EXPECT_EQ(killed.Label(), "r-1.2");
+  ASSERT_TRUE(killed.Transition(AttemptState::kFailed).ok());
+  EXPECT_TRUE(killed.terminal());
+}
+
+TEST(TaskAttemptTest, InvalidTransitionsRejected) {
+  TaskAttempt attempt(0, 0, /*is_map=*/true);
+  // Can't succeed without running.
+  EXPECT_EQ(attempt.Transition(AttemptState::kSucceeded).code(),
+            StatusCode::kInternal);
+  ASSERT_TRUE(attempt.Transition(AttemptState::kRunning).ok());
+  // Can't go back to queued.
+  EXPECT_EQ(attempt.Transition(AttemptState::kQueued).code(),
+            StatusCode::kInternal);
+  ASSERT_TRUE(attempt.Transition(AttemptState::kSucceeded).ok());
+  // Terminal states accept nothing.
+  for (AttemptState next :
+       {AttemptState::kQueued, AttemptState::kRunning, AttemptState::kFailed,
+        AttemptState::kSucceeded}) {
+    EXPECT_EQ(attempt.Transition(next).code(), StatusCode::kInternal);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pull-based executor end to end
+// ---------------------------------------------------------------------------
+
+TEST(TaskTrackerTest, PipelinedOutputIsByteIdenticalToBarrier) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 600);
+
+  // One reducer: output order is fully determined by the merge order, so
+  // equality here asserts byte-identical output, not just equal multisets.
+  JobConf pipelined = WordCountJob("/words", 1);
+  pipelined.pipelined_shuffle = true;
+  JobConf barrier = WordCountJob("/words", 1);
+  barrier.pipelined_shuffle = false;
+
+  auto with = RunJob(&cluster, pipelined);
+  auto without = RunJob(&cluster, barrier);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+
+  ASSERT_EQ(with->output_rows.size(), without->output_rows.size());
+  for (size_t i = 0; i < with->output_rows.size(); ++i) {
+    EXPECT_TRUE(with->output_rows[i] == without->output_rows[i])
+        << "row " << i << " differs between pipelined and barrier modes";
+  }
+  EXPECT_GT(with->report.map_tasks.size(), 1u);
+}
+
+TEST(TaskTrackerTest, SchedPullsAndLocalityCountersCoverEveryAttempt) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 400);
+  auto result = RunJob(&cluster, WordCountJob("/words", 2));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const auto maps = static_cast<int64_t>(result->report.map_tasks.size());
+  const auto reduces = static_cast<int64_t>(result->report.reduce_tasks.size());
+  const Counters& counters = result->report.counters;
+  // One pull per launched attempt (no retries yet: attempts == tasks).
+  EXPECT_EQ(counters.Get(kCounterSchedPulls), maps + reduces);
+  // Every map was placed either data-local or rack-remote at pull time.
+  EXPECT_EQ(counters.Get(kCounterDataLocalMaps) +
+                counters.Get(kCounterRackRemoteMaps),
+            maps);
+  for (const TaskReport& t : result->report.map_tasks) {
+    EXPECT_EQ(t.attempt, 0);
+  }
+}
+
+TEST(TaskTrackerTest, ShuffleScratchIsGarbageCollectedAfterCommit) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 300);
+  ASSERT_TRUE(cluster.dfs()->WriteFile("/cache/gc-probe", "payload").ok());
+  JobConf conf = WordCountJob("/words", 3);
+  conf.distributed_cache.push_back("/cache/gc-probe");
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Encoded shuffle runs and dcache copies were staged on local disks during
+  // the job; commit-time GC must leave every node's LocalStore empty.
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_EQ(cluster.local_store(n)->file_count(), 0u) << "node " << n;
+  }
+}
+
+TEST(TaskTrackerTest, FailingMapAbortsPipelinedJobWithoutHanging) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 300);
+  JobConf conf = WordCountJob("/words", 2);
+  conf.pipelined_shuffle = true;
+  conf.mapper_factory = [] {
+    class FailingMapper final : public Mapper {
+     public:
+      Status Map(const Row&, const Row&, TaskContext*,
+                 OutputCollector*) override {
+        return Status::Internal("injected map failure");
+      }
+    };
+    return std::make_unique<FailingMapper>();
+  };
+  // Reducers are already blocked waiting for runs when the failure lands;
+  // the abort must close the shuffle and unwind them (a hang here means the
+  // producers were never closed).
+  auto result = RunJob(&cluster, conf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("injected map failure"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find("map task"), std::string::npos)
+      << result.status().ToString();
+  // The failed job's scratch is GCed on the error path too.
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_EQ(cluster.local_store(n)->file_count(), 0u) << "node " << n;
+  }
+}
+
+TEST(TaskTrackerTest, FailingReduceReportsReduceTaskContext) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 100);
+  JobConf conf = WordCountJob("/words", 1);
+  conf.reducer_factory = [] {
+    class FailingReducer final : public Reducer {
+     public:
+      Status Reduce(const Row&, const std::vector<Row>&, TaskContext*,
+                    OutputCollector*) override {
+        return Status::Internal("injected reduce failure");
+      }
+    };
+    return std::make_unique<FailingReducer>();
+  };
+  auto result = RunJob(&cluster, conf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("reduce task"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(TaskTrackerTest, PipelinedReducersFetchWhileMapsStillRun) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 600);
+  JobConf conf = WordCountJob("/words", 2);
+  conf.pipelined_shuffle = true;
+  conf.SetBool(kConfTraceEnabled, true);
+  // Slow maps in several waves: early runs are published (and fetched) while
+  // later waves are still occupying the map slots.
+  conf.mapper_factory = [] { return std::make_unique<WordCountMapper>(15); };
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const int total_map_slots =
+      cluster.num_nodes() * cluster.options().map_slots_per_node;
+  ASSERT_GT(result->report.map_tasks.size(),
+            static_cast<size_t>(total_map_slots))
+      << "test needs multiple map waves to demonstrate overlap";
+
+  int64_t last_map_end = 0;
+  int64_t first_fetch = -1;
+  bool saw_overlap_span = false;
+  for (const obs::SpanRecord& span : result->report.spans) {
+    if (span.name == "map-task") {
+      last_map_end = std::max(last_map_end, span.end_us());
+    } else if (span.name == "shuffle-fetch") {
+      if (first_fetch < 0 || span.start_us < first_fetch) {
+        first_fetch = span.start_us;
+      }
+    } else if (span.name == "shuffle-overlap") {
+      saw_overlap_span = true;
+    }
+  }
+  ASSERT_GE(first_fetch, 0) << "no shuffle-fetch spans recorded";
+  EXPECT_LT(first_fetch, last_map_end)
+      << "first reducer fetch should start before the last map task ends";
+  EXPECT_TRUE(saw_overlap_span);
+  EXPECT_GT(CriticalPath(result->report).shuffle_overlap_seconds, 0);
+}
+
+TEST(TaskTrackerTest, BackToBackJobsReuseThePersistentTrackers) {
+  // The tracker pool is cluster-owned: many jobs against one cluster must
+  // come and go without respawning workers or leaking queued state.
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 200);
+  std::map<std::string, int64_t> first;
+  for (int run = 0; run < 4; ++run) {
+    auto result = RunJob(&cluster, WordCountJob("/words", 2));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::map<std::string, int64_t> counts;
+    for (const Row& row : result->output_rows) {
+      counts[row.Get(0).str()] = row.Get(1).i64();
+    }
+    if (run == 0) {
+      first = counts;
+    } else {
+      EXPECT_EQ(counts, first) << "run " << run;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mr
+}  // namespace clydesdale
