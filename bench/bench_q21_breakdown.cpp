@@ -68,14 +68,20 @@ int main() {
               mj->seconds / cly->seconds, rp->seconds / cly->seconds);
 
   // With CLY_TRACE_DIR set, re-run Q2.1 through the functional engine with
-  // span tracing on: the engine drops a Chrome trace (chrome://tracing /
-  // Perfetto) + plain-text timeline there, giving the measured counterpart
-  // of the modeled breakdown above. run_benches.sh publishes the artifact.
+  // the full observability stack on: span tracing drops a Chrome trace
+  // (chrome://tracing / Perfetto) + plain-text timeline there, and the live
+  // metrics/history layer adds the Prometheus snapshot (.prom), sampled
+  // metrics time series (.metrics.json), text cluster dashboard
+  // (.dashboard.txt), and the JSONL job history (.history.jsonl) — the
+  // measured counterpart of the modeled breakdown above. run_benches.sh
+  // publishes the artifacts.
   const char* trace_dir = std::getenv("CLY_TRACE_DIR");
   if (trace_dir != nullptr && trace_dir[0] != '\0') {
     core::ClydesdaleOptions copts;
     copts.trace = true;
     copts.trace_dir = trace_dir;
+    copts.metrics = true;
+    copts.history = true;
     core::ClydesdaleEngine engine(env.cluster.get(), env.dataset.star, copts);
     auto traced = engine.Execute(*query);
     CLY_CHECK(traced.ok());
@@ -83,7 +89,12 @@ int main() {
     std::printf("\ntraced functional run (SF%g): %s\n",
                 MeasurementScaleFactor(),
                 mr::CriticalPath(report).ToString().c_str());
-    std::printf("trace artifacts written to %s\n", trace_dir);
+    std::printf("live metrics: %zu samples, %lld straggler flag(s)\n",
+                report.metrics_series.samples.size(),
+                static_cast<long long>(
+                    report.counters.Get(mr::kCounterStragglerAttempts)));
+    std::printf("trace + metrics + history artifacts written to %s\n",
+                trace_dir);
   }
 
   // With CLY_Q21_JSON set, A/B the shuffle handoff on the functional

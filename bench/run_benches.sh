@@ -2,23 +2,24 @@
 # Runs every google-benchmark micro suite and merges the JSON outputs into
 # one BENCH_micro.json: benchmark name -> { rows_per_sec, wall_seconds }.
 #
-# Usage: run_benches.sh [--q21-json] [bench_dir] [output_json]
-#   --q21-json   also run the Q2.1 barrier-vs-pipelined shuffle A/B and
-#                write BENCH_q21.json next to the merged output
-#   bench_dir    directory holding the bench_micro_* binaries
-#                (default: build/bench relative to the repo root)
-#   output_json  merged output path (default: BENCH_micro.json in $PWD)
+# Usage: run_benches.sh [--no-q21-json] [bench_dir] [output_json]
+#   --no-q21-json  skip the Q2.1 barrier-vs-pipelined shuffle A/B
+#                  (BENCH_q21.json is published by default)
+#   bench_dir      directory holding the bench_micro_* binaries
+#                  (default: build/bench relative to the repo root)
+#   output_json    merged output path (default: BENCH_micro.json in $PWD)
 #
 # CLY_BENCH_SF scales the measurement dataset for the engine suite; the
 # bench_smoke CMake target pins it to 0.01 for a fast smoke pass.
 
 set -euo pipefail
 
-EMIT_Q21_JSON=0
+EMIT_Q21_JSON=1
 POSITIONAL=()
 for arg in "$@"; do
   case "${arg}" in
-    --q21-json) EMIT_Q21_JSON=1 ;;
+    --no-q21-json) EMIT_Q21_JSON=0 ;;
+    --q21-json) EMIT_Q21_JSON=1 ;;  # legacy flag: now the default
     *) POSITIONAL+=("${arg}") ;;
   esac
 done
@@ -73,9 +74,11 @@ out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 print(f"wrote {out_path} ({len(merged)} benchmarks)")
 EOF
 
-# Traced Q2.1 breakdown: publish the Chrome trace + timeline the
-# observability layer emits (load the .trace.json in chrome://tracing or
-# https://ui.perfetto.dev for the per-stage drill-down).
+# Traced Q2.1 breakdown: publish the artifacts the observability layer
+# emits — Chrome trace + timeline (load the .trace.json in chrome://tracing
+# or https://ui.perfetto.dev for the per-stage drill-down), the Prometheus
+# metrics snapshot, the sampled metrics time series, the text cluster
+# dashboard, and the JSONL job history.
 Q21_BIN="${BENCH_DIR}/bench_q21_breakdown"
 if [ -x "${Q21_BIN}" ]; then
   TRACE_DIR="${TMP_DIR}/q21_trace"
@@ -99,5 +102,15 @@ if [ -x "${Q21_BIN}" ]; then
     [ -e "${f}" ] || continue
     cp "${f}" "${OUT_DIR}/BENCH_q21.timeline.txt"
     echo "wrote ${OUT_DIR}/BENCH_q21.timeline.txt"
+  done
+  # Live-metrics + history artifacts (the traced run enables obs.metrics /
+  # obs.history, so one of each lands per stage job; the star-join job is
+  # the first and only stage for Q2.1).
+  for ext in prom metrics.json dashboard.txt history.jsonl; do
+    for f in "${TRACE_DIR}"/*."${ext}"; do
+      [ -e "${f}" ] || continue
+      cp "${f}" "${OUT_DIR}/BENCH_q21.${ext}"
+      echo "wrote ${OUT_DIR}/BENCH_q21.${ext}"
+    done
   done
 fi

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Guards the exposition contracts against silent drift:
+#   1. every kCounter* name in counters.h is returned by either
+#      StandardCounterNames() or SituationalCounterNames() in counters.cc;
+#   2. every kMetric* family name in cluster_metrics.h is returned by
+#      StandardMetricFamilyNames() in cluster_metrics.cc.
+# Registered as a ctest (tests/CMakeLists.txt) and runnable standalone:
+#   scripts/check_counters.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+counters_h="$root/src/mapreduce/counters.h"
+counters_cc="$root/src/mapreduce/counters.cc"
+metrics_h="$root/src/mapreduce/cluster_metrics.h"
+metrics_cc="$root/src/mapreduce/cluster_metrics.cc"
+
+for f in "$counters_h" "$counters_cc" "$metrics_h" "$metrics_cc"; do
+  if [ ! -f "$f" ]; then
+    echo "check_counters: missing $f" >&2
+    exit 2
+  fi
+done
+
+fail=0
+
+# --- counters: header constants vs StandardCounterNames + SituationalCounterNames
+header_counters=$(grep -o 'kCounter[A-Za-z0-9]*\[\]' "$counters_h" \
+  | sed 's/\[\]//' | sort -u)
+# The two list functions return the kCounter* constants; collect every
+# constant referenced in the .cc list bodies.
+cc_counters=$(sed -n '/StandardCounterNames\|SituationalCounterNames/,/^}/p' \
+  "$counters_cc" | grep -o 'kCounter[A-Za-z0-9]*' | sort -u)
+
+for name in $header_counters; do
+  if ! printf '%s\n' "$cc_counters" | grep -qx "$name"; then
+    echo "check_counters: $name declared in counters.h but returned by" \
+         "neither StandardCounterNames() nor SituationalCounterNames()" >&2
+    fail=1
+  fi
+done
+for name in $cc_counters; do
+  if ! printf '%s\n' "$header_counters" | grep -qx "$name"; then
+    echo "check_counters: $name listed in counters.cc but not declared" \
+         "in counters.h" >&2
+    fail=1
+  fi
+done
+
+# --- metric families: header constants vs StandardMetricFamilyNames
+header_metrics=$(grep -o 'kMetric[A-Za-z0-9]*\[\]' "$metrics_h" \
+  | sed 's/\[\]//' | sort -u)
+cc_metrics=$(sed -n '/StandardMetricFamilyNames/,/^}/p' "$metrics_cc" \
+  | grep -o 'kMetric[A-Za-z0-9]*' | sort -u)
+
+for name in $header_metrics; do
+  if ! printf '%s\n' "$cc_metrics" | grep -qx "$name"; then
+    echo "check_counters: $name declared in cluster_metrics.h but missing" \
+         "from StandardMetricFamilyNames()" >&2
+    fail=1
+  fi
+done
+for name in $cc_metrics; do
+  if ! printf '%s\n' "$header_metrics" | grep -qx "$name"; then
+    echo "check_counters: $name listed in StandardMetricFamilyNames() but" \
+         "not declared in cluster_metrics.h" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_counters: counter and metric family names are in sync"

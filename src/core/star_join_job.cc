@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "core/aggregation.h"
 #include "core/vector_probe.h"
+#include "mapreduce/cluster_metrics.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/input_format.h"
 #include "mapreduce/job_trace.h"
@@ -207,6 +208,11 @@ void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf) {
   if (!options.trace_dir.empty()) {
     conf->Set(mr::kConfTraceDir, options.trace_dir);
   }
+  if (options.metrics) {
+    conf->SetBool(mr::kConfMetricsEnabled, true);
+    conf->SetInt(mr::kConfMetricsIntervalMs, options.metrics_interval_ms);
+  }
+  if (options.history) conf->SetBool(mr::kConfHistoryEnabled, true);
   conf->pipelined_shuffle = options.pipelined_shuffle;
 }
 

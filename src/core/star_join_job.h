@@ -48,6 +48,15 @@ struct ClydesdaleOptions {
   /// When tracing, write <job>-<instance>.trace.json/.timeline.txt into
   /// this directory (obs.trace.dir). Empty = keep spans in-memory only.
   std::string trace_dir;
+  /// Live cluster metrics + online straggler detection for every stage job
+  /// (obs.metrics.enabled): the MetricsPoller samples the registry on
+  /// `metrics_interval_ms` and, when trace_dir is set, RunJob writes
+  /// .prom/.metrics.json/.dashboard.txt artifacts next to the trace.
+  bool metrics = false;
+  int64_t metrics_interval_ms = 5;
+  /// Structured JSONL job-history log (obs.history.enabled), persisted to
+  /// node 0's LocalStore and (with trace_dir) as <job>-<n>.history.jsonl.
+  bool history = false;
 };
 
 /// Forwards the options' engine knobs (trace, pipelined shuffle) into a

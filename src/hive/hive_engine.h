@@ -24,6 +24,12 @@ struct HiveOptions {
   bool trace = false;
   /// When tracing, write per-stage trace/timeline files here.
   std::string trace_dir;
+  /// Live cluster metrics + straggler detection per stage job, mirroring
+  /// ClydesdaleOptions::metrics.
+  bool metrics = false;
+  int64_t metrics_interval_ms = 5;
+  /// JSONL job-history logging per stage job (obs.history.enabled).
+  bool history = false;
 };
 
 /// The Hive baseline (paper §6.1): compiles a star query into a chain of

@@ -1,0 +1,88 @@
+#include "mapreduce/cluster_metrics.h"
+
+#include "common/strings.h"
+
+namespace clydesdale {
+namespace mr {
+
+std::vector<std::string> StandardMetricFamilyNames() {
+  return {
+      kMetricRunningMaps,          kMetricRunningReduces,
+      kMetricQueuedMaps,           kMetricQueuedReduces,
+      kMetricAttemptsFinished,     kMetricAttemptDuration,
+      kMetricShuffleRunsPublished, kMetricShuffleRunsFetched,
+      kMetricShuffleBytesInflight, kMetricStragglersRunning,
+      kMetricStragglersTotal,      kMetricJobsRunning,
+  };
+}
+
+ClusterMetrics::ClusterMetrics(obs::MetricsRegistry* registry, int num_nodes)
+    : registry_(registry) {
+  obs::MetricFamily* running_maps = registry->GaugeFamily(
+      kMetricRunningMaps, "Map task attempts running on each node", {"node"});
+  obs::MetricFamily* running_reduces = registry->GaugeFamily(
+      kMetricRunningReduces, "Reduce task attempts running on each node",
+      {"node"});
+  running_maps_.reserve(num_nodes);
+  running_reduces_.reserve(num_nodes);
+  for (int node = 0; node < num_nodes; ++node) {
+    const std::string label = StrCat(node);
+    running_maps_.push_back(running_maps->GaugeAt({label}));
+    running_reduces_.push_back(running_reduces->GaugeAt({label}));
+  }
+  queued_maps_ =
+      registry
+          ->GaugeFamily(kMetricQueuedMaps,
+                        "Map attempts queued and not yet claimed by a tracker")
+          ->GaugeAt();
+  queued_reduces_ =
+      registry
+          ->GaugeFamily(
+              kMetricQueuedReduces,
+              "Reduce attempts queued and not yet claimed by a tracker")
+          ->GaugeAt();
+  attempts_finished_ = registry->CounterFamily(
+      kMetricAttemptsFinished, "Task attempts finished by kind and outcome",
+      {"kind", "outcome"});
+  obs::MetricFamily* duration = registry->HistogramFamily(
+      kMetricAttemptDuration, "Task attempt wall time in microseconds",
+      {"kind"});
+  map_duration_ = duration->HistogramAt({"map"});
+  reduce_duration_ = duration->HistogramAt({"reduce"});
+  shuffle_runs_published_ =
+      registry
+          ->CounterFamily(kMetricShuffleRunsPublished,
+                          "Sorted shuffle runs published by map attempts")
+          ->CounterAt();
+  shuffle_runs_fetched_ =
+      registry
+          ->CounterFamily(kMetricShuffleRunsFetched,
+                          "Shuffle runs fetched by reduce attempts")
+          ->CounterAt();
+  shuffle_bytes_inflight_ =
+      registry
+          ->GaugeFamily(kMetricShuffleBytesInflight,
+                        "Shuffle bytes published but not yet fetched")
+          ->GaugeAt();
+  stragglers_running_ =
+      registry
+          ->GaugeFamily(kMetricStragglersRunning,
+                        "Running attempts currently flagged as stragglers")
+          ->GaugeAt();
+  stragglers_total_ =
+      registry
+          ->CounterFamily(kMetricStragglersTotal,
+                          "Attempts ever flagged as stragglers")
+          ->CounterAt();
+  jobs_running_ =
+      registry->GaugeFamily(kMetricJobsRunning, "Jobs currently executing")
+          ->GaugeAt();
+}
+
+obs::Counter* ClusterMetrics::attempts_finished(bool is_map,
+                                                const std::string& outcome) {
+  return attempts_finished_->CounterAt({is_map ? "map" : "reduce", outcome});
+}
+
+}  // namespace mr
+}  // namespace clydesdale

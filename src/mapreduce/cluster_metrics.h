@@ -1,0 +1,111 @@
+#ifndef CLYDESDALE_MAPREDUCE_CLUSTER_METRICS_H_
+#define CLYDESDALE_MAPREDUCE_CLUSTER_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace clydesdale {
+namespace mr {
+
+// Conf keys gating the live-observability subsystem.
+inline constexpr const char kConfMetricsEnabled[] = "obs.metrics.enabled";
+inline constexpr const char kConfMetricsIntervalMs[] = "obs.metrics.interval_ms";
+inline constexpr const char kConfMetricsDir[] = "obs.metrics.dir";
+inline constexpr const char kConfHistoryEnabled[] = "obs.history.enabled";
+inline constexpr const char kConfStragglerThreshold[] = "obs.straggler.threshold";
+inline constexpr const char kConfStragglerMinCompleted[] =
+    "obs.straggler.min_completed";
+
+// Metric family names (the mapreduce layer's exposition contract — what the
+// Hadoop JobTracker UI would scrape). scripts/check_counters.sh and the
+// audit test keep this list in sync with StandardMetricFamilyNames().
+inline constexpr const char kMetricRunningMaps[] = "mr_running_map_tasks";
+inline constexpr const char kMetricRunningReduces[] = "mr_running_reduce_tasks";
+inline constexpr const char kMetricQueuedMaps[] = "mr_queued_map_attempts";
+inline constexpr const char kMetricQueuedReduces[] = "mr_queued_reduce_attempts";
+inline constexpr const char kMetricAttemptsFinished[] =
+    "mr_task_attempts_finished_total";
+inline constexpr const char kMetricAttemptDuration[] =
+    "mr_task_attempt_duration_micros";
+inline constexpr const char kMetricShuffleRunsPublished[] =
+    "mr_shuffle_runs_published_total";
+inline constexpr const char kMetricShuffleRunsFetched[] =
+    "mr_shuffle_runs_fetched_total";
+inline constexpr const char kMetricShuffleBytesInflight[] =
+    "mr_shuffle_bytes_inflight";
+inline constexpr const char kMetricStragglersRunning[] =
+    "mr_straggler_attempts_running";
+inline constexpr const char kMetricStragglersTotal[] =
+    "mr_straggler_attempts_total";
+inline constexpr const char kMetricJobsRunning[] = "mr_jobs_running";
+
+/// Every kMetric* family name above, for the sync audit.
+std::vector<std::string> StandardMetricFamilyNames();
+
+/// Pre-resolved handles into a MetricsRegistry for the executor hot path:
+/// one atomic cell per gauge/counter so claims and finishes never touch the
+/// registry maps. Owned by MrCluster (one per cluster, like the JobTracker's
+/// live stats), shared by every concurrently running JobRunner.
+class ClusterMetrics {
+ public:
+  /// Registers all standard families in `registry` and resolves per-node
+  /// children for nodes [0, num_nodes).
+  ClusterMetrics(obs::MetricsRegistry* registry, int num_nodes);
+
+  ClusterMetrics(const ClusterMetrics&) = delete;
+  ClusterMetrics& operator=(const ClusterMetrics&) = delete;
+
+  int num_nodes() const { return static_cast<int>(running_maps_.size()); }
+
+  // Per-node slot occupancy, labeled {node="N"}.
+  obs::Gauge* running_maps(int node) { return running_maps_[node]; }
+  obs::Gauge* running_reduces(int node) { return running_reduces_[node]; }
+
+  // Scheduler queue depth (attempts not yet claimed by any tracker).
+  obs::Gauge* queued_maps() { return queued_maps_; }
+  obs::Gauge* queued_reduces() { return queued_reduces_; }
+
+  // Attempt outcomes, labeled {kind,outcome}; kind is "map"/"reduce",
+  // outcome is "succeeded"/"failed"/"killed".
+  obs::Counter* attempts_finished(bool is_map, const std::string& outcome);
+  obs::Histogram* attempt_duration(bool is_map) {
+    return is_map ? map_duration_ : reduce_duration_;
+  }
+
+  // Pipelined shuffle: published vs fetched runs and the bytes published
+  // but not yet taken by a reducer.
+  obs::Counter* shuffle_runs_published() { return shuffle_runs_published_; }
+  obs::Counter* shuffle_runs_fetched() { return shuffle_runs_fetched_; }
+  obs::Gauge* shuffle_bytes_inflight() { return shuffle_bytes_inflight_; }
+
+  // Online straggler detector: currently-flagged attempts and the monotone
+  // total of flag events.
+  obs::Gauge* stragglers_running() { return stragglers_running_; }
+  obs::Counter* stragglers_total() { return stragglers_total_; }
+
+  obs::Gauge* jobs_running() { return jobs_running_; }
+
+ private:
+  obs::MetricsRegistry* const registry_;
+
+  std::vector<obs::Gauge*> running_maps_;
+  std::vector<obs::Gauge*> running_reduces_;
+  obs::Gauge* queued_maps_;
+  obs::Gauge* queued_reduces_;
+  obs::MetricFamily* attempts_finished_;
+  obs::Histogram* map_duration_;
+  obs::Histogram* reduce_duration_;
+  obs::Counter* shuffle_runs_published_;
+  obs::Counter* shuffle_runs_fetched_;
+  obs::Gauge* shuffle_bytes_inflight_;
+  obs::Gauge* stragglers_running_;
+  obs::Counter* stragglers_total_;
+  obs::Gauge* jobs_running_;
+};
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_CLUSTER_METRICS_H_

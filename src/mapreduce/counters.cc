@@ -20,6 +20,12 @@ std::vector<std::string> StandardCounterNames() {
   };
 }
 
+std::vector<std::string> SituationalCounterNames() {
+  return {
+      kCounterStragglerAttempts,
+  };
+}
+
 void Counters::Add(const std::string& name, int64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
   values_[name] += delta;

@@ -31,10 +31,17 @@ inline constexpr const char kCounterDistCacheBytes[] = "DISTRIBUTED_CACHE_BYTES"
 inline constexpr const char kCounterHdfsReadOps[] = "HDFS_READ_OPS";
 inline constexpr const char kCounterHdfsReadMicros[] = "HDFS_READ_MICROS";
 inline constexpr const char kCounterSchedPulls[] = "SCHED_PULLS";
+inline constexpr const char kCounterStragglerAttempts[] = "STRAGGLER_ATTEMPTS";
 
 /// Every engine-maintained counter name above, for audits asserting that a
 /// suitably shaped job populates all of them (tests/mapreduce_test.cc).
 std::vector<std::string> StandardCounterNames();
+
+/// Engine-maintained counters that only fire in specific situations (e.g.
+/// STRAGGLER_ATTEMPTS needs a slow task), so the all-populated audit skips
+/// them. Standard + situational must cover every kCounter* above —
+/// scripts/check_counters.sh enforces it.
+std::vector<std::string> SituationalCounterNames();
 
 /// Named monotonically increasing job statistics, Hadoop-style. Thread-safe.
 class Counters {

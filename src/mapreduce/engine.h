@@ -12,11 +12,13 @@
 #include "common/status.h"
 #include "hdfs/dfs.h"
 #include "hdfs/local_store.h"
+#include "mapreduce/cluster_metrics.h"
 #include "mapreduce/job_conf.h"
 #include "mapreduce/job_report.h"
 #include "mapreduce/output_format.h"
 #include "mapreduce/task_context.h"
 #include "mapreduce/task_tracker.h"
+#include "obs/metrics.h"
 #include "storage/table_format.h"
 
 namespace clydesdale {
@@ -57,6 +59,12 @@ class MrCluster {
   /// transition, abort). Callers must not hold a JobRunner lock.
   void WakeAllTrackers();
 
+  /// Cluster-lifetime metrics: the registry (for exposition / the poller)
+  /// and the pre-resolved handle bundle (for the executor hot path). Always
+  /// present; jobs only *update* them when kConfMetricsEnabled is set.
+  obs::MetricsRegistry* metrics_registry() { return &metrics_registry_; }
+  ClusterMetrics* metrics() { return metrics_.get(); }
+
   /// Loads (and caches) a table's metadata.
   Result<storage::TableDesc> GetTable(const std::string& path);
   /// Drops a cached TableDesc (after rewriting a table).
@@ -78,6 +86,11 @@ class MrCluster {
   ClusterOptions options_;
   hdfs::MiniDfs dfs_;
   std::vector<std::unique_ptr<hdfs::LocalStore>> local_stores_;
+
+  /// Declared before trackers_: tracker workers update metric cells through
+  /// their JobRunner until their pools drain.
+  obs::MetricsRegistry metrics_registry_;
+  std::unique_ptr<ClusterMetrics> metrics_;
 
   std::mutex mu_;
   std::unordered_map<std::string, storage::TableDesc> table_cache_;

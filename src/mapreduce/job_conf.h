@@ -30,9 +30,11 @@ class JobConf {
   }
   void SetInt(const std::string& key, int64_t value);
   void SetBool(const std::string& key, bool value);
+  void SetDouble(const std::string& key, double value);
   std::string Get(const std::string& key, const std::string& def = "") const;
   int64_t GetInt(const std::string& key, int64_t def = 0) const;
   bool GetBool(const std::string& key, bool def = false) const;
+  double GetDouble(const std::string& key, double def = 0) const;
   /// Comma-separated list property.
   std::vector<std::string> GetList(const std::string& key) const;
   void SetList(const std::string& key, const std::vector<std::string>& items);

@@ -1,0 +1,89 @@
+#ifndef CLYDESDALE_MAPREDUCE_JOB_HISTORY_H_
+#define CLYDESDALE_MAPREDUCE_JOB_HISTORY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "hdfs/local_store.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/job_report.h"
+#include "mapreduce/straggler.h"
+
+namespace clydesdale {
+namespace mr {
+
+/// Canonical history-file path for a job instance on the cluster's node-0
+/// local store — the analogue of the Hadoop JobHistoryServer's done-dir.
+std::string JobHistoryPath(int64_t instance);
+
+/// Structured JSONL job-history log: one event object per line, recording
+/// every attempt state transition, straggler flag, counter snapshot, phase
+/// timing, and the job outcome. Append-only and thread-safe (trackers log
+/// concurrently). Timestamps (`t_us`) are microseconds since the recorder
+/// was constructed, on its own steady clock.
+class JobHistoryRecorder {
+ public:
+  JobHistoryRecorder(std::string job_name, int64_t instance);
+
+  JobHistoryRecorder(const JobHistoryRecorder&) = delete;
+  JobHistoryRecorder& operator=(const JobHistoryRecorder&) = delete;
+
+  int64_t instance() const { return instance_; }
+  int64_t NowMicros() const { return clock_.ElapsedMicros(); }
+
+  void RecordJobSubmitted(int num_nodes, int num_maps, int num_reduces);
+  /// `state` transitions: attempt claimed by a tracker ("running"), then
+  /// exactly one of "succeeded" (with the full TaskReport), "failed", or
+  /// "killed" (job abort reaped it before it ran).
+  void RecordAttemptRunning(bool is_map, int task, int attempt, int node);
+  void RecordAttemptFinished(const TaskReport& report, const char* state,
+                             const std::string& status_msg);
+  void RecordStraggler(const StragglerFlag& flag);
+  /// Counter snapshot at a named point ("map-end", "final").
+  void RecordCountersSnapshot(const std::string& label,
+                              const Counters& counters);
+  /// Phase timing copied from a drained trace span ("map-phase", ...), so a
+  /// traced run's history reconstructs the same critical path, exactly.
+  void RecordPhase(const std::string& name, const std::string& category,
+                   int64_t start_us, int64_t dur_us);
+  void RecordJobFinished(const Status& status, const JobReport& report);
+
+  size_t num_events() const;
+
+  /// The JSONL document (one event per line, submission order).
+  std::string Serialize() const;
+
+ private:
+  void Append(std::string line);
+
+  const std::string job_name_;
+  const int64_t instance_;
+  const Stopwatch clock_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> events_;
+};
+
+/// Writes the recorder's JSONL to the store at JobHistoryPath(instance).
+Status WriteJobHistory(hdfs::LocalStore* store,
+                       const JobHistoryRecorder& recorder);
+
+/// Reads the JSONL for an instance back from the store.
+Result<std::string> ReadJobHistory(hdfs::LocalStore* store, int64_t instance);
+
+/// Rebuilds a JobReport from a history document alone: job name, node
+/// count, per-task reports (from "succeeded" attempt events, sorted by
+/// kind/index/attempt), counters (last snapshot), phase spans, and wall
+/// time. Counters and phase timings round-trip byte-equivalent to the live
+/// report. Histograms are not logged and come back empty.
+Result<JobReport> ReconstructJobReport(std::string_view jsonl);
+
+}  // namespace mr
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_MAPREDUCE_JOB_HISTORY_H_

@@ -8,6 +8,7 @@
 #include "hdfs/block.h"
 #include "mapreduce/counters.h"
 #include "obs/histogram.h"
+#include "obs/metrics_poller.h"
 #include "obs/trace.h"
 
 namespace clydesdale {
@@ -52,6 +53,10 @@ struct JobReport {
   /// Spans drained from the job's TraceRecorder, sorted by start time.
   /// Empty unless the job ran with kConfTraceEnabled.
   std::vector<obs::SpanRecord> spans;
+  /// Live-metrics trajectory sampled by the MetricsPoller and the final
+  /// Prometheus-text snapshot. Empty unless kConfMetricsEnabled.
+  obs::MetricsTimeSeries metrics_series;
+  std::string metrics_prom;
   double wall_seconds = 0;
 
   uint64_t TotalMapInputBytes() const;

@@ -8,18 +8,22 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "mapreduce/input_format.h"
 #include "mapreduce/job_conf.h"
 #include "mapreduce/job_report.h"
 #include "mapreduce/output_format.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/shuffle.h"
+#include "mapreduce/straggler.h"
 #include "mapreduce/task_attempt.h"
 #include "obs/trace.h"
 
 namespace clydesdale {
 namespace mr {
 
+class ClusterMetrics;
+class JobHistoryRecorder;
 class MrCluster;
 
 /// Thread-safe counting collector for records that go straight to the job's
@@ -56,10 +60,15 @@ class OutputFormatCollector final : public OutputCollector {
 /// attempts is in flight, even after Execute returned the job's result.
 class JobRunner {
  public:
+  /// `metrics` (optional) receives live slot/queue/outcome updates;
+  /// `history` (optional) receives every attempt state transition. Both may
+  /// be null independently of each other.
   JobRunner(MrCluster* cluster, const JobConf* conf, int64_t instance,
             std::vector<std::shared_ptr<InputSplit>> splits,
             InputFormat* input_format, OutputFormat* output_format,
-            JobReport* report, obs::TraceRecorder* trace);
+            JobReport* report, obs::TraceRecorder* trace,
+            ClusterMetrics* metrics = nullptr,
+            JobHistoryRecorder* history = nullptr);
 
   // --- tracker pull API -----------------------------------------------------
   /// Would TryRunWork from this (node, slot kind) claim an attempt now?
@@ -79,6 +88,15 @@ class JobRunner {
   /// (with "<job> map task N" context) or OK.
   Status Execute(const std::shared_ptr<JobRunner>& self);
 
+  /// MetricsPoller probe: sweeps running attempts through the online
+  /// straggler detector, flagging (once, edge-triggered) any attempt whose
+  /// elapsed time exceeds the policy threshold times the running median of
+  /// completed same-phase attempts. Updates the straggler gauge/counter,
+  /// the STRAGGLER_ATTEMPTS job counter, and the history log.
+  void PollLiveMetrics();
+
+  const StragglerDetector& straggler_detector() const { return straggler_; }
+
  private:
   TaskAttempt* ClaimLocked(hdfs::NodeId node, bool reduce_slot);
   std::vector<bool> SaturationLocked() const;
@@ -95,6 +113,11 @@ class JobRunner {
   OutputFormat* const output_format_;
   JobReport* const report_;
   obs::TraceRecorder* const trace_;
+  ClusterMetrics* const metrics_;
+  JobHistoryRecorder* const history_;
+  /// The runner's own clock: attempt start/elapsed times for the straggler
+  /// probe (same timebase for claim and poll).
+  const Stopwatch clock_;
 
   const int num_reduces_;
   const bool map_only_;
@@ -106,6 +129,8 @@ class JobRunner {
 
   ShuffleStore shuffle_;
   OutputFormatCollector direct_out_;
+
+  StragglerDetector straggler_;
 
   mutable std::mutex mu_;
   std::condition_variable done_cv_;

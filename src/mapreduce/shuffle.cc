@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "common/logging.h"
+#include "mapreduce/cluster_metrics.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/job_trace.h"
 #include "storage/row_codec.h"
@@ -164,14 +165,30 @@ Result<std::vector<std::vector<KeyValue>>> ShardedCollector::Finish(
   return merged;
 }
 
-ShuffleStore::ShuffleStore(int num_partitions)
-    : partitions_(static_cast<size_t>(std::max(num_partitions, 1))),
+ShuffleStore::ShuffleStore(int num_partitions, ClusterMetrics* metrics)
+    : metrics_(metrics),
+      partitions_(static_cast<size_t>(std::max(num_partitions, 1))),
       consumed_(static_cast<size_t>(std::max(num_partitions, 1)), 0) {}
+
+ShuffleStore::~ShuffleStore() {
+  // Aborted jobs leave published runs unfetched; settle the in-flight gauge
+  // so it stays net-zero across jobs.
+  if (metrics_ != nullptr && unfetched_bytes_ > 0) {
+    metrics_->shuffle_bytes_inflight()->Add(
+        -static_cast<int64_t>(unfetched_bytes_));
+  }
+}
 
 void ShuffleStore::PublishRun(int partition, ShuffleRun run) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     total_bytes_ += run.encoded_bytes;
+    unfetched_bytes_ += run.encoded_bytes;
+    if (metrics_ != nullptr) {
+      metrics_->shuffle_runs_published()->Inc();
+      metrics_->shuffle_bytes_inflight()->Add(
+          static_cast<int64_t>(run.encoded_bytes));
+    }
     partitions_[static_cast<size_t>(partition)].push_back(std::move(run));
   }
   cv_.notify_all();
@@ -189,7 +206,20 @@ std::vector<ShuffleRun> ShuffleStore::TakePartition(int partition) {
   std::lock_guard<std::mutex> lock(mu_);
   auto runs = std::move(partitions_[static_cast<size_t>(partition)]);
   partitions_[static_cast<size_t>(partition)].clear();
+  // The consumer may have drained a prefix via AwaitNewRuns already; only
+  // the rest counts as fetched now.
+  const size_t already = consumed_[static_cast<size_t>(partition)];
   consumed_[static_cast<size_t>(partition)] = 0;
+  uint64_t bytes = 0;
+  for (size_t i = already; i < runs.size(); ++i) {
+    bytes += runs[i].encoded_bytes;
+  }
+  unfetched_bytes_ -= bytes;
+  if (metrics_ != nullptr && runs.size() > already) {
+    metrics_->shuffle_runs_fetched()->Add(
+        static_cast<int64_t>(runs.size() - already));
+    metrics_->shuffle_bytes_inflight()->Add(-static_cast<int64_t>(bytes));
+  }
   std::sort(runs.begin(), runs.end(),
             [](const ShuffleRun& a, const ShuffleRun& b) {
               return a.map_task < b.map_task;
@@ -203,8 +233,16 @@ bool ShuffleStore::AwaitNewRuns(int partition, std::vector<ShuffleRun>* out) {
   size_t& consumed = consumed_[static_cast<size_t>(partition)];
   cv_.wait(lock, [&] { return closed_ || consumed < runs.size(); });
   if (consumed >= runs.size()) return false;  // closed and drained
+  uint64_t bytes = 0;
   for (size_t i = consumed; i < runs.size(); ++i) {
+    bytes += runs[i].encoded_bytes;
     out->push_back(std::move(runs[i]));
+  }
+  unfetched_bytes_ -= bytes;
+  if (metrics_ != nullptr) {
+    metrics_->shuffle_runs_fetched()->Add(
+        static_cast<int64_t>(runs.size() - consumed));
+    metrics_->shuffle_bytes_inflight()->Add(-static_cast<int64_t>(bytes));
   }
   consumed = runs.size();
   return true;

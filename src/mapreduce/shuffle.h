@@ -16,6 +16,8 @@
 namespace clydesdale {
 namespace mr {
 
+class ClusterMetrics;
+
 /// Map-side output buffer: partitions records, sorts each partition by key
 /// at task end, and optionally applies a combiner — Hadoop's spill path,
 /// collapsed to one in-memory spill.
@@ -93,7 +95,11 @@ struct ShuffleRun {
 /// good once CloseProducers marks the map side done.
 class ShuffleStore {
  public:
-  explicit ShuffleStore(int num_partitions);
+  /// `metrics` (optional) receives live publish/fetch counts and the
+  /// bytes-in-flight gauge; the destructor rebalances the gauge for runs
+  /// never fetched (aborted jobs), keeping it net-zero across jobs.
+  explicit ShuffleStore(int num_partitions, ClusterMetrics* metrics = nullptr);
+  ~ShuffleStore();
 
   /// Makes one map task's run visible to the partition's reducer. In the
   /// pipelined engine this happens the moment the map attempt succeeds —
@@ -114,12 +120,15 @@ class ShuffleStore {
   uint64_t total_bytes() const;
 
  private:
+  ClusterMetrics* const metrics_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::vector<ShuffleRun>> partitions_;
   /// Per partition: how many runs the consumer already drained.
   std::vector<size_t> consumed_;
   uint64_t total_bytes_ = 0;
+  /// Published-but-not-yet-fetched bytes (mirrors the in-flight gauge).
+  uint64_t unfetched_bytes_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,47 @@
+#include "mapreduce/straggler.h"
+
+#include <algorithm>
+
+namespace clydesdale {
+namespace mr {
+
+namespace {
+
+int64_t MedianOf(const std::vector<int64_t>& sorted, int min_completed) {
+  if (static_cast<int>(sorted.size()) < min_completed || sorted.empty()) {
+    return -1;
+  }
+  const size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return (sorted[n / 2 - 1] + sorted[n / 2]) / 2;
+}
+
+}  // namespace
+
+StragglerDetector::StragglerDetector(StragglerPolicy policy)
+    : policy_(policy) {}
+
+void StragglerDetector::RecordCompletion(bool is_map, int64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t>& durations = is_map ? map_durations_ : reduce_durations_;
+  durations.insert(
+      std::upper_bound(durations.begin(), durations.end(), duration_us),
+      duration_us);
+}
+
+int64_t StragglerDetector::RunningMedianMicros(bool is_map) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MedianOf(is_map ? map_durations_ : reduce_durations_,
+                  policy_.min_completed);
+}
+
+bool StragglerDetector::IsStraggler(bool is_map, int64_t elapsed_us) const {
+  if (elapsed_us < policy_.min_elapsed_us) return false;
+  const int64_t median = RunningMedianMicros(is_map);
+  if (median < 0) return false;
+  return static_cast<double>(elapsed_us) >
+         policy_.threshold * static_cast<double>(median);
+}
+
+}  // namespace mr
+}  // namespace clydesdale

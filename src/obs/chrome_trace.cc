@@ -1,42 +1,20 @@
 #include "obs/chrome_trace.h"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "obs/json_util.h"
 
 namespace clydesdale {
 namespace obs {
 
 namespace {
 
-/// JSON string escape for span names (control chars, quotes, backslash).
+/// JSON string escape for span/metric names (quotes, backslashes, control
+/// chars) — the one shared implementation (obs/json_util) so every exporter
+/// escapes identically.
 void AppendJsonString(std::ostringstream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
+  out << JsonQuote(s);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+#include "obs/metrics_poller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "obs/json_util.h"
+
+namespace clydesdale {
+namespace obs {
+
+int64_t MetricsSample::Value(const std::string& key) const {
+  for (const MetricSampleRow& row : rows) {
+    if (row.key == key) return row.value;
+  }
+  return 0;
+}
+
+int64_t MetricsTimeSeries::MaxValue(const std::string& key) const {
+  int64_t max = 0;
+  for (const MetricsSample& sample : samples) {
+    max = std::max(max, sample.Value(key));
+  }
+  return max;
+}
+
+std::string MetricsTimeSeries::ToJson() const {
+  std::string out = StrCat("{\"interval_ms\":", interval_ms, ",\"samples\":[");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrCat("\n{\"t_ms\":", samples[i].t_ms, ",\"values\":{");
+    for (size_t r = 0; r < samples[i].rows.size(); ++r) {
+      if (r > 0) out += ",";
+      out += StrCat(JsonQuote(samples[i].rows[r].key), ":",
+                    samples[i].rows[r].value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+MetricsPoller::MetricsPoller(const MetricsRegistry* registry,
+                             int64_t interval_ms)
+    : registry_(registry), interval_ms_(std::max<int64_t>(interval_ms, 1)) {
+  series_.interval_ms = interval_ms_;
+}
+
+MetricsPoller::~MetricsPoller() {
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+}
+
+void MetricsPoller::AddProbe(std::function<void()> probe) {
+  CLY_CHECK(!started_) << "AddProbe after Start";
+  probes_.push_back(std::move(probe));
+}
+
+void MetricsPoller::Start() {
+  CLY_CHECK(!started_) << "poller started twice";
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsTimeSeries MetricsPoller::Stop() {
+  if (!thread_.joinable()) return {};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // The final sample is taken after the join: the probes see fully
+  // quiesced state and the series always records the job's end.
+  for (const auto& probe : probes_) probe();
+  std::lock_guard<std::mutex> lock(mu_);
+  TakeSample(series_.samples.empty()
+                 ? 0
+                 : series_.samples.back().t_ms + interval_ms_);
+  return std::move(series_);
+}
+
+size_t MetricsPoller::num_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.samples.size();
+}
+
+void MetricsPoller::TakeSample(int64_t t_ms) {
+  MetricsSample sample;
+  sample.t_ms = t_ms;
+  sample.rows = registry_->Samples();
+  series_.samples.push_back(std::move(sample));
+}
+
+void MetricsPoller::Loop() {
+  const Stopwatch clock;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    for (const auto& probe : probes_) probe();
+    const int64_t now_ms = clock.ElapsedMicros() / 1000;
+    lock.lock();
+    if (stop_) break;
+    TakeSample(now_ms);
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_; });
+  }
+}
+
+std::string RenderDashboard(const MetricsTimeSeries& series,
+                            const std::vector<DashboardRow>& rows, int width) {
+  width = std::max(width, 1);
+  const size_t n = series.samples.size();
+  std::string out;
+  if (n == 0) return "cluster dashboard: no samples\n";
+  const int cols = static_cast<int>(std::min<size_t>(n, static_cast<size_t>(width)));
+  const int64_t span_ms =
+      series.samples.back().t_ms - series.samples.front().t_ms;
+  out += StrCat("cluster dashboard: ", n, " samples over ", span_ms,
+                " ms (1 col ~ ",
+                std::max<int64_t>(1, span_ms / std::max(cols, 1)),
+                " ms; '.'=0, '1'..'9', '+'>=10)\n");
+  int title_width = 0;
+  for (const DashboardRow& row : rows) {
+    title_width = std::max(title_width, static_cast<int>(row.title.size()));
+  }
+  for (const DashboardRow& row : rows) {
+    out += StrCat("  ", Pad(row.title, title_width), " [");
+    int64_t row_max = 0;
+    for (int c = 0; c < cols; ++c) {
+      // Bucket = max over the samples that fall into this column.
+      const size_t lo = n * static_cast<size_t>(c) / static_cast<size_t>(cols);
+      const size_t hi =
+          std::max(lo + 1, n * static_cast<size_t>(c + 1) / static_cast<size_t>(cols));
+      int64_t bucket = 0;
+      for (size_t s = lo; s < hi && s < n; ++s) {
+        bucket = std::max(bucket, series.samples[s].Value(row.key));
+      }
+      row_max = std::max(row_max, bucket);
+      if (bucket <= 0) {
+        out += '.';
+      } else if (bucket <= 9) {
+        out += static_cast<char>('0' + bucket);
+      } else {
+        out += '+';
+      }
+    }
+    out += StrCat("] max=", row_max, "\n");
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace clydesdale

@@ -1,0 +1,669 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "mapreduce/cluster_metrics.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/job_history.h"
+#include "mapreduce/job_trace.h"
+#include "mapreduce/straggler.h"
+#include "mapreduce/task_attempt.h"
+#include "obs/metrics.h"
+#include "obs/metrics_poller.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry / MetricFamily
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GaugePrometheusExposition) {
+  MetricsRegistry registry;
+  MetricFamily* family = registry.GaugeFamily("up", "Is the server up");
+  family->GaugeAt()->Set(3);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP up Is the server up\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE up gauge\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("up 3\n"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, LabeledCounterChildren) {
+  MetricsRegistry registry;
+  MetricFamily* family =
+      registry.CounterFamily("requests_total", "Requests", {"kind"});
+  family->CounterAt({"map"})->Add(2);
+  family->CounterAt({"reduce"})->Inc();
+  // Children are stable: a second lookup hits the same atomic cell.
+  EXPECT_EQ(family->CounterAt({"map"}), family->CounterAt({"map"}));
+  EXPECT_EQ(family->CounterAt({"map"})->Value(), 2);
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{kind=\"map\"} 2\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("requests_total{kind=\"reduce\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, HistogramExposesSummaryQuantiles) {
+  MetricsRegistry registry;
+  MetricFamily* family =
+      registry.HistogramFamily("latency_micros", "Latency", {"kind"});
+  Histogram* h = family->HistogramAt({"map"});
+  for (int64_t v = 1; v <= 20; ++v) h->Record(v);
+
+  const std::string text = registry.PrometheusText();
+  // Quantile exposition uses the Prometheus "summary" TYPE, not "histogram".
+  EXPECT_NE(text.find("# TYPE latency_micros summary\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_micros{kind=\"map\",quantile=\"0.5\"} 10\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_micros_count{kind=\"map\"} 20\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_micros_sum{kind=\"map\"} 210\n"),
+            std::string::npos)
+      << text;
+
+  // The flattened poller rows expand to _count and _sum only.
+  std::vector<MetricSampleRow> rows = registry.Samples();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "latency_micros_count{kind=\"map\"}");
+  EXPECT_EQ(rows[0].value, 20);
+  EXPECT_EQ(rows[1].key, "latency_micros_sum{kind=\"map\"}");
+  EXPECT_EQ(rows[1].value, 210);
+}
+
+TEST(MetricsRegistryTest, PrometheusLabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  MetricFamily* family = registry.GaugeFamily("g", "Help", {"path"});
+  family->GaugeAt({"we\"ird\\table\n"})->Set(1);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("g{path=\"we\\\"ird\\\\table\\n\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, JsonExposition) {
+  MetricsRegistry registry;
+  registry.GaugeFamily("b_gauge", "B")->GaugeAt()->Set(7);
+  registry.CounterFamily("a_counter", "A", {"kind"})
+      ->CounterAt({"map"})
+      ->Add(4);
+  const std::string json = registry.JsonText();
+  EXPECT_NE(json.find("{\"families\":["), std::string::npos) << json;
+  // Families render in name order: a_counter before b_gauge.
+  const size_t a_pos = json.find("\"name\":\"a_counter\"");
+  const size_t b_pos = json.find("\"name\":\"b_gauge\"");
+  ASSERT_NE(a_pos, std::string::npos) << json;
+  ASSERT_NE(b_pos, std::string::npos) << json;
+  EXPECT_LT(a_pos, b_pos);
+  EXPECT_NE(json.find("\"labels\":{\"kind\":\"map\"},\"value\":4"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos) << json;
+  // Structural sanity: braces and brackets balance.
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsExistingFamily) {
+  MetricsRegistry registry;
+  MetricFamily* first = registry.GaugeFamily("g", "Help", {"node"});
+  MetricFamily* second = registry.GaugeFamily("g", "ignored on re-register");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->help(), "Help");
+  EXPECT_EQ(registry.Find("g"), first);
+  EXPECT_EQ(registry.Find("absent"), nullptr);
+  const std::vector<std::string> names = registry.FamilyNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "g");
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAllLand) {
+  MetricsRegistry registry;
+  MetricFamily* gauges = registry.GaugeFamily("g", "G", {"node"});
+  MetricFamily* counters = registry.CounterFamily("c", "C");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Gauge* gauge = gauges->GaugeAt({StrCat(t)});
+      Counter* counter = counters->CounterAt();
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge->Add(1);
+        counter->Inc();
+        // Concurrent exposition must never block or tear an update.
+        if (i % 2500 == 0) registry.PrometheusText();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counters->CounterAt()->Value(), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(gauges->GaugeAt({StrCat(t)})->Value(), kPerThread);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsPoller / dashboard
+// ---------------------------------------------------------------------------
+
+TEST(MetricsPollerTest, SamplesRegistryAndRunsProbes) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GaugeFamily("g", "G")->GaugeAt();
+  gauge->Set(5);
+  std::atomic<int> probe_runs{0};
+  MetricsPoller poller(&registry, /*interval_ms=*/1);
+  poller.AddProbe([&probe_runs] { probe_runs.fetch_add(1); });
+  poller.Start();
+  while (poller.num_samples() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gauge->Set(9);
+  const MetricsTimeSeries series = poller.Stop();
+
+  EXPECT_EQ(series.interval_ms, 1);
+  ASSERT_GE(series.samples.size(), 3u);
+  // Probes run before every snapshot plus once at Stop.
+  EXPECT_GE(probe_runs.load(), static_cast<int>(series.samples.size()));
+  // Stop takes a final sample, so the series covers the end state.
+  EXPECT_EQ(series.samples.back().Value("g"), 9);
+  EXPECT_EQ(series.MaxValue("g"), 9);
+  EXPECT_EQ(series.MaxValue("absent"), 0);
+  // Timestamps are monotone non-decreasing.
+  for (size_t i = 1; i < series.samples.size(); ++i) {
+    EXPECT_LE(series.samples[i - 1].t_ms, series.samples[i].t_ms);
+  }
+  // Stop is idempotent: a second call returns an empty series.
+  EXPECT_TRUE(poller.Stop().samples.empty());
+}
+
+TEST(MetricsPollerTest, SeriesToJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GaugeFamily("g", "G", {"node"})->GaugeAt({"0"})->Set(2);
+  MetricsPoller poller(&registry, 1);
+  poller.Start();
+  const MetricsTimeSeries series = poller.Stop();
+  const std::string json = series.ToJson();
+  EXPECT_NE(json.find("\"interval_ms\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g{node=\\\"0\\\"}\":2"), std::string::npos) << json;
+}
+
+TEST(MetricsPollerTest, RenderDashboardBucketsValues) {
+  MetricsTimeSeries series;
+  series.interval_ms = 10;
+  for (int i = 0; i < 6; ++i) {
+    MetricsSample sample;
+    sample.t_ms = i * 10;
+    // 0, 0, 3, 3, 12, 12: exercises '.', a digit, and the '+' overflow.
+    const int64_t v = i < 2 ? 0 : (i < 4 ? 3 : 12);
+    sample.rows.push_back({"busy", v});
+    series.samples.push_back(std::move(sample));
+  }
+  const std::string text =
+      RenderDashboard(series, {{"busy slots", "busy"}}, /*width=*/6);
+  EXPECT_NE(text.find("cluster dashboard: 6 samples"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("busy slots [..33++] max=12"), std::string::npos)
+      << text;
+
+  const MetricsTimeSeries empty;
+  EXPECT_EQ(RenderDashboard(empty, {{"r", "k"}}),
+            "cluster dashboard: no samples\n");
+}
+
+}  // namespace
+}  // namespace obs
+
+namespace mr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StragglerDetector
+// ---------------------------------------------------------------------------
+
+TEST(StragglerTest, MedianNeedsMinCompleted) {
+  StragglerDetector detector;  // defaults: threshold 2.0, min_completed 3
+  EXPECT_EQ(detector.RunningMedianMicros(/*is_map=*/true), -1);
+  detector.RecordCompletion(true, 100'000);
+  detector.RecordCompletion(true, 200'000);
+  EXPECT_EQ(detector.RunningMedianMicros(true), -1)
+      << "below min_completed: no median yet";
+  // No map/reduce cross-talk: reduce completions don't unlock the map median.
+  detector.RecordCompletion(false, 1);
+  EXPECT_EQ(detector.RunningMedianMicros(true), -1);
+  detector.RecordCompletion(true, 300'000);
+  EXPECT_EQ(detector.RunningMedianMicros(true), 200'000);
+}
+
+TEST(StragglerTest, MedianOddAndEvenCounts) {
+  StragglerDetector detector;
+  // Out-of-order insertion: the detector keeps durations sorted.
+  for (int64_t v : {50'000, 10'000, 30'000}) detector.RecordCompletion(true, v);
+  EXPECT_EQ(detector.RunningMedianMicros(true), 30'000);
+  detector.RecordCompletion(true, 40'000);
+  // Even count: average of the middle two (30'000, 40'000).
+  EXPECT_EQ(detector.RunningMedianMicros(true), 35'000);
+}
+
+TEST(StragglerTest, IsStragglerThresholdAndFloor) {
+  StragglerPolicy policy;
+  policy.threshold = 2.0;
+  policy.min_completed = 3;
+  policy.min_elapsed_us = 10'000;
+  StragglerDetector detector(policy);
+  EXPECT_FALSE(detector.IsStraggler(true, 1'000'000))
+      << "no median yet: nothing can be flagged";
+  for (int64_t v : {20'000, 30'000, 40'000}) detector.RecordCompletion(true, v);
+  // Median 30'000: the boundary 60'000 is not a straggler, just past it is.
+  EXPECT_FALSE(detector.IsStraggler(true, 60'000));
+  EXPECT_TRUE(detector.IsStraggler(true, 60'001));
+  EXPECT_FALSE(detector.IsStraggler(false, 60'001))
+      << "reduce phase has its own (empty) history";
+
+  // Sub-floor elapsed never trips the rule, whatever the median says.
+  StragglerDetector tiny(policy);
+  for (int64_t v : {1, 2, 3}) tiny.RecordCompletion(true, v);
+  EXPECT_FALSE(tiny.IsStraggler(true, 9'999));
+  EXPECT_TRUE(tiny.IsStraggler(true, 10'001));
+}
+
+// ---------------------------------------------------------------------------
+// Counter / metric name audits (mirrors scripts/check_counters.sh)
+// ---------------------------------------------------------------------------
+
+TEST(MetricNamesTest, SituationalCountersDisjointFromStandard) {
+  const std::vector<std::string> standard = StandardCounterNames();
+  const std::vector<std::string> situational = SituationalCounterNames();
+  ASSERT_FALSE(situational.empty());
+  EXPECT_NE(std::find(situational.begin(), situational.end(),
+                      kCounterStragglerAttempts),
+            situational.end());
+  for (const std::string& name : situational) {
+    EXPECT_EQ(std::find(standard.begin(), standard.end(), name),
+              standard.end())
+        << name << " is both standard and situational";
+  }
+}
+
+TEST(MetricNamesTest, StandardFamiliesRegisteredOnClusterStartup) {
+  ClusterOptions options;
+  options.num_nodes = 2;
+  MrCluster cluster(options);
+  const std::vector<std::string> registered =
+      cluster.metrics_registry()->FamilyNames();
+  for (const std::string& name : StandardMetricFamilyNames()) {
+    EXPECT_NE(std::find(registered.begin(), registered.end(), name),
+              registered.end())
+        << "family " << name << " not registered";
+  }
+  // Per-node children resolve for every node the cluster actually has.
+  ASSERT_EQ(cluster.metrics()->num_nodes(), 2);
+  EXPECT_EQ(cluster.metrics()->running_maps(1)->Value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Job fixtures (same shape as task_tracker_test.cc)
+// ---------------------------------------------------------------------------
+
+ClusterOptions SmallCluster() {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.map_slots_per_node = 2;
+  options.dfs_block_size = 1024;
+  options.dfs_replication = 2;
+  return options;
+}
+
+storage::TableDesc WriteWordTable(MrCluster* cluster, int rows) {
+  storage::TableDesc desc;
+  desc.path = "/words";
+  desc.format = storage::kFormatBinaryRow;
+  desc.schema = Schema::Make(
+      {{"word", TypeKind::kString, 8}, {"n", TypeKind::kInt64, 8}});
+  auto writer = storage::OpenTableWriter(cluster->dfs(), desc);
+  CLY_CHECK(writer.ok());
+  const char* vocab[] = {"ant", "bee", "cat", "dog", "eel", "fox"};
+  for (int i = 0; i < rows; ++i) {
+    CLY_CHECK_OK((*writer)->Append(
+        Row({Value(vocab[i % 6]), Value(int64_t{1})})));
+  }
+  CLY_CHECK_OK((*writer)->Close());
+  auto loaded = cluster->GetTable(desc.path);
+  CLY_CHECK(loaded.ok());
+  return *loaded;
+}
+
+class WordCountMapper final : public Mapper {
+ public:
+  Status Map(const Row& key, const Row& value, TaskContext*,
+             OutputCollector* out) override {
+    (void)key;
+    return out->Collect(Row({value.Get(0)}), Row({value.Get(1)}));
+  }
+};
+
+/// Word count whose task 0 dawdles in Setup: every other map finishes in
+/// milliseconds, so the running median is tiny and task 0 blows through the
+/// straggler threshold while the poller is watching.
+class SlowFirstMapper final : public Mapper {
+ public:
+  Status Setup(TaskContext* context) override {
+    if (context->task_index() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    return Status::OK();
+  }
+  Status Map(const Row& key, const Row& value, TaskContext*,
+             OutputCollector* out) override {
+    (void)key;
+    return out->Collect(Row({value.Get(0)}), Row({value.Get(1)}));
+  }
+};
+
+class FailingMapper final : public Mapper {
+ public:
+  Status Map(const Row&, const Row&, TaskContext* context,
+             OutputCollector*) override {
+    if (context->task_index() == 0) return Status::IoError("synthetic fault");
+    return Status::OK();
+  }
+};
+
+class SumCountsReducer final : public Reducer {
+ public:
+  Status Reduce(const Row& key, const std::vector<Row>& values, TaskContext*,
+                OutputCollector* out) override {
+    int64_t total = 0;
+    for (const Row& v : values) total += v.Get(0).i64();
+    return out->Collect(key, Row({Value(total)}));
+  }
+};
+
+JobConf WordCountJob(const std::string& table, int reduces) {
+  JobConf conf;
+  conf.job_name = "wordcount";
+  conf.num_reduce_tasks = reduces;
+  conf.Set(kConfInputTable, table);
+  conf.input_format_factory = [] {
+    return std::make_unique<TableInputFormat>();
+  };
+  conf.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  conf.reducer_factory = [] { return std::make_unique<SumCountsReducer>(); };
+  conf.output_format_factory = [] {
+    return std::make_unique<MemoryOutputFormat>();
+  };
+  return conf;
+}
+
+/// Job-level phase/overlap spans of a live report — the subset the history
+/// mirrors, in the same order the loader reconstructs (start_us ascending).
+std::vector<obs::SpanRecord> PhaseSpans(const JobReport& report) {
+  std::vector<obs::SpanRecord> spans;
+  for (const obs::SpanRecord& span : report.spans) {
+    if (span.task != -1) continue;
+    const std::string category = span.category;
+    if (category != "phase" && category != "overlap") continue;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+// ---------------------------------------------------------------------------
+// JobHistory: recorder, persistence, byte-equivalent reconstruction
+// ---------------------------------------------------------------------------
+
+TEST(JobHistoryTest, RecorderSerializesOneEventPerLine) {
+  JobHistoryRecorder recorder("demo", /*instance=*/42);
+  recorder.RecordJobSubmitted(3, 8, 2);
+  recorder.RecordAttemptRunning(/*is_map=*/true, /*task=*/0, /*attempt=*/0,
+                                /*node=*/1);
+  TaskReport task;
+  task.index = 0;
+  task.node = 1;
+  task.wall_seconds = 0.125;
+  recorder.RecordAttemptFinished(task, "succeeded", "");
+  StragglerFlag flag;
+  flag.is_map = true;
+  flag.task = 0;
+  flag.node = 1;
+  flag.elapsed_us = 90'000;
+  flag.median_us = 30'000;
+  recorder.RecordStraggler(flag);
+  Counters counters;
+  counters.Add("MAP_INPUT_RECORDS", 7);
+  recorder.RecordCountersSnapshot("final", counters);
+  recorder.RecordPhase("map-phase", "phase", 10, 20);
+  JobReport report;
+  report.job_name = "demo";
+  report.num_nodes = 3;
+  report.wall_seconds = 0.5;
+  recorder.RecordJobFinished(Status::OK(), report);
+
+  // RecordJobFinished emits the "final" counters snapshot plus the
+  // job_finished event itself.
+  EXPECT_EQ(recorder.num_events(), 8u);
+  const std::string jsonl = recorder.Serialize();
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, recorder.num_events());
+  EXPECT_NE(jsonl.find("\"event\":\"job_submitted\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"state\":\"running\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"straggler\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"median_us\":30000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"job_finished\""), std::string::npos);
+}
+
+TEST(JobHistoryTest, ReconstructRejectsGarbage) {
+  EXPECT_FALSE(ReconstructJobReport("not json\n").ok());
+  EXPECT_FALSE(ReconstructJobReport("").ok());
+  // Parseable events but no job-level event: still an error.
+  EXPECT_FALSE(
+      ReconstructJobReport("{\"event\":\"straggler\",\"task\":1}\n").ok());
+}
+
+TEST(JobHistoryTest, HistoryRoundTripsByteEquivalentReport) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 600);
+  JobConf conf = WordCountJob("/words", 2);
+  conf.SetBool(kConfTraceEnabled, true);
+  conf.SetBool(kConfHistoryEnabled, true);
+
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JobReport& live = result->report;
+
+  // First job on the cluster: instance 1, history on node 0's local store.
+  auto jsonl = ReadJobHistory(cluster.local_store(0), 1);
+  ASSERT_TRUE(jsonl.ok()) << jsonl.status().ToString();
+  auto rebuilt_or = ReconstructJobReport(*jsonl);
+  ASSERT_TRUE(rebuilt_or.ok()) << rebuilt_or.status().ToString();
+  const JobReport& rebuilt = *rebuilt_or;
+
+  EXPECT_EQ(rebuilt.job_name, live.job_name);
+  EXPECT_EQ(rebuilt.num_nodes, live.num_nodes);
+  // Counters round-trip byte-equivalent (same names, same totals).
+  EXPECT_EQ(rebuilt.counters.ToString(), live.counters.ToString());
+  // Wall clock is %.17g-encoded: the exact double comes back.
+  EXPECT_EQ(rebuilt.wall_seconds, live.wall_seconds);
+
+  // Per-task reports match field for field.
+  ASSERT_EQ(rebuilt.map_tasks.size(), live.map_tasks.size());
+  ASSERT_EQ(rebuilt.reduce_tasks.size(), live.reduce_tasks.size());
+  auto expect_tasks_equal = [](const std::vector<TaskReport>& got,
+                               const std::vector<TaskReport>& want) {
+    for (size_t i = 0; i < want.size(); ++i) {
+      SCOPED_TRACE(StrCat("task ", i));
+      EXPECT_EQ(got[i].index, want[i].index);
+      EXPECT_EQ(got[i].attempt, want[i].attempt);
+      EXPECT_EQ(got[i].is_map, want[i].is_map);
+      EXPECT_EQ(got[i].node, want[i].node);
+      EXPECT_EQ(got[i].hdfs_local_bytes, want[i].hdfs_local_bytes);
+      EXPECT_EQ(got[i].hdfs_remote_bytes, want[i].hdfs_remote_bytes);
+      EXPECT_EQ(got[i].local_disk_bytes, want[i].local_disk_bytes);
+      EXPECT_EQ(got[i].input_records, want[i].input_records);
+      EXPECT_EQ(got[i].output_records, want[i].output_records);
+      EXPECT_EQ(got[i].output_bytes, want[i].output_bytes);
+      EXPECT_EQ(got[i].shuffle_bytes_total, want[i].shuffle_bytes_total);
+      EXPECT_EQ(got[i].shuffle_bytes_remote, want[i].shuffle_bytes_remote);
+      EXPECT_EQ(got[i].data_local, want[i].data_local);
+      EXPECT_EQ(got[i].num_constituents, want[i].num_constituents);
+      EXPECT_EQ(got[i].wall_seconds, want[i].wall_seconds) << "exact double";
+    }
+  };
+  expect_tasks_equal(rebuilt.map_tasks, live.map_tasks);
+  expect_tasks_equal(rebuilt.reduce_tasks, live.reduce_tasks);
+
+  // Job-level phase spans come back with microsecond-exact timings, so the
+  // reconstructed critical path renders byte-identically to the live one.
+  const std::vector<obs::SpanRecord> live_phases = PhaseSpans(live);
+  ASSERT_EQ(rebuilt.spans.size(), live_phases.size());
+  ASSERT_FALSE(live_phases.empty()) << "traced run records phase spans";
+  for (size_t i = 0; i < live_phases.size(); ++i) {
+    EXPECT_EQ(rebuilt.spans[i].name, live_phases[i].name);
+    EXPECT_STREQ(rebuilt.spans[i].category, live_phases[i].category);
+    EXPECT_EQ(rebuilt.spans[i].start_us, live_phases[i].start_us);
+    EXPECT_EQ(rebuilt.spans[i].dur_us, live_phases[i].dur_us);
+  }
+  EXPECT_EQ(CriticalPath(rebuilt).ToString(), CriticalPath(live).ToString());
+}
+
+TEST(JobHistoryTest, FailedJobStillWritesParseableHistory) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 600);
+  JobConf conf = WordCountJob("/words", 1);
+  conf.job_name = "doomed";
+  conf.mapper_factory = [] { return std::make_unique<FailingMapper>(); };
+  conf.SetBool(kConfHistoryEnabled, true);
+
+  auto result = RunJob(&cluster, conf);
+  ASSERT_FALSE(result.ok()) << "FailingMapper must sink the job";
+
+  auto jsonl = ReadJobHistory(cluster.local_store(0), 1);
+  ASSERT_TRUE(jsonl.ok()) << "history persists on the failure path too: "
+                          << jsonl.status().ToString();
+  EXPECT_NE(jsonl->find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(jsonl->find("synthetic fault"), std::string::npos);
+  auto rebuilt = ReconstructJobReport(*jsonl);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->job_name, "doomed");
+}
+
+// ---------------------------------------------------------------------------
+// Live metrics + straggler detection, end to end
+// ---------------------------------------------------------------------------
+
+TEST(MetricsIntegrationTest, SlowMapIsFlaggedAndGaugesSettle) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 600);
+
+  JobConf conf = WordCountJob("/words", 2);
+  conf.mapper_factory = [] { return std::make_unique<SlowFirstMapper>(); };
+  conf.SetBool(kConfMetricsEnabled, true);
+  conf.SetInt(kConfMetricsIntervalMs, 2);
+  conf.SetBool(kConfHistoryEnabled, true);
+  conf.SetBool(kConfTraceEnabled, true);
+  conf.SetDouble(kConfStragglerThreshold, 2.0);
+  conf.SetInt(kConfStragglerMinCompleted, 3);
+
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JobReport& report = result->report;
+
+  // The output is still a correct word count.
+  int64_t total = 0;
+  for (const Row& row : result->output_rows) total += row.Get(1).i64();
+  EXPECT_EQ(total, 600);
+
+  // The 250ms map was flagged: job counter, live gauge trajectory, monotone
+  // total, and a history event all agree.
+  EXPECT_GE(report.counters.Get(kCounterStragglerAttempts), 1);
+  ASSERT_FALSE(report.metrics_series.samples.empty());
+  EXPECT_GE(report.metrics_series.MaxValue(kMetricStragglersRunning), 1)
+      << "poller never saw the straggler gauge high";
+  // The 250ms task pins one node's map slot high for ~100 samples; which
+  // node is the scheduler's choice, so take the max across all of them.
+  int64_t busiest_node = 0;
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    busiest_node = std::max(
+        busiest_node, report.metrics_series.MaxValue(
+                          StrCat(kMetricRunningMaps, "{node=\"", node, "\"}")));
+  }
+  EXPECT_GE(busiest_node, 1)
+      << "per-node slot occupancy never sampled above zero";
+
+  ASSERT_FALSE(report.metrics_prom.empty());
+  EXPECT_NE(report.metrics_prom.find(kMetricStragglersTotal),
+            std::string::npos);
+  EXPECT_NE(report.metrics_prom.find(
+                StrCat(kMetricRunningMaps, "{node=\"0\"}")),
+            std::string::npos);
+
+  // After the job, every live gauge settles back to zero — the final sample
+  // (taken by Stop after Execute returned) proves the +/- accounting nets
+  // out: no leaked slots, queue entries, stragglers, or in-flight bytes.
+  const obs::MetricsSample& last = report.metrics_series.samples.back();
+  EXPECT_EQ(last.Value(kMetricStragglersRunning), 0);
+  EXPECT_EQ(last.Value(kMetricQueuedMaps), 0);
+  EXPECT_EQ(last.Value(kMetricQueuedReduces), 0);
+  EXPECT_EQ(last.Value(kMetricShuffleBytesInflight), 0);
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    EXPECT_EQ(last.Value(StrCat(kMetricRunningMaps, "{node=\"", node, "\"}")),
+              0);
+    EXPECT_EQ(
+        last.Value(StrCat(kMetricRunningReduces, "{node=\"", node, "\"}")),
+        0);
+  }
+
+  // Shuffle instrumentation: every published run was eventually fetched.
+  const int64_t published =
+      cluster.metrics()->shuffle_runs_published()->Value();
+  EXPECT_GE(published, 1);
+  EXPECT_EQ(cluster.metrics()->shuffle_runs_fetched()->Value(), published);
+
+  // The history log carries the straggler event with its evidence.
+  auto jsonl = ReadJobHistory(cluster.local_store(0), 1);
+  ASSERT_TRUE(jsonl.ok()) << jsonl.status().ToString();
+  EXPECT_NE(jsonl->find("\"event\":\"straggler\""), std::string::npos);
+  EXPECT_NE(jsonl->find("\"elapsed_us\":"), std::string::npos);
+}
+
+TEST(MetricsIntegrationTest, MetricsOffKeepsRegistryQuiet) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 120);
+  auto result = RunJob(&cluster, WordCountJob("/words", 1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Without kConfMetricsEnabled nothing samples and nothing counts.
+  EXPECT_TRUE(result->report.metrics_series.samples.empty());
+  EXPECT_TRUE(result->report.metrics_prom.empty());
+  EXPECT_EQ(cluster.metrics()->attempts_finished(true, "succeeded")->Value(),
+            0);
+  EXPECT_EQ(cluster.metrics()->shuffle_runs_published()->Value(), 0);
+  // And without kConfHistoryEnabled no history file appears.
+  EXPECT_FALSE(ReadJobHistory(cluster.local_store(0), 1).ok());
+}
+
+}  // namespace
+}  // namespace mr
+}  // namespace clydesdale

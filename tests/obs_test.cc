@@ -9,6 +9,7 @@
 #include "mapreduce/job_trace.h"
 #include "obs/chrome_trace.h"
 #include "obs/histogram.h"
+#include "obs/json_util.h"
 #include "obs/trace.h"
 
 namespace clydesdale {
@@ -109,6 +110,26 @@ TEST(HistogramTest, ConcurrentRecordsAllLand) {
   EXPECT_EQ(h.Max(), kPerThread - 1);
 }
 
+TEST(JsonUtilTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("line1\nline2\ttab"), "\"line1\\nline2\\ttab\"");
+  // Control characters without a short escape become \u00XX.
+  EXPECT_EQ(JsonQuote(std::string("nul\x01", 4)), "\"nul\\u0001\"");
+  EXPECT_EQ(JsonQuote(std::string(1, '\x1f')), "\"\\u001f\"");
+  std::string out = "prefix:";
+  AppendJsonEscaped(&out, "x\"y");
+  EXPECT_EQ(out, "prefix:x\\\"y") << "append form adds no quotes";
+}
+
+TEST(JsonUtilTest, JsonDoubleRoundTripsExactly) {
+  for (double v : {0.0, 0.1, 1.0 / 3.0, 123456.789, 2.5e-17}) {
+    const std::string s = JsonDouble(v);
+    EXPECT_EQ(strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
 TEST(HistogramRegistryTest, GetCreatesFindDoesNot) {
   HistogramRegistry registry;
   EXPECT_EQ(registry.Find("absent"), nullptr);
@@ -125,6 +146,33 @@ TEST(HistogramRegistryTest, GetCreatesFindDoesNot) {
   const auto snapshot = registry.Snapshot();
   ASSERT_EQ(snapshot.size(), 1u);
   EXPECT_EQ(snapshot.at("map_micros").Count(), 1);
+}
+
+/// Task-local histograms merging into one shared registry concurrently —
+/// the hot-path pattern the Histogram doc comment prescribes. Run under
+/// TSan via the tsan CMake preset.
+TEST(HistogramRegistryTest, ConcurrentMergeFromDropsNothing) {
+  HistogramRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kTasksPerThread = 25;
+  constexpr int kRecordsPerTask = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int task = 0; task < kTasksPerThread; ++task) {
+        Histogram local;
+        for (int i = 0; i < kRecordsPerTask; ++i) local.Record(i);
+        registry.Get("map_micros")->MergeFrom(local);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const Histogram* merged = registry.Find("map_micros");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->Count(), kThreads * kTasksPerThread * kRecordsPerTask);
+  EXPECT_EQ(merged->Max(), kRecordsPerTask - 1);
+  EXPECT_EQ(merged->Sum(), static_cast<int64_t>(kThreads) * kTasksPerThread *
+                               (kRecordsPerTask * (kRecordsPerTask - 1) / 2));
 }
 
 TEST(TraceTest, RecordsNestedSpans) {

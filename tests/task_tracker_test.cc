@@ -2,10 +2,13 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "mapreduce/engine.h"
 #include "mapreduce/input_format.h"
@@ -293,6 +296,49 @@ TEST(TaskTrackerTest, PipelinedReducersFetchWhileMapsStillRun) {
       << "first reducer fetch should start before the last map task ends";
   EXPECT_TRUE(saw_overlap_span);
   EXPECT_GT(CriticalPath(result->report).shuffle_overlap_seconds, 0);
+}
+
+TEST(TaskTrackerTest, ReduceCodeRunsUnderTaskLogContext) {
+  // Every reduce attempt (and its pipelined fetch loop) runs under the same
+  // ambient ScopedLogContext trackers set for maps: "job/r-N@nodeM". User
+  // reducer code observes it via LogContext(), so any CLY_LOG line inside a
+  // reducer is attributable to its attempt without manual tagging.
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 300);
+  JobConf conf = WordCountJob("/words", 2);
+  conf.pipelined_shuffle = true;
+  auto contexts = std::make_shared<std::vector<std::string>>();
+  auto mu = std::make_shared<std::mutex>();
+  conf.reducer_factory = [contexts, mu] {
+    class ContextCapturingReducer final : public Reducer {
+     public:
+      ContextCapturingReducer(std::shared_ptr<std::vector<std::string>> out,
+                              std::shared_ptr<std::mutex> mu)
+          : out_(std::move(out)), mu_(std::move(mu)) {}
+      Status Reduce(const Row& key, const std::vector<Row>& values,
+                    TaskContext*, OutputCollector* out) override {
+        {
+          std::lock_guard<std::mutex> lock(*mu_);
+          out_->push_back(LogContext());
+        }
+        int64_t total = 0;
+        for (const Row& v : values) total += v.Get(0).i64();
+        return out->Collect(key, Row({Value(total)}));
+      }
+
+     private:
+      std::shared_ptr<std::vector<std::string>> out_;
+      std::shared_ptr<std::mutex> mu_;
+    };
+    return std::make_unique<ContextCapturingReducer>(contexts, mu);
+  };
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(contexts->empty());
+  for (const std::string& context : *contexts) {
+    EXPECT_EQ(context.find("wordcount/r-"), 0u) << context;
+    EXPECT_NE(context.find("@node"), std::string::npos) << context;
+  }
 }
 
 TEST(TaskTrackerTest, BackToBackJobsReuseThePersistentTrackers) {
