@@ -63,7 +63,7 @@ void BM_DimHashProbe(benchmark::State& state) {
   benchmark::DoNotOptimize(hits);
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_DimHashProbe)->Arg(2000)->Arg(200000);
+BENCHMARK(BM_DimHashProbe)->Arg(2000)->Arg(30000)->Arg(200000);
 
 void BM_StdUnorderedMapProbe(benchmark::State& state) {
   const int entries = static_cast<int>(state.range(0));
@@ -80,7 +80,7 @@ void BM_StdUnorderedMapProbe(benchmark::State& state) {
   benchmark::DoNotOptimize(hits);
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_StdUnorderedMapProbe)->Arg(2000)->Arg(200000);
+BENCHMARK(BM_StdUnorderedMapProbe)->Arg(2000)->Arg(30000)->Arg(200000);
 
 // --- block iteration vs row-at-a-time over an in-memory batch ----------------
 

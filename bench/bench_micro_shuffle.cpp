@@ -38,7 +38,11 @@ void SortAndMaybeCombine(benchmark::State& state, bool combine) {
   static MrCluster* const cluster = new MrCluster(ClusterOptions{});
   JobConf conf;
   Counters counters;
-  const auto records = MakeRecords(100000, static_cast<int>(state.range(0)));
+  // Arg 0 = rows through the buffer, arg 1 = distinct keys (sort/combine
+  // cardinality). Both matter independently: rows drive volume, keys drive
+  // comparison cost and combiner fold ratio.
+  const auto records = MakeRecords(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
   for (auto _ : state) {
     HashPartitioner partitioner;
     MapOutputBuffer buffer(&partitioner, 4);
@@ -62,10 +66,15 @@ void BM_MapOutputSort(benchmark::State& state) {
 void BM_MapOutputSortCombine(benchmark::State& state) {
   SortAndMaybeCombine(state, true);
 }
-BENCHMARK(BM_MapOutputSort)->Arg(64)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapOutputSort)
+    ->Args({1000, 64})
+    ->Args({100000, 64})
+    ->Args({100000, 100000})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MapOutputSortCombine)
-    ->Arg(64)
-    ->Arg(100000)
+    ->Args({1000, 64})
+    ->Args({100000, 64})
+    ->Args({100000, 100000})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RowEncodeDecode(benchmark::State& state) {

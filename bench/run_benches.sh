@@ -74,6 +74,19 @@ out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 print(f"wrote {out_path} ({len(merged)} benchmarks)")
 EOF
 
+# Late-materialization scan A/B: CIF v1 vs v2 across full / projected /
+# predicate scans (see DESIGN.md §11). Publishes rows/s, per-pass wall
+# seconds, v2-over-v1 speedups, and zone-map pruning stats.
+SCAN_BIN="${BENCH_DIR}/bench_scan_ab"
+if [ -x "${SCAN_BIN}" ]; then
+  echo "== bench_scan_ab (CLY_BENCH_SF=${CLY_BENCH_SF})"
+  SCAN_JSON="$(dirname "${OUT_JSON}")/BENCH_scan.json"
+  CLY_SCAN_JSON="${SCAN_JSON}" "${SCAN_BIN}" >/dev/null
+  if [ -e "${SCAN_JSON}" ]; then
+    echo "wrote ${SCAN_JSON} (late-materialization scan A/B)"
+  fi
+fi
+
 # Traced Q2.1 breakdown: publish the artifacts the observability layer
 # emits — Chrome trace + timeline (load the .trace.json in chrome://tracing
 # or https://ui.perfetto.dev for the per-stage drill-down), the Prometheus

@@ -3,7 +3,9 @@
 #   1. every kCounter* name in counters.h is returned by either
 #      StandardCounterNames() or SituationalCounterNames() in counters.cc;
 #   2. every kMetric* family name in cluster_metrics.h is returned by
-#      StandardMetricFamilyNames() in cluster_metrics.cc.
+#      StandardMetricFamilyNames() in cluster_metrics.cc;
+#   3. every kCounter* name in star_join_job.h is returned by
+#      ClydesdaleCounterNames() in star_join_job.cc.
 # Registered as a ctest (tests/CMakeLists.txt) and runnable standalone:
 #   scripts/check_counters.sh [repo-root]
 set -u
@@ -13,8 +15,11 @@ counters_h="$root/src/mapreduce/counters.h"
 counters_cc="$root/src/mapreduce/counters.cc"
 metrics_h="$root/src/mapreduce/cluster_metrics.h"
 metrics_cc="$root/src/mapreduce/cluster_metrics.cc"
+star_h="$root/src/core/star_join_job.h"
+star_cc="$root/src/core/star_join_job.cc"
 
-for f in "$counters_h" "$counters_cc" "$metrics_h" "$metrics_cc"; do
+for f in "$counters_h" "$counters_cc" "$metrics_h" "$metrics_cc" \
+         "$star_h" "$star_cc"; do
   if [ ! -f "$f" ]; then
     echo "check_counters: missing $f" >&2
     exit 2
@@ -63,6 +68,27 @@ for name in $cc_metrics; do
   if ! printf '%s\n' "$header_metrics" | grep -qx "$name"; then
     echo "check_counters: $name listed in StandardMetricFamilyNames() but" \
          "not declared in cluster_metrics.h" >&2
+    fail=1
+  fi
+done
+
+# --- star-join counters: header constants vs ClydesdaleCounterNames
+star_header=$(grep -o 'kCounter[A-Za-z0-9]*\[\]' "$star_h" \
+  | sed 's/\[\]//' | sort -u)
+star_cc_names=$(sed -n '/ClydesdaleCounterNames/,/^}/p' "$star_cc" \
+  | grep -o 'kCounter[A-Za-z0-9]*' | sort -u)
+
+for name in $star_header; do
+  if ! printf '%s\n' "$star_cc_names" | grep -qx "$name"; then
+    echo "check_counters: $name declared in star_join_job.h but missing" \
+         "from ClydesdaleCounterNames()" >&2
+    fail=1
+  fi
+done
+for name in $star_cc_names; do
+  if ! printf '%s\n' "$star_header" | grep -qx "$name"; then
+    echo "check_counters: $name listed in ClydesdaleCounterNames() but" \
+         "not declared in star_join_job.h" >&2
     fail=1
   fi
 done

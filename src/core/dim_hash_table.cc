@@ -23,38 +23,45 @@ void DimHashTable::ProbeBatch(const int64_t* keys, int64_t n,
     for (int64_t i = 0; i < n; ++i) out[i] = nullptr;
     return;
   }
-  const Slot* const slot_data = slots_.data();
+  const int64_t* const key_data = keys_.data();
+  const int32_t* const index_data = payload_index_.data();
   const Row* const payload_data = payloads_.data();
   const size_t mask = capacity_ - 1;
 
   constexpr int kStride = 256;
   size_t slot[kStride];
   int32_t todo[kStride];
+  int32_t hit[kStride];
   for (int64_t base = 0; base < n; base += kStride) {
     const int m = static_cast<int>(std::min<int64_t>(kStride, n - base));
     const int64_t* stride_keys = keys + base;
     const Row** stride_out = out + base;
     // Hash every lane and prefetch its home slot before touching any of
-    // them: by resolve time the slot loads are in flight or done.
+    // them: by resolve time the key loads are in flight or done.
     for (int i = 0; i < m; ++i) {
-      slot[i] = static_cast<size_t>(
-                    Mix64(static_cast<uint64_t>(stride_keys[i]))) &
-                mask;
+      slot[i] = HomeSlot(stride_keys[i]);
 #if defined(__GNUC__) || defined(__clang__)
-      __builtin_prefetch(&slot_data[slot[i]], /*rw=*/0, /*locality=*/1);
+      __builtin_prefetch(&key_data[slot[i]], /*rw=*/0, /*locality=*/1);
 #endif
     }
-    // Resolve every lane at its current slot; hit/miss/keep-scanning are
-    // computed as data (conditional moves + compaction counter), never as
-    // branches. Lanes that landed on another key's slot advance together in
-    // the next round — with load factor <= 1/2 few lanes survive a round.
+    // Resolve every lane against the key lane only; hit/miss/keep-scanning
+    // are computed as data (compaction counters), never as branches. Hits
+    // are compacted into `hit` and their payload indexes fetched in a
+    // second pass, so the payload-index lane is never loaded for misses —
+    // that second random access per lane is exactly what the old
+    // interleaved-slot layout paid. A probe key equal to kEmptySlotKey
+    // cannot match here (empty slots hold that value); the rare table that
+    // actually stores it is patched scalar at the end.
     int live = 0;
+    int nhits = 0;
     for (int i = 0; i < m; ++i) {
-      const Slot& s = slot_data[slot[i]];
-      const bool empty = s.payload_index < 0;
-      const bool match = !empty & (s.key == stride_keys[i]);
-      stride_out[i] =
-          match ? payload_data + s.payload_index : nullptr;
+      const int64_t k = key_data[slot[i]];
+      const bool match = (k == stride_keys[i]) &
+                         (stride_keys[i] != kEmptySlotKey);
+      const bool empty = k == kEmptySlotKey;
+      stride_out[i] = nullptr;
+      hit[nhits] = i;
+      nhits += static_cast<int>(match);
       todo[live] = i;
       live += static_cast<int>(!(empty | match));
     }
@@ -64,28 +71,47 @@ void DimHashTable::ProbeBatch(const int64_t* keys, int64_t n,
         const int i = todo[t];
         const size_t advanced = (slot[i] + 1) & mask;
         slot[i] = advanced;
-        const Slot& s = slot_data[advanced];
-        const bool empty = s.payload_index < 0;
-        const bool match = !empty & (s.key == stride_keys[i]);
-        stride_out[i] =
-            match ? payload_data + s.payload_index : nullptr;
+        const int64_t k = key_data[advanced];
+        const bool match = (k == stride_keys[i]) &
+                           (stride_keys[i] != kEmptySlotKey);
+        const bool empty = k == kEmptySlotKey;
+        hit[nhits] = i;
+        nhits += static_cast<int>(match);
         todo[next_live] = i;
         next_live += static_cast<int>(!(empty | match));
       }
       live = next_live;
     }
+    for (int t = 0; t < nhits; ++t) {
+      const int i = hit[t];
+      stride_out[i] = payload_data + index_data[slot[i]];
+    }
+    if (sentinel_payload_index_ >= 0) {
+      for (int i = 0; i < m; ++i) {
+        if (stride_keys[i] == kEmptySlotKey) {
+          stride_out[i] =
+              payload_data + static_cast<size_t>(sentinel_payload_index_);
+        }
+      }
+    }
   }
 }
 
 void DimHashTable::Insert(int64_t key, Row payload) {
-  size_t slot = static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) &
-                (capacity_ - 1);
-  while (slots_[slot].payload_index >= 0) {
+  const auto index = static_cast<int32_t>(payloads_.size());
+  payloads_.push_back(std::move(payload));
+  min_key_ = std::min(min_key_, key);
+  max_key_ = std::max(max_key_, key);
+  if (key == kEmptySlotKey) {
+    sentinel_payload_index_ = index;
+    return;
+  }
+  size_t slot = HomeSlot(key);
+  while (keys_[slot] != kEmptySlotKey) {
     slot = (slot + 1) & (capacity_ - 1);
   }
-  slots_[slot].key = key;
-  slots_[slot].payload_index = static_cast<int32_t>(payloads_.size());
-  payloads_.push_back(std::move(payload));
+  keys_[slot] = key;
+  payload_index_[slot] = index;
 }
 
 Result<std::shared_ptr<const DimHashTable>> DimHashTable::Build(
@@ -128,7 +154,10 @@ Result<std::shared_ptr<const DimHashTable>> DimHashTable::Build(
 
   auto table = std::shared_ptr<DimHashTable>(new DimHashTable());
   table->capacity_ = CapacityFor(std::max<size_t>(qualifying.size(), 1));
-  table->slots_.resize(table->capacity_);
+  table->shift_ = 64;
+  for (size_t c = table->capacity_; c > 1; c >>= 1) --table->shift_;
+  table->keys_.assign(table->capacity_, kEmptySlotKey);
+  table->payload_index_.resize(table->capacity_);
   table->payloads_.reserve(qualifying.size());
   for (auto& [key, payload] : qualifying) {
     table->Insert(key, std::move(payload));
@@ -136,7 +165,7 @@ Result<std::shared_ptr<const DimHashTable>> DimHashTable::Build(
   table->stats_.input_rows = input_rows;
   table->stats_.entries = table->payloads_.size();
   table->stats_.memory_bytes =
-      table->capacity_ * sizeof(Slot) + payload_bytes;
+      table->capacity_ * (sizeof(int64_t) + sizeof(int32_t)) + payload_bytes;
   return std::shared_ptr<const DimHashTable>(table);
 }
 

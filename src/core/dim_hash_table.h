@@ -2,6 +2,7 @@
 #define CLYDESDALE_CORE_DIM_HASH_TABLE_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,8 +21,14 @@ namespace core {
 /// shared by all join threads and consecutive tasks; probes need no
 /// synchronization because the table never changes after Build.
 ///
-/// Open addressing with linear probing over power-of-two capacity; payloads
-/// live out-of-line so slots stay small (key + payload index).
+/// Open addressing with linear probing over power-of-two capacity. Keys and
+/// payload indexes live in separate parallel arrays (structure of arrays):
+/// a probe walks only the 8-byte key lane, so misses — half of all probes in
+/// a selective star join — touch half the random-access footprint an
+/// interleaved {key, index} slot would cost, and the payload-index lane is
+/// read only on hits. Empty slots are marked in the key lane itself with
+/// kEmptySlotKey; an entry whose key equals the sentinel is stored out of
+/// line (sentinel_payload_index_).
 class DimHashTable {
  public:
   struct BuildStats {
@@ -38,15 +45,39 @@ class DimHashTable {
       const Predicate& predicate, const std::string& pk_column,
       const std::vector<std::string>& aux_columns);
 
+  /// Key-lane value marking an empty slot.
+  static constexpr int64_t kEmptySlotKey =
+      std::numeric_limits<int64_t>::min();
+
   /// The auxiliary row for `key`, or nullptr when the key does not qualify.
   const Row* Probe(int64_t key) const {
     if (capacity_ == 0) return nullptr;
-    size_t slot = static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) &
-                  (capacity_ - 1);
+    if (key == kEmptySlotKey) {
+      return sentinel_payload_index_ < 0
+                 ? nullptr
+                 : &payloads_[static_cast<size_t>(sentinel_payload_index_)];
+    }
+    size_t slot = HomeSlot(key);
     while (true) {
-      const Slot& s = slots_[slot];
-      if (s.payload_index < 0) return nullptr;
-      if (s.key == key) return &payloads_[static_cast<size_t>(s.payload_index)];
+      const int64_t k = keys_[slot];
+      if (k == key) {
+        return &payloads_[static_cast<size_t>(payload_index_[slot])];
+      }
+      if (k == kEmptySlotKey) return nullptr;
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+  }
+
+  /// Membership-only probe: walks the key lane alone, never touching
+  /// payload indexes or rows (the storage scan's semi-join filter path).
+  bool ContainsKey(int64_t key) const {
+    if (capacity_ == 0) return false;
+    if (key == kEmptySlotKey) return sentinel_payload_index_ >= 0;
+    size_t slot = HomeSlot(key);
+    while (true) {
+      const int64_t k = keys_[slot];
+      if (k == key) return true;
+      if (k == kEmptySlotKey) return false;
       slot = (slot + 1) & (capacity_ - 1);
     }
   }
@@ -63,18 +94,34 @@ class DimHashTable {
   uint64_t entries() const { return stats_.entries; }
   const BuildStats& stats() const { return stats_; }
 
- private:
-  struct Slot {
-    int64_t key = 0;
-    int32_t payload_index = -1;
-  };
+  /// Smallest/largest stored key (only meaningful when entries() > 0);
+  /// lets zone maps refute whole blocks against the key population.
+  int64_t min_key() const { return min_key_; }
+  int64_t max_key() const { return max_key_; }
 
+ private:
   DimHashTable() = default;
   void Insert(int64_t key, Row payload);
 
+  /// Fibonacci (multiply-shift) hashing: one multiply and a shift, taking
+  /// the product's high bits. Half the dependent-latency of a full
+  /// finalizer like Mix64, which is what the probe loop waits on when the
+  /// table is cache-resident; the golden-ratio constant still disperses
+  /// the dense sequential keys dimension PKs actually have.
+  size_t HomeSlot(int64_t key) const {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(key) * UINT64_C(0x9E3779B97F4A7C15)) >>
+        shift_);
+  }
+
   size_t capacity_ = 0;  // power of two
-  std::vector<Slot> slots_;
+  int shift_ = 63;       // 64 - log2(capacity_)
+  std::vector<int64_t> keys_;          // kEmptySlotKey marks empties
+  std::vector<int32_t> payload_index_;  // parallel to keys_, hits only
+  int32_t sentinel_payload_index_ = -1;  // entry keyed kEmptySlotKey, if any
   std::vector<Row> payloads_;
+  int64_t min_key_ = std::numeric_limits<int64_t>::max();
+  int64_t max_key_ = std::numeric_limits<int64_t>::min();
   BuildStats stats_;
 };
 

@@ -11,6 +11,7 @@
 #include "mapreduce/input_format.h"
 #include "mapreduce/job_trace.h"
 #include "obs/trace.h"
+#include "storage/scan_spec.h"
 
 namespace clydesdale {
 namespace core {
@@ -191,6 +192,47 @@ Status ProcessRows(const BoundPlan& plan, const QueryHashTables& tables,
   return Status::OK();
 }
 
+/// Adapts a built dimension hash table to the storage scan's semi-join
+/// filter interface: a fact row whose foreign key misses the table cannot
+/// survive the inner join, so the scan may drop it (and zone maps may drop
+/// whole blocks whose key range misses the table's [min_key, max_key]).
+/// The table is immutable after Build, so Contains is safe from any thread.
+class DimKeyFilter final : public storage::ScanKeyFilter {
+ public:
+  explicit DimKeyFilter(std::shared_ptr<const DimHashTable> table)
+      : table_(std::move(table)) {}
+
+  bool Contains(int64_t key) const override {
+    return table_->ContainsKey(key);
+  }
+  bool RangeMightMatch(int64_t lo, int64_t hi) const override {
+    return table_->entries() > 0 &&
+           !(hi < table_->min_key() || lo > table_->max_key());
+  }
+
+ private:
+  std::shared_ptr<const DimHashTable> table_;
+};
+
+/// The scan spec for one query given its built hash tables: the fact
+/// predicate's pushable conjuncts plus a key filter per *filtered*
+/// dimension. Unfiltered dimensions keep (nearly) every key, so testing
+/// them per row at scan time is pure overhead — their misses are cheap to
+/// drop in the probe instead. Returns nullptr when nothing is pushable.
+std::shared_ptr<const storage::ScanSpec> BuildScanSpec(
+    const StarQuerySpec& spec, const QueryHashTables& tables) {
+  auto scan = std::make_shared<storage::ScanSpec>();
+  scan->conjuncts = CollectScanConjuncts(spec.fact_predicate);
+  for (size_t d = 0; d < spec.dims.size(); ++d) {
+    if (spec.dims[d].predicate->IsTrue()) continue;
+    scan->key_filters.push_back(
+        {spec.dims[d].fact_fk,
+         std::make_shared<DimKeyFilter>(tables.tables[d])});
+  }
+  if (scan->empty()) return nullptr;
+  return scan;
+}
+
 Result<std::vector<std::string>> ProjectionFromConf(const mr::JobConf& conf) {
   std::vector<std::string> projection =
       conf.GetList(mr::kConfInputProjection);
@@ -202,6 +244,14 @@ Result<std::vector<std::string>> ProjectionFromConf(const mr::JobConf& conf) {
 }
 
 }  // namespace
+
+std::vector<std::string> ClydesdaleCounterNames() {
+  return {
+      kCounterHashBuilds,  kCounterHashBuildRows, kCounterHashEntries,
+      kCounterHashBytes,   kCounterProbeRows,     kCounterJoinOutputRows,
+      kCounterProbeBatches, kCounterAggGroups,    kCounterAggBytes,
+  };
+}
 
 void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf) {
   if (options.trace) conf->SetBool(mr::kConfTraceEnabled, true);
@@ -307,10 +357,17 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       static_cast<size_t>(std::max(context->allowed_threads(), 1)),
       std::max<size_t>(constituents.size(), 1)));
 
+  // Late materialization: hand the scan the fact conjuncts and the filtered
+  // dimensions' key sets so v2 CIF blocks can be pruned before decode. The
+  // probe re-evaluates the full predicate, so results don't depend on it.
+  const std::shared_ptr<const storage::ScanSpec> scan_spec =
+      options_.late_materialize ? BuildScanSpec(spec_, *tables) : nullptr;
+
   std::atomic<size_t> next{0};
   std::vector<Status> statuses(static_cast<size_t>(num_threads));
   std::vector<std::unique_ptr<ProbeSink>> sinks;
   std::vector<hdfs::IoStats> io(static_cast<size_t>(num_threads));
+  std::vector<storage::ScanStats> scan_stats(static_cast<size_t>(num_threads));
   const AggLayout layout = AggLayout::For(spec_.aggregates);
   for (int t = 0; t < num_threads; ++t) {
     sinks.push_back(std::make_unique<ProbeSink>(layout));
@@ -334,6 +391,9 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       scan.projection = projection;
       scan.reader_node = context->node();
       scan.stats = &io[static_cast<size_t>(t)];
+      scan.scan_spec = scan_spec;
+      scan.late_materialize = options_.late_materialize;
+      scan.scan_stats = &scan_stats[static_cast<size_t>(t)];
       Status st;
       if (options_.block_iteration) {
         auto reader = storage::OpenSplitBatchReader(
@@ -370,9 +430,12 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
 
   uint64_t probe_rows = 0, join_rows = 0, probe_batches = 0;
   uint64_t agg_groups = 0, agg_bytes = 0;
+  uint64_t blocks_skipped = 0, rows_pruned = 0;
   for (int t = 0; t < num_threads; ++t) {
     CLY_RETURN_IF_ERROR(statuses[static_cast<size_t>(t)]);
     context->MergeIoStats(io[static_cast<size_t>(t)]);
+    blocks_skipped += scan_stats[static_cast<size_t>(t)].blocks_skipped;
+    rows_pruned += scan_stats[static_cast<size_t>(t)].rows_pruned;
     ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
     probe_rows += sink->probe_rows;
     join_rows += sink->join_output_rows;
@@ -395,6 +458,14 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
   if (probe_batches > 0) {
     context->counters()->Add(kCounterProbeBatches,
                              static_cast<int64_t>(probe_batches));
+  }
+  if (blocks_skipped > 0) {
+    context->counters()->Add(mr::kCounterCifBlocksSkipped,
+                             static_cast<int64_t>(blocks_skipped));
+  }
+  if (rows_pruned > 0) {
+    context->counters()->Add(mr::kCounterCifRowsPruned,
+                             static_cast<int64_t>(rows_pruned));
   }
   if (options_.map_side_agg && !plan.emit_joined_rows) {
     context->counters()->Add(kCounterAggGroups,

@@ -57,6 +57,12 @@ struct ClydesdaleOptions {
   /// Structured JSONL job-history log (obs.history.enabled), persisted to
   /// node 0's LocalStore and (with trace_dir) as <job>-<n>.history.jsonl.
   bool history = false;
+  /// Late-materialization CIF scan (cif.scan.late_materialize): evaluate
+  /// pushed-down predicates and dimension-key filters on encoded column
+  /// blocks, consult zone maps to skip whole blocks, and decode strings
+  /// zero-copy. Only affects v2 CIF tables; results are byte-identical
+  /// either way — the knob exists for A/B measurement.
+  bool late_materialize = true;
 };
 
 /// Forwards the options' engine knobs (trace, pipelined shuffle) into a
@@ -82,6 +88,10 @@ inline constexpr const char kCounterJoinOutputRows[] = "CLY_JOIN_OUTPUT_ROWS";
 inline constexpr const char kCounterProbeBatches[] = "CLY_PROBE_BATCHES";
 inline constexpr const char kCounterAggGroups[] = "CLY_AGG_PARTIAL_GROUPS";
 inline constexpr const char kCounterAggBytes[] = "CLY_AGG_MEMORY_BYTES";
+
+/// Every Clydesdale-specific counter name above, for the same
+/// scripts/check_counters.sh audit that covers the engine counters.
+std::vector<std::string> ClydesdaleCounterNames();
 
 /// Histogram (JobReport::histograms): per-probe-thread join hit rate as a
 /// percentage (100 * join output rows / probed rows) — the paper's

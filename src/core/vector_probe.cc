@@ -124,7 +124,9 @@ void VectorizedProbe::EncodeSource(const GroupSource& src,
       group_key::AppendValue(Value(col.f64()[i]), out);
       return;
     case TypeKind::kString: {
-      const std::string& s = col.str()[i];
+      // StringViewAt covers both owned strings and the late-materialized
+      // scan's arena-backed views without a copy in either case.
+      const std::string_view s = col.StringViewAt(static_cast<int64_t>(i));
       out->push_back(static_cast<uint8_t>(TypeKind::kString));
       const uint32_t len = static_cast<uint32_t>(s.size());
       const uint8_t* p = reinterpret_cast<const uint8_t*>(&len);

@@ -23,6 +23,8 @@ std::vector<std::string> StandardCounterNames() {
 std::vector<std::string> SituationalCounterNames() {
   return {
       kCounterStragglerAttempts,
+      kCounterCifBlocksSkipped,
+      kCounterCifRowsPruned,
   };
 }
 

@@ -32,6 +32,10 @@ inline constexpr const char kCounterHdfsReadOps[] = "HDFS_READ_OPS";
 inline constexpr const char kCounterHdfsReadMicros[] = "HDFS_READ_MICROS";
 inline constexpr const char kCounterSchedPulls[] = "SCHED_PULLS";
 inline constexpr const char kCounterStragglerAttempts[] = "STRAGGLER_ATTEMPTS";
+// Late-materialization CIF scan: v2 column blocks skipped whole via zone
+// maps, and rows pruned by pushed-down predicates/key filters before decode.
+inline constexpr const char kCounterCifBlocksSkipped[] = "CIF_BLOCKS_SKIPPED";
+inline constexpr const char kCounterCifRowsPruned[] = "CIF_ROWS_PRUNED";
 
 /// Every engine-maintained counter name above, for audits asserting that a
 /// suitably shaped job populates all of them (tests/mapreduce_test.cc).

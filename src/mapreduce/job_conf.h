@@ -11,6 +11,11 @@
 #include "mapreduce/mr_types.h"
 
 namespace clydesdale {
+
+namespace storage {
+struct ScanSpec;
+}  // namespace storage
+
 namespace mr {
 
 class InputFormat;
@@ -57,6 +62,11 @@ class JobConf {
   /// DFS paths broadcast to every node's local disk before the job starts
   /// (Hive's mapjoin hash-table dissemination path, paper §6.1).
   std::vector<std::string> distributed_cache;
+  /// Predicates pushed into the storage scan by the stock input formats
+  /// (the typed analogue of Hive's serialized filter-expression property).
+  /// Scans treat it as advisory: every returned row is still re-checked by
+  /// the consumer, so a null or partial spec is always correct.
+  std::shared_ptr<const storage::ScanSpec> scan_spec;
 
   // --- component factories ----------------------------------------------------
   using MapperFactory = std::function<std::unique_ptr<Mapper>()>;

@@ -94,6 +94,15 @@ class Predicate {
   Kind kind() const { return kind_; }
   const std::string& column_name() const { return name_; }
   bool IsTrue() const { return kind_ == Kind::kTrue; }
+  /// Comparison operands: lo() for kEq..kGe, lo()/hi() for kBetween.
+  const Value& lo() const { return lo_; }
+  const Value& hi() const { return hi_; }
+  /// Candidate values of a kIn predicate.
+  const std::vector<Value>& in_values() const { return set_; }
+  /// Children of kAnd/kOr/kNot nodes (empty for leaves). These accessors let
+  /// scan layers interpret predicate trees structurally (zone-map tests,
+  /// encoded-data evaluation) without re-binding against a schema.
+  const std::vector<Ptr>& children() const { return children_; }
 
   void CollectColumns(std::vector<std::string>* out) const;
 

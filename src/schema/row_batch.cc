@@ -13,7 +13,7 @@ int64_t ColumnVector::size() const {
     case TypeKind::kDouble:
       return static_cast<int64_t>(f64_.size());
     case TypeKind::kString:
-      return static_cast<int64_t>(str_.size());
+      return static_cast<int64_t>(is_view_ ? str_views_.size() : str_.size());
   }
   return 0;
 }
@@ -23,6 +23,9 @@ void ColumnVector::Clear() {
   i64_.clear();
   f64_.clear();
   str_.clear();
+  str_views_.clear();
+  arena_.reset();
+  is_view_ = false;
 }
 
 void ColumnVector::Reserve(int64_t n) {
@@ -37,13 +40,18 @@ void ColumnVector::Reserve(int64_t n) {
       f64_.reserve(static_cast<size_t>(n));
       break;
     case TypeKind::kString:
-      str_.reserve(static_cast<size_t>(n));
+      if (is_view_) {
+        str_views_.reserve(static_cast<size_t>(n));
+      } else {
+        str_.reserve(static_cast<size_t>(n));
+      }
       break;
   }
 }
 
 void ColumnVector::Append(const Value& v) {
   CLY_DCHECK(v.kind() == type_);
+  CLY_DCHECK(!is_view_);
   switch (type_) {
     case TypeKind::kInt32:
       i32_.push_back(v.i32());
@@ -70,7 +78,7 @@ Value ColumnVector::GetValue(int64_t i) const {
     case TypeKind::kDouble:
       return Value(f64_[idx]);
     case TypeKind::kString:
-      return Value(str_[idx]);
+      return Value(std::string(StringViewAt(i)));
   }
   return Value();
 }

@@ -2,7 +2,9 @@
 #define CLYDESDALE_SCHEMA_ROW_BATCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -13,6 +15,13 @@ namespace clydesdale {
 
 /// A single column of values in columnar (structure-of-arrays) layout.
 /// Exactly one of the typed arrays is active, selected by type().
+///
+/// String columns have two storage modes. The default *owned* mode keeps a
+/// std::string per row. The *view* mode (late-materialized CIF scans) keeps
+/// string_views into a shared immutable arena — typically the raw column
+/// block bytes — so decode never copies or allocates per row. StringViewAt()
+/// reads either mode; GetValue() copies out, so consumers that hold Values
+/// never observe arena lifetime.
 class ColumnVector {
  public:
   explicit ColumnVector(TypeKind type) : type_(type) {}
@@ -27,6 +36,11 @@ class ColumnVector {
   void AppendInt64(int64_t v) { i64_.push_back(v); }
   void AppendDouble(double v) { f64_.push_back(v); }
   void AppendString(std::string v) { str_.push_back(std::move(v)); }
+  /// View mode only: the bytes must outlive this column (see string_arena).
+  void AppendStringView(std::string_view v) {
+    is_view_ = true;
+    str_views_.push_back(v);
+  }
 
   Value GetValue(int64_t i) const;
 
@@ -40,6 +54,27 @@ class ColumnVector {
   std::vector<double>* mutable_f64() { return &f64_; }
   std::vector<std::string>* mutable_str() { return &str_; }
 
+  // --- String view mode (zero-copy decode) ---
+  bool is_string_view() const { return is_view_; }
+  const std::vector<std::string_view>& str_views() const { return str_views_; }
+  /// Switches the column into view mode (callers fill views directly).
+  std::vector<std::string_view>* mutable_str_views() {
+    is_view_ = true;
+    return &str_views_;
+  }
+  /// Pins the buffer the views point into; shared between batch slices.
+  void set_string_arena(std::shared_ptr<const std::vector<uint8_t>> arena) {
+    arena_ = std::move(arena);
+  }
+  const std::shared_ptr<const std::vector<uint8_t>>& string_arena() const {
+    return arena_;
+  }
+  /// Uniform string accessor across both storage modes.
+  std::string_view StringViewAt(int64_t i) const {
+    const size_t idx = static_cast<size_t>(i);
+    return is_view_ ? str_views_[idx] : std::string_view(str_[idx]);
+  }
+
   /// Key column view: value at i widened to int64 (numeric columns only).
   int64_t KeyAt(int64_t i) const;
 
@@ -49,6 +84,9 @@ class ColumnVector {
   std::vector<int64_t> i64_;
   std::vector<double> f64_;
   std::vector<std::string> str_;
+  std::vector<std::string_view> str_views_;
+  std::shared_ptr<const std::vector<uint8_t>> arena_;
+  bool is_view_ = false;
 };
 
 /// A block of rows in columnar layout. This is what B-CIF readers return and

@@ -1,9 +1,14 @@
 #include "storage/cif.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "common/strings.h"
 #include "storage/byte_io.h"
 #include "storage/split_util.h"
@@ -29,26 +34,95 @@ std::string ColocationGroup(const TableDesc& desc, int segment) {
 constexpr uint8_t kStringPlain = 0;
 constexpr uint8_t kStringDictionary = 1;
 
-/// Serializes one column's buffered values for a split.
-void EncodeColumnBlock(const ColumnVector& col, ByteWriter* out) {
+// --- CIF v2 block framing ----------------------------------------------------
+// v1: [u32 nrows][payload]
+// v2: [u32 magic][u32 nrows][payload][zone map][u32 zone_len][u32 footer magic]
+// The payload bytes are identical across versions; v2 adds a leading magic
+// (so a v2 reader rejects v1 bytes instead of misparsing them) and a
+// trailing zone-map footer the reader can use to skip the whole block. The
+// payload starts at offset 8, so fixed-width value arrays are 8-byte aligned
+// in the read buffer and can be scanned in place without a copy.
+constexpr uint32_t kCifV2Magic = 0x32464943u;        // "CIF2"
+constexpr uint32_t kCifV2FooterMagic = 0x544F4F46u;  // "FOOT"
+
+// Zone map kinds (first byte of the zone section).
+constexpr uint8_t kZoneNone = 0;
+constexpr uint8_t kZoneInt = 1;     // [i64 min][i64 max]
+constexpr uint8_t kZoneDouble = 2;  // [f64 min][f64 max]
+constexpr uint8_t kZoneDict = 3;    // [u64 fingerprint]
+
+/// One bit per distinct dictionary entry; an equality probe whose bit is
+/// absent cannot match any row of the block.
+uint64_t DictFingerprintBit(std::string_view s) {
+  return 1ull << (HashString(s) & 63);
+}
+
+struct ZoneMap {
+  uint8_t kind = kZoneNone;
+  int64_t min_i64 = 0;
+  int64_t max_i64 = 0;
+  double min_f64 = 0.0;
+  double max_f64 = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+/// Serializes one column's buffered values (everything after the row count)
+/// and computes the block's zone map as a by-product of the same pass.
+void EncodeColumnPayload(const ColumnVector& col, ByteWriter* out,
+                         ZoneMap* zone) {
   const auto nrows = static_cast<uint32_t>(col.size());
-  out->PutU32(nrows);
   switch (col.type()) {
-    case TypeKind::kInt32:
+    case TypeKind::kInt32: {
       out->PutBytes(col.i32().data(), col.i32().size() * sizeof(int32_t));
+      if (nrows > 0) {
+        const auto [mn, mx] =
+            std::minmax_element(col.i32().begin(), col.i32().end());
+        zone->kind = kZoneInt;
+        zone->min_i64 = *mn;
+        zone->max_i64 = *mx;
+      }
       break;
-    case TypeKind::kInt64:
+    }
+    case TypeKind::kInt64: {
       out->PutBytes(col.i64().data(), col.i64().size() * sizeof(int64_t));
+      if (nrows > 0) {
+        const auto [mn, mx] =
+            std::minmax_element(col.i64().begin(), col.i64().end());
+        zone->kind = kZoneInt;
+        zone->min_i64 = *mn;
+        zone->max_i64 = *mx;
+      }
       break;
-    case TypeKind::kDouble:
+    }
+    case TypeKind::kDouble: {
       out->PutBytes(col.f64().data(), col.f64().size() * sizeof(double));
+      // NaNs poison ordered comparisons, so a block containing one gets no
+      // zone map rather than an unsound one.
+      bool has_nan = false;
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -std::numeric_limits<double>::infinity();
+      for (double v : col.f64()) {
+        if (std::isnan(v)) {
+          has_nan = true;
+          break;
+        }
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      if (nrows > 0 && !has_nan) {
+        zone->kind = kZoneDouble;
+        zone->min_f64 = mn;
+        zone->max_f64 = mx;
+      }
       break;
+    }
     case TypeKind::kString: {
       // Try dictionary encoding: pays off whenever <=256 distinct values.
       std::unordered_map<std::string_view, uint8_t> dict;
       std::vector<std::string_view> order;
       bool dictionary_ok = true;
-      for (const std::string& s : col.str()) {
+      for (uint32_t i = 0; i < nrows; ++i) {
+        const std::string_view s = col.StringViewAt(i);
         auto it = dict.find(s);
         if (it != dict.end()) continue;
         if (dict.size() == 256 || s.size() > 255) {
@@ -65,18 +139,23 @@ void EncodeColumnBlock(const ColumnVector& col, ByteWriter* out) {
           out->PutU8(static_cast<uint8_t>(s.size()));
           out->PutBytes(s.data(), s.size());
         }
-        for (const std::string& s : col.str()) {
-          out->PutU8(dict.find(s)->second);
+        for (uint32_t i = 0; i < nrows; ++i) {
+          out->PutU8(dict.find(col.StringViewAt(i))->second);
+        }
+        zone->kind = kZoneDict;
+        for (std::string_view s : order) {
+          zone->fingerprint |= DictFingerprintBit(s);
         }
         break;
       }
       out->PutU8(kStringPlain);
       uint32_t offset = 0;
-      for (const std::string& s : col.str()) {
-        offset += static_cast<uint32_t>(s.size());
+      for (uint32_t i = 0; i < nrows; ++i) {
+        offset += static_cast<uint32_t>(col.StringViewAt(i).size());
         out->PutU32(offset);
       }
-      for (const std::string& s : col.str()) {
+      for (uint32_t i = 0; i < nrows; ++i) {
+        const std::string_view s = col.StringViewAt(i);
         out->PutBytes(s.data(), s.size());
       }
       break;
@@ -84,42 +163,133 @@ void EncodeColumnBlock(const ColumnVector& col, ByteWriter* out) {
   }
 }
 
-Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
-                         ColumnVector* out) {
-  ByteReader reader(data);
+/// Serializes one column's buffered values for a split, framed per the
+/// table's on-disk version.
+void EncodeColumnBlock(const ColumnVector& col, int cif_version,
+                       ByteWriter* out) {
+  const auto nrows = static_cast<uint32_t>(col.size());
+  ZoneMap zone;
+  if (cif_version < 2) {
+    out->PutU32(nrows);
+    EncodeColumnPayload(col, out, &zone);
+    return;
+  }
+  out->PutU32(kCifV2Magic);
+  out->PutU32(nrows);
+  EncodeColumnPayload(col, out, &zone);
+  const size_t zone_begin = out->size();
+  out->PutU8(zone.kind);
+  switch (zone.kind) {
+    case kZoneInt:
+      out->PutI64(zone.min_i64);
+      out->PutI64(zone.max_i64);
+      break;
+    case kZoneDouble:
+      out->PutF64(zone.min_f64);
+      out->PutF64(zone.max_f64);
+      break;
+    case kZoneDict:
+      out->PutU64(zone.fingerprint);
+      break;
+    default:
+      break;
+  }
+  out->PutU32(static_cast<uint32_t>(out->size() - zone_begin));
+  out->PutU32(kCifV2FooterMagic);
+}
+
+/// A v2 block's parts, borrowed from the raw block bytes.
+struct BlockView {
   uint32_t nrows = 0;
-  CLY_RETURN_IF_ERROR(reader.GetU32(&nrows));
+  const uint8_t* payload = nullptr;
+  size_t payload_len = 0;
+  ZoneMap zone;
+};
+
+Status ParseV2Block(const std::vector<uint8_t>& data, BlockView* out) {
+  // Minimum block: header (8) + empty-zone footer (1 + 8).
+  if (data.size() < 17) {
+    return Status::IoError("truncated CIF v2 column block");
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, data.data(), sizeof(magic));
+  if (magic != kCifV2Magic) {
+    return Status::IoError("CIF v2 magic mismatch (not a v2 column block)");
+  }
+  std::memcpy(&out->nrows, data.data() + 4, sizeof(uint32_t));
+  uint32_t footer_magic = 0;
+  uint32_t zone_len = 0;
+  std::memcpy(&footer_magic, data.data() + data.size() - 4, sizeof(uint32_t));
+  std::memcpy(&zone_len, data.data() + data.size() - 8, sizeof(uint32_t));
+  if (footer_magic != kCifV2FooterMagic) {
+    return Status::IoError("bad CIF v2 footer magic");
+  }
+  if (zone_len < 1 || zone_len > data.size() - 16) {
+    return Status::IoError("truncated CIF v2 zone-map footer");
+  }
+  const size_t zone_begin = data.size() - 8 - zone_len;
+  out->payload = data.data() + 8;
+  out->payload_len = zone_begin - 8;
+  ByteReader zone(data.data() + zone_begin, zone_len);
+  uint8_t kind = 0;
+  CLY_RETURN_IF_ERROR(zone.GetU8(&kind));
+  out->zone.kind = kind;
+  switch (kind) {
+    case kZoneNone:
+      break;
+    case kZoneInt:
+      CLY_RETURN_IF_ERROR(zone.GetI64(&out->zone.min_i64));
+      CLY_RETURN_IF_ERROR(zone.GetI64(&out->zone.max_i64));
+      break;
+    case kZoneDouble:
+      CLY_RETURN_IF_ERROR(zone.GetF64(&out->zone.min_f64));
+      CLY_RETURN_IF_ERROR(zone.GetF64(&out->zone.max_f64));
+      break;
+    case kZoneDict:
+      CLY_RETURN_IF_ERROR(zone.GetU64(&out->zone.fingerprint));
+      break;
+    default:
+      return Status::IoError("unknown CIF v2 zone-map kind");
+  }
+  if (!zone.AtEnd()) {
+    return Status::IoError("trailing bytes in CIF v2 zone-map footer");
+  }
+  return Status::OK();
+}
+
+/// Eagerly decodes a column payload (the shared v1/v2 value bytes) into an
+/// owned column.
+Status DecodeColumnPayload(const uint8_t* payload, size_t len, uint32_t nrows,
+                           TypeKind type, ColumnVector* out) {
+  ByteReader reader(payload, len);
   out->Clear();
   out->Reserve(nrows);
   switch (type) {
     case TypeKind::kInt32: {
       auto* v = out->mutable_i32();
-      v->resize(nrows);
       if (reader.remaining() < nrows * sizeof(int32_t)) {
         return Status::IoError("truncated int32 column block");
       }
-      std::memcpy(v->data(), data.data() + reader.position(),
-                  nrows * sizeof(int32_t));
+      v->resize(nrows);
+      std::memcpy(v->data(), payload, nrows * sizeof(int32_t));
       break;
     }
     case TypeKind::kInt64: {
       auto* v = out->mutable_i64();
-      v->resize(nrows);
       if (reader.remaining() < nrows * sizeof(int64_t)) {
         return Status::IoError("truncated int64 column block");
       }
-      std::memcpy(v->data(), data.data() + reader.position(),
-                  nrows * sizeof(int64_t));
+      v->resize(nrows);
+      std::memcpy(v->data(), payload, nrows * sizeof(int64_t));
       break;
     }
     case TypeKind::kDouble: {
       auto* v = out->mutable_f64();
-      v->resize(nrows);
       if (reader.remaining() < nrows * sizeof(double)) {
         return Status::IoError("truncated double column block");
       }
-      std::memcpy(v->data(), data.data() + reader.position(),
-                  nrows * sizeof(double));
+      v->resize(nrows);
+      std::memcpy(v->data(), payload, nrows * sizeof(double));
       break;
     }
     case TypeKind::kString: {
@@ -134,21 +304,21 @@ Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
         std::vector<std::string> dict;
         dict.reserve(dict_size);
         for (uint16_t d = 0; d < dict_size; ++d) {
-          uint8_t len = 0;
-          CLY_RETURN_IF_ERROR(reader.GetU8(&len));
-          if (reader.remaining() < len) {
+          uint8_t len8 = 0;
+          CLY_RETURN_IF_ERROR(reader.GetU8(&len8));
+          if (reader.remaining() < len8) {
             return Status::IoError("truncated dictionary entry");
           }
           dict.emplace_back(
-              reinterpret_cast<const char*>(data.data()) + reader.position(),
-              len);
-          CLY_RETURN_IF_ERROR(reader.Skip(len));
+              reinterpret_cast<const char*>(payload) + reader.position(),
+              len8);
+          CLY_RETURN_IF_ERROR(reader.Skip(len8));
         }
         if (reader.remaining() < nrows) {
           return Status::IoError("truncated dictionary codes");
         }
         for (uint32_t i = 0; i < nrows; ++i) {
-          const uint8_t code = data[reader.position() + i];
+          const uint8_t code = payload[reader.position() + i];
           if (code >= dict.size()) {
             return Status::IoError("dictionary code out of range");
           }
@@ -164,7 +334,7 @@ Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
         return Status::IoError("truncated string offsets");
       }
       std::vector<uint32_t> offsets(nrows);
-      std::memcpy(offsets.data(), data.data() + reader.position(),
+      std::memcpy(offsets.data(), payload + reader.position(),
                   nrows * sizeof(uint32_t));
       CLY_RETURN_IF_ERROR(reader.Skip(nrows * sizeof(uint32_t)));
       const size_t base = reader.position();
@@ -174,14 +344,729 @@ Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
       }
       uint32_t prev = 0;
       for (uint32_t i = 0; i < nrows; ++i) {
-        v->emplace_back(reinterpret_cast<const char*>(data.data()) + base + prev,
-                        offsets[i] - prev);
+        if (offsets[i] < prev || offsets[i] > total) {
+          return Status::IoError("corrupt string offsets in column block");
+        }
+        v->emplace_back(
+            reinterpret_cast<const char*>(payload) + base + prev,
+            offsets[i] - prev);
         prev = offsets[i];
       }
       break;
     }
   }
   return Status::OK();
+}
+
+/// Eagerly decodes a whole column block per the table's on-disk version.
+Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
+                         int cif_version, ColumnVector* out) {
+  if (cif_version < 2) {
+    ByteReader reader(data);
+    uint32_t nrows = 0;
+    CLY_RETURN_IF_ERROR(reader.GetU32(&nrows));
+    return DecodeColumnPayload(data.data() + sizeof(uint32_t),
+                               data.size() - sizeof(uint32_t), nrows, type,
+                               out);
+  }
+  BlockView view;
+  CLY_RETURN_IF_ERROR(ParseV2Block(data, &view));
+  return DecodeColumnPayload(view.payload, view.payload_len, view.nrows, type,
+                             out);
+}
+
+// --- Predicate pushdown (CIF v2 late materialization) ------------------------
+// The scan only understands single-column leaf comparisons from the query's
+// top-level conjunction. Everything it prunes would also be pruned by the
+// engine's own predicate, and anything it does not understand it leaves in
+// place, so acting on a ScanSpec is always sound — provided each test is
+// *exact*: a pushed leaf must never drop a row the full predicate would
+// accept. That is why operand extraction below rejects literals whose kind
+// cannot be compared exactly against the column's type.
+
+bool Int64Operand(const Value& v, int64_t* out) {
+  if (v.kind() == TypeKind::kInt32) {
+    *out = v.i32();
+    return true;
+  }
+  if (v.kind() == TypeKind::kInt64) {
+    *out = v.i64();
+    return true;
+  }
+  return false;
+}
+
+// Exact double view of a literal. int64 literals beyond 2^53 would round,
+// so only int32 and double literals qualify against double columns.
+bool DoubleOperand(const Value& v, double* out) {
+  if (v.kind() == TypeKind::kDouble) {
+    *out = v.f64();
+    return true;
+  }
+  if (v.kind() == TypeKind::kInt32) {
+    *out = static_cast<double>(v.i32());
+    return true;
+  }
+  return false;
+}
+
+const std::string* StringOperand(const Value& v) {
+  return v.kind() == TypeKind::kString ? &v.str() : nullptr;
+}
+
+bool IsScanLeaf(const Predicate& p) {
+  switch (p.kind()) {
+    case Predicate::Kind::kEq:
+    case Predicate::Kind::kNe:
+    case Predicate::Kind::kLt:
+    case Predicate::Kind::kLe:
+    case Predicate::Kind::kGt:
+    case Predicate::Kind::kGe:
+    case Predicate::Kind::kBetween:
+    case Predicate::Kind::kIn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Expresses an integer range leaf as inclusive [lo, hi] bounds (an empty
+/// range is lo > hi). kNe/kIn are handled separately. Returns false when the
+/// operand kinds are not exactly integer-comparable, in which case the
+/// caller must not prune with this leaf.
+bool IntLeafBounds(const Predicate& p, int64_t* lo, int64_t* hi) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  int64_t v = 0;
+  switch (p.kind()) {
+    case Predicate::Kind::kEq:
+      if (!Int64Operand(p.lo(), &v)) return false;
+      *lo = *hi = v;
+      return true;
+    case Predicate::Kind::kLt:
+      if (!Int64Operand(p.lo(), &v)) return false;
+      *lo = kMin;
+      if (v == kMin) {
+        *lo = 0;
+        *hi = -1;  // empty
+      } else {
+        *hi = v - 1;
+      }
+      return true;
+    case Predicate::Kind::kLe:
+      if (!Int64Operand(p.lo(), &v)) return false;
+      *lo = kMin;
+      *hi = v;
+      return true;
+    case Predicate::Kind::kGt:
+      if (!Int64Operand(p.lo(), &v)) return false;
+      *hi = kMax;
+      if (v == kMax) {
+        *lo = 0;
+        *hi = -1;  // empty
+      } else {
+        *lo = v + 1;
+      }
+      return true;
+    case Predicate::Kind::kGe:
+      if (!Int64Operand(p.lo(), &v)) return false;
+      *lo = v;
+      *hi = kMax;
+      return true;
+    case Predicate::Kind::kBetween: {
+      int64_t a = 0, b = 0;
+      if (!Int64Operand(p.lo(), &a) || !Int64Operand(p.hi(), &b)) return false;
+      *lo = a;
+      *hi = b;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// True when the zone map proves no row of the block can satisfy the leaf.
+bool ZoneRefutesLeaf(const ZoneMap& zone, TypeKind type, const Predicate& p) {
+  switch (zone.kind) {
+    case kZoneInt: {
+      if (type != TypeKind::kInt32 && type != TypeKind::kInt64) return false;
+      int64_t v = 0;
+      switch (p.kind()) {
+        case Predicate::Kind::kNe:
+          // Only refutable when the block is constant at the probed value.
+          return Int64Operand(p.lo(), &v) && zone.min_i64 == v &&
+                 zone.max_i64 == v;
+        case Predicate::Kind::kIn: {
+          for (const Value& cand : p.in_values()) {
+            if (!Int64Operand(cand, &v)) return false;
+            if (v >= zone.min_i64 && v <= zone.max_i64) return false;
+          }
+          return true;
+        }
+        default: {
+          int64_t lo = 0, hi = 0;
+          if (!IntLeafBounds(p, &lo, &hi)) return false;
+          return hi < zone.min_i64 || lo > zone.max_i64;
+        }
+      }
+    }
+    case kZoneDouble: {
+      if (type != TypeKind::kDouble) return false;
+      double a = 0, b = 0;
+      switch (p.kind()) {
+        case Predicate::Kind::kEq:
+          return DoubleOperand(p.lo(), &a) &&
+                 (a < zone.min_f64 || a > zone.max_f64);
+        case Predicate::Kind::kLt:
+          return DoubleOperand(p.lo(), &a) && zone.min_f64 >= a;
+        case Predicate::Kind::kLe:
+          return DoubleOperand(p.lo(), &a) && zone.min_f64 > a;
+        case Predicate::Kind::kGt:
+          return DoubleOperand(p.lo(), &a) && zone.max_f64 <= a;
+        case Predicate::Kind::kGe:
+          return DoubleOperand(p.lo(), &a) && zone.max_f64 < a;
+        case Predicate::Kind::kBetween:
+          return DoubleOperand(p.lo(), &a) && DoubleOperand(p.hi(), &b) &&
+                 (zone.max_f64 < a || zone.min_f64 > b);
+        case Predicate::Kind::kIn: {
+          for (const Value& cand : p.in_values()) {
+            if (!DoubleOperand(cand, &a)) return false;
+            if (a >= zone.min_f64 && a <= zone.max_f64) return false;
+          }
+          return true;
+        }
+        default:
+          return false;
+      }
+    }
+    case kZoneDict: {
+      if (type != TypeKind::kString) return false;
+      if (p.kind() == Predicate::Kind::kEq) {
+        const std::string* s = StringOperand(p.lo());
+        return s != nullptr &&
+               (zone.fingerprint & DictFingerprintBit(*s)) == 0;
+      }
+      if (p.kind() == Predicate::Kind::kIn) {
+        for (const Value& cand : p.in_values()) {
+          const std::string* s = StringOperand(cand);
+          if (s == nullptr) return false;
+          if ((zone.fingerprint & DictFingerprintBit(*s)) != 0) return false;
+        }
+        return !p.in_values().empty();
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Branchless selection update over a raw integer value array.
+template <typename T>
+void ApplyIntegerLeaf(const Predicate& p, const T* vals, uint32_t n,
+                      uint8_t* sel) {
+  int64_t v = 0;
+  switch (p.kind()) {
+    case Predicate::Kind::kNe:
+      if (!Int64Operand(p.lo(), &v)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(static_cast<int64_t>(vals[i]) != v);
+      }
+      return;
+    case Predicate::Kind::kIn: {
+      std::vector<int64_t> set;
+      set.reserve(p.in_values().size());
+      for (const Value& cand : p.in_values()) {
+        if (!Int64Operand(cand, &v)) return;
+        set.push_back(v);
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        const int64_t x = vals[i];
+        uint8_t hit = 0;
+        for (int64_t s : set) hit |= static_cast<uint8_t>(x == s);
+        sel[i] &= hit;
+      }
+      return;
+    }
+    default: {
+      int64_t lo = 0, hi = 0;
+      if (!IntLeafBounds(p, &lo, &hi)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        const int64_t x = vals[i];
+        sel[i] &= static_cast<uint8_t>((x >= lo) & (x <= hi));
+      }
+      return;
+    }
+  }
+}
+
+void ApplyDoubleLeaf(const Predicate& p, const double* vals, uint32_t n,
+                     uint8_t* sel) {
+  double a = 0, b = 0;
+  switch (p.kind()) {
+    case Predicate::Kind::kEq:
+      if (!DoubleOperand(p.lo(), &a)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(vals[i] == a);
+      }
+      return;
+    case Predicate::Kind::kNe:
+      if (!DoubleOperand(p.lo(), &a)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(vals[i] != a);
+      }
+      return;
+    case Predicate::Kind::kLt:
+      if (!DoubleOperand(p.lo(), &a)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(vals[i] < a);
+      }
+      return;
+    case Predicate::Kind::kLe:
+      if (!DoubleOperand(p.lo(), &a)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(vals[i] <= a);
+      }
+      return;
+    case Predicate::Kind::kGt:
+      if (!DoubleOperand(p.lo(), &a)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(vals[i] > a);
+      }
+      return;
+    case Predicate::Kind::kGe:
+      if (!DoubleOperand(p.lo(), &a)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(vals[i] >= a);
+      }
+      return;
+    case Predicate::Kind::kBetween:
+      if (!DoubleOperand(p.lo(), &a) || !DoubleOperand(p.hi(), &b)) return;
+      for (uint32_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>((vals[i] >= a) & (vals[i] <= b));
+      }
+      return;
+    case Predicate::Kind::kIn: {
+      std::vector<double> set;
+      set.reserve(p.in_values().size());
+      for (const Value& cand : p.in_values()) {
+        if (!DoubleOperand(cand, &a)) return;
+        set.push_back(a);
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        uint8_t hit = 0;
+        for (double s : set) hit |= static_cast<uint8_t>(vals[i] == s);
+        sel[i] &= hit;
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Scalar string leaf test; `true` keeps the row (conservative on operand
+/// kind mismatch, so pruning stays sound).
+bool TestStringLeaf(std::string_view s, const Predicate& p) {
+  const std::string* a = StringOperand(p.lo());
+  switch (p.kind()) {
+    case Predicate::Kind::kEq:
+      return a == nullptr || s == *a;
+    case Predicate::Kind::kNe:
+      return a == nullptr || s != *a;
+    case Predicate::Kind::kLt:
+      return a == nullptr || s < *a;
+    case Predicate::Kind::kLe:
+      return a == nullptr || s <= *a;
+    case Predicate::Kind::kGt:
+      return a == nullptr || s > *a;
+    case Predicate::Kind::kGe:
+      return a == nullptr || s >= *a;
+    case Predicate::Kind::kBetween: {
+      const std::string* b = StringOperand(p.hi());
+      if (a == nullptr || b == nullptr) return true;
+      return s >= *a && s <= *b;
+    }
+    case Predicate::Kind::kIn: {
+      for (const Value& cand : p.in_values()) {
+        const std::string* t = StringOperand(cand);
+        if (t == nullptr) return true;
+        if (s == *t) return true;
+      }
+      return false;
+    }
+    default:
+      return true;
+  }
+}
+
+// --- Late-materialization loader ---------------------------------------------
+
+/// One column of a v2 split: raw block bytes plus borrowed typed views.
+/// Fixed-width arrays are read in place (the v2 payload starts 8-aligned);
+/// strings stay encoded until gather time.
+struct LateColumn {
+  bool loaded = false;
+  const Field* field = nullptr;
+  std::shared_ptr<const std::vector<uint8_t>> arena;
+  BlockView view;
+  // String sub-state.
+  uint8_t encoding = kStringPlain;
+  std::vector<std::string_view> dict;  // dictionary entries, in code order
+  const uint8_t* codes = nullptr;      // nrows codes (dictionary mode)
+  std::vector<uint32_t> offsets;       // end offsets (plain mode, realigned)
+  const char* plain_base = nullptr;    // string bytes (plain mode)
+
+  const int32_t* i32() const {
+    return reinterpret_cast<const int32_t*>(view.payload);
+  }
+  const int64_t* i64() const {
+    return reinterpret_cast<const int64_t*>(view.payload);
+  }
+  const double* f64() const {
+    return reinterpret_cast<const double*>(view.payload);
+  }
+  std::string_view StringAt(uint32_t i) const {
+    if (encoding == kStringDictionary) return dict[codes[i]];
+    const uint32_t begin = i == 0 ? 0 : offsets[i - 1];
+    return std::string_view(plain_base + begin, offsets[i] - begin);
+  }
+  int64_t KeyAt(uint32_t i) const {
+    return field->type == TypeKind::kInt32 ? i32()[i] : i64()[i];
+  }
+};
+
+/// Validates the payload framing for in-place access and, for strings,
+/// parses the dictionary/offset structure (validating every code up front so
+/// later gathers cannot index out of range).
+Status ParseLatePayload(LateColumn* c) {
+  const uint8_t* payload = c->view.payload;
+  const uint32_t nrows = c->view.nrows;
+  ByteReader reader(payload, c->view.payload_len);
+  switch (c->field->type) {
+    case TypeKind::kInt32:
+      if (reader.remaining() < nrows * sizeof(int32_t)) {
+        return Status::IoError("truncated int32 column block");
+      }
+      return Status::OK();
+    case TypeKind::kInt64:
+      if (reader.remaining() < nrows * sizeof(int64_t)) {
+        return Status::IoError("truncated int64 column block");
+      }
+      return Status::OK();
+    case TypeKind::kDouble:
+      if (reader.remaining() < nrows * sizeof(double)) {
+        return Status::IoError("truncated double column block");
+      }
+      return Status::OK();
+    case TypeKind::kString:
+      break;
+  }
+  if (nrows == 0) return Status::OK();
+  uint8_t encoding = 0;
+  CLY_RETURN_IF_ERROR(reader.GetU8(&encoding));
+  c->encoding = encoding;
+  if (encoding == kStringDictionary) {
+    uint16_t dict_size = 0;
+    CLY_RETURN_IF_ERROR(reader.GetU16(&dict_size));
+    c->dict.reserve(dict_size);
+    for (uint16_t d = 0; d < dict_size; ++d) {
+      uint8_t len8 = 0;
+      CLY_RETURN_IF_ERROR(reader.GetU8(&len8));
+      if (reader.remaining() < len8) {
+        return Status::IoError("truncated dictionary entry");
+      }
+      c->dict.emplace_back(
+          reinterpret_cast<const char*>(payload) + reader.position(), len8);
+      CLY_RETURN_IF_ERROR(reader.Skip(len8));
+    }
+    if (reader.remaining() < nrows) {
+      return Status::IoError("truncated dictionary codes");
+    }
+    c->codes = payload + reader.position();
+    const size_t dsize = c->dict.size();
+    for (uint32_t i = 0; i < nrows; ++i) {
+      if (c->codes[i] >= dsize) {
+        return Status::IoError("dictionary code out of range");
+      }
+    }
+    return Status::OK();
+  }
+  if (encoding != kStringPlain) {
+    return Status::IoError("unknown string column encoding");
+  }
+  if (reader.remaining() < nrows * sizeof(uint32_t)) {
+    return Status::IoError("truncated string offsets");
+  }
+  c->offsets.resize(nrows);
+  std::memcpy(c->offsets.data(), payload + reader.position(),
+              nrows * sizeof(uint32_t));
+  CLY_RETURN_IF_ERROR(reader.Skip(nrows * sizeof(uint32_t)));
+  c->plain_base = reinterpret_cast<const char*>(payload) + reader.position();
+  const uint32_t total = c->offsets.back();
+  if (reader.remaining() < total) {
+    return Status::IoError("truncated string bytes");
+  }
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < nrows; ++i) {
+    if (c->offsets[i] < prev || c->offsets[i] > total) {
+      return Status::IoError("corrupt string offsets in column block");
+    }
+    prev = c->offsets[i];
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const std::vector<uint8_t>>> ReadColumnBlockBytes(
+    const hdfs::MiniDfs& dfs, const TableDesc& desc, const StorageSplit& split,
+    const std::string& column, const ScanOptions& options) {
+  CLY_ASSIGN_OR_RETURN(std::unique_ptr<hdfs::DfsReader> reader,
+                       dfs.Open(ColumnFilePath(desc, column, split.segment),
+                                options.reader_node, options.stats));
+  uint64_t begin = 0, end = 0;
+  internal::BlockByteRange(reader->file_info(), split.block_in_segment, &begin,
+                           &end);
+  auto data = std::make_shared<std::vector<uint8_t>>(end - begin);
+  if (!data->empty()) {
+    CLY_RETURN_IF_ERROR(reader->PRead(begin, data->data(), data->size()));
+  }
+  return std::shared_ptr<const std::vector<uint8_t>>(std::move(data));
+}
+
+/// The CIF v2 scan: decodes the filter columns first, derives a selection
+/// vector on encoded/raw data, and only then materializes the projection for
+/// the surviving rows — strings as arena-backed views, never per-row copies.
+Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
+                                  const TableDesc& desc,
+                                  const StorageSplit& split,
+                                  const std::vector<int>& projection,
+                                  const SchemaPtr& out_schema,
+                                  const ScanOptions& options) {
+  const ScanSpec* spec = options.scan_spec.get();
+  ScanStats local_stats;
+  ScanStats* stats =
+      options.scan_stats != nullptr ? options.scan_stats : &local_stats;
+
+  // Resolve the spec against the table schema. Unknown columns and
+  // non-leaf shapes are simply not pushed (the engine re-checks).
+  struct BoundLeaf {
+    const Predicate* pred;
+    int field;
+  };
+  std::vector<BoundLeaf> leaves;
+  struct BoundKeyFilter {
+    const ScanKeyFilter* filter;
+    int field;
+  };
+  std::vector<BoundKeyFilter> key_filters;
+  if (spec != nullptr) {
+    for (const Predicate::Ptr& p : spec->conjuncts) {
+      if (p == nullptr || !IsScanLeaf(*p)) continue;
+      const int idx = desc.schema->IndexOf(p->column_name());
+      if (idx >= 0) leaves.push_back({p.get(), idx});
+    }
+    for (const ScanSpec::KeyFilterEntry& kf : spec->key_filters) {
+      if (kf.filter == nullptr) continue;
+      const int idx = desc.schema->IndexOf(kf.column);
+      if (idx < 0) continue;
+      const TypeKind t = desc.schema->field(idx).type;
+      if (t == TypeKind::kInt32 || t == TypeKind::kInt64) {
+        key_filters.push_back({kf.filter.get(), idx});
+      }
+    }
+  }
+
+  std::vector<LateColumn> cols(static_cast<size_t>(desc.schema->num_fields()));
+  uint32_t nrows = 0;
+  bool nrows_known = false;
+  auto load_column = [&](int field_index) -> Status {
+    LateColumn& c = cols[static_cast<size_t>(field_index)];
+    if (c.loaded) return Status::OK();
+    c.field = &desc.schema->field(field_index);
+    CLY_ASSIGN_OR_RETURN(
+        c.arena, ReadColumnBlockBytes(dfs, desc, split, c.field->name, options));
+    CLY_RETURN_IF_ERROR(ParseV2Block(*c.arena, &c.view));
+    if (nrows_known && c.view.nrows != nrows) {
+      return Status::IoError(
+          StrCat("CIF split columns disagree on row count: ", c.view.nrows,
+                 " vs ", nrows));
+    }
+    nrows = c.view.nrows;
+    nrows_known = true;
+    CLY_RETURN_IF_ERROR(ParseLatePayload(&c));
+    c.loaded = true;
+    return Status::OK();
+  };
+
+  // Phase 1: load only the filter columns and consult their zone maps.
+  std::vector<int> filter_fields;
+  for (const BoundLeaf& l : leaves) filter_fields.push_back(l.field);
+  for (const BoundKeyFilter& kf : key_filters) {
+    filter_fields.push_back(kf.field);
+  }
+  std::sort(filter_fields.begin(), filter_fields.end());
+  filter_fields.erase(
+      std::unique(filter_fields.begin(), filter_fields.end()),
+      filter_fields.end());
+  for (int f : filter_fields) CLY_RETURN_IF_ERROR(load_column(f));
+
+  bool skip_block = false;
+  for (const BoundLeaf& l : leaves) {
+    const LateColumn& c = cols[static_cast<size_t>(l.field)];
+    if (ZoneRefutesLeaf(c.view.zone, c.field->type, *l.pred)) {
+      skip_block = true;
+      break;
+    }
+  }
+  if (!skip_block) {
+    for (const BoundKeyFilter& kf : key_filters) {
+      const ZoneMap& zone = cols[static_cast<size_t>(kf.field)].view.zone;
+      if (zone.kind == kZoneInt &&
+          !kf.filter->RangeMightMatch(zone.min_i64, zone.max_i64)) {
+        skip_block = true;
+        break;
+      }
+    }
+  }
+  RowBatch batch(out_schema);
+  if (skip_block) {
+    stats->blocks_skipped += 1;
+    stats->rows_pruned += nrows;
+    CLY_RETURN_IF_ERROR(batch.SealRowCount());
+    return batch;
+  }
+
+  // Phase 2: per-row selection over the filter columns alone. Numeric leaves
+  // run branchless over the raw payload arrays; dictionary leaves collapse
+  // to a 256-entry code test; key filters probe only rows that survived the
+  // cheaper predicate passes.
+  const bool any_filter = !leaves.empty() || !key_filters.empty();
+  std::vector<uint8_t> sel;
+  std::vector<int32_t> sel_idx;
+  if (any_filter) {
+    sel.assign(nrows, 1);
+    for (const BoundLeaf& l : leaves) {
+      const LateColumn& c = cols[static_cast<size_t>(l.field)];
+      switch (c.field->type) {
+        case TypeKind::kInt32:
+          ApplyIntegerLeaf(*l.pred, c.i32(), nrows, sel.data());
+          break;
+        case TypeKind::kInt64:
+          ApplyIntegerLeaf(*l.pred, c.i64(), nrows, sel.data());
+          break;
+        case TypeKind::kDouble:
+          ApplyDoubleLeaf(*l.pred, c.f64(), nrows, sel.data());
+          break;
+        case TypeKind::kString:
+          if (nrows == 0) break;
+          if (c.encoding == kStringDictionary) {
+            uint8_t code_ok[256];
+            const size_t dsize = c.dict.size();
+            for (size_t d = 0; d < dsize; ++d) {
+              code_ok[d] =
+                  static_cast<uint8_t>(TestStringLeaf(c.dict[d], *l.pred));
+            }
+            for (uint32_t i = 0; i < nrows; ++i) {
+              sel[i] &= code_ok[c.codes[i]];
+            }
+          } else {
+            for (uint32_t i = 0; i < nrows; ++i) {
+              if (sel[i] != 0 && !TestStringLeaf(c.StringAt(i), *l.pred)) {
+                sel[i] = 0;
+              }
+            }
+          }
+          break;
+      }
+    }
+    sel_idx.reserve(nrows);
+    for (uint32_t i = 0; i < nrows; ++i) {
+      if (sel[i] != 0) sel_idx.push_back(static_cast<int32_t>(i));
+    }
+    for (const BoundKeyFilter& kf : key_filters) {
+      const LateColumn& c = cols[static_cast<size_t>(kf.field)];
+      size_t kept = 0;
+      for (int32_t idx : sel_idx) {
+        if (kf.filter->Contains(c.KeyAt(static_cast<uint32_t>(idx)))) {
+          sel_idx[kept++] = idx;
+        }
+      }
+      sel_idx.resize(kept);
+    }
+    stats->rows_pruned += nrows - sel_idx.size();
+  }
+
+  // Phase 3: materialize the projection for the surviving rows.
+  for (size_t p = 0; p < projection.size(); ++p) {
+    CLY_RETURN_IF_ERROR(load_column(projection[p]));
+    const LateColumn& c = cols[static_cast<size_t>(projection[p])];
+    ColumnVector* out = batch.mutable_column(static_cast<int>(p));
+    if (!any_filter) {
+      switch (c.field->type) {
+        case TypeKind::kInt32: {
+          auto* v = out->mutable_i32();
+          v->resize(nrows);
+          std::memcpy(v->data(), c.i32(), nrows * sizeof(int32_t));
+          break;
+        }
+        case TypeKind::kInt64: {
+          auto* v = out->mutable_i64();
+          v->resize(nrows);
+          std::memcpy(v->data(), c.i64(), nrows * sizeof(int64_t));
+          break;
+        }
+        case TypeKind::kDouble: {
+          auto* v = out->mutable_f64();
+          v->resize(nrows);
+          std::memcpy(v->data(), c.f64(), nrows * sizeof(double));
+          break;
+        }
+        case TypeKind::kString: {
+          auto* views = out->mutable_str_views();
+          views->reserve(nrows);
+          for (uint32_t i = 0; i < nrows; ++i) views->push_back(c.StringAt(i));
+          out->set_string_arena(c.arena);
+          break;
+        }
+      }
+      continue;
+    }
+    const size_t selected = sel_idx.size();
+    switch (c.field->type) {
+      case TypeKind::kInt32: {
+        auto* v = out->mutable_i32();
+        v->reserve(selected);
+        const int32_t* vals = c.i32();
+        for (int32_t idx : sel_idx) v->push_back(vals[idx]);
+        break;
+      }
+      case TypeKind::kInt64: {
+        auto* v = out->mutable_i64();
+        v->reserve(selected);
+        const int64_t* vals = c.i64();
+        for (int32_t idx : sel_idx) v->push_back(vals[idx]);
+        break;
+      }
+      case TypeKind::kDouble: {
+        auto* v = out->mutable_f64();
+        v->reserve(selected);
+        const double* vals = c.f64();
+        for (int32_t idx : sel_idx) v->push_back(vals[idx]);
+        break;
+      }
+      case TypeKind::kString: {
+        auto* views = out->mutable_str_views();
+        views->reserve(selected);
+        for (int32_t idx : sel_idx) {
+          views->push_back(c.StringAt(static_cast<uint32_t>(idx)));
+        }
+        out->set_string_arena(c.arena);
+        break;
+      }
+    }
+  }
+  CLY_RETURN_IF_ERROR(batch.SealRowCount());
+  return batch;
 }
 
 class CifTableWriter final : public TableWriter {
@@ -228,7 +1113,7 @@ class CifTableWriter final : public TableWriter {
     ByteWriter encoded;
     for (int c = 0; c < buffer_.num_columns(); ++c) {
       encoded.Clear();
-      EncodeColumnBlock(buffer_.column(c), &encoded);
+      EncodeColumnBlock(buffer_.column(c), desc_.cif_version, &encoded);
       if (encoded.size() > dfs_->block_size()) {
         return Status::InvalidArgument(StrCat(
             "CIF split of column '", desc_.schema->field(c).name, "' is ",
@@ -251,28 +1136,25 @@ class CifTableWriter final : public TableWriter {
   uint64_t rows_ = 0;
 };
 
-/// Loads the projected columns of one split into a columnar batch.
+/// Loads the projected columns of one split into a columnar batch. v2 tables
+/// take the late-materialization path unless the A/B knob turned it off.
 Result<RowBatch> LoadCifSplit(const hdfs::MiniDfs& dfs, const TableDesc& desc,
                               const StorageSplit& split,
                               const std::vector<int>& projection,
                               const SchemaPtr& out_schema,
                               const ScanOptions& options) {
+  if (desc.cif_version >= 2 && options.late_materialize) {
+    return LoadCifSplitLate(dfs, desc, split, projection, out_schema, options);
+  }
   RowBatch batch(out_schema);
   for (size_t p = 0; p < projection.size(); ++p) {
     const Field& field = desc.schema->field(projection[p]);
     CLY_ASSIGN_OR_RETURN(
-        std::unique_ptr<hdfs::DfsReader> reader,
-        dfs.Open(ColumnFilePath(desc, field.name, split.segment),
-                 options.reader_node, options.stats));
-    uint64_t begin = 0, end = 0;
-    internal::BlockByteRange(reader->file_info(), split.block_in_segment,
-                             &begin, &end);
-    std::vector<uint8_t> data(end - begin);
-    if (!data.empty()) {
-      CLY_RETURN_IF_ERROR(reader->PRead(begin, data.data(), data.size()));
-    }
-    CLY_RETURN_IF_ERROR(DecodeColumnBlock(
-        data, field.type, batch.mutable_column(static_cast<int>(p))));
+        std::shared_ptr<const std::vector<uint8_t>> data,
+        ReadColumnBlockBytes(dfs, desc, split, field.name, options));
+    CLY_RETURN_IF_ERROR(
+        DecodeColumnBlock(*data, field.type, desc.cif_version,
+                          batch.mutable_column(static_cast<int>(p))));
   }
   CLY_RETURN_IF_ERROR(batch.SealRowCount());
   return batch;
@@ -307,7 +1189,8 @@ class CifSplitBatchReader final : public BatchReader {
     if (next_ >= batch_.num_rows()) return false;
     const int64_t take = std::min(max_rows, batch_.num_rows() - next_);
     // Columnar copy of the slice: one memcpy-ish loop per column instead of
-    // per-row materialization.
+    // per-row materialization. View-mode string columns stay zero-copy: the
+    // slice shares the source's arena.
     for (int c = 0; c < batch_.num_columns(); ++c) {
       const ColumnVector& src = batch_.column(c);
       ColumnVector* dst = out->mutable_column(c);
@@ -326,8 +1209,15 @@ class CifSplitBatchReader final : public BatchReader {
               src.f64().begin() + next_, src.f64().begin() + next_ + take);
           break;
         case TypeKind::kString:
-          dst->mutable_str()->assign(
-              src.str().begin() + next_, src.str().begin() + next_ + take);
+          if (src.is_string_view()) {
+            dst->mutable_str_views()->assign(
+                src.str_views().begin() + next_,
+                src.str_views().begin() + next_ + take);
+            dst->set_string_arena(src.string_arena());
+          } else {
+            dst->mutable_str()->assign(
+                src.str().begin() + next_, src.str().begin() + next_ + take);
+          }
           break;
       }
     }

@@ -17,8 +17,23 @@ namespace storage {
 /// of every column on the same replica set. A map task scheduled where its
 /// split is local therefore finds **all** columns locally.
 ///
-/// Column block layout: [u32 nrows][values]; fixed-width types store raw
-/// little-endian arrays, strings store nrows u32 end-offsets then the bytes.
+/// Column block layout (v1): [u32 nrows][values]; fixed-width types store
+/// raw little-endian arrays, strings store nrows u32 end-offsets then the
+/// bytes (or a dictionary when <=256 distinct values fit).
+///
+/// v2 (TableDesc::cif_version >= 2, the default for new tables) wraps the
+/// same payload as [u32 magic][u32 nrows][payload][zone map][u32 zone_len]
+/// [u32 footer magic]. The zone map (per-block min/max for numeric columns,
+/// a 64-bit dictionary fingerprint for dictionary-coded strings) lets the
+/// reader skip whole blocks against a ScanOptions::scan_spec, and the
+/// 8-byte header leaves fixed-width payloads aligned for in-place scanning.
+/// v2 readers take a late-materialization path: filter columns are decoded
+/// first, predicates and semi-join key filters run on encoded/raw data to
+/// form a selection vector, and only surviving rows of the remaining
+/// projection are materialized — strings as arena-backed views
+/// (ColumnVector view mode), never per-row copies. v1 files keep decoding
+/// through the original eager path; `ScanOptions::late_materialize = false`
+/// forces it for v2 too (the `cif.scan.late_materialize` A/B knob).
 Result<std::unique_ptr<TableWriter>> OpenCifTableWriter(hdfs::MiniDfs* dfs,
                                                         const TableDesc& desc);
 Result<std::vector<StorageSplit>> ListCifSplits(const hdfs::MiniDfs& dfs,

@@ -24,6 +24,9 @@ Status SaveTableDesc(hdfs::MiniDfs* dfs, const TableDesc& desc) {
   meta += StrCat("format=", desc.format, "\n");
   meta += StrCat("rows=", desc.num_rows, "\n");
   meta += StrCat("rows_per_split=", desc.rows_per_split, "\n");
+  if (desc.format == kFormatCif) {
+    meta += StrCat("cif_version=", desc.cif_version, "\n");
+  }
   if (!desc.segment_rows.empty()) {
     std::vector<std::string> counts;
     for (uint64_t r : desc.segment_rows) counts.push_back(StrCat(r));
@@ -46,6 +49,8 @@ Result<TableDesc> LoadTableDesc(const hdfs::MiniDfs& dfs,
                        dfs.ReadFileToString(path + "/_meta"));
   TableDesc desc;
   desc.path = path;
+  // Tables written before the version key existed are v1 on disk.
+  desc.cif_version = 1;
   for (const std::string& line : StrSplit(meta, '\n')) {
     if (line.empty()) continue;
     const size_t eq = line.find('=');
@@ -60,6 +65,8 @@ Result<TableDesc> LoadTableDesc(const hdfs::MiniDfs& dfs,
       desc.num_rows = static_cast<uint64_t>(std::stoull(value));
     } else if (key == "rows_per_split") {
       desc.rows_per_split = static_cast<uint64_t>(std::stoull(value));
+    } else if (key == "cif_version") {
+      desc.cif_version = static_cast<int>(std::stoul(value));
     } else if (key == "segment_rows") {
       for (const std::string& r : StrSplit(value, ',')) {
         desc.segment_rows.push_back(static_cast<uint64_t>(std::stoull(r)));

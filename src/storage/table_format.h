@@ -10,6 +10,7 @@
 #include "schema/row.h"
 #include "schema/row_batch.h"
 #include "schema/schema.h"
+#include "storage/scan_spec.h"
 
 namespace clydesdale {
 namespace storage {
@@ -35,6 +36,10 @@ struct TableDesc {
   /// means a single segment of num_rows. segment_rows[k] == 0 marks a
   /// rolled-out segment.
   std::vector<uint64_t> segment_rows;
+  /// On-disk CIF block layout version. New tables write v2 (per-block zone
+  /// maps + footer); LoadTableDesc defaults absent metadata to 1 so every
+  /// pre-existing table keeps decoding through the v1 path.
+  int cif_version = 2;
 
   int num_segments() const {
     return segment_rows.empty() ? 1 : static_cast<int>(segment_rows.size());
@@ -67,6 +72,16 @@ struct ScanOptions {
   std::vector<std::string> projection;
   hdfs::NodeId reader_node = hdfs::kNoNode;
   hdfs::IoStats* stats = nullptr;
+  /// Predicates + semi-join key filters to evaluate below decode. Only the
+  /// CIF v2 late-materialization path acts on it; all other paths ignore it
+  /// (callers must re-check predicates, so ignoring is always correct).
+  std::shared_ptr<const ScanSpec> scan_spec;
+  /// A/B knob (`cif.scan.late_materialize`): when false, CIF v2 splits use
+  /// the eager v1-style decode (scan_spec ignored) for apples-to-apples
+  /// comparison. v1 files always decode eagerly regardless.
+  bool late_materialize = true;
+  /// Optional pruning-effectiveness output (CIF v2 late path only).
+  ScanStats* scan_stats = nullptr;
 };
 
 /// Row-at-a-time reader over one split.

@@ -1,0 +1,354 @@
+// CIF v2 scan tests: zone-map block skipping, predicate and key-filter
+// pushdown, zero-copy string decode, v1 compatibility, and the corruption
+// cases the reader must reject with IoError (never undefined behaviour —
+// the asan preset runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hdfs/dfs.h"
+#include "storage/cif.h"
+#include "storage/scan_spec.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace storage {
+namespace {
+
+SchemaPtr FactSchema() {
+  return Schema::Make({{"id", TypeKind::kInt32, 4},
+                       {"big", TypeKind::kInt64, 8},
+                       {"ratio", TypeKind::kDouble, 8},
+                       {"mode", TypeKind::kString, 6}});
+}
+
+Row MakeRow(int32_t id) {
+  const char* modes[] = {"AIR", "RAIL", "SHIP", "TRUCK"};
+  return Row({Value(id), Value(static_cast<int64_t>(id) * 1000),
+              Value(id * 0.25), Value(modes[id % 4])});
+}
+
+class CifV2Test : public ::testing::Test {
+ protected:
+  CifV2Test() : dfs_(MakeOptions()) {}
+
+  static hdfs::DfsOptions MakeOptions() {
+    hdfs::DfsOptions options;
+    options.num_nodes = 2;
+    options.block_size = 64 * 1024;
+    options.replication = 1;
+    return options;
+  }
+
+  /// Writes `n` sequential rows with `rows_per_split`, returns the reloaded
+  /// desc (so cif_version reflects what the metadata round-trips).
+  TableDesc WriteTable(const std::string& path, int n, int64_t rows_per_split,
+                       int cif_version = 2) {
+    TableDesc desc;
+    desc.path = path;
+    desc.format = kFormatCif;
+    desc.schema = FactSchema();
+    desc.rows_per_split = rows_per_split;
+    desc.cif_version = cif_version;
+    auto writer = OpenTableWriter(&dfs_, desc);
+    CLY_CHECK(writer.ok());
+    for (int i = 0; i < n; ++i) CLY_CHECK_OK((*writer)->Append(MakeRow(i)));
+    CLY_CHECK_OK((*writer)->Close());
+    auto loaded = LoadTableDesc(dfs_, path);
+    CLY_CHECK(loaded.ok());
+    return *loaded;
+  }
+
+  Result<std::vector<Row>> Scan(const TableDesc& desc, ScanOptions scan) {
+    return ScanTableToVector(dfs_, desc, scan);
+  }
+
+  hdfs::MiniDfs dfs_;
+};
+
+std::shared_ptr<const ScanSpec> SpecWith(Predicate::Ptr leaf) {
+  auto spec = std::make_shared<ScanSpec>();
+  spec->conjuncts.push_back(std::move(leaf));
+  return spec;
+}
+
+TEST_F(CifV2Test, MetadataRoundTripsVersion) {
+  const TableDesc v2 = WriteTable("/v2meta", 16, 16);
+  EXPECT_EQ(v2.cif_version, 2);
+  const TableDesc v1 = WriteTable("/v1meta", 16, 16, /*cif_version=*/1);
+  EXPECT_EQ(v1.cif_version, 1);
+}
+
+TEST_F(CifV2Test, ZoneMapsSkipDisjointBlocks) {
+  // 256 sequential ids over 4 splits of 64: ids >= 64 never match, so three
+  // of the four blocks must be refuted by their zone maps alone.
+  const TableDesc desc = WriteTable("/zones", 256, 64);
+  ScanStats stats;
+  ScanOptions scan;
+  scan.scan_spec = SpecWith(Predicate::Le("id", Value(int32_t{50})));
+  scan.scan_stats = &stats;
+  auto rows = Scan(desc, scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 51u);
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i], MakeRow(static_cast<int32_t>(i)));
+  }
+  EXPECT_EQ(stats.blocks_skipped, 3u);
+  // 3 skipped blocks (192 rows) + 13 rows pruned inside the first block.
+  EXPECT_EQ(stats.rows_pruned, 205u);
+}
+
+TEST_F(CifV2Test, PushdownMatchesEngineSideFilterExactly) {
+  const TableDesc desc = WriteTable("/pushdown", 300, 64);
+  const auto leaves = {
+      Predicate::Between("id", Value(int32_t{40}), Value(int32_t{200})),
+      Predicate::Gt("big", Value(int64_t{150000})),
+      Predicate::Le("ratio", Value(12.5)),
+      Predicate::Eq("mode", Value("SHIP")),
+      Predicate::In("id", {Value(int32_t{3}), Value(int32_t{77}),
+                           Value(int32_t{290})}),
+      Predicate::Ne("mode", Value("AIR")),
+  };
+  for (const Predicate::Ptr& leaf : leaves) {
+    ScanOptions pushed;
+    pushed.scan_spec = SpecWith(leaf);
+    auto got = Scan(desc, pushed);
+    ASSERT_TRUE(got.ok());
+
+    // Reference: full scan, filter row-by-row with the bound predicate.
+    auto all = Scan(desc, ScanOptions{});
+    ASSERT_TRUE(all.ok());
+    auto bound = leaf->Bind(*desc.schema);
+    ASSERT_TRUE(bound.ok());
+    std::vector<Row> expected;
+    for (const Row& row : *all) {
+      if ((*bound)->Eval(row)) expected.push_back(row);
+    }
+    ASSERT_EQ(got->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*got)[i], expected[i]);
+    }
+  }
+}
+
+TEST_F(CifV2Test, DictionaryZoneRefutesAbsentString) {
+  const TableDesc desc = WriteTable("/dictzone", 128, 64);
+  ScanStats stats;
+  ScanOptions scan;
+  scan.scan_spec = SpecWith(Predicate::Eq("mode", Value("CANAL")));
+  scan.scan_stats = &stats;
+  auto rows = Scan(desc, scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_EQ(stats.rows_pruned, 128u);  // every row, by zone or by code test
+}
+
+/// Set-membership filter standing in for a dimension hash table.
+class SetKeyFilter final : public ScanKeyFilter {
+ public:
+  explicit SetKeyFilter(std::set<int64_t> keys) : keys_(std::move(keys)) {}
+  bool Contains(int64_t key) const override { return keys_.count(key) > 0; }
+  bool RangeMightMatch(int64_t lo, int64_t hi) const override {
+    return !keys_.empty() && !(hi < *keys_.begin() || lo > *keys_.rbegin());
+  }
+
+ private:
+  std::set<int64_t> keys_;
+};
+
+TEST_F(CifV2Test, KeyFiltersPruneRowsAndSkipBlocks) {
+  const TableDesc desc = WriteTable("/keys", 256, 64);
+  auto spec = std::make_shared<ScanSpec>();
+  spec->key_filters.push_back(
+      {"id", std::make_shared<SetKeyFilter>(std::set<int64_t>{5, 60, 61})});
+  ScanStats stats;
+  ScanOptions scan;
+  scan.scan_spec = spec;
+  scan.scan_stats = &stats;
+  auto rows = Scan(desc, scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], MakeRow(5));
+  EXPECT_EQ((*rows)[1], MakeRow(60));
+  EXPECT_EQ((*rows)[2], MakeRow(61));
+  // Splits [64,128), [128,192), [192,256) are outside [5, 61].
+  EXPECT_EQ(stats.blocks_skipped, 3u);
+}
+
+TEST_F(CifV2Test, LateAndEagerScansAgree) {
+  const TableDesc desc = WriteTable("/ab", 300, 64);
+  ScanOptions late;
+  auto late_rows = Scan(desc, late);
+  ASSERT_TRUE(late_rows.ok());
+
+  ScanOptions eager;
+  eager.late_materialize = false;
+  auto eager_rows = Scan(desc, eager);
+  ASSERT_TRUE(eager_rows.ok());
+
+  ASSERT_EQ(late_rows->size(), eager_rows->size());
+  for (size_t i = 0; i < late_rows->size(); ++i) {
+    EXPECT_EQ((*late_rows)[i], (*eager_rows)[i]);
+  }
+}
+
+TEST_F(CifV2Test, BatchReaderSlicesStringViews) {
+  const TableDesc desc = WriteTable("/views", 200, 200);
+  auto splits = ListTableSplits(dfs_, desc);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 1u);
+  ScanOptions scan;
+  auto reader = OpenSplitBatchReader(dfs_, desc, (*splits)[0], scan);
+  ASSERT_TRUE(reader.ok());
+  RowBatch batch((*reader)->output_schema());
+  int32_t next_id = 0;
+  while (true) {
+    auto more = (*reader)->NextBatch(&batch, 33);  // uneven slice boundaries
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    // The string column must arrive as arena-backed views (zero-copy), and
+    // every accessor must agree with the written values.
+    EXPECT_TRUE(batch.column(3).is_string_view());
+    for (int64_t i = 0; i < batch.num_rows(); ++i, ++next_id) {
+      EXPECT_EQ(batch.GetRow(i), MakeRow(next_id));
+    }
+  }
+  EXPECT_EQ(next_id, 200);
+}
+
+TEST_F(CifV2Test, AppendedSegmentKeepsVersionAndScans) {
+  TableDesc desc = WriteTable("/seg", 100, 64);
+  auto appender = AppendCifSegment(&dfs_, desc);
+  ASSERT_TRUE(appender.ok());
+  for (int i = 100; i < 150; ++i) {
+    ASSERT_TRUE((*appender)->Append(MakeRow(i)).ok());
+  }
+  ASSERT_TRUE((*appender)->Close().ok());
+  auto reloaded = LoadTableDesc(dfs_, "/seg");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->cif_version, 2);
+  auto rows = Scan(*reloaded, ScanOptions{});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 150u);
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i], MakeRow(static_cast<int32_t>(i)));
+  }
+}
+
+// --- v1 compatibility --------------------------------------------------------
+
+TEST_F(CifV2Test, V1TablesStillReadThroughEitherKnobSetting) {
+  const TableDesc desc = WriteTable("/v1", 200, 64, /*cif_version=*/1);
+  ASSERT_EQ(desc.cif_version, 1);
+  for (const bool late : {true, false}) {
+    ScanOptions scan;
+    scan.late_materialize = late;
+    // A scan spec against a v1 table must be ignored, not half-applied.
+    scan.scan_spec = SpecWith(Predicate::Le("id", Value(int32_t{50})));
+    auto rows = Scan(desc, scan);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ASSERT_EQ(rows->size(), 200u);
+  }
+}
+
+// --- corruption --------------------------------------------------------------
+
+/// Fixture for byte-level corruption: one split, one DFS block per column
+/// file, so rewriting the file preserves the reader's block math.
+class CifCorruptionTest : public CifV2Test {
+ protected:
+  TableDesc WriteSmall(const std::string& path, int cif_version = 2) {
+    return WriteTable(path, 32, 64, cif_version);
+  }
+
+  std::string ColumnFile(const std::string& table, const std::string& col) {
+    return table + "/" + col + ".col";
+  }
+
+  void Rewrite(const std::string& file, std::string contents) {
+    CLY_CHECK_OK(dfs_.Delete(file));
+    CLY_CHECK_OK(dfs_.WriteFile(file, contents));
+  }
+
+  /// Both decode paths must reject the table with IoError (asan verifies
+  /// the rejection involves no out-of-bounds access).
+  void ExpectIoErrorBothPaths(const TableDesc& desc) {
+    for (const bool late : {true, false}) {
+      ScanOptions scan;
+      scan.late_materialize = late;
+      auto rows = Scan(desc, scan);
+      ASSERT_FALSE(rows.ok()) << "late_materialize=" << late;
+      EXPECT_EQ(rows.status().code(), StatusCode::kIoError)
+          << "late_materialize=" << late << ": "
+          << rows.status().ToString();
+    }
+  }
+};
+
+TEST_F(CifCorruptionTest, TruncatedZoneMapFooterIsRejected) {
+  const TableDesc desc = WriteSmall("/trunc");
+  const std::string file = ColumnFile("/trunc", "id");
+  auto bytes = dfs_.ReadFileToString(file);
+  ASSERT_TRUE(bytes.ok());
+  Rewrite(file, bytes->substr(0, bytes->size() - 5));
+  ExpectIoErrorBothPaths(desc);
+}
+
+TEST_F(CifCorruptionTest, OversizedZoneLengthIsRejected) {
+  const TableDesc desc = WriteSmall("/zlen");
+  const std::string file = ColumnFile("/zlen", "big");
+  auto bytes = dfs_.ReadFileToString(file);
+  ASSERT_TRUE(bytes.ok());
+  std::string mutated = *bytes;
+  // The u32 before the trailing footer magic is the zone-map length; claim
+  // it covers more bytes than the whole block.
+  ASSERT_GE(mutated.size(), 8u);
+  for (size_t i = mutated.size() - 8; i < mutated.size() - 4; ++i) {
+    mutated[i] = static_cast<char>(0xFF);
+  }
+  Rewrite(file, mutated);
+  ExpectIoErrorBothPaths(desc);
+}
+
+TEST_F(CifCorruptionTest, OutOfRangeDictionaryCodeIsRejected) {
+  const TableDesc desc = WriteSmall("/dictcode");
+  const std::string file = ColumnFile("/dictcode", "mode");
+  auto bytes = dfs_.ReadFileToString(file);
+  ASSERT_TRUE(bytes.ok());
+  std::string mutated = *bytes;
+  ASSERT_GE(mutated.size(), 8u);
+  // Recover the zone-map length from the footer, then flip the last
+  // dictionary code (the byte just before the zone map) far out of range
+  // of the 4-entry dictionary.
+  uint32_t zone_len = 0;
+  for (int i = 3; i >= 0; --i) {
+    zone_len = (zone_len << 8) |
+               static_cast<uint8_t>(mutated[mutated.size() - 8 + i]);
+  }
+  ASSERT_LT(zone_len, mutated.size() - 8u);
+  mutated[mutated.size() - 8 - zone_len - 1] = static_cast<char>(0xFB);
+  Rewrite(file, mutated);
+  ExpectIoErrorBothPaths(desc);
+}
+
+TEST_F(CifCorruptionTest, V1ReaderOnV2FileIsRejected) {
+  TableDesc desc = WriteSmall("/v2file");
+  ASSERT_EQ(desc.cif_version, 2);
+  desc.cif_version = 1;  // a stale v1 reader's view of a v2 file
+  ExpectIoErrorBothPaths(desc);
+}
+
+TEST_F(CifCorruptionTest, V2ReaderOnV1FileIsRejected) {
+  TableDesc desc = WriteSmall("/v1file", /*cif_version=*/1);
+  ASSERT_EQ(desc.cif_version, 1);
+  desc.cif_version = 2;  // metadata claims v2, files are v1
+  ExpectIoErrorBothPaths(desc);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace clydesdale
