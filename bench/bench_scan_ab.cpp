@@ -1,19 +1,31 @@
-// A/B benchmark for the late-materialization CIF scan: the same rows are
-// written twice, once as CIF v1 (plain blocks, eager decode) and once as
-// CIF v2 (zone maps + late materialization), then scanned three ways —
-// full (every column), projected (a narrow column subset), and predicate
-// (a ~5%-selectivity clustered range). The v1 predicate case filters
-// engine-side with the bound predicate after a full decode, exactly what
-// the engine does against a v1 table; the v2 case pushes the predicate
-// into the scan *and* re-evaluates engine-side, matching the engine's
-// belt-and-braces re-check. With CLY_SCAN_JSON set, writes the results
-// (rows/s, per-pass wall seconds, v2-over-v1 speedups, pruning stats) as
-// JSON; run_benches.sh publishes it as BENCH_scan.json.
+// A/B benchmark for the CIF scan: the same rows are written three times —
+// CIF v1 (plain blocks, eager decode), CIF v2 (zone maps + late
+// materialization), and CIF v3 (v2 plus per-block lightweight encodings:
+// RLE / bit-pack / frame-of-reference integers, dictionary + RLE-of-codes
+// strings) — then scanned several ways.
+//
+// The v1-vs-v2 cases measure late materialization: full (every column),
+// projected (a narrow column subset), and predicate (a ~5%-selectivity
+// clustered range). The v2-vs-v3 cases measure compressed execution on
+// SSB-shaped columns (orderdate in chronological runs -> RLE, quantity and
+// discount in small domains -> bit-pack, revenue incompressible -> plain):
+// an encoded full scan, and an SSB Q1.1-shaped predicate (orderdate range
+// AND discount BETWEEN 1 AND 3 AND quantity < 25) evaluated in the
+// compressed domain. A final pass re-runs the v3 predicate scan with the
+// double-buffered block prefetcher and asserts byte-identical survivors.
+// Every predicate case filters engine-side with the bound predicates after
+// the scan, matching the engine's belt-and-braces re-check.
+//
+// With CLY_SCAN_JSON set, writes the results (rows/s, per-pass wall
+// seconds, speedups, pruning stats, compression ratio, per-encoding block
+// counts) as JSON; run_benches.sh publishes it as BENCH_scan.json and
+// fails if the encoded fields are missing.
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logging.h"
@@ -21,6 +33,7 @@
 #include "hdfs/dfs.h"
 #include "schema/expr.h"
 #include "schema/row_batch.h"
+#include "storage/column_codec.h"
 #include "storage/scan_spec.h"
 #include "storage/table_format.h"
 
@@ -30,17 +43,26 @@ namespace {
 
 SchemaPtr FactSchema() {
   return Schema::Make({{"id", TypeKind::kInt32, 4},
+                       {"orderdate", TypeKind::kInt64, 8},
+                       {"quantity", TypeKind::kInt32, 4},
+                       {"discount", TypeKind::kInt32, 4},
                        {"revenue", TypeKind::kInt64, 8},
-                       {"discount", TypeKind::kDouble, 8},
                        {"mode", TypeKind::kString, 10}});
 }
 
+// Rows per distinct orderdate: long chronological runs, the shape a
+// rolled-in fact table has, so v3 stores orderdate blocks as RLE.
+constexpr int64_t kRowsPerDate = 4000;
+
 Row MakeRow(int64_t i) {
-  static const char* kModes[] = {"AIR",     "RAIL",    "SHIP",   "TRUCK",
-                                 "PIPELINE", "BARGE",  "COURIER", "DRONE"};
+  static const char* kModes[] = {"AIR",      "RAIL",  "SHIP",    "TRUCK",
+                                 "PIPELINE", "BARGE", "COURIER", "DRONE"};
+  const uint64_t h = static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ull;
   return Row({Value(static_cast<int32_t>(i)),
-              Value((i * INT64_C(2654435761)) % 1000000),
-              Value(static_cast<double>(i % 100) / 100.0),
+              Value(INT64_C(19920101) + i / kRowsPerDate),
+              Value(static_cast<int32_t>(1 + h % 50)),
+              Value(static_cast<int32_t>((h >> 8) % 11)),
+              Value(static_cast<int64_t>(h)),  // incompressible: stays plain
               Value(kModes[i % 8])});
 }
 
@@ -65,12 +87,12 @@ storage::TableDesc WriteTable(hdfs::MiniDfs* dfs, const std::string& path,
 }
 
 /// One full pass over the table; returns the number of surviving rows.
-/// `engine_pred`, when set, is applied batch-wise after the scan — the
-/// engine-side re-check both versions pay.
+/// `engine_preds`, when non-empty, are applied batch-wise after the scan —
+/// the engine-side re-check every version pays.
 int64_t ScanPass(const hdfs::MiniDfs& dfs, const storage::TableDesc& desc,
                  const std::vector<storage::StorageSplit>& splits,
                  const storage::ScanOptions& base,
-                 const BoundPredicate* engine_pred,
+                 const std::vector<const BoundPredicate*>& engine_preds,
                  storage::ScanStats* stats) {
   int64_t rows_out = 0;
   std::vector<uint8_t> sel;
@@ -85,17 +107,43 @@ int64_t ScanPass(const hdfs::MiniDfs& dfs, const storage::TableDesc& desc,
       CLY_CHECK(more.ok());
       if (!*more) break;
       const int64_t n = batch.num_rows();
-      if (engine_pred == nullptr) {
+      if (engine_preds.empty()) {
         rows_out += n;
         continue;
       }
       sel.assign(static_cast<size_t>(n), 1);
-      engine_pred->EvalBatch(batch, &sel);
+      for (const BoundPredicate* pred : engine_preds) {
+        pred->EvalBatch(batch, &sel);
+      }
       for (int64_t i = 0; i < n; ++i) rows_out += sel[static_cast<size_t>(i)];
     }
   }
   return rows_out;
 }
+
+/// Hash-set membership filter standing in for a built dimension hash table
+/// (the engine wraps DimHashTables in exactly this shape to push the
+/// semi-join below the scan). Costs one hash probe per Contains, like the
+/// real thing.
+class SetKeyFilter final : public storage::ScanKeyFilter {
+ public:
+  explicit SetKeyFilter(std::unordered_set<int64_t> keys)
+      : keys_(std::move(keys)) {
+    for (int64_t k : keys_) {
+      lo_ = std::min(lo_, k);
+      hi_ = std::max(hi_, k);
+    }
+  }
+  bool Contains(int64_t key) const override { return keys_.count(key) > 0; }
+  bool RangeMightMatch(int64_t lo, int64_t hi) const override {
+    return !keys_.empty() && !(hi < lo_ || lo > hi_);
+  }
+
+ private:
+  std::unordered_set<int64_t> keys_;
+  int64_t lo_ = INT64_MAX;
+  int64_t hi_ = INT64_MIN;
+};
 
 struct CaseResult {
   double wall_seconds = 0;   // per pass
@@ -107,16 +155,16 @@ struct CaseResult {
 CaseResult TimeCase(const hdfs::MiniDfs& dfs, const storage::TableDesc& desc,
                     const std::vector<storage::StorageSplit>& splits,
                     int64_t table_rows, const storage::ScanOptions& base,
-                    const BoundPredicate* engine_pred) {
+                    const std::vector<const BoundPredicate*>& engine_preds) {
   CaseResult result;
   // Warmup: page in the column files and settle allocators.
-  ScanPass(dfs, desc, splits, base, engine_pred, nullptr);
+  ScanPass(dfs, desc, splits, base, engine_preds, nullptr);
   Stopwatch sw;
   int passes = 0;
   do {
     result.stats = storage::ScanStats();
     result.rows_out =
-        ScanPass(dfs, desc, splits, base, engine_pred, &result.stats);
+        ScanPass(dfs, desc, splits, base, engine_preds, &result.stats);
     ++passes;
   } while (sw.ElapsedSeconds() < 0.3);
   const double elapsed = sw.ElapsedSeconds();
@@ -125,29 +173,31 @@ CaseResult TimeCase(const hdfs::MiniDfs& dfs, const storage::TableDesc& desc,
   return result;
 }
 
-void PrintCase(const char* name, const CaseResult& v1, const CaseResult& v2) {
-  std::printf("%-16s v1 %10.2f Mrows/s   v2 %10.2f Mrows/s   v2/v1 %5.2fx\n",
-              name, v1.rows_per_sec / 1e6, v2.rows_per_sec / 1e6,
-              v2.rows_per_sec / v1.rows_per_sec);
+void PrintCase(const char* name, const char* a_tag, const CaseResult& a,
+               const char* b_tag, const CaseResult& b) {
+  std::printf("%-20s %s %10.2f Mrows/s   %s %10.2f Mrows/s   %s/%s %5.2fx\n",
+              name, a_tag, a.rows_per_sec / 1e6, b_tag, b.rows_per_sec / 1e6,
+              b_tag, a_tag, b.rows_per_sec / a.rows_per_sec);
 }
 
-void EmitCase(std::FILE* out, const char* name, const CaseResult& v1,
-              const CaseResult& v2, bool last) {
+void EmitCase(std::FILE* out, const char* name, const char* a_tag,
+              const CaseResult& a, const char* b_tag, const CaseResult& b,
+              const char* speedup_key) {
   std::fprintf(out,
                "  \"%s\": {\n"
-               "    \"v1\": {\"rows_per_sec\": %.1f, \"wall_seconds\": %.6f, "
+               "    \"%s\": {\"rows_per_sec\": %.1f, \"wall_seconds\": %.6f, "
                "\"rows_out\": %lld},\n"
-               "    \"v2\": {\"rows_per_sec\": %.1f, \"wall_seconds\": %.6f, "
+               "    \"%s\": {\"rows_per_sec\": %.1f, \"wall_seconds\": %.6f, "
                "\"rows_out\": %lld, \"blocks_skipped\": %llu, "
                "\"rows_pruned\": %llu},\n"
-               "    \"v2_speedup\": %.3f\n"
-               "  }%s\n",
-               name, v1.rows_per_sec, v1.wall_seconds,
-               static_cast<long long>(v1.rows_out), v2.rows_per_sec,
-               v2.wall_seconds, static_cast<long long>(v2.rows_out),
-               static_cast<unsigned long long>(v2.stats.blocks_skipped),
-               static_cast<unsigned long long>(v2.stats.rows_pruned),
-               v2.rows_per_sec / v1.rows_per_sec, last ? "" : ",");
+               "    \"%s\": %.3f\n"
+               "  },\n",
+               name, a_tag, a.rows_per_sec, a.wall_seconds,
+               static_cast<long long>(a.rows_out), b_tag, b.rows_per_sec,
+               b.wall_seconds, static_cast<long long>(b.rows_out),
+               static_cast<unsigned long long>(b.stats.blocks_skipped),
+               static_cast<unsigned long long>(b.stats.rows_pruned),
+               speedup_key, b.rows_per_sec / a.rows_per_sec);
 }
 
 }  // namespace
@@ -159,7 +209,7 @@ int main() {
   const int64_t rows =
       std::max<int64_t>(20000, static_cast<int64_t>(sf * 2e6));
   // At least ~20 splits so zone-map skipping has blocks to refute even at
-  // smoke scale; capped so the widest column (8 B/row plus the v2 footer)
+  // smoke scale; capped so the widest column (8 B/row plus the footer)
   // stays within one 256 KiB DFS block per split.
   const int64_t rows_per_split =
       std::min<int64_t>(16384, std::max<int64_t>(1024, rows / 32));
@@ -174,18 +224,34 @@ int main() {
       WriteTable(&dfs, "/scan_ab_v1", rows, rows_per_split, /*cif_version=*/1);
   const storage::TableDesc v2 =
       WriteTable(&dfs, "/scan_ab_v2", rows, rows_per_split, /*cif_version=*/2);
+  const storage::TableDesc v3 =
+      WriteTable(&dfs, "/scan_ab_v3", rows, rows_per_split, /*cif_version=*/3);
   auto v1_splits = storage::ListTableSplits(dfs, v1);
   auto v2_splits = storage::ListTableSplits(dfs, v2);
+  auto v3_splits = storage::ListTableSplits(dfs, v3);
   CLY_CHECK(v1_splits.ok());
   CLY_CHECK(v2_splits.ok());
+  CLY_CHECK(v3_splits.ok());
 
   // ~5% selectivity, clustered on the sequential id column — the shape a
   // date-range predicate over a chronologically rolled-in fact table has.
   const int64_t cutoff = rows / 20 - 1;
-  Predicate::Ptr leaf =
+  Predicate::Ptr id_leaf =
       Predicate::Le("id", Value(static_cast<int32_t>(cutoff)));
-  auto scan_spec = std::make_shared<storage::ScanSpec>();
-  scan_spec->conjuncts.push_back(leaf);
+  auto id_spec = std::make_shared<storage::ScanSpec>();
+  id_spec->conjuncts.push_back(id_leaf);
+
+  // SSB Q1.1 shape: a half-table orderdate range (zone-refutable in v2 and
+  // v3 alike — the encoded win must come from elsewhere) AND two
+  // small-domain leaves evaluated per packed code / per run in v3.
+  const int64_t date_hi = INT64_C(19920101) + (rows / 2) / kRowsPerDate;
+  std::vector<Predicate::Ptr> q11 = {
+      Predicate::Le("orderdate", Value(date_hi)),
+      Predicate::Between("discount", Value(int32_t{1}), Value(int32_t{3})),
+      Predicate::Lt("quantity", Value(int32_t{25})),
+  };
+  auto q11_spec = std::make_shared<storage::ScanSpec>();
+  for (const auto& leaf : q11) q11_spec->conjuncts.push_back(leaf);
 
   storage::ScanOptions full;
   storage::ScanOptions projected;
@@ -193,45 +259,125 @@ int main() {
   storage::ScanOptions predicate;
   predicate.projection = {"id", "revenue"};
   storage::ScanOptions predicate_pushed = predicate;
-  predicate_pushed.scan_spec = scan_spec;
+  predicate_pushed.scan_spec = id_spec;
+  storage::ScanOptions q11_pushed;
+  q11_pushed.projection = {"orderdate", "quantity", "discount", "revenue"};
+  q11_pushed.scan_spec = q11_spec;
+  storage::ScanOptions q11_prefetch = q11_pushed;
+  q11_prefetch.prefetch = true;
 
-  auto pred_schema = Schema::Make(
+  // SSB's date filter as the engine really executes it: the date-dimension
+  // hash table pushed into the scan as a semi-join key filter on the fact's
+  // orderdate FK. Every other date is a member, so zone maps cannot refute
+  // whole blocks and the probing granularity is what's measured — per row
+  // on v2's plain blocks, per run on v3's RLE blocks.
+  const int64_t num_dates = (rows + kRowsPerDate - 1) / kRowsPerDate;
+  std::unordered_set<int64_t> member_dates;
+  for (int64_t d = 0; d < num_dates; d += 2) {
+    member_dates.insert(INT64_C(19920101) + d);
+  }
+  auto keyfilter_spec = std::make_shared<storage::ScanSpec>();
+  keyfilter_spec->key_filters.push_back(
+      {"orderdate", std::make_shared<SetKeyFilter>(std::move(member_dates))});
+  storage::ScanOptions keyfilter_pushed;
+  keyfilter_pushed.projection = {"orderdate", "revenue"};
+  keyfilter_pushed.scan_spec = keyfilter_spec;
+
+  auto bound_one = [](const Predicate::Ptr& leaf, const SchemaPtr& schema) {
+    auto bound = leaf->Bind(*schema);
+    CLY_CHECK(bound.ok());
+    return std::move(*bound);
+  };
+  const auto pred_schema = Schema::Make(
       {{"id", TypeKind::kInt32, 4}, {"revenue", TypeKind::kInt64, 8}});
-  auto bound = leaf->Bind(*pred_schema);
-  CLY_CHECK(bound.ok());
+  const auto id_bound = bound_one(id_leaf, pred_schema);
+  const auto q11_schema = Schema::Make({{"orderdate", TypeKind::kInt64, 8},
+                                        {"quantity", TypeKind::kInt32, 4},
+                                        {"discount", TypeKind::kInt32, 4},
+                                        {"revenue", TypeKind::kInt64, 8}});
+  std::vector<std::shared_ptr<const BoundPredicate>> q11_bound_storage;
+  std::vector<const BoundPredicate*> q11_bound;
+  for (const auto& leaf : q11) {
+    q11_bound_storage.push_back(bound_one(leaf, q11_schema));
+    q11_bound.push_back(q11_bound_storage.back().get());
+  }
 
-  std::printf("late-materialization scan A/B: %lld rows, %zu splits, "
-              "predicate selectivity %.1f%%\n\n",
+  std::printf("CIF scan A/B: %lld rows, %zu splits, id-predicate "
+              "selectivity %.1f%%\n\n",
               static_cast<long long>(rows), v2_splits->size(),
               100.0 * static_cast<double>(cutoff + 1) /
                   static_cast<double>(rows));
 
+  const std::vector<const BoundPredicate*> no_preds;
+  // --- late materialization: v1 vs v2 ---------------------------------------
   const CaseResult full_v1 =
-      TimeCase(dfs, v1, *v1_splits, rows, full, nullptr);
+      TimeCase(dfs, v1, *v1_splits, rows, full, no_preds);
   const CaseResult full_v2 =
-      TimeCase(dfs, v2, *v2_splits, rows, full, nullptr);
+      TimeCase(dfs, v2, *v2_splits, rows, full, no_preds);
   const CaseResult proj_v1 =
-      TimeCase(dfs, v1, *v1_splits, rows, projected, nullptr);
+      TimeCase(dfs, v1, *v1_splits, rows, projected, no_preds);
   const CaseResult proj_v2 =
-      TimeCase(dfs, v2, *v2_splits, rows, projected, nullptr);
+      TimeCase(dfs, v2, *v2_splits, rows, projected, no_preds);
   const CaseResult pred_v1 =
-      TimeCase(dfs, v1, *v1_splits, rows, predicate, bound->get());
+      TimeCase(dfs, v1, *v1_splits, rows, predicate, {id_bound.get()});
   const CaseResult pred_v2 =
-      TimeCase(dfs, v2, *v2_splits, rows, predicate_pushed, bound->get());
+      TimeCase(dfs, v2, *v2_splits, rows, predicate_pushed, {id_bound.get()});
 
-  // The pushed-down scan must surface exactly the rows the engine-side
-  // filter keeps; anything else is a correctness bug, not a speedup.
+  // --- compressed execution: v2 vs v3 ---------------------------------------
+  const CaseResult enc_full_v2 =
+      TimeCase(dfs, v2, *v2_splits, rows, full, no_preds);
+  const CaseResult enc_full_v3 =
+      TimeCase(dfs, v3, *v3_splits, rows, full, no_preds);
+  const CaseResult enc_pred_v2 =
+      TimeCase(dfs, v2, *v2_splits, rows, q11_pushed, q11_bound);
+  const CaseResult enc_pred_v3 =
+      TimeCase(dfs, v3, *v3_splits, rows, q11_pushed, q11_bound);
+  const CaseResult enc_pref_v3 =
+      TimeCase(dfs, v3, *v3_splits, rows, q11_prefetch, q11_bound);
+  const CaseResult enc_key_v2 =
+      TimeCase(dfs, v2, *v2_splits, rows, keyfilter_pushed, no_preds);
+  const CaseResult enc_key_v3 =
+      TimeCase(dfs, v3, *v3_splits, rows, keyfilter_pushed, no_preds);
+
+  // The pushed-down scans must surface exactly the rows the engine-side
+  // filter keeps — across versions AND across the prefetch knob; anything
+  // else is a correctness bug, not a speedup.
   CLY_CHECK(pred_v1.rows_out == pred_v2.rows_out);
   CLY_CHECK(pred_v1.rows_out == cutoff + 1);
   CLY_CHECK(full_v1.rows_out == rows && full_v2.rows_out == rows);
+  CLY_CHECK(enc_full_v3.rows_out == rows);
+  CLY_CHECK(enc_pred_v2.rows_out == enc_pred_v3.rows_out);
+  CLY_CHECK(enc_pref_v3.rows_out == enc_pred_v3.rows_out);
+  CLY_CHECK(enc_pred_v3.rows_out > 0);
+  CLY_CHECK(enc_key_v2.rows_out == enc_key_v3.rows_out);
+  CLY_CHECK(enc_key_v3.rows_out > 0 && enc_key_v3.rows_out < rows);
 
-  PrintCase("full scan", full_v1, full_v2);
-  PrintCase("projected", proj_v1, proj_v2);
-  PrintCase("predicate 5%", pred_v1, pred_v2);
-  std::printf("\npredicate pass pruning: %llu blocks skipped, %llu rows "
+  // Observed compression of the full v3 scan (every block loaded).
+  const storage::ScanStats& enc = enc_full_v3.stats;
+  CLY_CHECK(enc.bytes_encoded > 0);
+  const double ratio = static_cast<double>(enc.bytes_raw) /
+                       static_cast<double>(enc.bytes_encoded);
+
+  PrintCase("full scan", "v1", full_v1, "v2", full_v2);
+  PrintCase("projected", "v1", proj_v1, "v2", proj_v2);
+  PrintCase("predicate 5%", "v1", pred_v1, "v2", pred_v2);
+  PrintCase("encoded full", "v2", enc_full_v2, "v3", enc_full_v3);
+  PrintCase("encoded Q1.1", "v2", enc_pred_v2, "v3", enc_pred_v3);
+  PrintCase("encoded keyfilter", "v2", enc_key_v2, "v3", enc_key_v3);
+  PrintCase("Q1.1 prefetch", "v3", enc_pred_v3, "v3+pf", enc_pref_v3);
+  std::printf("\nid-predicate pruning: %llu blocks skipped, %llu rows "
               "pruned before decode\n",
               static_cast<unsigned long long>(pred_v2.stats.blocks_skipped),
               static_cast<unsigned long long>(pred_v2.stats.rows_pruned));
+  std::printf("v3 compression: %.2fx (%llu encoded / %llu raw bytes); "
+              "blocks:",
+              ratio, static_cast<unsigned long long>(enc.bytes_encoded),
+              static_cast<unsigned long long>(enc.bytes_raw));
+  for (int e = 0; e < storage::kEncCount; ++e) {
+    std::printf(" %s=%llu", storage::EncodingName(static_cast<uint8_t>(e)),
+                static_cast<unsigned long long>(enc.blocks_by_encoding[e]));
+  }
+  std::printf("\n");
 
   const char* json_path = std::getenv("CLY_SCAN_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {
@@ -242,10 +388,34 @@ int main() {
                  "  \"predicate_selectivity\": %.4f,\n",
                  static_cast<long long>(rows), v2_splits->size(),
                  static_cast<double>(cutoff + 1) / static_cast<double>(rows));
-    EmitCase(out, "scan_full", full_v1, full_v2, false);
-    EmitCase(out, "scan_projected", proj_v1, proj_v2, false);
-    EmitCase(out, "scan_predicate", pred_v1, pred_v2, true);
-    std::fprintf(out, "}\n");
+    EmitCase(out, "scan_full", "v1", full_v1, "v2", full_v2, "v2_speedup");
+    EmitCase(out, "scan_projected", "v1", proj_v1, "v2", proj_v2,
+             "v2_speedup");
+    EmitCase(out, "scan_predicate", "v1", pred_v1, "v2", pred_v2,
+             "v2_speedup");
+    EmitCase(out, "scan_encoded_full", "v2", enc_full_v2, "v3", enc_full_v3,
+             "v3_speedup");
+    EmitCase(out, "scan_encoded_predicate", "v2", enc_pred_v2, "v3",
+             enc_pred_v3, "v3_speedup");
+    EmitCase(out, "scan_encoded_keyfilter", "v2", enc_key_v2, "v3",
+             enc_key_v3, "v3_speedup");
+    std::fprintf(out,
+                 "  \"prefetch\": {\"off_rows_per_sec\": %.1f, "
+                 "\"on_rows_per_sec\": %.1f, \"speedup\": %.3f, "
+                 "\"rows_out_identical\": true},\n",
+                 enc_pred_v3.rows_per_sec, enc_pref_v3.rows_per_sec,
+                 enc_pref_v3.rows_per_sec / enc_pred_v3.rows_per_sec);
+    std::fprintf(out, "  \"compression_ratio\": %.3f,\n  \"encodings\": {",
+                 ratio);
+    for (int e = 0; e < storage::kEncCount; ++e) {
+      std::fprintf(out, "%s\"%s\": %llu", e == 0 ? "" : ", ",
+                   storage::EncodingName(static_cast<uint8_t>(e)),
+                   static_cast<unsigned long long>(enc.blocks_by_encoding[e]));
+    }
+    std::fprintf(out,
+                 "},\n  \"bytes_encoded\": %llu,\n  \"bytes_raw\": %llu\n}\n",
+                 static_cast<unsigned long long>(enc.bytes_encoded),
+                 static_cast<unsigned long long>(enc.bytes_raw));
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }

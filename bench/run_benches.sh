@@ -74,17 +74,45 @@ out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 print(f"wrote {out_path} ({len(merged)} benchmarks)")
 EOF
 
-# Late-materialization scan A/B: CIF v1 vs v2 across full / projected /
-# predicate scans (see DESIGN.md §11). Publishes rows/s, per-pass wall
-# seconds, v2-over-v1 speedups, and zone-map pruning stats.
+# CIF scan A/B: v1 vs v2 (late materialization, DESIGN.md §11) and v2 vs v3
+# (compressed execution, DESIGN.md §12) across full / projected / predicate
+# scans. Publishes rows/s, per-pass wall seconds, speedups, zone-map pruning
+# stats, the observed compression ratio, and per-encoding block counts.
 SCAN_BIN="${BENCH_DIR}/bench_scan_ab"
 if [ -x "${SCAN_BIN}" ]; then
   echo "== bench_scan_ab (CLY_BENCH_SF=${CLY_BENCH_SF})"
   SCAN_JSON="$(dirname "${OUT_JSON}")/BENCH_scan.json"
   CLY_SCAN_JSON="${SCAN_JSON}" "${SCAN_BIN}" >/dev/null
-  if [ -e "${SCAN_JSON}" ]; then
-    echo "wrote ${SCAN_JSON} (late-materialization scan A/B)"
+  if [ ! -e "${SCAN_JSON}" ]; then
+    echo "error: bench_scan_ab did not write ${SCAN_JSON}" >&2
+    exit 1
   fi
+  # The encoded-scan fields are part of the published contract: fail loudly
+  # if the A/B regressed to the v1/v2-only shape.
+  python3 - "${SCAN_JSON}" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+data = json.loads(open(path).read())
+required = [
+    "scan_encoded_full", "scan_encoded_predicate", "scan_encoded_keyfilter",
+    "prefetch", "compression_ratio", "encodings", "bytes_encoded",
+    "bytes_raw",
+]
+missing = [k for k in required if k not in data]
+for case in ("scan_encoded_full", "scan_encoded_predicate",
+             "scan_encoded_keyfilter"):
+    for sub in ("v2", "v3", "v3_speedup"):
+        if case in data and sub not in data[case]:
+            missing.append(f"{case}.{sub}")
+if missing:
+    sys.exit(f"error: {path} lacks encoded-scan fields: {', '.join(missing)}")
+print(f"{path}: compression {data['compression_ratio']:.2f}x, "
+      f"encoded-predicate speedup "
+      f"{data['scan_encoded_predicate']['v3_speedup']:.2f}x")
+EOF
+  echo "wrote ${SCAN_JSON} (late-materialization + compressed scan A/B)"
 fi
 
 # Traced Q2.1 breakdown: publish the artifacts the observability layer

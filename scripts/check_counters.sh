@@ -5,7 +5,10 @@
 #   2. every kMetric* family name in cluster_metrics.h is returned by
 #      StandardMetricFamilyNames() in cluster_metrics.cc;
 #   3. every kCounter* name in star_join_job.h is returned by
-#      ClydesdaleCounterNames() in star_join_job.cc.
+#      ClydesdaleCounterNames() in star_join_job.cc;
+#   4. every kCounterCif* name in counters.h is actually flushed by
+#      AddCifScanCounters() in counters.cc (so a scan-stat counter can
+#      never be declared + listed yet silently never populated).
 # Registered as a ctest (tests/CMakeLists.txt) and runnable standalone:
 #   scripts/check_counters.sh [repo-root]
 set -u
@@ -89,6 +92,20 @@ for name in $star_cc_names; do
   if ! printf '%s\n' "$star_header" | grep -qx "$name"; then
     echo "check_counters: $name listed in ClydesdaleCounterNames() but" \
          "not declared in star_join_job.h" >&2
+    fail=1
+  fi
+done
+
+# --- CIF scan counters: every declared kCounterCif* must be wired into the
+# --- shared flush helper (the only place scan stats become counters)
+cif_header=$(printf '%s\n' "$header_counters" | grep '^kCounterCif' || true)
+cif_flush=$(sed -n '/^void AddCifScanCounters/,/^}/p' "$counters_cc" \
+  | grep -o 'kCounter[A-Za-z0-9]*' | sort -u)
+
+for name in $cif_header; do
+  if ! printf '%s\n' "$cif_flush" | grep -qx "$name"; then
+    echo "check_counters: $name declared in counters.h but never flushed" \
+         "by AddCifScanCounters()" >&2
     fail=1
   fi
 done

@@ -78,6 +78,24 @@ void AggLayout::Merge(int64_t* acc, const int64_t* in) const {
   }
 }
 
+void AggLayout::MergeWeighted(int64_t* acc, const int64_t* in,
+                              int64_t weight) const {
+  for (size_t a = 0; a < accs_.size(); ++a) {
+    switch (accs_[a]) {
+      case AccKind::kSum:
+      case AccKind::kCount:
+        acc[a] += in[a] * weight;
+        break;
+      case AccKind::kMin:
+        acc[a] = std::min(acc[a], in[a]);
+        break;
+      case AccKind::kMax:
+        acc[a] = std::max(acc[a], in[a]);
+        break;
+    }
+  }
+}
+
 Row AggLayout::Finalize(const Row& row, int num_group_columns) const {
   Row out;
   out.Reserve(num_group_columns + static_cast<int>(aggs_.size()));

@@ -34,6 +34,12 @@ class AggLayout {
   /// Merges one input vector into an accumulator vector, element-wise.
   void Merge(int64_t* acc, const int64_t* in) const;
 
+  /// Merges `weight` identical input vectors in one step: sums and counts
+  /// scale linearly (acc += in * weight), min/max are weight-invariant.
+  /// This is what lets a run of rows with equal inputs and equal group key
+  /// collapse to one aggregation-table update.
+  void MergeWeighted(int64_t* acc, const int64_t* in, int64_t weight) const;
+
   /// Index of the expression to evaluate per accumulator, or -1 when the
   /// input is the constant 1 (COUNT). Expression index refers to the
   /// query's aggregate list (AVG shares its expression between both accs).
@@ -113,6 +119,15 @@ class HashAggregator {
   void AddEncoded(const uint8_t* key, size_t len, const int64_t* inputs) {
     int64_t* accs = FindOrCreate(key, len, group_key::Hash(key, len));
     layout_.Merge(accs, inputs);
+  }
+
+  /// Adds `weight` rows that share both the group key and the input vector
+  /// with one table update (compressed-domain aggregation: a run of
+  /// identical fact rows never expands).
+  void AddEncodedWeighted(const uint8_t* key, size_t len,
+                          const int64_t* inputs, int64_t weight) {
+    int64_t* accs = FindOrCreate(key, len, group_key::Hash(key, len));
+    layout_.MergeWeighted(accs, inputs, weight);
   }
 
   void MergeFrom(const HashAggregator& other);

@@ -60,6 +60,7 @@ Result<QueryResult> ClydesdaleEngine::Execute(const StarQuerySpec& spec) {
   conf.SetList(mr::kConfInputProjection, projection);
   conf.SetInt(mr::kConfMultiSplitSize, options_.multisplit_size);
   conf.SetBool(mr::kConfCifLateMaterialize, options_.late_materialize);
+  conf.SetBool(mr::kConfCifPrefetch, options_.scan_prefetch);
   if (options_.late_materialize) {
     // Fact-predicate pushdown for the generic reader path (the
     // single-threaded ablation); the MT runner builds a richer spec with

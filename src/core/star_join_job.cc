@@ -393,6 +393,8 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       scan.stats = &io[static_cast<size_t>(t)];
       scan.scan_spec = scan_spec;
       scan.late_materialize = options_.late_materialize;
+      scan.prefetch = options_.scan_prefetch;
+      scan.expose_runs = options_.expose_runs;
       scan.scan_stats = &scan_stats[static_cast<size_t>(t)];
       Status st;
       if (options_.block_iteration) {
@@ -430,12 +432,18 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
 
   uint64_t probe_rows = 0, join_rows = 0, probe_batches = 0;
   uint64_t agg_groups = 0, agg_bytes = 0;
-  uint64_t blocks_skipped = 0, rows_pruned = 0;
+  storage::ScanStats scan_totals;
   for (int t = 0; t < num_threads; ++t) {
     CLY_RETURN_IF_ERROR(statuses[static_cast<size_t>(t)]);
     context->MergeIoStats(io[static_cast<size_t>(t)]);
-    blocks_skipped += scan_stats[static_cast<size_t>(t)].blocks_skipped;
-    rows_pruned += scan_stats[static_cast<size_t>(t)].rows_pruned;
+    const storage::ScanStats& ts = scan_stats[static_cast<size_t>(t)];
+    scan_totals.blocks_skipped += ts.blocks_skipped;
+    scan_totals.rows_pruned += ts.rows_pruned;
+    scan_totals.bytes_encoded += ts.bytes_encoded;
+    scan_totals.bytes_raw += ts.bytes_raw;
+    for (int e = 0; e < 6; ++e) {
+      scan_totals.blocks_by_encoding[e] += ts.blocks_by_encoding[e];
+    }
     ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
     probe_rows += sink->probe_rows;
     join_rows += sink->join_output_rows;
@@ -459,14 +467,7 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
     context->counters()->Add(kCounterProbeBatches,
                              static_cast<int64_t>(probe_batches));
   }
-  if (blocks_skipped > 0) {
-    context->counters()->Add(mr::kCounterCifBlocksSkipped,
-                             static_cast<int64_t>(blocks_skipped));
-  }
-  if (rows_pruned > 0) {
-    context->counters()->Add(mr::kCounterCifRowsPruned,
-                             static_cast<int64_t>(rows_pruned));
-  }
+  mr::AddCifScanCounters(scan_totals, context->counters());
   if (options_.map_side_agg && !plan.emit_joined_rows) {
     context->counters()->Add(kCounterAggGroups,
                              static_cast<int64_t>(agg_groups));

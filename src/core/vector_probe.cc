@@ -41,25 +41,45 @@ int64_t VectorizedProbe::FilterAndProbe(const RowBatch& batch) {
 
   // Per-dimension: gather the FK column over the selection, batch-probe with
   // prefetch, then compact away the misses (early-out, one dimension at a
-  // time instead of one row at a time).
+  // time instead of one row at a time). An FK column carrying an RLE run
+  // overlay (CIF v3 scan with expose_runs) pays one hash probe per touched
+  // run instead: every row of a run shares its key, and the selection and
+  // runs are both ascending, so a single cursor walks them in tandem.
   for (size_t d = 0; d < tables_.size() && m > 0; ++d) {
     const ColumnVector& col = batch.column(fk_index_[d]);
-    keys_.resize(static_cast<size_t>(m));
-    if (col.type() == TypeKind::kInt32) {
-      const auto& data = col.i32();
-      for (int64_t j = 0; j < m; ++j) {
-        keys_[static_cast<size_t>(j)] =
-            data[static_cast<size_t>(sel_idx_[static_cast<size_t>(j)])];
-      }
-    } else {
-      for (int64_t j = 0; j < m; ++j) {
-        keys_[static_cast<size_t>(j)] =
-            col.KeyAt(sel_idx_[static_cast<size_t>(j)]);
-      }
-    }
     std::vector<const Row*>& hits = matched_[d];
     hits.resize(static_cast<size_t>(m));
-    tables_[d]->ProbeBatch(keys_.data(), m, hits.data());
+    if (col.has_runs()) {
+      const std::vector<int64_t>& run_values = col.run_values();
+      const std::vector<int32_t>& run_starts = col.run_starts();
+      size_t r = 0;
+      int64_t probed_run = -1;
+      const Row* hit = nullptr;
+      for (int64_t j = 0; j < m; ++j) {
+        const int32_t idx = sel_idx_[static_cast<size_t>(j)];
+        while (run_starts[r + 1] <= idx) ++r;
+        if (static_cast<int64_t>(r) != probed_run) {
+          probed_run = static_cast<int64_t>(r);
+          hit = tables_[d]->Probe(run_values[r]);
+        }
+        hits[static_cast<size_t>(j)] = hit;
+      }
+    } else {
+      keys_.resize(static_cast<size_t>(m));
+      if (col.type() == TypeKind::kInt32) {
+        const auto& data = col.i32();
+        for (int64_t j = 0; j < m; ++j) {
+          keys_[static_cast<size_t>(j)] =
+              data[static_cast<size_t>(sel_idx_[static_cast<size_t>(j)])];
+        }
+      } else {
+        for (int64_t j = 0; j < m; ++j) {
+          keys_[static_cast<size_t>(j)] =
+              col.KeyAt(sel_idx_[static_cast<size_t>(j)]);
+        }
+      }
+      tables_[d]->ProbeBatch(keys_.data(), m, hits.data());
+    }
 
     int64_t k = 0;
     for (int64_t j = 0; j < m; ++j) {
@@ -141,6 +161,43 @@ Status VectorizedProbe::ProcessBatchAgg(const RowBatch& batch,
                                         HashAggregator* agg) {
   const int64_t m = FilterAndProbe(batch);
   if (m == 0) return Status::OK();
+  // Weighted fast path: when every accumulator input is the constant 1
+  // (COUNT) and every group column comes from a dimension payload, a stretch
+  // of consecutive selection positions with pointer-identical matched tuples
+  // shares both key and inputs, so one weighted table update covers it. RLE
+  // foreign-key columns produce exactly such stretches.
+  bool weighted = true;
+  for (const BoundScalar* e : acc_exprs_) {
+    if (e != nullptr) weighted = false;
+  }
+  for (const GroupSource& src : group_sources_) {
+    if (src.from_fact) weighted = false;
+  }
+  if (weighted) {
+    std::fill(acc_inputs_.begin(), acc_inputs_.end(), int64_t{1});
+    auto same_groups = [&](int64_t a, int64_t b) {
+      for (const GroupSource& src : group_sources_) {
+        const auto& hits = matched_[static_cast<size_t>(src.dim_index)];
+        if (hits[static_cast<size_t>(a)] != hits[static_cast<size_t>(b)]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    int64_t j = 0;
+    while (j < m) {
+      int64_t k = j + 1;
+      while (k < m && same_groups(j, k)) ++k;
+      key_scratch_.clear();
+      for (const GroupSource& src : group_sources_) {
+        EncodeSource(src, batch, j, &key_scratch_);
+      }
+      agg->AddEncodedWeighted(key_scratch_.data(), key_scratch_.size(),
+                              acc_inputs_.data(), k - j);
+      j = k;
+    }
+    return Status::OK();
+  }
   EvalAccumulators(batch, m);
   for (int64_t j = 0; j < m; ++j) {
     key_scratch_.clear();

@@ -1,6 +1,7 @@
 #include "mapreduce/counters.h"
 
 #include "common/strings.h"
+#include "storage/scan_spec.h"
 
 namespace clydesdale {
 namespace mr {
@@ -25,6 +26,14 @@ std::vector<std::string> SituationalCounterNames() {
       kCounterStragglerAttempts,
       kCounterCifBlocksSkipped,
       kCounterCifRowsPruned,
+      kCounterCifBytesEncoded,
+      kCounterCifBytesRaw,
+      kCounterCifBlocksPlain,
+      kCounterCifBlocksRle,
+      kCounterCifBlocksBitpack,
+      kCounterCifBlocksFor,
+      kCounterCifBlocksDict,
+      kCounterCifBlocksDictRle,
   };
 }
 
@@ -61,6 +70,24 @@ std::string Counters::ToString() const {
     out += StrCat(name, "=", value, "\n");
   }
   return out;
+}
+
+void AddCifScanCounters(const storage::ScanStats& stats, Counters* counters) {
+  auto add = [&](const char* name, uint64_t v) {
+    if (v > 0) counters->Add(name, static_cast<int64_t>(v));
+  };
+  add(kCounterCifBlocksSkipped, stats.blocks_skipped);
+  add(kCounterCifRowsPruned, stats.rows_pruned);
+  add(kCounterCifBytesEncoded, stats.bytes_encoded);
+  add(kCounterCifBytesRaw, stats.bytes_raw);
+  // Indexed by the storage/column_codec.h encoding tags.
+  static constexpr const char* kBlockCounters[6] = {
+      kCounterCifBlocksPlain, kCounterCifBlocksRle,  kCounterCifBlocksBitpack,
+      kCounterCifBlocksFor,   kCounterCifBlocksDict, kCounterCifBlocksDictRle,
+  };
+  for (int e = 0; e < 6; ++e) {
+    add(kBlockCounters[e], stats.blocks_by_encoding[e]);
+  }
 }
 
 }  // namespace mr

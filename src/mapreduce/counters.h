@@ -32,10 +32,21 @@ inline constexpr const char kCounterHdfsReadOps[] = "HDFS_READ_OPS";
 inline constexpr const char kCounterHdfsReadMicros[] = "HDFS_READ_MICROS";
 inline constexpr const char kCounterSchedPulls[] = "SCHED_PULLS";
 inline constexpr const char kCounterStragglerAttempts[] = "STRAGGLER_ATTEMPTS";
-// Late-materialization CIF scan: v2 column blocks skipped whole via zone
+// Late-materialization CIF scan: v2+ column blocks skipped whole via zone
 // maps, and rows pruned by pushed-down predicates/key filters before decode.
 inline constexpr const char kCounterCifBlocksSkipped[] = "CIF_BLOCKS_SKIPPED";
 inline constexpr const char kCounterCifRowsPruned[] = "CIF_ROWS_PRUNED";
+// CIF v3 compressed-scan accounting: on-disk vs plain-equivalent bytes of
+// the column blocks a scan actually loaded (their ratio is the observed
+// compression), plus loaded-block counts per encoding tag.
+inline constexpr const char kCounterCifBytesEncoded[] = "CIF_BYTES_ENCODED";
+inline constexpr const char kCounterCifBytesRaw[] = "CIF_BYTES_RAW";
+inline constexpr const char kCounterCifBlocksPlain[] = "CIF_BLOCKS_PLAIN";
+inline constexpr const char kCounterCifBlocksRle[] = "CIF_BLOCKS_RLE";
+inline constexpr const char kCounterCifBlocksBitpack[] = "CIF_BLOCKS_BITPACK";
+inline constexpr const char kCounterCifBlocksFor[] = "CIF_BLOCKS_FOR";
+inline constexpr const char kCounterCifBlocksDict[] = "CIF_BLOCKS_DICT";
+inline constexpr const char kCounterCifBlocksDictRle[] = "CIF_BLOCKS_DICT_RLE";
 
 /// Every engine-maintained counter name above, for audits asserting that a
 /// suitably shaped job populates all of them (tests/mapreduce_test.cc).
@@ -94,6 +105,20 @@ class Counters {
   mutable std::mutex mu_;
   std::map<std::string, int64_t> values_;
 };
+
+}  // namespace mr
+
+namespace storage {
+struct ScanStats;
+}  // namespace storage
+
+namespace mr {
+
+/// Folds one scan's CIF pruning/compression stats into `counters`: the
+/// zone-map skip and row-prune counts, the encoded/raw byte totals, and one
+/// CIF_BLOCKS_<encoding> count per loaded block. Zero values are not added,
+/// so situational counters stay absent from jobs that never trip them.
+void AddCifScanCounters(const storage::ScanStats& stats, Counters* counters);
 
 }  // namespace mr
 }  // namespace clydesdale

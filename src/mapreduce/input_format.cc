@@ -83,6 +83,7 @@ Result<std::unique_ptr<RecordReader>> ReaderForStorageSplit(
   options.stats = context->io_stats();
   options.scan_spec = conf.scan_spec;
   options.late_materialize = conf.GetBool(kConfCifLateMaterialize, true);
+  options.prefetch = conf.GetBool(kConfCifPrefetch, false);
   // CIF splits load eagerly at open, so the stack-local stats are complete
   // (and safe to drop) as soon as the reader exists.
   storage::ScanStats scan_stats;
@@ -90,14 +91,7 @@ Result<std::unique_ptr<RecordReader>> ReaderForStorageSplit(
   CLY_ASSIGN_OR_RETURN(
       std::unique_ptr<storage::RowReader> reader,
       storage::OpenSplitRowReader(*cluster->dfs(), desc, split, options));
-  if (scan_stats.blocks_skipped > 0) {
-    context->counters()->Add(kCounterCifBlocksSkipped,
-                             static_cast<int64_t>(scan_stats.blocks_skipped));
-  }
-  if (scan_stats.rows_pruned > 0) {
-    context->counters()->Add(kCounterCifRowsPruned,
-                             static_cast<int64_t>(scan_stats.rows_pruned));
-  }
+  AddCifScanCounters(scan_stats, context->counters());
   return std::unique_ptr<RecordReader>(
       new TableRecordReader(std::move(reader), tag));
 }

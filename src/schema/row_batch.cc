@@ -25,6 +25,8 @@ void ColumnVector::Clear() {
   str_.clear();
   str_views_.clear();
   arena_.reset();
+  run_values_.clear();
+  run_starts_.clear();
   is_view_ = false;
 }
 

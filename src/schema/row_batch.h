@@ -78,6 +78,28 @@ class ColumnVector {
   /// Key column view: value at i widened to int64 (numeric columns only).
   int64_t KeyAt(int64_t i) const;
 
+  // --- Run metadata (compressed-domain scan, CIF v3 RLE blocks) ---
+  // Optional overlay on an integer column whose source block was
+  // run-length encoded: run k covers rows [run_starts()[k],
+  // run_starts()[k+1]) and they all equal run_values()[k]. The typed value
+  // array is still fully materialized — the runs are an accelerator, not a
+  // replacement — so every existing consumer stays correct; run-aware
+  // consumers (the vectorized probe) use them to work per run instead of
+  // per row. run_starts() has one trailing entry equal to size().
+  bool has_runs() const { return !run_starts_.empty(); }
+  const std::vector<int64_t>& run_values() const { return run_values_; }
+  const std::vector<int32_t>& run_starts() const { return run_starts_; }
+  /// Attaches run metadata; `starts` must be ascending, start at 0, and end
+  /// at size(). Callers that mutate values afterwards must ClearRuns().
+  void SetRuns(std::vector<int64_t> values, std::vector<int32_t> starts) {
+    run_values_ = std::move(values);
+    run_starts_ = std::move(starts);
+  }
+  void ClearRuns() {
+    run_values_.clear();
+    run_starts_.clear();
+  }
+
  private:
   TypeKind type_;
   std::vector<int32_t> i32_;
@@ -86,6 +108,8 @@ class ColumnVector {
   std::vector<std::string> str_;
   std::vector<std::string_view> str_views_;
   std::shared_ptr<const std::vector<uint8_t>> arena_;
+  std::vector<int64_t> run_values_;
+  std::vector<int32_t> run_starts_;
   bool is_view_ = false;
 };
 

@@ -1,0 +1,84 @@
+#include "storage/block_prefetch.h"
+
+#include "storage/split_util.h"
+
+namespace clydesdale {
+namespace storage {
+
+BlockPrefetcher::BlockPrefetcher(const hdfs::MiniDfs* dfs,
+                                 hdfs::NodeId reader_node,
+                                 std::vector<std::string> paths,
+                                 int block_index)
+    : dfs_(dfs),
+      reader_node_(reader_node),
+      paths_(std::move(paths)),
+      block_index_(block_index),
+      slots_(paths_.size()) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BlockPrefetcher::~BlockPrefetcher() { Join(); }
+
+void BlockPrefetcher::WorkerLoop() {
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock,
+               [&] { return cancel_ || produced_ - taken_ < kQueueDepth; });
+      if (cancel_) return;
+    }
+    // The read itself runs unlocked: this is the overlap the prefetcher
+    // exists for. MiniDfs reads are thread-safe; stats go to the private
+    // io_, which the consumer only touches after join.
+    Slot slot;
+    slot.done = true;
+    auto reader = dfs_->Open(paths_[i], reader_node_, &io_);
+    if (!reader.ok()) {
+      slot.status = reader.status();
+    } else {
+      uint64_t begin = 0, end = 0;
+      internal::BlockByteRange((*reader)->file_info(), block_index_, &begin,
+                               &end);
+      auto data = std::make_shared<std::vector<uint8_t>>(end - begin);
+      if (!data->empty()) {
+        slot.status = (*reader)->PRead(begin, data->data(), data->size());
+      }
+      if (slot.status.ok()) slot.bytes = std::move(data);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_[i] = std::move(slot);
+      ++produced_;
+    }
+    cv_.notify_all();
+  }
+}
+
+Result<std::shared_ptr<const std::vector<uint8_t>>> BlockPrefetcher::Take(
+    size_t i) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return slots_[i].done; });
+  taken_ = i + 1;
+  cv_.notify_all();
+  if (!slots_[i].status.ok()) return slots_[i].status;
+  return std::move(slots_[i].bytes);
+}
+
+const hdfs::IoStats& BlockPrefetcher::Finish() {
+  Join();
+  return io_;
+}
+
+void BlockPrefetcher::Join() {
+  if (joined_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  joined_ = true;
+}
+
+}  // namespace storage
+}  // namespace clydesdale

@@ -1,0 +1,84 @@
+#ifndef CLYDESDALE_STORAGE_BLOCK_PREFETCH_H_
+#define CLYDESDALE_STORAGE_BLOCK_PREFETCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "hdfs/dfs.h"
+
+namespace clydesdale {
+namespace storage {
+
+/// Double-buffered read-ahead for one CIF split (the `cif.scan.prefetch`
+/// knob): a worker thread reads block `block_index` of each listed column
+/// file in order while the scan decodes the previous one, overlapping DFS
+/// fetch latency with decode CPU. The queue is bounded — the worker stays
+/// at most `kQueueDepth` undelivered blocks ahead — so memory is two block
+/// buffers beyond what the scan already holds.
+///
+/// Contract: Take(i) must be called in ascending order of i (the scan
+/// consumes columns in its fixed load order); skipping the remaining takes
+/// is allowed (zone-map block skip), in which case the destructor cancels
+/// the worker. Each delivered buffer is an independent shared_ptr arena, so
+/// string views handed to downstream operators keep it alive after both the
+/// prefetcher and the scan are gone.
+///
+/// The worker accumulates its DFS accounting privately; Finish() joins the
+/// thread and returns those stats for the caller to merge, keeping IoStats
+/// single-threaded. The destructor also joins (without publishing stats) if
+/// Finish was never called.
+class BlockPrefetcher {
+ public:
+  BlockPrefetcher(const hdfs::MiniDfs* dfs, hdfs::NodeId reader_node,
+                  std::vector<std::string> paths, int block_index);
+  ~BlockPrefetcher();
+
+  BlockPrefetcher(const BlockPrefetcher&) = delete;
+  BlockPrefetcher& operator=(const BlockPrefetcher&) = delete;
+
+  /// Bytes of block `block_index` of paths[i]; blocks until the worker has
+  /// fetched them.
+  Result<std::shared_ptr<const std::vector<uint8_t>>> Take(size_t i);
+
+  /// Cancels any remaining read-ahead, joins the worker, and returns the
+  /// I/O stats it accumulated. Idempotent.
+  const hdfs::IoStats& Finish();
+
+  static constexpr size_t kQueueDepth = 2;
+
+ private:
+  struct Slot {
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const std::vector<uint8_t>> bytes;
+  };
+
+  void WorkerLoop();
+  void Join();
+
+  const hdfs::MiniDfs* dfs_;
+  const hdfs::NodeId reader_node_;
+  const std::vector<std::string> paths_;
+  const int block_index_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  size_t taken_ = 0;     // slots consumed (Take high-water mark)
+  size_t produced_ = 0;  // slots filled by the worker
+  bool cancel_ = false;
+  bool joined_ = false;
+  hdfs::IoStats io_;  // worker-private until Join
+  std::thread worker_;
+};
+
+}  // namespace storage
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_STORAGE_BLOCK_PREFETCH_H_

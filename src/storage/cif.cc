@@ -10,7 +10,9 @@
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "storage/block_prefetch.h"
 #include "storage/byte_io.h"
+#include "storage/column_codec.h"
 #include "storage/split_util.h"
 
 namespace clydesdale {
@@ -44,6 +46,15 @@ constexpr uint8_t kStringDictionary = 1;
 // in the read buffer and can be scanned in place without a copy.
 constexpr uint32_t kCifV2Magic = 0x32464943u;        // "CIF2"
 constexpr uint32_t kCifV2FooterMagic = 0x544F4F46u;  // "FOOT"
+
+// v3 keeps the v2 framing byte for byte but changes the magic and prepends
+// one encoding-tag byte to the footer section:
+//   [u32 "CIF3"][u32 nrows][payload][u8 enc][u8 zone kind][zone data]
+//   [u32 zone_len]["FOOT"]
+// The payload layout depends on the tag (storage/column_codec.h). A v2
+// reader rejects v3 bytes on the magic (and vice versa), so cross-version
+// reads stay IoError instead of misparsing.
+constexpr uint32_t kCifV3Magic = 0x33464943u;  // "CIF3"
 
 // Zone map kinds (first byte of the zone section).
 constexpr uint8_t kZoneNone = 0;
@@ -163,6 +174,105 @@ void EncodeColumnPayload(const ColumnVector& col, ByteWriter* out,
   }
 }
 
+/// Serializes one column's values for a v3 block: integers go through the
+/// codec's stats-driven encoding choice, strings additionally consider
+/// RLE-of-codes on top of the dictionary, doubles stay plain. Returns the
+/// encoding tag for the footer and fills the zone map from the same pass.
+uint8_t EncodeColumnPayloadV3(const ColumnVector& col, ByteWriter* out,
+                              ZoneMap* zone) {
+  const auto nrows = static_cast<uint32_t>(col.size());
+  switch (col.type()) {
+    case TypeKind::kInt32:
+    case TypeKind::kInt64: {
+      IntBlockStats stats;
+      const uint8_t tag = EncodeIntPayload(col, out, &stats);
+      if (nrows > 0) {
+        zone->kind = kZoneInt;
+        zone->min_i64 = stats.min;
+        zone->max_i64 = stats.max;
+      }
+      return tag;
+    }
+    case TypeKind::kDouble:
+      EncodeColumnPayload(col, out, zone);
+      return kEncPlain;
+    case TypeKind::kString:
+      break;
+  }
+  // Strings: try the dictionary exactly as v2 does, then let RLE-of-codes
+  // compete with one-code-per-row on estimated size.
+  std::unordered_map<std::string_view, uint8_t> dict;
+  std::vector<std::string_view> order;
+  bool dictionary_ok = nrows > 0;
+  size_t dict_section = 2;  // u16 dict size + entries
+  for (uint32_t i = 0; i < nrows && dictionary_ok; ++i) {
+    const std::string_view s = col.StringViewAt(i);
+    auto it = dict.find(s);
+    if (it != dict.end()) continue;
+    if (dict.size() == 256 || s.size() > 255) {
+      dictionary_ok = false;
+      break;
+    }
+    dict.emplace(s, static_cast<uint8_t>(dict.size()));
+    order.push_back(s);
+    dict_section += 1 + s.size();
+  }
+  if (!dictionary_ok) {
+    // Plain payload, identical to v2 (including the sub-format byte, so the
+    // v2 string parser reads it unchanged).
+    out->PutU8(kStringPlain);
+    uint32_t offset = 0;
+    for (uint32_t i = 0; i < nrows; ++i) {
+      offset += static_cast<uint32_t>(col.StringViewAt(i).size());
+      out->PutU32(offset);
+    }
+    for (uint32_t i = 0; i < nrows; ++i) {
+      const std::string_view s = col.StringViewAt(i);
+      out->PutBytes(s.data(), s.size());
+    }
+    return kEncPlain;
+  }
+  zone->kind = kZoneDict;
+  for (std::string_view s : order) zone->fingerprint |= DictFingerprintBit(s);
+  std::vector<uint8_t> codes(nrows);
+  uint32_t nruns = 0;
+  for (uint32_t i = 0; i < nrows; ++i) {
+    codes[i] = dict.find(col.StringViewAt(i))->second;
+    nruns += static_cast<uint32_t>(i == 0 || codes[i] != codes[i - 1]);
+  }
+  const size_t dict_bytes = 1 + dict_section + nrows;
+  const size_t dict_rle_bytes = dict_section + 4 + nruns * 5;
+  if (dict_rle_bytes >= dict_bytes) {
+    out->PutU8(kStringDictionary);
+    out->PutU16(static_cast<uint16_t>(order.size()));
+    for (std::string_view s : order) {
+      out->PutU8(static_cast<uint8_t>(s.size()));
+      out->PutBytes(s.data(), s.size());
+    }
+    out->PutBytes(codes.data(), codes.size());
+    return kEncDict;
+  }
+  out->PutU16(static_cast<uint16_t>(order.size()));
+  for (std::string_view s : order) {
+    out->PutU8(static_cast<uint8_t>(s.size()));
+    out->PutBytes(s.data(), s.size());
+  }
+  out->PutU32(nruns);
+  for (uint32_t i = 0; i < nrows;) {
+    uint32_t j = i + 1;
+    while (j < nrows && codes[j] == codes[i]) ++j;
+    out->PutU8(codes[i]);
+    i = j;
+  }
+  for (uint32_t i = 0; i < nrows;) {
+    uint32_t j = i + 1;
+    while (j < nrows && codes[j] == codes[i]) ++j;
+    out->PutU32(j - i);
+    i = j;
+  }
+  return kEncDictRle;
+}
+
 /// Serializes one column's buffered values for a split, framed per the
 /// table's on-disk version.
 void EncodeColumnBlock(const ColumnVector& col, int cif_version,
@@ -174,10 +284,18 @@ void EncodeColumnBlock(const ColumnVector& col, int cif_version,
     EncodeColumnPayload(col, out, &zone);
     return;
   }
-  out->PutU32(kCifV2Magic);
-  out->PutU32(nrows);
-  EncodeColumnPayload(col, out, &zone);
+  uint8_t encoding = kEncPlain;
+  if (cif_version >= 3) {
+    out->PutU32(kCifV3Magic);
+    out->PutU32(nrows);
+    encoding = EncodeColumnPayloadV3(col, out, &zone);
+  } else {
+    out->PutU32(kCifV2Magic);
+    out->PutU32(nrows);
+    EncodeColumnPayload(col, out, &zone);
+  }
   const size_t zone_begin = out->size();
+  if (cif_version >= 3) out->PutU8(encoding);
   out->PutU8(zone.kind);
   switch (zone.kind) {
     case kZoneInt:
@@ -198,23 +316,32 @@ void EncodeColumnBlock(const ColumnVector& col, int cif_version,
   out->PutU32(kCifV2FooterMagic);
 }
 
-/// A v2 block's parts, borrowed from the raw block bytes.
+/// A v2/v3 block's parts, borrowed from the raw block bytes.
 struct BlockView {
   uint32_t nrows = 0;
   const uint8_t* payload = nullptr;
   size_t payload_len = 0;
+  /// v3 footer encoding tag; v2 blocks report kEncPlain here and string
+  /// payloads carry their own sub-format byte instead.
+  uint8_t encoding = kEncPlain;
   ZoneMap zone;
 };
 
-Status ParseV2Block(const std::vector<uint8_t>& data, BlockView* out) {
-  // Minimum block: header (8) + empty-zone footer (1 + 8).
-  if (data.size() < 17) {
-    return Status::IoError("truncated CIF v2 column block");
+/// Parses the shared v2/v3 framing; `version` selects the expected magic
+/// (so a v2 table desc reading v3 bytes — or vice versa — fails cleanly)
+/// and whether the footer leads with an encoding tag.
+Status ParseFramedBlock(const std::vector<uint8_t>& data, int version,
+                        BlockView* out) {
+  const bool v3 = version >= 3;
+  // Minimum block: header (8) + footer (zone kind, plus the v3 encoding
+  // tag, plus zone_len + magic).
+  if (data.size() < (v3 ? 18u : 17u)) {
+    return Status::IoError("truncated CIF column block");
   }
   uint32_t magic = 0;
   std::memcpy(&magic, data.data(), sizeof(magic));
-  if (magic != kCifV2Magic) {
-    return Status::IoError("CIF v2 magic mismatch (not a v2 column block)");
+  if (magic != (v3 ? kCifV3Magic : kCifV2Magic)) {
+    return Status::IoError("CIF block magic mismatch (wrong format version)");
   }
   std::memcpy(&out->nrows, data.data() + 4, sizeof(uint32_t));
   uint32_t footer_magic = 0;
@@ -222,15 +349,21 @@ Status ParseV2Block(const std::vector<uint8_t>& data, BlockView* out) {
   std::memcpy(&footer_magic, data.data() + data.size() - 4, sizeof(uint32_t));
   std::memcpy(&zone_len, data.data() + data.size() - 8, sizeof(uint32_t));
   if (footer_magic != kCifV2FooterMagic) {
-    return Status::IoError("bad CIF v2 footer magic");
+    return Status::IoError("bad CIF footer magic");
   }
-  if (zone_len < 1 || zone_len > data.size() - 16) {
-    return Status::IoError("truncated CIF v2 zone-map footer");
+  if (zone_len < (v3 ? 2u : 1u) || zone_len > data.size() - 16) {
+    return Status::IoError("truncated CIF zone-map footer");
   }
   const size_t zone_begin = data.size() - 8 - zone_len;
   out->payload = data.data() + 8;
   out->payload_len = zone_begin - 8;
   ByteReader zone(data.data() + zone_begin, zone_len);
+  if (v3) {
+    CLY_RETURN_IF_ERROR(zone.GetU8(&out->encoding));
+    if (out->encoding >= kEncCount) {
+      return Status::IoError("unknown CIF v3 block encoding tag");
+    }
+  }
   uint8_t kind = 0;
   CLY_RETURN_IF_ERROR(zone.GetU8(&kind));
   out->zone.kind = kind;
@@ -249,10 +382,10 @@ Status ParseV2Block(const std::vector<uint8_t>& data, BlockView* out) {
       CLY_RETURN_IF_ERROR(zone.GetU64(&out->zone.fingerprint));
       break;
     default:
-      return Status::IoError("unknown CIF v2 zone-map kind");
+      return Status::IoError("unknown CIF zone-map kind");
   }
   if (!zone.AtEnd()) {
-    return Status::IoError("trailing bytes in CIF v2 zone-map footer");
+    return Status::IoError("trailing bytes in CIF zone-map footer");
   }
   return Status::OK();
 }
@@ -358,6 +491,113 @@ Status DecodeColumnPayload(const uint8_t* payload, size_t len, uint32_t nrows,
   return Status::OK();
 }
 
+/// Parses a v3 dict-RLE string payload in place: dictionary entries as
+/// views over the payload, then the run arrays. Validates codes and run
+/// totals so every later access is in range.
+Status ParseDictRlePayload(const uint8_t* payload, size_t len, uint32_t nrows,
+                           std::vector<std::string_view>* dict,
+                           const uint8_t** run_codes,
+                           const uint32_t** run_lengths, uint32_t* nruns) {
+  ByteReader reader(payload, len);
+  uint16_t dict_size = 0;
+  CLY_RETURN_IF_ERROR(reader.GetU16(&dict_size));
+  dict->reserve(dict_size);
+  for (uint16_t d = 0; d < dict_size; ++d) {
+    uint8_t len8 = 0;
+    CLY_RETURN_IF_ERROR(reader.GetU8(&len8));
+    if (reader.remaining() < len8) {
+      return Status::IoError("truncated dictionary entry");
+    }
+    dict->emplace_back(
+        reinterpret_cast<const char*>(payload) + reader.position(), len8);
+    CLY_RETURN_IF_ERROR(reader.Skip(len8));
+  }
+  CLY_RETURN_IF_ERROR(reader.GetU32(nruns));
+  if (*nruns > nrows) {
+    return Status::IoError("dict-RLE run count exceeds block row count");
+  }
+  if (reader.remaining() < static_cast<size_t>(*nruns) * 5) {
+    return Status::IoError("truncated dict-RLE runs");
+  }
+  *run_codes = payload + reader.position();
+  CLY_RETURN_IF_ERROR(reader.Skip(*nruns));
+  *run_lengths =
+      reinterpret_cast<const uint32_t*>(payload + reader.position());
+  uint64_t total = 0;
+  for (uint32_t r = 0; r < *nruns; ++r) {
+    if ((*run_codes)[r] >= dict->size()) {
+      return Status::IoError("dictionary code out of range");
+    }
+    if ((*run_lengths)[r] == 0) return Status::IoError("empty dict-RLE run");
+    total += (*run_lengths)[r];
+  }
+  if (total != nrows) {
+    return Status::IoError("dict-RLE run lengths disagree with row count");
+  }
+  return Status::OK();
+}
+
+/// v3 string payloads reuse the v2 layout for plain/dict (sub-format byte
+/// included); the footer tag must agree with that byte or the block is
+/// corrupt.
+Status CheckStringSubFormat(const uint8_t* payload, size_t len, uint32_t nrows,
+                            uint8_t encoding) {
+  if (nrows == 0) return Status::OK();
+  if (len < 1) return Status::IoError("truncated string column block");
+  const uint8_t expected =
+      encoding == kEncDict ? kStringDictionary : kStringPlain;
+  if (payload[0] != expected) {
+    return Status::IoError("string sub-format disagrees with encoding tag");
+  }
+  return Status::OK();
+}
+
+/// Eagerly decodes one v3 payload per its footer encoding tag.
+Status DecodeColumnPayloadV3(const uint8_t* payload, size_t len,
+                             uint32_t nrows, TypeKind type, uint8_t encoding,
+                             ColumnVector* out) {
+  switch (type) {
+    case TypeKind::kInt32:
+    case TypeKind::kInt64: {
+      IntBlockView view;
+      CLY_RETURN_IF_ERROR(
+          ParseIntPayload(payload, len, nrows, type, encoding, &view));
+      out->Clear();
+      DecodeIntView(view, type, out);
+      return Status::OK();
+    }
+    case TypeKind::kDouble:
+      if (encoding != kEncPlain) {
+        return Status::IoError("double column block with non-plain encoding");
+      }
+      return DecodeColumnPayload(payload, len, nrows, type, out);
+    case TypeKind::kString:
+      break;
+  }
+  if (encoding == kEncPlain || encoding == kEncDict) {
+    CLY_RETURN_IF_ERROR(CheckStringSubFormat(payload, len, nrows, encoding));
+    return DecodeColumnPayload(payload, len, nrows, type, out);
+  }
+  if (encoding != kEncDictRle) {
+    return Status::IoError("unknown CIF v3 string column encoding");
+  }
+  out->Clear();
+  if (nrows == 0) return Status::OK();
+  std::vector<std::string_view> dict;
+  const uint8_t* run_codes = nullptr;
+  const uint32_t* run_lengths = nullptr;
+  uint32_t nruns = 0;
+  CLY_RETURN_IF_ERROR(ParseDictRlePayload(payload, len, nrows, &dict,
+                                          &run_codes, &run_lengths, &nruns));
+  auto* v = out->mutable_str();
+  v->reserve(nrows);
+  for (uint32_t r = 0; r < nruns; ++r) {
+    const std::string_view s = dict[run_codes[r]];
+    for (uint32_t k = 0; k < run_lengths[r]; ++k) v->emplace_back(s);
+  }
+  return Status::OK();
+}
+
 /// Eagerly decodes a whole column block per the table's on-disk version.
 Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
                          int cif_version, ColumnVector* out) {
@@ -370,7 +610,11 @@ Status DecodeColumnBlock(const std::vector<uint8_t>& data, TypeKind type,
                                out);
   }
   BlockView view;
-  CLY_RETURN_IF_ERROR(ParseV2Block(data, &view));
+  CLY_RETURN_IF_ERROR(ParseFramedBlock(data, cif_version, &view));
+  if (cif_version >= 3) {
+    return DecodeColumnPayloadV3(view.payload, view.payload_len, view.nrows,
+                                 type, view.encoding, out);
+  }
   return DecodeColumnPayload(view.payload, view.payload_len, view.nrows, type,
                              out);
 }
@@ -700,34 +944,89 @@ bool TestStringLeaf(std::string_view s, const Predicate& p) {
   }
 }
 
+/// Scalar integer leaf test with the exact keep/drop semantics of
+/// ApplyIntegerLeaf (operand-kind mismatch keeps the row), so code tables
+/// built from it select the same rows the vector kernel would.
+bool TestIntLeaf(int64_t x, const Predicate& p) {
+  int64_t v = 0;
+  switch (p.kind()) {
+    case Predicate::Kind::kNe:
+      return !Int64Operand(p.lo(), &v) || x != v;
+    case Predicate::Kind::kIn: {
+      for (const Value& cand : p.in_values()) {
+        if (!Int64Operand(cand, &v)) return true;
+        if (x == v) return true;
+      }
+      return false;
+    }
+    default: {
+      int64_t lo = 0, hi = 0;
+      if (!IntLeafBounds(p, &lo, &hi)) return true;
+      return x >= lo && x <= hi;
+    }
+  }
+}
+
+/// Derives a zone map from a packed block's representable range: FoR bounds
+/// values by [base, base + 2^width - 1], bit-packing by [0, 2^width - 1].
+/// Conservative (the true max may be lower), so it only ever skips blocks a
+/// real zone map over the same data would also skip.
+bool PackedRangeZone(const IntBlockView& v, ZoneMap* zone) {
+  if (v.encoding != kEncBitPack && v.encoding != kEncFor) return false;
+  zone->kind = kZoneInt;
+  zone->min_i64 = v.base;
+  zone->max_i64 =
+      v.base + static_cast<int64_t>((uint64_t{1} << v.width) - 1);
+  return true;
+}
+
 // --- Late-materialization loader ---------------------------------------------
 
-/// One column of a v2 split: raw block bytes plus borrowed typed views.
-/// Fixed-width arrays are read in place (the v2 payload starts 8-aligned);
-/// strings stay encoded until gather time.
+// LateColumn string representations (the int representations live in the
+// codec's IntBlockView). Plain and dictionary are shared with v2; dict-RLE
+// is v3-only.
+constexpr uint8_t kStrRepPlain = 0;
+constexpr uint8_t kStrRepDict = 1;
+constexpr uint8_t kStrRepDictRle = 2;
+
+/// One column of a v2/v3 split: raw block bytes plus borrowed typed views.
+/// Fixed-width arrays are read in place (the payload starts 8-aligned);
+/// strings and encoded integers stay compressed until gather time — the
+/// selection phases below work per run / per packed code, so a filtered-out
+/// row is never decoded at all.
 struct LateColumn {
   bool loaded = false;
   const Field* field = nullptr;
   std::shared_ptr<const std::vector<uint8_t>> arena;
   BlockView view;
+  /// Validated integer payload view; v2 int/double payloads parse as
+  /// kEncPlain so every phase handles both versions uniformly.
+  IntBlockView iview;
+  std::vector<int32_t> run_starts;  // RLE row prefix: nruns + 1 entries
+  /// Plain-encoding equivalent byte size (compression accounting).
+  uint64_t raw_bytes = 0;
   // String sub-state.
-  uint8_t encoding = kStringPlain;
+  uint8_t str_rep = kStrRepPlain;
   std::vector<std::string_view> dict;  // dictionary entries, in code order
   const uint8_t* codes = nullptr;      // nrows codes (dictionary mode)
-  std::vector<uint32_t> offsets;       // end offsets (plain mode, realigned)
-  const char* plain_base = nullptr;    // string bytes (plain mode)
+  const uint8_t* run_codes = nullptr;  // dict-RLE: one code per run
+  const uint32_t* str_run_lengths = nullptr;
+  uint32_t str_nruns = 0;
+  std::vector<int32_t> str_run_starts;  // dict-RLE row prefix
+  std::vector<uint32_t> offsets;        // end offsets (plain mode, realigned)
+  const char* plain_base = nullptr;     // string bytes (plain mode)
 
   const int32_t* i32() const {
-    return reinterpret_cast<const int32_t*>(view.payload);
+    return reinterpret_cast<const int32_t*>(iview.plain);
   }
   const int64_t* i64() const {
-    return reinterpret_cast<const int64_t*>(view.payload);
+    return reinterpret_cast<const int64_t*>(iview.plain);
   }
   const double* f64() const {
     return reinterpret_cast<const double*>(view.payload);
   }
   std::string_view StringAt(uint32_t i) const {
-    if (encoding == kStringDictionary) return dict[codes[i]];
+    if (str_rep == kStrRepDict) return dict[codes[i]];
     const uint32_t begin = i == 0 ? 0 : offsets[i - 1];
     return std::string_view(plain_base + begin, offsets[i] - begin);
   }
@@ -736,37 +1035,167 @@ struct LateColumn {
   }
 };
 
+/// Builds the row-prefix array for a run list: starts[k] is the first row
+/// of run k, with one trailing entry equal to nrows.
+template <typename LenT>
+void BuildRunStarts(const LenT* lengths, uint32_t nruns,
+                    std::vector<int32_t>* starts) {
+  starts->resize(nruns + 1);
+  int32_t row = 0;
+  for (uint32_t r = 0; r < nruns; ++r) {
+    (*starts)[r] = row;
+    row += static_cast<int32_t>(lengths[r]);
+  }
+  (*starts)[nruns] = row;
+}
+
+/// Selection update for an integer leaf over an encoded column, working in
+/// the compressed domain wherever the encoding allows:
+///   RLE       one leaf evaluation per run (all rows of a run share a value),
+///             then a fill per refuted run — never per surviving row.
+///   bit-pack/ small widths precompute a per-code verdict table and test
+///   FoR       packed codes against it; the values never materialize. Wide
+///             codes (> 12 bits, where the table stops paying) decode into a
+///             reused scratch buffer and run the plain vector kernel.
+void ApplyIntLeafEncoded(const Predicate& p, const LateColumn& c,
+                         uint32_t nrows, uint8_t* sel,
+                         std::vector<int64_t>* scratch) {
+  const IntBlockView& v = c.iview;
+  switch (v.encoding) {
+    case kEncPlain:
+      if (c.field->type == TypeKind::kInt32) {
+        ApplyIntegerLeaf(p, c.i32(), nrows, sel);
+      } else {
+        ApplyIntegerLeaf(p, c.i64(), nrows, sel);
+      }
+      return;
+    case kEncRle: {
+      std::vector<uint8_t> run_sel(v.nruns, 1);
+      ApplyIntegerLeaf(p, v.run_values, v.nruns, run_sel.data());
+      for (uint32_t r = 0; r < v.nruns; ++r) {
+        if (run_sel[r] == 0) {
+          std::fill(sel + c.run_starts[r], sel + c.run_starts[r + 1],
+                    uint8_t{0});
+        }
+      }
+      return;
+    }
+    case kEncBitPack:
+    case kEncFor: {
+      if (v.width <= 12) {
+        const uint32_t ncodes = 1u << v.width;
+        std::vector<uint8_t> code_ok(ncodes);
+        for (uint32_t code = 0; code < ncodes; ++code) {
+          code_ok[code] = static_cast<uint8_t>(
+              TestIntLeaf(v.base + static_cast<int64_t>(code), p));
+        }
+        for (uint32_t i = 0; i < nrows; ++i) {
+          sel[i] &= code_ok[BitUnpackOne(v.words, i, v.width)];
+        }
+        return;
+      }
+      scratch->resize(nrows);
+      BitUnpackAll(v.words, nrows, v.width,
+                   reinterpret_cast<uint64_t*>(scratch->data()));
+      if (v.base != 0) {
+        for (uint32_t i = 0; i < nrows; ++i) (*scratch)[i] += v.base;
+      }
+      ApplyIntegerLeaf(p, scratch->data(), nrows, sel);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Gathers the selected rows of a non-plain integer column through `push`
+/// (ascending sel_idx; values widened to int64). For RLE the run cursor
+/// advances in tandem with the selection, and with `want_runs` it also
+/// rebuilds run metadata over the gathered rows — one output run per touched
+/// source run, which is valid (though not maximal) run coverage.
+template <typename Push>
+void GatherIntEncoded(const LateColumn& c, const std::vector<int32_t>& sel_idx,
+                      bool want_runs, std::vector<int64_t>* run_values,
+                      std::vector<int32_t>* run_starts, Push push) {
+  const IntBlockView& v = c.iview;
+  if (v.encoding == kEncRle) {
+    uint32_t r = 0;
+    int64_t last_run = -1;
+    int32_t out_row = 0;
+    for (int32_t idx : sel_idx) {
+      while (c.run_starts[r + 1] <= idx) ++r;
+      if (want_runs && static_cast<int64_t>(r) != last_run) {
+        last_run = static_cast<int64_t>(r);
+        run_values->push_back(v.run_values[r]);
+        run_starts->push_back(out_row);
+      }
+      push(v.run_values[r]);
+      ++out_row;
+    }
+    if (want_runs) run_starts->push_back(out_row);
+    return;
+  }
+  for (int32_t idx : sel_idx) push(v.PackedAt(static_cast<uint64_t>(idx)));
+}
+
 /// Validates the payload framing for in-place access and, for strings,
-/// parses the dictionary/offset structure (validating every code up front so
-/// later gathers cannot index out of range).
-Status ParseLatePayload(LateColumn* c) {
+/// parses the dictionary/offset/run structure (validating every code up
+/// front so later gathers cannot index out of range). `version` selects
+/// whether the footer encoding tag governs the payload (v3) or the legacy
+/// v2 layouts apply.
+Status ParseLatePayload(int version, LateColumn* c) {
   const uint8_t* payload = c->view.payload;
   const uint32_t nrows = c->view.nrows;
+  const uint8_t block_enc = version >= 3 ? c->view.encoding : kEncPlain;
   ByteReader reader(payload, c->view.payload_len);
   switch (c->field->type) {
     case TypeKind::kInt32:
-      if (reader.remaining() < nrows * sizeof(int32_t)) {
-        return Status::IoError("truncated int32 column block");
+    case TypeKind::kInt64: {
+      CLY_RETURN_IF_ERROR(ParseIntPayload(payload, c->view.payload_len, nrows,
+                                          c->field->type, block_enc,
+                                          &c->iview));
+      c->raw_bytes =
+          nrows * (c->field->type == TypeKind::kInt32 ? 4ull : 8ull);
+      if (c->iview.encoding == kEncRle) {
+        BuildRunStarts(c->iview.run_lengths, c->iview.nruns, &c->run_starts);
       }
       return Status::OK();
-    case TypeKind::kInt64:
-      if (reader.remaining() < nrows * sizeof(int64_t)) {
-        return Status::IoError("truncated int64 column block");
-      }
-      return Status::OK();
+    }
     case TypeKind::kDouble:
+      if (block_enc != kEncPlain) {
+        return Status::IoError("double column block with non-plain encoding");
+      }
       if (reader.remaining() < nrows * sizeof(double)) {
         return Status::IoError("truncated double column block");
       }
+      c->raw_bytes = nrows * 8ull;
       return Status::OK();
     case TypeKind::kString:
       break;
   }
   if (nrows == 0) return Status::OK();
+  if (block_enc == kEncDictRle) {
+    c->str_rep = kStrRepDictRle;
+    CLY_RETURN_IF_ERROR(ParseDictRlePayload(payload, c->view.payload_len,
+                                            nrows, &c->dict, &c->run_codes,
+                                            &c->str_run_lengths,
+                                            &c->str_nruns));
+    BuildRunStarts(c->str_run_lengths, c->str_nruns, &c->str_run_starts);
+    c->raw_bytes = 1 + 4ull * nrows;
+    for (uint32_t r = 0; r < c->str_nruns; ++r) {
+      c->raw_bytes += static_cast<uint64_t>(c->str_run_lengths[r]) *
+                      c->dict[c->run_codes[r]].size();
+    }
+    return Status::OK();
+  }
+  if (version >= 3) {
+    CLY_RETURN_IF_ERROR(CheckStringSubFormat(payload, c->view.payload_len,
+                                             nrows, block_enc));
+  }
   uint8_t encoding = 0;
   CLY_RETURN_IF_ERROR(reader.GetU8(&encoding));
-  c->encoding = encoding;
   if (encoding == kStringDictionary) {
+    c->str_rep = kStrRepDict;
     uint16_t dict_size = 0;
     CLY_RETURN_IF_ERROR(reader.GetU16(&dict_size));
     c->dict.reserve(dict_size);
@@ -785,16 +1214,20 @@ Status ParseLatePayload(LateColumn* c) {
     }
     c->codes = payload + reader.position();
     const size_t dsize = c->dict.size();
+    c->raw_bytes = 1 + 4ull * nrows;
     for (uint32_t i = 0; i < nrows; ++i) {
       if (c->codes[i] >= dsize) {
         return Status::IoError("dictionary code out of range");
       }
+      c->raw_bytes += c->dict[c->codes[i]].size();
     }
     return Status::OK();
   }
   if (encoding != kStringPlain) {
     return Status::IoError("unknown string column encoding");
   }
+  c->str_rep = kStrRepPlain;
+  c->raw_bytes = c->view.payload_len;
   if (reader.remaining() < nrows * sizeof(uint32_t)) {
     return Status::IoError("truncated string offsets");
   }
@@ -876,29 +1309,9 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
     }
   }
 
-  std::vector<LateColumn> cols(static_cast<size_t>(desc.schema->num_fields()));
-  uint32_t nrows = 0;
-  bool nrows_known = false;
-  auto load_column = [&](int field_index) -> Status {
-    LateColumn& c = cols[static_cast<size_t>(field_index)];
-    if (c.loaded) return Status::OK();
-    c.field = &desc.schema->field(field_index);
-    CLY_ASSIGN_OR_RETURN(
-        c.arena, ReadColumnBlockBytes(dfs, desc, split, c.field->name, options));
-    CLY_RETURN_IF_ERROR(ParseV2Block(*c.arena, &c.view));
-    if (nrows_known && c.view.nrows != nrows) {
-      return Status::IoError(
-          StrCat("CIF split columns disagree on row count: ", c.view.nrows,
-                 " vs ", nrows));
-    }
-    nrows = c.view.nrows;
-    nrows_known = true;
-    CLY_RETURN_IF_ERROR(ParseLatePayload(&c));
-    c.loaded = true;
-    return Status::OK();
-  };
-
-  // Phase 1: load only the filter columns and consult their zone maps.
+  // The fixed column load order: filter columns first (phases 1-2, in field
+  // order), then the remaining projected columns (phase 3). The prefetch
+  // worker walks the same order, so Take() indexes line up with load calls.
   std::vector<int> filter_fields;
   for (const BoundLeaf& l : leaves) filter_fields.push_back(l.field);
   for (const BoundKeyFilter& kf : key_filters) {
@@ -908,21 +1321,97 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
   filter_fields.erase(
       std::unique(filter_fields.begin(), filter_fields.end()),
       filter_fields.end());
+  std::vector<int> fetch_order = filter_fields;
+  for (int f : projection) {
+    if (std::find(fetch_order.begin(), fetch_order.end(), f) ==
+        fetch_order.end()) {
+      fetch_order.push_back(f);
+    }
+  }
+
+  std::vector<LateColumn> cols(static_cast<size_t>(desc.schema->num_fields()));
+  std::vector<size_t> fetch_pos(cols.size(), 0);
+  std::unique_ptr<BlockPrefetcher> prefetcher;
+  if (options.prefetch && !fetch_order.empty()) {
+    std::vector<std::string> paths;
+    paths.reserve(fetch_order.size());
+    for (size_t i = 0; i < fetch_order.size(); ++i) {
+      const int f = fetch_order[i];
+      fetch_pos[static_cast<size_t>(f)] = i;
+      paths.push_back(
+          ColumnFilePath(desc, desc.schema->field(f).name, split.segment));
+    }
+    prefetcher = std::make_unique<BlockPrefetcher>(
+        &dfs, options.reader_node, std::move(paths), split.block_in_segment);
+  }
+  // The worker thread tracked its I/O privately; fold it into the caller's
+  // accounting only after the join inside Finish().
+  auto finish_prefetch = [&]() {
+    if (prefetcher != nullptr && options.stats != nullptr) {
+      options.stats->Add(prefetcher->Finish());
+    }
+  };
+
+  uint32_t nrows = 0;
+  bool nrows_known = false;
+  auto load_column = [&](int field_index) -> Status {
+    LateColumn& c = cols[static_cast<size_t>(field_index)];
+    if (c.loaded) return Status::OK();
+    c.field = &desc.schema->field(field_index);
+    if (prefetcher != nullptr) {
+      CLY_ASSIGN_OR_RETURN(
+          c.arena,
+          prefetcher->Take(fetch_pos[static_cast<size_t>(field_index)]));
+    } else {
+      CLY_ASSIGN_OR_RETURN(c.arena, ReadColumnBlockBytes(dfs, desc, split,
+                                                         c.field->name,
+                                                         options));
+    }
+    CLY_RETURN_IF_ERROR(ParseFramedBlock(*c.arena, desc.cif_version, &c.view));
+    if (nrows_known && c.view.nrows != nrows) {
+      return Status::IoError(
+          StrCat("CIF split columns disagree on row count: ", c.view.nrows,
+                 " vs ", nrows));
+    }
+    nrows = c.view.nrows;
+    nrows_known = true;
+    CLY_RETURN_IF_ERROR(ParseLatePayload(desc.cif_version, &c));
+    c.loaded = true;
+    stats->bytes_encoded += c.view.payload_len;
+    stats->bytes_raw += c.raw_bytes;
+    // v2 blocks carry no footer tag; classify dictionary strings by their
+    // parsed representation so compression accounting works there too.
+    uint8_t tag = c.view.encoding;
+    if (desc.cif_version < 3 && c.str_rep == kStrRepDict) tag = kEncDict;
+    stats->blocks_by_encoding[tag] += 1;
+    return Status::OK();
+  };
+
+  // Phase 1: load only the filter columns and consult their zone maps. A
+  // packed block's representable range [base, base + 2^width) acts as a
+  // second, implicit zone map and composes with the explicit one.
   for (int f : filter_fields) CLY_RETURN_IF_ERROR(load_column(f));
 
   bool skip_block = false;
   for (const BoundLeaf& l : leaves) {
     const LateColumn& c = cols[static_cast<size_t>(l.field)];
-    if (ZoneRefutesLeaf(c.view.zone, c.field->type, *l.pred)) {
+    ZoneMap packed;
+    if (ZoneRefutesLeaf(c.view.zone, c.field->type, *l.pred) ||
+        (PackedRangeZone(c.iview, &packed) &&
+         ZoneRefutesLeaf(packed, c.field->type, *l.pred))) {
       skip_block = true;
       break;
     }
   }
   if (!skip_block) {
     for (const BoundKeyFilter& kf : key_filters) {
-      const ZoneMap& zone = cols[static_cast<size_t>(kf.field)].view.zone;
-      if (zone.kind == kZoneInt &&
-          !kf.filter->RangeMightMatch(zone.min_i64, zone.max_i64)) {
+      const LateColumn& c = cols[static_cast<size_t>(kf.field)];
+      const ZoneMap& zone = c.view.zone;
+      ZoneMap packed;
+      if ((zone.kind == kZoneInt &&
+           !kf.filter->RangeMightMatch(zone.min_i64, zone.max_i64)) ||
+          (PackedRangeZone(c.iview, &packed) &&
+           !kf.filter->RangeMightMatch(packed.min_i64, packed.max_i64))) {
         skip_block = true;
         break;
       }
@@ -932,34 +1421,49 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
   if (skip_block) {
     stats->blocks_skipped += 1;
     stats->rows_pruned += nrows;
+    finish_prefetch();
     CLY_RETURN_IF_ERROR(batch.SealRowCount());
     return batch;
   }
 
-  // Phase 2: per-row selection over the filter columns alone. Numeric leaves
-  // run branchless over the raw payload arrays; dictionary leaves collapse
-  // to a 256-entry code test; key filters probe only rows that survived the
-  // cheaper predicate passes.
+  // Phase 2: per-row selection over the filter columns alone, evaluated in
+  // the compressed domain where the encoding allows it: numeric leaves run
+  // per run / per packed code (ApplyIntLeafEncoded); dictionary and dict-RLE
+  // leaves collapse to a code test; key filters probe only rows that
+  // survived the cheaper predicate passes — and RLE key columns pay one
+  // membership probe per touched run, not per row.
   const bool any_filter = !leaves.empty() || !key_filters.empty();
   std::vector<uint8_t> sel;
   std::vector<int32_t> sel_idx;
+  std::vector<int64_t> scratch;
   if (any_filter) {
     sel.assign(nrows, 1);
     for (const BoundLeaf& l : leaves) {
       const LateColumn& c = cols[static_cast<size_t>(l.field)];
       switch (c.field->type) {
         case TypeKind::kInt32:
-          ApplyIntegerLeaf(*l.pred, c.i32(), nrows, sel.data());
-          break;
         case TypeKind::kInt64:
-          ApplyIntegerLeaf(*l.pred, c.i64(), nrows, sel.data());
+          ApplyIntLeafEncoded(*l.pred, c, nrows, sel.data(), &scratch);
           break;
         case TypeKind::kDouble:
           ApplyDoubleLeaf(*l.pred, c.f64(), nrows, sel.data());
           break;
         case TypeKind::kString:
           if (nrows == 0) break;
-          if (c.encoding == kStringDictionary) {
+          if (c.str_rep == kStrRepDictRle) {
+            uint8_t code_ok[256];
+            const size_t dsize = c.dict.size();
+            for (size_t d = 0; d < dsize; ++d) {
+              code_ok[d] =
+                  static_cast<uint8_t>(TestStringLeaf(c.dict[d], *l.pred));
+            }
+            for (uint32_t r = 0; r < c.str_nruns; ++r) {
+              if (code_ok[c.run_codes[r]] == 0) {
+                std::fill(sel.data() + c.str_run_starts[r],
+                          sel.data() + c.str_run_starts[r + 1], uint8_t{0});
+              }
+            }
+          } else if (c.str_rep == kStrRepDict) {
             uint8_t code_ok[256];
             const size_t dsize = c.dict.size();
             for (size_t d = 0; d < dsize; ++d) {
@@ -985,10 +1489,31 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
     }
     for (const BoundKeyFilter& kf : key_filters) {
       const LateColumn& c = cols[static_cast<size_t>(kf.field)];
+      const IntBlockView& v = c.iview;
       size_t kept = 0;
-      for (int32_t idx : sel_idx) {
-        if (kf.filter->Contains(c.KeyAt(static_cast<uint32_t>(idx)))) {
-          sel_idx[kept++] = idx;
+      if (v.encoding == kEncRle) {
+        uint32_t r = 0;
+        int64_t probed_run = -1;
+        bool run_ok = false;
+        for (int32_t idx : sel_idx) {
+          while (c.run_starts[r + 1] <= idx) ++r;
+          if (static_cast<int64_t>(r) != probed_run) {
+            probed_run = static_cast<int64_t>(r);
+            run_ok = kf.filter->Contains(v.run_values[r]);
+          }
+          if (run_ok) sel_idx[kept++] = idx;
+        }
+      } else if (v.encoding == kEncBitPack || v.encoding == kEncFor) {
+        for (int32_t idx : sel_idx) {
+          if (kf.filter->Contains(v.PackedAt(static_cast<uint64_t>(idx)))) {
+            sel_idx[kept++] = idx;
+          }
+        }
+      } else {
+        for (int32_t idx : sel_idx) {
+          if (kf.filter->Contains(c.KeyAt(static_cast<uint32_t>(idx)))) {
+            sel_idx[kept++] = idx;
+          }
         }
       }
       sel_idx.resize(kept);
@@ -996,25 +1521,27 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
     stats->rows_pruned += nrows - sel_idx.size();
   }
 
-  // Phase 3: materialize the projection for the surviving rows.
+  // Phase 3: materialize the projection for the surviving rows. RLE columns
+  // optionally carry their run structure into the batch (expose_runs) so the
+  // probe/aggregate layer can keep working per run.
   for (size_t p = 0; p < projection.size(); ++p) {
     CLY_RETURN_IF_ERROR(load_column(projection[p]));
     const LateColumn& c = cols[static_cast<size_t>(projection[p])];
+    const IntBlockView& iv = c.iview;
     ColumnVector* out = batch.mutable_column(static_cast<int>(p));
+    const bool is_int = c.field->type == TypeKind::kInt32 ||
+                       c.field->type == TypeKind::kInt64;
     if (!any_filter) {
       switch (c.field->type) {
-        case TypeKind::kInt32: {
-          auto* v = out->mutable_i32();
-          v->resize(nrows);
-          std::memcpy(v->data(), c.i32(), nrows * sizeof(int32_t));
+        case TypeKind::kInt32:
+        case TypeKind::kInt64:
+          DecodeIntView(iv, c.field->type, out);
+          if (options.expose_runs && iv.encoding == kEncRle) {
+            out->SetRuns(
+                std::vector<int64_t>(iv.run_values, iv.run_values + iv.nruns),
+                c.run_starts);
+          }
           break;
-        }
-        case TypeKind::kInt64: {
-          auto* v = out->mutable_i64();
-          v->resize(nrows);
-          std::memcpy(v->data(), c.i64(), nrows * sizeof(int64_t));
-          break;
-        }
         case TypeKind::kDouble: {
           auto* v = out->mutable_f64();
           v->resize(nrows);
@@ -1024,7 +1551,18 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
         case TypeKind::kString: {
           auto* views = out->mutable_str_views();
           views->reserve(nrows);
-          for (uint32_t i = 0; i < nrows; ++i) views->push_back(c.StringAt(i));
+          if (c.str_rep == kStrRepDictRle) {
+            for (uint32_t r = 0; r < c.str_nruns; ++r) {
+              const std::string_view s = c.dict[c.run_codes[r]];
+              for (uint32_t k = 0; k < c.str_run_lengths[r]; ++k) {
+                views->push_back(s);
+              }
+            }
+          } else {
+            for (uint32_t i = 0; i < nrows; ++i) {
+              views->push_back(c.StringAt(i));
+            }
+          }
           out->set_string_arena(c.arena);
           break;
         }
@@ -1032,6 +1570,28 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
       continue;
     }
     const size_t selected = sel_idx.size();
+    if (is_int && iv.encoding != kEncPlain) {
+      const bool want_runs = options.expose_runs && iv.encoding == kEncRle;
+      std::vector<int64_t> run_values;
+      std::vector<int32_t> run_starts;
+      if (c.field->type == TypeKind::kInt32) {
+        auto* v = out->mutable_i32();
+        v->reserve(selected);
+        GatherIntEncoded(c, sel_idx, want_runs, &run_values, &run_starts,
+                         [&](int64_t x) {
+                           v->push_back(static_cast<int32_t>(x));
+                         });
+      } else {
+        auto* v = out->mutable_i64();
+        v->reserve(selected);
+        GatherIntEncoded(c, sel_idx, want_runs, &run_values, &run_starts,
+                         [&](int64_t x) { v->push_back(x); });
+      }
+      if (want_runs) {
+        out->SetRuns(std::move(run_values), std::move(run_starts));
+      }
+      continue;
+    }
     switch (c.field->type) {
       case TypeKind::kInt32: {
         auto* v = out->mutable_i32();
@@ -1057,14 +1617,23 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
       case TypeKind::kString: {
         auto* views = out->mutable_str_views();
         views->reserve(selected);
-        for (int32_t idx : sel_idx) {
-          views->push_back(c.StringAt(static_cast<uint32_t>(idx)));
+        if (c.str_rep == kStrRepDictRle) {
+          uint32_t r = 0;
+          for (int32_t idx : sel_idx) {
+            while (c.str_run_starts[r + 1] <= idx) ++r;
+            views->push_back(c.dict[c.run_codes[r]]);
+          }
+        } else {
+          for (int32_t idx : sel_idx) {
+            views->push_back(c.StringAt(static_cast<uint32_t>(idx)));
+          }
         }
         out->set_string_arena(c.arena);
         break;
       }
     }
   }
+  finish_prefetch();
   CLY_RETURN_IF_ERROR(batch.SealRowCount());
   return batch;
 }
@@ -1179,6 +1748,30 @@ class CifSplitRowReader final : public RowReader {
   int64_t next_ = 0;
 };
 
+/// Carries a column's run overlay into a row slice [begin, begin + take):
+/// the overlapping runs, clamped to the slice and rebased to row 0.
+void SliceRuns(const ColumnVector& src, int64_t begin, int64_t take,
+               ColumnVector* dst) {
+  if (!src.has_runs() || take <= 0) return;
+  const std::vector<int64_t>& rv = src.run_values();
+  const std::vector<int32_t>& rs = src.run_starts();
+  std::vector<int64_t> nv;
+  std::vector<int32_t> ns;
+  size_t r = static_cast<size_t>(
+                 std::upper_bound(rs.begin(), rs.end(),
+                                  static_cast<int32_t>(begin)) -
+                 rs.begin()) -
+             1;
+  const int64_t end = begin + take;
+  for (; r + 1 < rs.size() && rs[r] < end; ++r) {
+    nv.push_back(rv[r]);
+    ns.push_back(
+        static_cast<int32_t>(std::max<int64_t>(rs[r], begin) - begin));
+  }
+  ns.push_back(static_cast<int32_t>(take));
+  dst->SetRuns(std::move(nv), std::move(ns));
+}
+
 class CifSplitBatchReader final : public BatchReader {
  public:
   CifSplitBatchReader(RowBatch batch, SchemaPtr out_schema)
@@ -1190,7 +1783,7 @@ class CifSplitBatchReader final : public BatchReader {
     const int64_t take = std::min(max_rows, batch_.num_rows() - next_);
     // Columnar copy of the slice: one memcpy-ish loop per column instead of
     // per-row materialization. View-mode string columns stay zero-copy: the
-    // slice shares the source's arena.
+    // slice shares the source's arena; run overlays are clamped to the slice.
     for (int c = 0; c < batch_.num_columns(); ++c) {
       const ColumnVector& src = batch_.column(c);
       ColumnVector* dst = out->mutable_column(c);
@@ -1199,10 +1792,12 @@ class CifSplitBatchReader final : public BatchReader {
         case TypeKind::kInt32:
           dst->mutable_i32()->assign(
               src.i32().begin() + next_, src.i32().begin() + next_ + take);
+          SliceRuns(src, next_, take, dst);
           break;
         case TypeKind::kInt64:
           dst->mutable_i64()->assign(
               src.i64().begin() + next_, src.i64().begin() + next_ + take);
+          SliceRuns(src, next_, take, dst);
           break;
         case TypeKind::kDouble:
           dst->mutable_f64()->assign(

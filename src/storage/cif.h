@@ -34,6 +34,22 @@ namespace storage {
 /// (ColumnVector view mode), never per-row copies. v1 files keep decoding
 /// through the original eager path; `ScanOptions::late_materialize = false`
 /// forces it for v2 too (the `cif.scan.late_materialize` A/B knob).
+///
+/// v3 (the default for new tables) adds per-block lightweight encodings
+/// under the same footer discipline: the layout becomes [u32 magic]
+/// [u32 nrows][encoded payload][u8 encoding tag][zone map][u32 zone_len]
+/// [u32 footer magic], where the tag (column_codec.h) selects plain, RLE,
+/// bit-packing, or frame-of-reference for integer blocks and RLE-of-codes
+/// for dictionary strings. The writer picks the smallest exact encoding
+/// from single-pass block stats; the reader evaluates predicates and
+/// semi-join key filters in the compressed domain (once per RLE run, via
+/// code-set tests on packed codes) and can expose run structure to the
+/// engine (`ScanOptions::expose_runs`) for run-weighted aggregation. A
+/// double-buffered background prefetcher (`ScanOptions::prefetch`, the
+/// `cif.scan.prefetch` knob, off by default) overlaps block fetch with
+/// decode; prefetched arenas are shared_ptr-owned so handed-out string
+/// views outlive the reader. Reading any version's file through another
+/// version's desc is an IoError.
 Result<std::unique_ptr<TableWriter>> OpenCifTableWriter(hdfs::MiniDfs* dfs,
                                                         const TableDesc& desc);
 Result<std::vector<StorageSplit>> ListCifSplits(const hdfs::MiniDfs& dfs,

@@ -46,13 +46,22 @@ struct ScanSpec {
   bool empty() const { return conjuncts.empty() && key_filters.empty(); }
 };
 
-/// Pruning effectiveness of one scan, reported by the CIF v2 reader.
+/// Pruning effectiveness of one scan, reported by the CIF v2+ reader.
 /// blocks_skipped counts column-block row-groups eliminated by zone maps
 /// alone; rows_pruned counts rows eliminated before materialization (both
 /// zone-map skips and per-row predicate/key-filter drops).
+///
+/// The byte and per-encoding members describe compression on the v3 read
+/// path: bytes_encoded is what the loaded column blocks occupy on disk,
+/// bytes_raw their plain-encoding equivalent (so bytes_raw / bytes_encoded
+/// is the observed compression ratio), and blocks_by_encoding[tag] counts
+/// loaded blocks per encoding tag (storage/column_codec.h).
 struct ScanStats {
   uint64_t blocks_skipped = 0;
   uint64_t rows_pruned = 0;
+  uint64_t bytes_encoded = 0;
+  uint64_t bytes_raw = 0;
+  uint64_t blocks_by_encoding[6] = {0, 0, 0, 0, 0, 0};
 };
 
 }  // namespace storage

@@ -36,10 +36,12 @@ struct TableDesc {
   /// means a single segment of num_rows. segment_rows[k] == 0 marks a
   /// rolled-out segment.
   std::vector<uint64_t> segment_rows;
-  /// On-disk CIF block layout version. New tables write v2 (per-block zone
-  /// maps + footer); LoadTableDesc defaults absent metadata to 1 so every
-  /// pre-existing table keeps decoding through the v1 path.
-  int cif_version = 2;
+  /// On-disk CIF block layout version. New tables write v3 (per-block zone
+  /// maps + footer + lightweight block encodings); LoadTableDesc defaults
+  /// absent metadata to 1 so every pre-existing table keeps decoding
+  /// through the v1 path, and explicitly versioned v2 tables keep the v2
+  /// writer/reader pair.
+  int cif_version = 3;
 
   int num_segments() const {
     return segment_rows.empty() ? 1 : static_cast<int>(segment_rows.size());
@@ -80,7 +82,17 @@ struct ScanOptions {
   /// the eager v1-style decode (scan_spec ignored) for apples-to-apples
   /// comparison. v1 files always decode eagerly regardless.
   bool late_materialize = true;
-  /// Optional pruning-effectiveness output (CIF v2 late path only).
+  /// Double-buffered async block read-ahead (`cif.scan.prefetch`): a worker
+  /// thread fetches the next column block while the current one decodes.
+  /// CIF v2+ late path only; off by default (results are byte-identical
+  /// either way — the knob trades a thread for I/O/decode overlap).
+  bool prefetch = false;
+  /// Attach RLE run metadata to materialized integer columns (ColumnVector
+  /// runs) so downstream operators can probe/aggregate per run instead of
+  /// per row. CIF v3 late path only; off by default because consumers that
+  /// mutate columns in place would not know to invalidate the runs.
+  bool expose_runs = false;
+  /// Optional pruning-effectiveness output (CIF v2+ late path only).
   ScanStats* scan_stats = nullptr;
 };
 

@@ -211,6 +211,65 @@ TEST(HashAggregatorTest, AddEncodedMatchesRowAdd) {
   }
 }
 
+TEST(AggLayoutTest, MergeWeightedEqualsRepeatedMerge) {
+  // The compressed-domain contract: adding a run of `w` identical rows in
+  // one weighted step must equal merging the row w times — sums and counts
+  // scale linearly, min/max ignore the weight.
+  const AggLayout layout =
+      AggLayout::For({{"s", Expr::Col("x"), AggKind::kSum},
+                      {"lo", Expr::Col("x"), AggKind::kMin},
+                      {"hi", Expr::Col("x"), AggKind::kMax},
+                      {"n", nullptr, AggKind::kCount}});
+  auto fresh = [&] {
+    return std::vector<int64_t>{AggLayout::InitValue(AccKind::kSum),
+                                AggLayout::InitValue(AccKind::kMin),
+                                AggLayout::InitValue(AccKind::kMax),
+                                AggLayout::InitValue(AccKind::kCount)};
+  };
+  const int64_t inputs[2][4] = {{-5, -5, -5, 1}, {9, 9, 9, 1}};
+  for (const int64_t weight : {1, 2, 17}) {
+    auto repeated = fresh();
+    auto weighted = fresh();
+    for (const auto& in : inputs) {
+      for (int64_t w = 0; w < weight; ++w) layout.Merge(repeated.data(), in);
+      layout.MergeWeighted(weighted.data(), in, weight);
+    }
+    EXPECT_EQ(weighted, repeated) << "weight=" << weight;
+  }
+}
+
+TEST(HashAggregatorTest, AddEncodedWeightedMatchesRepeatedAdds) {
+  const AggLayout layout = FourAccLayout();
+  HashAggregator repeated(layout);
+  HashAggregator weighted(layout);
+  std::vector<uint8_t> key_bytes;
+  // Runs of equal fact rows per group, interleaved so both tables see the
+  // same groups in the same first-touch order.
+  for (int run = 0; run < 20; ++run) {
+    const Row key({Value(static_cast<int32_t>(run % 4))});
+    const int64_t inputs[4] = {run, run, run, 1};
+    const int64_t weight = 1 + run % 5;
+    key_bytes.clear();
+    group_key::AppendRow(key, &key_bytes);
+    for (int64_t w = 0; w < weight; ++w) {
+      repeated.AddEncoded(key_bytes.data(), key_bytes.size(), inputs);
+    }
+    weighted.AddEncodedWeighted(key_bytes.data(), key_bytes.size(), inputs,
+                                weight);
+  }
+  EXPECT_EQ(weighted.num_groups(), repeated.num_groups());
+  VectorCollector a, b;
+  ASSERT_TRUE(repeated.Emit(&a).ok());
+  ASSERT_TRUE(weighted.Emit(&b).ok());
+  const auto ea = a.Sorted();
+  const auto eb = b.Sorted();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].first.Compare(eb[i].first), 0);
+    EXPECT_EQ(ea[i].second.Compare(eb[i].second), 0);
+  }
+}
+
 // --- end-to-end across every engine ---------------------------------------------
 
 class MixedAggTest : public ::testing::Test {

@@ -199,9 +199,13 @@ ssb::SsbDataset* WorkloadTest::dataset_ = nullptr;
 
 TEST_F(WorkloadTest, WidthsAreSane) {
   const QueryMeasurement m = Measure("Q2.1");
-  // Q2.1 projects 4 int32 columns -> ~16 B/row columnar.
-  EXPECT_NEAR(m.cif_projected_width, 16.0, 1.0);
-  EXPECT_GT(m.cif_full_width, 50.0);
+  // Q2.1 projects 4 int32 columns -> at most ~16 B/row plain columnar; the
+  // CIF v3 block encodings only ever shrink a block, so the stored width
+  // lands somewhere in (0, 16] and the full row well under its ~60 B plain
+  // footprint.
+  EXPECT_GT(m.cif_projected_width, 1.0);
+  EXPECT_LE(m.cif_projected_width, 17.0);
+  EXPECT_GT(m.cif_full_width, 10.0);
   EXPECT_LT(m.cif_full_width, 75.0);
   EXPECT_GT(m.rcfile_full_width, m.cif_full_width);
 }
