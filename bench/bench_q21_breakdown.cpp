@@ -5,15 +5,43 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_common.h"
+#include "common/stopwatch.h"
 #include "core/clydesdale.h"
 #include "mapreduce/job_trace.h"
+#include "obs/query_profile.h"
 
 using namespace clydesdale;        // NOLINT(build/namespaces)
 using namespace clydesdale::bench; // NOLINT(build/namespaces)
 
 namespace {
+
+/// Walks the merged profile checking the EXPLAIN ANALYZE invariants from the
+/// acceptance list: selectivities stay in [0,1] and wall(sum) bounds
+/// wall(max) on every node.
+void CheckNodeInvariants(const obs::OperatorProfile& node) {
+  if (node.rows_in > 0) {
+    const double sel = node.selectivity();
+    CLY_CHECK(sel >= 0.0 && sel <= 1.0);
+  }
+  CLY_CHECK(node.wall_ns >= node.wall_max_ns);
+  for (const obs::OperatorProfile& child : node.children) {
+    CheckNodeInvariants(child);
+  }
+}
+
+/// Finds the first node named `name` (exact or prefix for scan:<path>)
+/// anywhere in the profile tree.
+const obs::OperatorProfile* FindNode(const obs::OperatorProfile& node,
+                                     const char* prefix) {
+  if (node.name.compare(0, std::strlen(prefix), prefix) == 0) return &node;
+  for (const obs::OperatorProfile& child : node.children) {
+    if (const obs::OperatorProfile* hit = FindNode(child, prefix)) return hit;
+  }
+  return nullptr;
+}
 
 void PrintOutcome(const char* label, const sim::SimOutcome& outcome) {
   std::printf("%s: %.0f s total\n", label, outcome.seconds);
@@ -82,6 +110,7 @@ int main() {
     copts.trace_dir = trace_dir;
     copts.metrics = true;
     copts.history = true;
+    copts.profile = true;
     core::ClydesdaleEngine engine(env.cluster.get(), env.dataset.star, copts);
     auto traced = engine.Execute(*query);
     CLY_CHECK(traced.ok());
@@ -93,8 +122,55 @@ int main() {
                 report.metrics_series.samples.size(),
                 static_cast<long long>(
                     report.counters.Get(mr::kCounterStragglerAttempts)));
-    std::printf("trace + metrics + history artifacts written to %s\n",
-                trace_dir);
+
+    // EXPLAIN ANALYZE acceptance invariants on the merged profile: the fact
+    // scan feeds the probe row-for-row, every selectivity is a real
+    // fraction, and the profiled task-attempt envelope accounts for the job
+    // wall clock (within 5%, minus a 2 ms floor for sub-smoke runs where
+    // split planning dominates).
+    const obs::QueryProfile& profile = report.profile;
+    CLY_CHECK(!profile.empty());
+    for (const obs::OperatorProfile& root : profile.roots) {
+      CheckNodeInvariants(root);
+    }
+    const obs::OperatorProfile* map_root = nullptr;
+    for (const obs::OperatorProfile& root : profile.roots) {
+      if (root.name == "map") map_root = &root;
+    }
+    CLY_CHECK(map_root != nullptr);
+    const obs::OperatorProfile* scan = FindNode(*map_root, "scan:");
+    const obs::OperatorProfile* probe = FindNode(*map_root, "probe");
+    CLY_CHECK(scan != nullptr && probe != nullptr);
+    CLY_CHECK(scan->rows_out == probe->rows_in);
+    const double span_s = profile.ProfiledSpanSeconds();
+    CLY_CHECK(span_s <= report.wall_seconds + 1e-6);
+    CLY_CHECK(span_s >= 0.95 * report.wall_seconds - 0.002);
+
+    std::printf("\n%s\n", obs::ExplainAnalyzeText(profile).c_str());
+    std::printf("trace + metrics + history + profile artifacts written to "
+                "%s\n", trace_dir);
+
+    // Profiler overhead A/B (acceptance: <=3% with the knob on at bench
+    // scale, exactly zero instrumentation when off). Min-of-3 untraced runs
+    // per arm so scheduler noise doesn't masquerade as overhead.
+    double wall_off = 0, wall_on = 0;
+    for (int arm = 0; arm < 2; ++arm) {
+      double best = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        core::ClydesdaleOptions plain;
+        plain.profile = (arm == 1);
+        core::ClydesdaleEngine ab(env.cluster.get(), env.dataset.star, plain);
+        Stopwatch timer;
+        auto run = ab.Execute(*query);
+        const double secs = timer.ElapsedSeconds();
+        CLY_CHECK(run.ok());
+        if (arm == 0) CLY_CHECK(run->stage_reports[0].profile.empty());
+        if (rep == 0 || secs < best) best = secs;
+      }
+      (arm == 0 ? wall_off : wall_on) = best;
+    }
+    std::printf("profiler overhead: off=%.3fs on=%.3fs (%+.2f%%)\n", wall_off,
+                wall_on, 100.0 * (wall_on - wall_off) / wall_off);
   }
 
   // With CLY_Q21_JSON set, A/B the shuffle handoff on the functional

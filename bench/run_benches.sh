@@ -154,4 +154,61 @@ if [ -x "${Q21_BIN}" ]; then
       echo "wrote ${OUT_DIR}/BENCH_q21.${ext}"
     done
   done
+  # EXPLAIN ANALYZE: the traced run profiles every operator, so the engine
+  # drops <job>-<n>.profile.{json,txt} next to the trace. Publish them and
+  # fail loudly if the per-operator contract (DESIGN.md §13) loses fields.
+  PROFILE_JSON=""
+  for f in "${TRACE_DIR}"/*.profile.json; do
+    [ -e "${f}" ] || continue
+    PROFILE_JSON="${OUT_DIR}/BENCH_profile.json"
+    cp "${f}" "${PROFILE_JSON}"
+    echo "wrote ${PROFILE_JSON}"
+  done
+  for f in "${TRACE_DIR}"/*.profile.txt; do
+    [ -e "${f}" ] || continue
+    cp "${f}" "${OUT_DIR}/BENCH_profile.txt"
+    echo "wrote ${OUT_DIR}/BENCH_profile.txt"
+  done
+  if [ -z "${PROFILE_JSON}" ]; then
+    echo "error: traced bench_q21_breakdown wrote no .profile.json" >&2
+    exit 1
+  fi
+  python3 - "${PROFILE_JSON}" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+data = json.loads(open(path).read())
+missing = [k for k in ("wall_seconds", "profiled_span_seconds",
+                       "first_start_us", "last_end_us", "operators", "roots")
+           if k not in data]
+node_fields = ("name", "kind", "rows_in", "rows_out", "selectivity",
+               "batches", "wall_ns", "wall_max_ns", "cpu_ns", "bytes_decoded",
+               "bytes_raw", "blocks_skipped", "rows_pruned",
+               "blocks_by_encoding", "prefetch_hits", "prefetch_misses",
+               "prefetch_wait_ns", "tasks", "children")
+kinds = set()
+
+def walk(node, trail):
+    kinds.add(node.get("kind", ""))
+    for field in node_fields:
+        if field not in node:
+            missing.append(f"{trail}.{field}")
+    sel = node.get("selectivity")
+    if sel is not None and not 0.0 <= sel <= 1.0:
+        sys.exit(f"error: {path}: {trail} selectivity {sel} outside [0,1]")
+    for child in node.get("children", []):
+        walk(child, f"{trail}>{child.get('name', '?')}")
+
+for root in data.get("roots", []):
+    walk(root, root.get("name", "?"))
+if missing:
+    sys.exit(f"error: {path} lacks profile fields: {', '.join(missing)}")
+for kind in ("scan", "probe", "aggregate"):
+    if kind not in kinds:
+        sys.exit(f"error: {path} has no '{kind}' operator in the plan tree")
+print(f"{path}: {data['operators']} operators, "
+      f"profiled span {data['profiled_span_seconds']:.3f}s "
+      f"of {data['wall_seconds']:.3f}s wall")
+EOF
 fi

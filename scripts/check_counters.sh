@@ -8,7 +8,10 @@
 #      ClydesdaleCounterNames() in star_join_job.cc;
 #   4. every kCounterCif* name in counters.h is actually flushed by
 #      AddCifScanCounters() in counters.cc (so a scan-stat counter can
-#      never be declared + listed yet silently never populated).
+#      never be declared + listed yet silently never populated);
+#   5. every kCounterProf* name in counters.h is actually surfaced by
+#      AddQueryProfileCounters() in counters.cc (the only place the merged
+#      query profile becomes headline counters).
 # Registered as a ctest (tests/CMakeLists.txt) and runnable standalone:
 #   scripts/check_counters.sh [repo-root]
 set -u
@@ -106,6 +109,20 @@ for name in $cif_header; do
   if ! printf '%s\n' "$cif_flush" | grep -qx "$name"; then
     echo "check_counters: $name declared in counters.h but never flushed" \
          "by AddCifScanCounters()" >&2
+    fail=1
+  fi
+done
+
+# --- query-profile counters: every declared kCounterProf* must be surfaced
+# --- by the shared profile->counters helper
+prof_header=$(printf '%s\n' "$header_counters" | grep '^kCounterProf' || true)
+prof_flush=$(sed -n '/^void AddQueryProfileCounters/,/^}/p' "$counters_cc" \
+  | grep -o 'kCounter[A-Za-z0-9]*' | sort -u)
+
+for name in $prof_header; do
+  if ! printf '%s\n' "$prof_flush" | grep -qx "$name"; then
+    echo "check_counters: $name declared in counters.h but never surfaced" \
+         "by AddQueryProfileCounters()" >&2
     fail=1
   fi
 done

@@ -1,0 +1,151 @@
+#include "common/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace clydesdale {
+
+void HllSketch::AddHash(uint64_t hash) {
+  const size_t index = static_cast<size_t>(hash >> (64 - kPrecision));
+  const uint64_t suffix = hash << kPrecision;
+  // Rank = leading-zero run of the suffix + 1; an all-zero suffix saturates
+  // at the maximum observable rank for a 64-bit hash.
+  const uint8_t rank =
+      suffix == 0 ? static_cast<uint8_t>(64 - kPrecision + 1)
+                  : static_cast<uint8_t>(__builtin_clzll(suffix) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+void HllSketch::AddDouble(double v) {
+  // Canonicalize -0.0 so it counts as the same value as +0.0.
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AddHash(Mix64(bits));
+}
+
+double HllSketch::Estimate() const {
+  const double m = static_cast<double>(kNumRegisters);
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double inverse_sum = 0.0;
+  size_t zero_registers = 0;
+  for (uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    zero_registers += reg == 0;
+  }
+  const double raw = alpha * m * m / inverse_sum;
+  if (raw <= 2.5 * m && zero_registers > 0) {
+    // Linear counting: far more accurate while most registers are empty.
+    return m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+void HllSketch::Merge(const HllSketch& other) {
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+std::string HllSketch::SerializeHex() const {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * kNumRegisters);
+  for (uint8_t reg : registers_) {
+    out.push_back(kHex[reg >> 4]);
+    out.push_back(kHex[reg & 0xf]);
+  }
+  return out;
+}
+
+Result<HllSketch> HllSketch::DeserializeHex(std::string_view hex) {
+  if (hex.size() != 2 * kNumRegisters) {
+    return Status::InvalidArgument("hll hex payload has wrong length");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  HllSketch sketch;
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("hll hex payload has non-hex character");
+    }
+    sketch.registers_[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return sketch;
+}
+
+uint64_t EquiDepthHistogram::total_rows() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+double EquiDepthHistogram::SelectivityLessEq(double v) const {
+  const uint64_t total = total_rows();
+  if (total == 0) return 0.0;
+  if (v < bounds.front()) return 0.0;
+  uint64_t below = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double lo = bounds[i];
+    const double hi = bounds[i + 1];
+    if (v >= hi) {
+      below += counts[i];
+      continue;
+    }
+    const double width = hi - lo;
+    const double fraction = width > 0 ? (v - lo) / width : 1.0;
+    below += static_cast<uint64_t>(fraction * static_cast<double>(counts[i]));
+    break;
+  }
+  return static_cast<double>(std::min(below, total)) /
+         static_cast<double>(total);
+}
+
+EquiDepthHistogram BuildEquiDepthHistogram(std::vector<double> values,
+                                           int num_buckets) {
+  EquiDepthHistogram hist;
+  if (values.empty() || num_buckets <= 0) return hist;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  const size_t depth =
+      (n + static_cast<size_t>(num_buckets) - 1) / static_cast<size_t>(num_buckets);
+  hist.bounds.push_back(values.front());
+  size_t start = 0;
+  while (start < n) {
+    size_t end = std::min(n, start + depth);
+    // Never split a run of equal values across buckets: extend until the
+    // value changes (the all-equal input collapses to one bucket).
+    while (end < n && values[end] == values[end - 1]) ++end;
+    hist.counts.push_back(static_cast<uint64_t>(end - start));
+    hist.bounds.push_back(values[end - 1]);
+    start = end;
+  }
+  return hist;
+}
+
+void ReservoirSample::Add(double v) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(v);
+    return;
+  }
+  const uint64_t j = NextRandom() % seen_;
+  if (j < capacity_) values_[static_cast<size_t>(j)] = v;
+}
+
+uint64_t ReservoirSample::NextRandom() {
+  // splitmix64 step: full-period, deterministic, and state fits one word.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace clydesdale

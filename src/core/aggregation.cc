@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "mapreduce/task_context.h"
+#include "obs/query_profile.h"
 
 namespace clydesdale {
 namespace core {
@@ -305,9 +307,18 @@ Status HashAggregator::Emit(mr::OutputCollector* out) const {
   return Status::OK();
 }
 
+Status AggReducer::Setup(mr::TaskContext* context) {
+  profiled_ = context->profile_enabled();
+  return Status::OK();
+}
+
 Status AggReducer::Reduce(const Row& key, const std::vector<Row>& values,
                           mr::TaskContext*, mr::OutputCollector* out) {
   if (values.empty()) return Status::OK();
+  if (profiled_) {
+    rows_in_ += values.size();
+    ++rows_out_;
+  }
   const int n = layout_.num_accumulators();
   std::vector<int64_t> accs(static_cast<size_t>(n));
   for (int a = 0; a < n; ++a) {
@@ -329,6 +340,27 @@ Status AggReducer::Reduce(const Row& key, const std::vector<Row>& values,
   out_value.Reserve(n);
   for (int64_t a : accs) out_value.Append(Value(a));
   return out->Collect(key, out_value);
+}
+
+Status AggReducer::Cleanup(mr::TaskContext* context, mr::OutputCollector* out) {
+  (void)out;
+  // Combiner use runs a Setup/Cleanup pair per map-output partition on the
+  // same instance, so emit the delta since the last flush (batches counts
+  // the flushes; the task itself is counted once).
+  if (profiled_ && (rows_in_ > 0 || !emitted_)) {
+    obs::OperatorProfile node;
+    node.name = profile_name_;
+    node.kind = "aggregate";
+    node.rows_in = rows_in_;
+    node.rows_out = rows_out_;
+    node.batches = 1;
+    node.tasks = emitted_ ? 0 : 1;
+    context->AddProfileOperator(std::move(node));
+    rows_in_ = 0;
+    rows_out_ = 0;
+    emitted_ = true;
+  }
+  return Status::OK();
 }
 
 }  // namespace core

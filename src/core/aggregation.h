@@ -168,13 +168,26 @@ class HashAggregator {
 /// sum() reduce function.
 class AggReducer final : public mr::Reducer {
  public:
-  explicit AggReducer(AggLayout layout) : layout_(std::move(layout)) {}
+  /// `profile_name` labels this instance's operator node in the query
+  /// profile — pass "combine" for combiner use so map-side folding stays
+  /// distinct from the reduce-side merge in the merged tree.
+  explicit AggReducer(AggLayout layout,
+                      const char* profile_name = "aggregate")
+      : layout_(std::move(layout)), profile_name_(profile_name) {}
 
+  Status Setup(mr::TaskContext* context) override;
   Status Reduce(const Row& key, const std::vector<Row>& values,
                 mr::TaskContext* context, mr::OutputCollector* out) override;
+  Status Cleanup(mr::TaskContext* context, mr::OutputCollector* out) override;
 
  private:
   AggLayout layout_;
+  // Per-operator profiler cells (obs.profile.enabled tasks only).
+  const char* profile_name_;
+  bool profiled_ = false;
+  bool emitted_ = false;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
 };
 
 }  // namespace core

@@ -94,7 +94,7 @@ Result<QueryResult> ClydesdaleEngine::Execute(const StarQuerySpec& spec) {
   if (!options_.map_side_agg) {
     // Per-row emission: combine before the shuffle instead (paper §4.2).
     conf.combiner_factory = [layout] {
-      return std::make_unique<AggReducer>(layout);
+      return std::make_unique<AggReducer>(layout, "combine");
     };
   }
   conf.output_format_factory = [] {

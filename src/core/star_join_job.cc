@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "core/aggregation.h"
 #include "core/vector_probe.h"
@@ -10,6 +11,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/input_format.h"
 #include "mapreduce/job_trace.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "storage/scan_spec.h"
 
@@ -263,6 +265,7 @@ void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf) {
     conf->SetInt(mr::kConfMetricsIntervalMs, options.metrics_interval_ms);
   }
   if (options.history) conf->SetBool(mr::kConfHistoryEnabled, true);
+  if (options.profile) conf->SetBool(mr::kConfProfileEnabled, true);
   conf->pipelined_shuffle = options.pipelined_shuffle;
 }
 
@@ -376,12 +379,22 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
     }
   }
 
+  // Per-thread profiler cells (filled only when profiling is on): the CIF
+  // open is the scan (eager load/decode), the Process* loop is the probe.
+  const bool profiled = context->profile_enabled();
+  struct ThreadProfile {
+    uint64_t scan_wall_ns = 0, scan_cpu_ns = 0, scan_opens = 0;
+    uint64_t probe_wall_ns = 0, probe_cpu_ns = 0;
+  };
+  std::vector<ThreadProfile> thread_profiles(static_cast<size_t>(num_threads));
+
   auto worker = [&](int t) {
     // One probe span per worker thread: the fused scan/filter/probe/agg
     // pipeline over this thread's share of the constituents.
     obs::Span probe_span(context->trace(), "probe", "stage",
                          context->task_index(), context->node());
     ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
+    ThreadProfile* prof = &thread_profiles[static_cast<size_t>(t)];
     std::unique_ptr<VectorizedProbe> vec;
     if (options_.block_iteration) vec = MakeVectorizedProbe(plan, *tables);
     while (true) {
@@ -397,17 +410,36 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       scan.expose_runs = options_.expose_runs;
       scan.scan_stats = &scan_stats[static_cast<size_t>(t)];
       Status st;
+      Stopwatch split_timer;
+      int64_t cpu0 = profiled ? obs::ThreadCpuNanos() : 0;
+      auto mark_scan_done = [&] {
+        if (!profiled) return;
+        const int64_t cpu1 = obs::ThreadCpuNanos();
+        prof->scan_wall_ns += static_cast<uint64_t>(split_timer.ElapsedNanos());
+        prof->scan_cpu_ns += static_cast<uint64_t>(cpu1 - cpu0);
+        ++prof->scan_opens;
+        split_timer.Restart();
+        cpu0 = cpu1;
+      };
       if (options_.block_iteration) {
         auto reader = storage::OpenSplitBatchReader(
             *context->cluster()->dfs(), fact_desc, *constituents[mine], scan);
+        mark_scan_done();
         st = reader.ok() ? ProcessBatches(plan, reader->get(),
                                           options_.batch_rows, sink, vec.get())
                          : reader.status();
       } else {
         auto reader = storage::OpenSplitRowReader(
             *context->cluster()->dfs(), fact_desc, *constituents[mine], scan);
+        mark_scan_done();
         st = reader.ok() ? ProcessRows(plan, *tables, reader->get(), sink)
                          : reader.status();
+      }
+      if (profiled) {
+        prof->probe_wall_ns +=
+            static_cast<uint64_t>(split_timer.ElapsedNanos());
+        prof->probe_cpu_ns +=
+            static_cast<uint64_t>(obs::ThreadCpuNanos() - cpu0);
       }
       if (!st.ok()) {
         statuses[static_cast<size_t>(t)] = st;
@@ -436,14 +468,7 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
   for (int t = 0; t < num_threads; ++t) {
     CLY_RETURN_IF_ERROR(statuses[static_cast<size_t>(t)]);
     context->MergeIoStats(io[static_cast<size_t>(t)]);
-    const storage::ScanStats& ts = scan_stats[static_cast<size_t>(t)];
-    scan_totals.blocks_skipped += ts.blocks_skipped;
-    scan_totals.rows_pruned += ts.rows_pruned;
-    scan_totals.bytes_encoded += ts.bytes_encoded;
-    scan_totals.bytes_raw += ts.bytes_raw;
-    for (int e = 0; e < 6; ++e) {
-      scan_totals.blocks_by_encoding[e] += ts.blocks_by_encoding[e];
-    }
+    scan_totals.MergeFrom(scan_stats[static_cast<size_t>(t)]);
     ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
     probe_rows += sink->probe_rows;
     join_rows += sink->join_output_rows;
@@ -475,14 +500,73 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
                              static_cast<int64_t>(agg_bytes));
   }
 
-  if (options_.map_side_agg && !plan.emit_joined_rows) {
+  uint64_t agg_wall_ns = 0, agg_cpu_ns = 0, merged_groups = 0;
+  const bool aggregated = options_.map_side_agg && !plan.emit_joined_rows;
+  if (aggregated) {
     // Merge the per-thread partial aggregates and emit once.
     obs::Span agg_span(context->trace(), "aggregate", "stage",
                        context->task_index(), context->node());
+    Stopwatch agg_timer;
+    const int64_t agg_cpu0 = profiled ? obs::ThreadCpuNanos() : 0;
     for (int t = 1; t < num_threads; ++t) {
       sinks[0]->agg.MergeFrom(sinks[static_cast<size_t>(t)]->agg);
     }
+    merged_groups = static_cast<uint64_t>(sinks[0]->agg.num_groups());
     CLY_RETURN_IF_ERROR(sinks[0]->agg.Emit(out));
+    if (profiled) {
+      agg_wall_ns = static_cast<uint64_t>(agg_timer.ElapsedNanos());
+      agg_cpu_ns = static_cast<uint64_t>(obs::ThreadCpuNanos() - agg_cpu0);
+    }
+  }
+
+  if (profiled) {
+    // aggregate → probe → scan: the attempt's plan subtree. Wall sums over
+    // worker threads (total work); wall_max keeps the slowest thread's
+    // pipeline (critical path within the attempt).
+    obs::OperatorProfile scan;
+    obs::OperatorProfile probe;
+    {
+      uint64_t scan_wall = 0, scan_wall_max = 0, scan_cpu = 0, opens = 0;
+      uint64_t probe_wall = 0, probe_wall_max = 0, probe_cpu = 0;
+      for (const ThreadProfile& tp : thread_profiles) {
+        scan_wall += tp.scan_wall_ns;
+        scan_wall_max = std::max(scan_wall_max, tp.scan_wall_ns);
+        scan_cpu += tp.scan_cpu_ns;
+        opens += tp.scan_opens;
+        probe_wall += tp.probe_wall_ns;
+        probe_wall_max = std::max(probe_wall_max, tp.probe_wall_ns);
+        probe_cpu += tp.probe_cpu_ns;
+      }
+      scan = mr::ScanProfileNode(StrCat("scan:", star_->fact().path),
+                                 scan_totals, scan_wall, scan_cpu);
+      scan.wall_max_ns = scan_wall_max;
+      scan.batches = opens;
+      probe.name = "probe";
+      probe.kind = "probe";
+      probe.rows_in = probe_rows;
+      probe.rows_out = join_rows;
+      probe.batches = probe_batches;
+      probe.wall_ns = probe_wall;
+      probe.wall_max_ns = probe_wall_max;
+      probe.cpu_ns = probe_cpu;
+      probe.tasks = 1;
+    }
+    probe.children.push_back(std::move(scan));
+    if (aggregated) {
+      obs::OperatorProfile aggregate;
+      aggregate.name = "aggregate";
+      aggregate.kind = "aggregate";
+      aggregate.rows_in = join_rows;
+      aggregate.rows_out = merged_groups;
+      aggregate.wall_ns = agg_wall_ns;
+      aggregate.wall_max_ns = agg_wall_ns;
+      aggregate.cpu_ns = agg_cpu_ns;
+      aggregate.tasks = 1;
+      aggregate.children.push_back(std::move(probe));
+      context->AddProfileOperator(std::move(aggregate));
+    } else {
+      context->AddProfileOperator(std::move(probe));
+    }
   }
   return Status::OK();
 }

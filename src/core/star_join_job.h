@@ -57,6 +57,10 @@ struct ClydesdaleOptions {
   /// Structured JSONL job-history log (obs.history.enabled), persisted to
   /// node 0's LocalStore and (with trace_dir) as <job>-<n>.history.jsonl.
   bool history = false;
+  /// Per-operator query profiler (obs.profile.enabled): scan/probe/aggregate
+  /// nodes accumulated per task attempt, merged into JobReport::profile and
+  /// rendered as EXPLAIN ANALYZE. Off = zero instrumentation overhead.
+  bool profile = false;
   /// Late-materialization CIF scan (cif.scan.late_materialize): evaluate
   /// pushed-down predicates and dimension-key filters on encoded column
   /// blocks, consult zone maps to skip whole blocks, and decode strings

@@ -54,7 +54,7 @@ Result<mr::JobConf> MakeGroupByJob(const AggStageSpec& spec,
   };
   const core::AggLayout layout = core::AggLayout::For(spec.aggregates);
   conf.combiner_factory = [layout] {
-    return std::make_unique<core::AggReducer>(layout);
+    return std::make_unique<core::AggReducer>(layout, "combine");
   };
   conf.reducer_factory = [layout] {
     return std::make_unique<core::AggReducer>(layout);

@@ -28,6 +28,7 @@ Result<core::QueryResult> HiveEngine::Execute(const core::StarQuerySpec& spec) {
       conf->SetInt(mr::kConfMetricsIntervalMs, options_.metrics_interval_ms);
     }
     if (options_.history) conf->SetBool(mr::kConfHistoryEnabled, true);
+    if (options_.profile) conf->SetBool(mr::kConfProfileEnabled, true);
   };
   const std::string scratch =
       StrCat(options_.scratch_root, "/", JoinStrategyName(options_.strategy));

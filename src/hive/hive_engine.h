@@ -30,6 +30,9 @@ struct HiveOptions {
   int64_t metrics_interval_ms = 5;
   /// JSONL job-history logging per stage job (obs.history.enabled).
   bool history = false;
+  /// Per-operator query profiling per stage job (obs.profile.enabled),
+  /// mirroring ClydesdaleOptions::profile. Off = zero instrumentation cost.
+  bool profile = false;
 };
 
 /// The Hive baseline (paper §6.1): compiles a star query into a chain of

@@ -1,7 +1,9 @@
 #include "hive/map_join.h"
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "mapreduce/input_format.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "storage/binary_row_format.h"
 #include "storage/table_format.h"
@@ -75,6 +77,9 @@ Status MapJoinMapper::Setup(mr::TaskContext* context) {
   // repeated cost directly comparable to Clydesdale's "hash-tables" spans.
   obs::Span load_span(context->trace(), "hash-load", "stage",
                       context->task_index(), context->node());
+  profiled_ = context->profile_enabled();
+  Stopwatch load_timer;
+  const int64_t load_cpu0 = profiled_ ? obs::ThreadCpuNanos() : 0;
   CLY_ASSIGN_OR_RETURN(std::string local_path,
                        context->CacheFilePath(hash_file_));
   CLY_ASSIGN_OR_RETURN(hdfs::BlockBuffer bytes,
@@ -92,6 +97,11 @@ Status MapJoinMapper::Setup(mr::TaskContext* context) {
                            static_cast<int64_t>(table_->entries()));
   context->counters()->Add(kCounterMapJoinHashBytes,
                            static_cast<int64_t>(table_->stats().memory_bytes));
+  if (profiled_) {
+    hash_load_wall_ns_ = static_cast<uint64_t>(load_timer.ElapsedNanos());
+    hash_load_cpu_ns_ =
+        static_cast<uint64_t>(obs::ThreadCpuNanos() - load_cpu0);
+  }
 
   CLY_ASSIGN_OR_RETURN(fact_pred_,
                        spec_.fact_predicate->Bind(*spec_.fact_schema));
@@ -107,15 +117,44 @@ Status MapJoinMapper::Setup(mr::TaskContext* context) {
 Status MapJoinMapper::Map(const Row& key, const Row& value, mr::TaskContext*,
                           mr::OutputCollector* out) {
   (void)key;
+  if (profiled_) ++probe_rows_;
   if (!fact_pred_->Eval(value)) return Status::OK();
   const Row* aux = table_->Probe(value.Get(fact_fk_index_).AsInt64());
   if (aux == nullptr) return Status::OK();
+  if (profiled_) ++join_rows_;
   Row joined;
   joined.Reserve(static_cast<int>(fact_out_idx_.size()) + aux->size());
   for (int i : fact_out_idx_) joined.Append(value.Get(i));
   joined.Extend(*aux);
   Row empty_key;
   return out->Collect(empty_key, joined);
+}
+
+Status MapJoinMapper::Cleanup(mr::TaskContext* context,
+                              mr::OutputCollector* out) {
+  (void)out;
+  if (!profiled_) return Status::OK();
+  // probe ← hash-load: Hive pays the broadcast-table deserialization in
+  // every task, so the load node's per-attempt wall makes the reload cost
+  // the paper charges to the baseline (§6.3) directly visible.
+  obs::OperatorProfile probe;
+  probe.name = "probe";
+  probe.kind = "probe";
+  probe.rows_in = probe_rows_;
+  probe.rows_out = join_rows_;
+  probe.tasks = 1;
+  obs::OperatorProfile load;
+  load.name = "hash-load";
+  load.kind = "build";
+  load.rows_out =
+      table_ != nullptr ? static_cast<uint64_t>(table_->entries()) : 0;
+  load.wall_ns = hash_load_wall_ns_;
+  load.wall_max_ns = hash_load_wall_ns_;
+  load.cpu_ns = hash_load_cpu_ns_;
+  load.tasks = 1;
+  probe.children.push_back(std::move(load));
+  context->AddProfileOperator(std::move(probe));
+  return Status::OK();
 }
 
 Result<mr::JobConf> MakeMapJoinJob(const JoinStageSpec& spec,

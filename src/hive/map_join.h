@@ -37,6 +37,7 @@ class MapJoinMapper final : public mr::Mapper {
   Status Setup(mr::TaskContext* context) override;
   Status Map(const Row& key, const Row& value, mr::TaskContext* context,
              mr::OutputCollector* out) override;
+  Status Cleanup(mr::TaskContext* context, mr::OutputCollector* out) override;
 
  private:
   JoinStageSpec spec_;
@@ -45,6 +46,12 @@ class MapJoinMapper final : public mr::Mapper {
   BoundPredicatePtr fact_pred_;
   int fact_fk_index_ = -1;
   std::vector<int> fact_out_idx_;
+  // Per-operator profiler cells (obs.profile.enabled tasks only).
+  bool profiled_ = false;
+  uint64_t probe_rows_ = 0;
+  uint64_t join_rows_ = 0;
+  uint64_t hash_load_wall_ns_ = 0;
+  uint64_t hash_load_cpu_ns_ = 0;
 };
 
 /// Configures the map-only MapReduce job for one mapjoin stage. The hash

@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "mapreduce/input_format.h"
+#include "obs/query_profile.h"
 
 namespace clydesdale {
 namespace hive {
@@ -9,9 +10,24 @@ namespace hive {
 namespace {
 constexpr int32_t kFactTag = 0;
 constexpr int32_t kDimTag = 1;
+
+/// Row-counting operator node shared by both sides of the repartition join
+/// (the tagging mapper and the joining reducer): wall/cpu live on the task
+/// root, so these carry the row flow only.
+obs::OperatorProfile CountingProfileNode(const char* name, const char* kind,
+                                         uint64_t rows_in, uint64_t rows_out) {
+  obs::OperatorProfile node;
+  node.name = name;
+  node.kind = kind;
+  node.rows_in = rows_in;
+  node.rows_out = rows_out;
+  node.tasks = 1;
+  return node;
+}
 }  // namespace
 
-Status RepartitionJoinMapper::Setup(mr::TaskContext*) {
+Status RepartitionJoinMapper::Setup(mr::TaskContext* context) {
+  profiled_ = context->profile_enabled();
   CLY_ASSIGN_OR_RETURN(fact_pred_,
                        spec_.fact_predicate->Bind(*spec_.fact_schema));
   CLY_ASSIGN_OR_RETURN(dim_pred_, spec_.dim_predicate->Bind(*spec_.dim_schema));
@@ -32,6 +48,7 @@ Status RepartitionJoinMapper::Setup(mr::TaskContext*) {
 Status RepartitionJoinMapper::Map(const Row& key, const Row& value,
                                   mr::TaskContext*, mr::OutputCollector* out) {
   (void)key;
+  if (profiled_) ++rows_in_;
   // MultiTableInputFormat prefixed the source-table ordinal as field 0
   // (0 = fact side, 1 = dimension side; see MakeRepartitionJoinJob).
   const int32_t tag = value.Get(0).i32();
@@ -47,6 +64,7 @@ Status RepartitionJoinMapper::Map(const Row& key, const Row& value,
     out_value.Reserve(1 + static_cast<int>(fact_out_idx_.size()));
     out_value.Append(Value(kFactTag));
     for (int i : fact_out_idx_) out_value.Append(row.Get(i));
+    if (profiled_) ++rows_out_;
     return out->Collect(out_key, out_value);
   }
   // Dimension side: filter, key by pk, carry the aux columns.
@@ -56,7 +74,23 @@ Status RepartitionJoinMapper::Map(const Row& key, const Row& value,
   out_value.Reserve(1 + static_cast<int>(dim_aux_idx_.size()));
   out_value.Append(Value(kDimTag));
   for (int i : dim_aux_idx_) out_value.Append(row.Get(i));
+  if (profiled_) ++rows_out_;
   return out->Collect(out_key, out_value);
+}
+
+Status RepartitionJoinMapper::Cleanup(mr::TaskContext* context,
+                                      mr::OutputCollector* out) {
+  (void)out;
+  if (profiled_) {
+    context->AddProfileOperator(
+        CountingProfileNode("tag-partition", "partition", rows_in_, rows_out_));
+  }
+  return Status::OK();
+}
+
+Status RepartitionJoinReducer::Setup(mr::TaskContext* context) {
+  profiled_ = context->profile_enabled();
+  return Status::OK();
 }
 
 Status RepartitionJoinReducer::Reduce(const Row& key,
@@ -64,6 +98,7 @@ Status RepartitionJoinReducer::Reduce(const Row& key,
                                       mr::TaskContext*,
                                       mr::OutputCollector* out) {
   (void)key;
+  if (profiled_) rows_in_ += values.size();
   // Find the dimension row (0 or 1 of them: pk side).
   const Row* dim_row = nullptr;
   for (const Row& v : values) {
@@ -83,7 +118,18 @@ Status RepartitionJoinReducer::Reduce(const Row& key,
     joined.Reserve(v.size() - 1 + dim_row->size() - 1);
     for (int i = 1; i < v.size(); ++i) joined.Append(v.Get(i));
     for (int i = 1; i < dim_row->size(); ++i) joined.Append(dim_row->Get(i));
+    if (profiled_) ++rows_out_;
     CLY_RETURN_IF_ERROR(out->Collect(empty_key, joined));
+  }
+  return Status::OK();
+}
+
+Status RepartitionJoinReducer::Cleanup(mr::TaskContext* context,
+                                       mr::OutputCollector* out) {
+  (void)out;
+  if (profiled_) {
+    context->AddProfileOperator(
+        CountingProfileNode("join", "join", rows_in_, rows_out_));
   }
   return Status::OK();
 }

@@ -19,6 +19,7 @@ class RepartitionJoinMapper final : public mr::Mapper {
   Status Setup(mr::TaskContext* context) override;
   Status Map(const Row& key, const Row& value, mr::TaskContext* context,
              mr::OutputCollector* out) override;
+  Status Cleanup(mr::TaskContext* context, mr::OutputCollector* out) override;
 
  private:
   JoinStageSpec spec_;
@@ -28,6 +29,10 @@ class RepartitionJoinMapper final : public mr::Mapper {
   int dim_pk_index_ = -1;
   std::vector<int> fact_out_idx_;
   std::vector<int> dim_aux_idx_;
+  // Per-operator profiler cells (obs.profile.enabled tasks only).
+  bool profiled_ = false;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
 };
 
 /// Joins the tagged records of one key: at most one dimension row (primary
@@ -36,11 +41,17 @@ class RepartitionJoinReducer final : public mr::Reducer {
  public:
   explicit RepartitionJoinReducer(JoinStageSpec spec) : spec_(std::move(spec)) {}
 
+  Status Setup(mr::TaskContext* context) override;
   Status Reduce(const Row& key, const std::vector<Row>& values,
                 mr::TaskContext* context, mr::OutputCollector* out) override;
+  Status Cleanup(mr::TaskContext* context, mr::OutputCollector* out) override;
 
  private:
   JoinStageSpec spec_;
+  // Per-operator profiler cells (obs.profile.enabled tasks only).
+  bool profiled_ = false;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
 };
 
 /// Configures the MapReduce job for one repartition-join stage.

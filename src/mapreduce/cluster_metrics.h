@@ -17,6 +17,7 @@ inline constexpr const char kConfHistoryEnabled[] = "obs.history.enabled";
 inline constexpr const char kConfStragglerThreshold[] = "obs.straggler.threshold";
 inline constexpr const char kConfStragglerMinCompleted[] =
     "obs.straggler.min_completed";
+inline constexpr const char kConfProfileEnabled[] = "obs.profile.enabled";
 
 // Metric family names (the mapreduce layer's exposition contract — what the
 // Hadoop JobTracker UI would scrape). scripts/check_counters.sh and the

@@ -1,6 +1,7 @@
 #include "mapreduce/counters.h"
 
 #include "common/strings.h"
+#include "obs/query_profile.h"
 #include "storage/scan_spec.h"
 
 namespace clydesdale {
@@ -34,6 +35,11 @@ std::vector<std::string> SituationalCounterNames() {
       kCounterCifBlocksFor,
       kCounterCifBlocksDict,
       kCounterCifBlocksDictRle,
+      kCounterCifPrefetchHits,
+      kCounterCifPrefetchMisses,
+      kCounterCifPrefetchWaitNs,
+      kCounterProfOperators,
+      kCounterProfTasksProfiled,
   };
 }
 
@@ -88,6 +94,43 @@ void AddCifScanCounters(const storage::ScanStats& stats, Counters* counters) {
   for (int e = 0; e < 6; ++e) {
     add(kBlockCounters[e], stats.blocks_by_encoding[e]);
   }
+  add(kCounterCifPrefetchHits, stats.prefetch_hits);
+  add(kCounterCifPrefetchMisses, stats.prefetch_misses);
+  add(kCounterCifPrefetchWaitNs, stats.prefetch_wait_ns);
+}
+
+void AddQueryProfileCounters(const obs::QueryProfile& profile,
+                             Counters* counters) {
+  if (profile.empty()) return;
+  counters->Add(kCounterProfOperators,
+                static_cast<int64_t>(obs::NumProfileOperators(profile)));
+  uint64_t tasks = 0;
+  for (const obs::OperatorProfile& root : profile.roots) tasks += root.tasks;
+  counters->Add(kCounterProfTasksProfiled, static_cast<int64_t>(tasks));
+}
+
+obs::OperatorProfile ScanProfileNode(const std::string& name,
+                                     const storage::ScanStats& stats,
+                                     uint64_t wall_ns, uint64_t cpu_ns) {
+  obs::OperatorProfile scan;
+  scan.name = name;
+  scan.kind = "scan";
+  scan.rows_out = stats.rows_read;
+  scan.wall_ns = wall_ns;
+  scan.wall_max_ns = wall_ns;
+  scan.cpu_ns = cpu_ns;
+  scan.bytes_decoded = stats.bytes_encoded;
+  scan.bytes_raw = stats.bytes_raw;
+  scan.blocks_skipped = stats.blocks_skipped;
+  scan.rows_pruned = stats.rows_pruned;
+  for (int i = 0; i < 6; ++i) {
+    scan.blocks_by_encoding[i] = stats.blocks_by_encoding[i];
+  }
+  scan.prefetch_hits = stats.prefetch_hits;
+  scan.prefetch_misses = stats.prefetch_misses;
+  scan.prefetch_wait_ns = stats.prefetch_wait_ns;
+  scan.tasks = 1;
+  return scan;
 }
 
 }  // namespace mr

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/query_profile.h"
+
 namespace clydesdale {
 namespace mr {
 
@@ -47,6 +49,18 @@ inline constexpr const char kCounterCifBlocksBitpack[] = "CIF_BLOCKS_BITPACK";
 inline constexpr const char kCounterCifBlocksFor[] = "CIF_BLOCKS_FOR";
 inline constexpr const char kCounterCifBlocksDict[] = "CIF_BLOCKS_DICT";
 inline constexpr const char kCounterCifBlocksDictRle[] = "CIF_BLOCKS_DICT_RLE";
+// Block-prefetcher effectiveness (cif.scan.prefetch runs only): Take() calls
+// that found the block ready vs ones that blocked, and the blocked time.
+inline constexpr const char kCounterCifPrefetchHits[] = "CIF_PREFETCH_HITS";
+inline constexpr const char kCounterCifPrefetchMisses[] =
+    "CIF_PREFETCH_MISSES";
+inline constexpr const char kCounterCifPrefetchWaitNs[] =
+    "CIF_PREFETCH_WAIT_NS";
+// Per-operator profiler (obs.profile.enabled runs only): merged operator
+// nodes in the job's QueryProfile and task attempts that contributed.
+inline constexpr const char kCounterProfOperators[] = "PROF_OPERATORS";
+inline constexpr const char kCounterProfTasksProfiled[] =
+    "PROF_TASKS_PROFILED";
 
 /// Every engine-maintained counter name above, for audits asserting that a
 /// suitably shaped job populates all of them (tests/mapreduce_test.cc).
@@ -115,10 +129,23 @@ struct ScanStats;
 namespace mr {
 
 /// Folds one scan's CIF pruning/compression stats into `counters`: the
-/// zone-map skip and row-prune counts, the encoded/raw byte totals, and one
-/// CIF_BLOCKS_<encoding> count per loaded block. Zero values are not added,
-/// so situational counters stay absent from jobs that never trip them.
+/// zone-map skip and row-prune counts, the encoded/raw byte totals, one
+/// CIF_BLOCKS_<encoding> count per loaded block, and the prefetcher
+/// hit/miss/wait accounting. Zero values are not added, so situational
+/// counters stay absent from jobs that never trip them.
 void AddCifScanCounters(const storage::ScanStats& stats, Counters* counters);
+
+/// Folds a job's merged per-operator profile into `counters`
+/// (PROF_OPERATORS / PROF_TASKS_PROFILED). No-op for an empty profile.
+void AddQueryProfileCounters(const obs::QueryProfile& profile,
+                             Counters* counters);
+
+/// Builds one "scan" OperatorProfile node (tasks=1) from a completed scan's
+/// stats: rows out, decoded/raw bytes, skip/prune counts, per-encoding block
+/// histogram and prefetch accounting, plus the caller-measured timings.
+obs::OperatorProfile ScanProfileNode(const std::string& name,
+                                     const storage::ScanStats& stats,
+                                     uint64_t wall_ns, uint64_t cpu_ns);
 
 }  // namespace mr
 }  // namespace clydesdale

@@ -292,6 +292,13 @@ Result<JobResult> ExecuteJob(MrCluster* cluster, JobConf& conf,
       static_cast<int64_t>(cluster->dfs()->TotalIo().bytes_written -
                            dfs_written_before));
   report.wall_seconds = job_timer.ElapsedSeconds();
+  if (!report.profile.empty()) {
+    // Stamp the whole-job wall clock onto the merged profile (the renderer
+    // reports profiled-span coverage against it) and surface the headline
+    // PROF_* counters.
+    report.profile.wall_seconds = report.wall_seconds;
+    AddQueryProfileCounters(report.profile, &report.counters);
+  }
 
   if (poller != nullptr) {
     report.metrics_series = poller->Stop();
@@ -336,6 +343,18 @@ Result<JobResult> ExecuteJob(MrCluster* cluster, JobConf& conf,
         base + ".dashboard.txt",
         RenderClusterDashboard(report.metrics_series, cluster->num_nodes())));
     CLY_LOG(Debug) << "wrote metrics snapshot to " << base << ".prom";
+  }
+
+  // EXPLAIN ANALYZE artifacts for profiled runs, next to the trace/metrics
+  // files (run_benches.sh exports the .json as BENCH_profile.json).
+  if (!report.profile.empty() && !metrics_dir.empty()) {
+    const std::string base =
+        StrCat(metrics_dir, "/", conf.job_name, "-", instance);
+    CLY_RETURN_IF_ERROR(WriteTextFile(
+        base + ".profile.json", obs::ExplainAnalyzeJson(report.profile)));
+    CLY_RETURN_IF_ERROR(WriteTextFile(
+        base + ".profile.txt", obs::ExplainAnalyzeText(report.profile)));
+    CLY_LOG(Debug) << "wrote query profile to " << base << ".profile.json";
   }
 
   JobResult result;

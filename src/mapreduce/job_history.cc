@@ -8,6 +8,7 @@
 
 #include "common/strings.h"
 #include "obs/json_util.h"
+#include "obs/query_profile.h"
 
 namespace clydesdale {
 namespace mr {
@@ -262,6 +263,36 @@ void JobHistoryRecorder::RecordPhase(const std::string& name,
 void JobHistoryRecorder::RecordJobFinished(const Status& status,
                                            const JobReport& report) {
   RecordCountersSnapshot("final", report.counters);
+  // Per-operator profile, flattened pre-order with '>'-joined paths: one
+  // event per node plus the attempt-span envelope, enough for
+  // ReconstructJobReport to rebuild the exact tree (wall_seconds is
+  // recovered from the job_finished line).
+  if (!report.profile.empty()) {
+    for (const obs::FlatProfileNode& flat :
+         obs::FlattenProfile(report.profile)) {
+      const obs::OperatorProfile& n = *flat.node;
+      std::string line =
+          StrCat("{\"event\":\"profile\",\"path\":", JsonQuote(flat.path),
+                 ",\"kind\":", JsonQuote(n.kind), ",\"rows_in\":", n.rows_in,
+                 ",\"rows_out\":", n.rows_out, ",\"batches\":", n.batches,
+                 ",\"wall_ns\":", n.wall_ns, ",\"wall_max_ns\":", n.wall_max_ns,
+                 ",\"cpu_ns\":", n.cpu_ns, ",\"bytes_decoded\":",
+                 n.bytes_decoded, ",\"bytes_raw\":", n.bytes_raw,
+                 ",\"blocks_skipped\":", n.blocks_skipped,
+                 ",\"rows_pruned\":", n.rows_pruned);
+      for (int i = 0; i < 6; ++i) {
+        line += StrCat(",\"enc", i, "\":", n.blocks_by_encoding[i]);
+      }
+      line += StrCat(",\"prefetch_hits\":", n.prefetch_hits,
+                     ",\"prefetch_misses\":", n.prefetch_misses,
+                     ",\"prefetch_wait_ns\":", n.prefetch_wait_ns,
+                     ",\"tasks\":", n.tasks, "}");
+      Append(std::move(line));
+    }
+    Append(StrCat("{\"event\":\"profile_span\",\"first_start_us\":",
+                  report.profile.first_start_us,
+                  ",\"last_end_us\":", report.profile.last_end_us, "}"));
+  }
   Append(StrCat("{\"event\":\"job_finished\",\"t_us\":", NowMicros(),
                 ",\"ok\":", status.ok() ? "true" : "false",
                 ",\"status\":", JsonQuote(status.ToString()),
@@ -367,6 +398,41 @@ Result<JobReport> ReconstructJobReport(std::string_view jsonl) {
       span.start_us = event.Int("start_us");
       span.dur_us = event.Int("dur_us");
       report.spans.push_back(std::move(span));
+    } else if (*kind == "profile") {
+      const std::string* path = event.FindString("path");
+      if (path == nullptr) {
+        return Status::InvalidArgument(StrCat(
+            "job history: profile event without path at line ", line_no));
+      }
+      obs::OperatorProfile* node =
+          obs::EnsureProfilePath(&report.profile, *path);
+      if (const std::string* op_kind = event.FindString("kind")) {
+        node->kind = *op_kind;
+      }
+      node->rows_in = static_cast<uint64_t>(event.Int("rows_in"));
+      node->rows_out = static_cast<uint64_t>(event.Int("rows_out"));
+      node->batches = static_cast<uint64_t>(event.Int("batches"));
+      node->wall_ns = static_cast<uint64_t>(event.Int("wall_ns"));
+      node->wall_max_ns = static_cast<uint64_t>(event.Int("wall_max_ns"));
+      node->cpu_ns = static_cast<uint64_t>(event.Int("cpu_ns"));
+      node->bytes_decoded = static_cast<uint64_t>(event.Int("bytes_decoded"));
+      node->bytes_raw = static_cast<uint64_t>(event.Int("bytes_raw"));
+      node->blocks_skipped =
+          static_cast<uint64_t>(event.Int("blocks_skipped"));
+      node->rows_pruned = static_cast<uint64_t>(event.Int("rows_pruned"));
+      for (int i = 0; i < 6; ++i) {
+        node->blocks_by_encoding[i] =
+            static_cast<uint64_t>(event.Int(StrCat("enc", i)));
+      }
+      node->prefetch_hits = static_cast<uint64_t>(event.Int("prefetch_hits"));
+      node->prefetch_misses =
+          static_cast<uint64_t>(event.Int("prefetch_misses"));
+      node->prefetch_wait_ns =
+          static_cast<uint64_t>(event.Int("prefetch_wait_ns"));
+      node->tasks = static_cast<uint64_t>(event.Int("tasks"));
+    } else if (*kind == "profile_span") {
+      report.profile.first_start_us = event.Int("first_start_us");
+      report.profile.last_end_us = event.Int("last_end_us");
     } else if (*kind == "job_finished") {
       saw_job_event = true;
       if (const std::string* job = event.FindString("job")) {
@@ -391,6 +457,9 @@ Result<JobReport> ReconstructJobReport(std::string_view jsonl) {
             [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
               return a.start_us < b.start_us;
             });
+  // The live profile carries the job wall clock (stamped at commit); the
+  // reconstructed one recovers it from the job_finished event.
+  report.profile.wall_seconds = report.wall_seconds;
   return report;
 }
 

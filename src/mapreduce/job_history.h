@@ -78,9 +78,11 @@ Result<std::string> ReadJobHistory(hdfs::LocalStore* store, int64_t instance);
 
 /// Rebuilds a JobReport from a history document alone: job name, node
 /// count, per-task reports (from "succeeded" attempt events, sorted by
-/// kind/index/attempt), counters (last snapshot), phase spans, and wall
-/// time. Counters and phase timings round-trip byte-equivalent to the live
-/// report. Histograms are not logged and come back empty.
+/// kind/index/attempt), counters (last snapshot), phase spans, the merged
+/// per-operator query profile ("profile"/"profile_span" events), and wall
+/// time. Counters, phase timings, and the profile round-trip
+/// byte-equivalent to the live report. Histograms are not logged and come
+/// back empty.
 Result<JobReport> ReconstructJobReport(std::string_view jsonl);
 
 }  // namespace mr

@@ -9,6 +9,7 @@
 #include "mapreduce/counters.h"
 #include "obs/histogram.h"
 #include "obs/metrics_poller.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 
 namespace clydesdale {
@@ -57,6 +58,9 @@ struct JobReport {
   /// Prometheus-text snapshot. Empty unless kConfMetricsEnabled.
   obs::MetricsTimeSeries metrics_series;
   std::string metrics_prom;
+  /// Per-operator execution profile merged tree-structurally across task
+  /// attempts (obs/query_profile.h). Empty unless kConfProfileEnabled.
+  obs::QueryProfile profile;
   double wall_seconds = 0;
 
   uint64_t TotalMapInputBytes() const;

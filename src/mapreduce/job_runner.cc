@@ -14,6 +14,7 @@
 #include "mapreduce/map_runner.h"
 #include "mapreduce/task_context.h"
 #include "mapreduce/task_tracker.h"
+#include "obs/query_profile.h"
 #include "storage/byte_io.h"
 #include "storage/row_codec.h"
 
@@ -302,6 +303,9 @@ void JobRunner::PollLiveMetrics() {
 
 Status JobRunner::RunMapAttempt(TaskAttempt* attempt) {
   Stopwatch timer;
+  const bool profiled = conf_->GetBool(kConfProfileEnabled);
+  const int64_t prof_start_us = profiled ? clock_.ElapsedMicros() : 0;
+  const int64_t prof_cpu0 = profiled ? obs::ThreadCpuNanos() : 0;
   const int index = attempt->task_index();
   const hdfs::NodeId node = attempt->node;
 
@@ -411,11 +415,31 @@ Status JobRunner::RunMapAttempt(TaskAttempt* attempt) {
                         static_cast<int64_t>(out_records));
   report_->counters.Add(kCounterMapOutputBytes,
                         static_cast<int64_t>(out_bytes));
+
+  // Failed attempts are dropped from the profile: their retry contributes
+  // instead, keeping merged counters loss-free per *completed* task.
+  if (profiled && status.ok()) {
+    obs::OperatorProfile root;
+    root.name = "map";
+    root.kind = "task";
+    root.rows_out = out_records;
+    const uint64_t attempt_ns = static_cast<uint64_t>(timer.ElapsedNanos());
+    root.wall_ns = attempt_ns;
+    root.wall_max_ns = attempt_ns;
+    root.cpu_ns = static_cast<uint64_t>(obs::ThreadCpuNanos() - prof_cpu0);
+    root.tasks = 1;
+    root.children = context.TakeProfileOperators();
+    std::lock_guard<std::mutex> lock(mu_);
+    report_->profile.MergeAttempt(root, prof_start_us, clock_.ElapsedMicros());
+  }
   return status;
 }
 
 Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
   Stopwatch timer;
+  const bool profiled = conf_->GetBool(kConfProfileEnabled);
+  const int64_t prof_start_us = profiled ? clock_.ElapsedMicros() : 0;
+  const int64_t prof_cpu0 = profiled ? obs::ThreadCpuNanos() : 0;
   const int r = attempt->task_index();
   const hdfs::NodeId node = attempt->node;
   TaskContext context(conf_, cluster_, r, node, /*allowed_threads=*/1,
@@ -432,6 +456,8 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
 
   obs::Histogram* fetch_bytes = report_->histograms.Get(kHistShuffleFetchBytes);
   ShuffleMerger merger;
+  uint64_t shuffle_batches = 0;
+  uint64_t shuffle_wall_ns = 0;
 
   // Simulated HTTP fetch of one batch of runs: read each encoded run file
   // from its map node's disk (charging that node's read ledger) and fold
@@ -468,6 +494,8 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
                      << merger.input_records() << " records merged";
       report_->histograms.Get(kHistShuffleFetchMicros)
           ->Record(fetch_timer.ElapsedMicros());
+      ++shuffle_batches;
+      shuffle_wall_ns += static_cast<uint64_t>(fetch_timer.ElapsedNanos());
     }
   } else {
     Stopwatch fetch_timer;
@@ -476,6 +504,8 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
     fetch_span.End();
     report_->histograms.Get(kHistShuffleFetchMicros)
         ->Record(fetch_timer.ElapsedMicros());
+    ++shuffle_batches;
+    shuffle_wall_ns += static_cast<uint64_t>(fetch_timer.ElapsedNanos());
   }
   if (aborted()) return Status::Internal("job aborted");
 
@@ -509,6 +539,36 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
   report_->counters.Add(
       kCounterHdfsReadMicros,
       static_cast<int64_t>(context.io_stats()->read_micros()));
+
+  if (profiled && status.ok()) {
+    obs::OperatorProfile root;
+    root.name = "reduce";
+    root.kind = "task";
+    root.rows_in = tr.input_records;
+    root.rows_out = out.records();
+    const uint64_t attempt_ns = static_cast<uint64_t>(timer.ElapsedNanos());
+    root.wall_ns = attempt_ns;
+    root.wall_max_ns = attempt_ns;
+    root.cpu_ns = static_cast<uint64_t>(obs::ThreadCpuNanos() - prof_cpu0);
+    root.tasks = 1;
+    obs::OperatorProfile shuffle;
+    shuffle.name = "shuffle";
+    shuffle.kind = "shuffle";
+    shuffle.rows_in = tr.input_records;
+    shuffle.rows_out = tr.input_records;
+    shuffle.batches = shuffle_batches;
+    shuffle.wall_ns = shuffle_wall_ns;
+    shuffle.wall_max_ns = shuffle_wall_ns;
+    shuffle.tasks = 1;
+    root.children.push_back(std::move(shuffle));
+    std::vector<obs::OperatorProfile> reducer_ops =
+        context.TakeProfileOperators();
+    for (obs::OperatorProfile& op : reducer_ops) {
+      root.children.push_back(std::move(op));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    report_->profile.MergeAttempt(root, prof_start_us, clock_.ElapsedMicros());
+  }
   return status;
 }
 

@@ -1,6 +1,7 @@
 #include "mapreduce/task_context.h"
 
 #include "common/strings.h"
+#include "mapreduce/cluster_metrics.h"
 #include "mapreduce/engine.h"
 
 namespace clydesdale {
@@ -20,7 +21,18 @@ TaskContext::TaskContext(const JobConf* conf, MrCluster* cluster,
       counters_(counters),
       trace_(trace),
       histograms_(histograms),
-      attempt_(attempt) {}
+      attempt_(attempt),
+      profile_enabled_(conf->GetBool(kConfProfileEnabled)) {}
+
+void TaskContext::AddProfileOperator(obs::OperatorProfile op) {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  profile_ops_.push_back(std::move(op));
+}
+
+std::vector<obs::OperatorProfile> TaskContext::TakeProfileOperators() {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  return std::move(profile_ops_);
+}
 
 std::string TaskContext::DebugLabel(bool is_map) const {
   // Attempt 0 stays terse ("job/m-3@node1"); retries show ".<attempt>".

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "hdfs/block.h"
@@ -14,6 +16,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/job_conf.h"
 #include "obs/histogram.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 
 namespace clydesdale {
@@ -95,6 +98,22 @@ class TaskContext {
   /// once at task end rather than hitting the registry per record.
   obs::HistogramRegistry* histograms() { return histograms_; }
 
+  /// True when the job runs with kConfProfileEnabled: runners should build
+  /// OperatorProfile nodes and hand them over via AddProfileOperator. When
+  /// false, instrumentation must be skipped entirely (zero overhead off).
+  bool profile_enabled() const { return profile_enabled_; }
+
+  /// Hands an operator subtree produced by this attempt's runner to the
+  /// engine, which assembles the attempt root and merges it into the job's
+  /// QueryProfile. Thread-safe (multi-threaded map runners call this from
+  /// worker threads). No-op recording when profiling is off would be a bug
+  /// in the caller — gate on profile_enabled() first.
+  void AddProfileOperator(obs::OperatorProfile op);
+
+  /// Drains the operators recorded so far (engine-side, after the runner
+  /// returned).
+  std::vector<obs::OperatorProfile> TakeProfileOperators();
+
   /// "job/m-3@node1" (or r- for reduces): the task's log identity, used
   /// for ScopedLogContext and trace span labels.
   std::string DebugLabel(bool is_map) const;
@@ -128,6 +147,9 @@ class TaskContext {
   hdfs::IoStats io_stats_;
   std::mutex io_mu_;
   std::atomic<uint64_t> local_disk_bytes_{0};
+  bool profile_enabled_ = false;
+  std::mutex profile_mu_;
+  std::vector<obs::OperatorProfile> profile_ops_;
 };
 
 }  // namespace mr

@@ -1,0 +1,123 @@
+#ifndef CLYDESDALE_OBS_QUERY_PROFILE_H_
+#define CLYDESDALE_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clydesdale {
+namespace obs {
+
+/// One node of a per-operator execution profile: the actuals the paper's
+/// §6.3 plan dissection reads off a run (row counts, time, bytes) for a
+/// single plan step. Nodes are built per task attempt by the operator that
+/// owns the step (scan, probe, aggregate, shuffle, ...) and merged
+/// tree-structurally across attempts at job commit — counters add, wall
+/// maxima track the slowest attempt, and children match by name. The struct
+/// is deliberately plain data (no mapreduce dependencies) so the obs layer
+/// stays at the bottom of the library stack.
+struct OperatorProfile {
+  std::string name;  ///< Unique among siblings, e.g. "scan:/ssb/lineorder".
+  std::string kind;  ///< "scan" | "probe" | "aggregate" | "shuffle" | ...
+
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t batches = 0;
+  uint64_t wall_ns = 0;      ///< Summed across attempts (total work).
+  uint64_t wall_max_ns = 0;  ///< Slowest single attempt (critical path).
+  uint64_t cpu_ns = 0;       ///< Thread CPU time, summed across attempts.
+
+  // Scan-only detail (zero elsewhere): decoded-vs-skipped accounting and the
+  // per-encoding / zone-map hit histograms from storage::ScanStats.
+  uint64_t bytes_decoded = 0;
+  uint64_t bytes_raw = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t rows_pruned = 0;
+  uint64_t blocks_by_encoding[6] = {0, 0, 0, 0, 0, 0};
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
+  uint64_t prefetch_wait_ns = 0;
+
+  /// Task attempts that contributed to this node.
+  uint64_t tasks = 0;
+
+  std::vector<OperatorProfile> children;
+
+  /// rows_out / rows_in, or -1 when the node has no input rows (sources).
+  double selectivity() const {
+    if (rows_in == 0) return -1.0;
+    return static_cast<double>(rows_out) / static_cast<double>(rows_in);
+  }
+
+  /// Child with the given name, creating an empty one if absent.
+  OperatorProfile* Child(std::string_view child_name);
+
+  /// Adds `other`'s counters into this node and recursively merges its
+  /// children by name (unmatched children are appended). Loss-free: every
+  /// counter of `other` lands exactly once.
+  void MergeFrom(const OperatorProfile& other);
+};
+
+/// Job-level profile: one merged operator tree per attempt shape (typically
+/// a "map" root and, for jobs with reducers, a "reduce" root), plus the
+/// wall-clock envelope of the profiled attempts.
+struct QueryProfile {
+  double wall_seconds = 0;   ///< Whole-job wall clock (from JobReport).
+  int64_t first_start_us = 0;  ///< Earliest attempt start (steady clock).
+  int64_t last_end_us = 0;     ///< Latest attempt end (steady clock).
+  std::vector<OperatorProfile> roots;
+
+  bool empty() const { return roots.empty(); }
+
+  /// Wall-clock span actually covered by profiled attempts, in seconds.
+  double ProfiledSpanSeconds() const {
+    return last_end_us > first_start_us
+               ? static_cast<double>(last_end_us - first_start_us) / 1e6
+               : 0.0;
+  }
+
+  /// Root with the given name, creating an empty one if absent.
+  OperatorProfile* Root(std::string_view root_name);
+
+  /// Merges one attempt's tree (root matched by name) and widens the
+  /// [first_start_us, last_end_us] envelope.
+  void MergeAttempt(const OperatorProfile& attempt_root, int64_t start_us,
+                    int64_t end_us);
+
+  void MergeFrom(const QueryProfile& other);
+};
+
+/// Total node count across all roots.
+uint64_t NumProfileOperators(const QueryProfile& profile);
+
+/// Human-readable annotated plan tree ("EXPLAIN ANALYZE ..."); one line per
+/// operator with rows/selectivity/time, plus scan byte/block/prefetch detail
+/// where present. Estimates-vs-actuals columns appear once a planner
+/// produces estimates; today every column is an actual.
+std::string ExplainAnalyzeText(const QueryProfile& profile);
+
+/// The same tree as one JSON object (stable field order, ints exact, doubles
+/// %.17g) — the payload run_benches.sh exports as BENCH_profile.json.
+std::string ExplainAnalyzeJson(const QueryProfile& profile);
+
+/// Flattened view for line-oriented serialization (job history JSONL): every
+/// node paired with its '>'-joined root-to-node path, pre-order, so
+/// rebuilding in order recreates the exact tree shape.
+struct FlatProfileNode {
+  std::string path;
+  const OperatorProfile* node;
+};
+std::vector<FlatProfileNode> FlattenProfile(const QueryProfile& profile);
+
+/// Node at `path` ('>'-separated), creating every missing node on the way.
+OperatorProfile* EnsureProfilePath(QueryProfile* profile,
+                                   std::string_view path);
+
+/// Calling thread's CPU time (user + system) in nanoseconds.
+int64_t ThreadCpuNanos();
+
+}  // namespace obs
+}  // namespace clydesdale
+
+#endif  // CLYDESDALE_OBS_QUERY_PROFILE_H_

@@ -1,5 +1,7 @@
 #include "storage/block_prefetch.h"
 
+#include "common/logging.h"
+#include "common/stopwatch.h"
 #include "storage/split_util.h"
 
 namespace clydesdale {
@@ -13,13 +15,18 @@ BlockPrefetcher::BlockPrefetcher(const hdfs::MiniDfs* dfs,
       reader_node_(reader_node),
       paths_(std::move(paths)),
       block_index_(block_index),
-      slots_(paths_.size()) {
+      slots_(paths_.size()),
+      log_context_(LogContext().empty() ? "prefetch"
+                                        : LogContext() + "/prefetch") {
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
 BlockPrefetcher::~BlockPrefetcher() { Join(); }
 
 void BlockPrefetcher::WorkerLoop() {
+  // Inherit the creating task's ambient context: a prefetch-thread log line
+  // reads "[job/m-17@node3/prefetch] ..." instead of being unattributable.
+  ScopedLogContext log_context(log_context_);
   for (size_t i = 0; i < paths_.size(); ++i) {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -57,7 +64,15 @@ void BlockPrefetcher::WorkerLoop() {
 Result<std::shared_ptr<const std::vector<uint8_t>>> BlockPrefetcher::Take(
     size_t i) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return slots_[i].done; });
+  if (slots_[i].done) {
+    ++prefetch_stats_.hits;
+  } else {
+    ++prefetch_stats_.misses;
+    Stopwatch wait_timer;
+    cv_.wait(lock, [&] { return slots_[i].done; });
+    prefetch_stats_.wait_ns +=
+        static_cast<uint64_t>(wait_timer.ElapsedNanos());
+  }
   taken_ = i + 1;
   cv_.notify_all();
   if (!slots_[i].status.ok()) return slots_[i].status;

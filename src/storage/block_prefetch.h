@@ -15,6 +15,16 @@
 namespace clydesdale {
 namespace storage {
 
+/// Per-reader prefetch effectiveness counters: how often the scan found its
+/// next block already fetched (hit) vs had to block on the worker (miss,
+/// with the blocked nanoseconds). Consumed single-threaded by the scan after
+/// its Take() calls; flushed into ScanStats by the CIF reader.
+struct PrefetchStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t wait_ns = 0;
+};
+
 /// Double-buffered read-ahead for one CIF split (the `cif.scan.prefetch`
 /// knob): a worker thread reads block `block_index` of each listed column
 /// file in order while the scan decodes the previous one, overlapping DFS
@@ -50,6 +60,10 @@ class BlockPrefetcher {
   /// I/O stats it accumulated. Idempotent.
   const hdfs::IoStats& Finish();
 
+  /// Hit/miss/wait accounting of the Take() calls so far. Only the scan
+  /// thread calls Take, so reading this between/after takes is race-free.
+  const PrefetchStats& prefetch_stats() const { return prefetch_stats_; }
+
   static constexpr size_t kQueueDepth = 2;
 
  private:
@@ -75,6 +89,10 @@ class BlockPrefetcher {
   bool cancel_ = false;
   bool joined_ = false;
   hdfs::IoStats io_;  // worker-private until Join
+  PrefetchStats prefetch_stats_;  // scan-thread-private (updated in Take)
+  /// Creator thread's ambient log context, re-installed on the worker so
+  /// its CLY_LOG lines stay attributable to the owning task.
+  const std::string log_context_;
   std::thread worker_;
 };
 

@@ -1345,11 +1345,16 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
         &dfs, options.reader_node, std::move(paths), split.block_in_segment);
   }
   // The worker thread tracked its I/O privately; fold it into the caller's
-  // accounting only after the join inside Finish().
+  // accounting only after the join inside Finish(). Hit/miss/wait stats are
+  // scan-thread-owned and safe to read once no more Take() calls follow.
   auto finish_prefetch = [&]() {
-    if (prefetcher != nullptr && options.stats != nullptr) {
-      options.stats->Add(prefetcher->Finish());
-    }
+    if (prefetcher == nullptr) return;
+    const hdfs::IoStats& worker_io = prefetcher->Finish();
+    if (options.stats != nullptr) options.stats->Add(worker_io);
+    const PrefetchStats& ps = prefetcher->prefetch_stats();
+    stats->prefetch_hits += ps.hits;
+    stats->prefetch_misses += ps.misses;
+    stats->prefetch_wait_ns += ps.wait_ns;
   };
 
   uint32_t nrows = 0;
@@ -1635,6 +1640,7 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
   }
   finish_prefetch();
   CLY_RETURN_IF_ERROR(batch.SealRowCount());
+  stats->rows_read += static_cast<uint64_t>(batch.num_rows());
   return batch;
 }
 
@@ -1715,6 +1721,27 @@ Result<RowBatch> LoadCifSplit(const hdfs::MiniDfs& dfs, const TableDesc& desc,
   if (desc.cif_version >= 2 && options.late_materialize) {
     return LoadCifSplitLate(dfs, desc, split, projection, out_schema, options);
   }
+  // Decoded in-memory bytes of a column, the eager path's bytes_raw
+  // equivalent (fixed widths plus string payload + offset array).
+  auto raw_column_bytes = [](const ColumnVector& col) -> uint64_t {
+    const uint64_t n = static_cast<uint64_t>(col.size());
+    switch (col.type()) {
+      case TypeKind::kInt32:
+        return 4 * n;
+      case TypeKind::kInt64:
+      case TypeKind::kDouble:
+        return 8 * n;
+      case TypeKind::kString: {
+        uint64_t bytes = 4 * n;
+        for (int64_t i = 0; i < col.size(); ++i) {
+          bytes += col.StringViewAt(i).size();
+        }
+        return bytes;
+      }
+    }
+    return 0;
+  };
+  ScanStats* stats = options.scan_stats;
   RowBatch batch(out_schema);
   for (size_t p = 0; p < projection.size(); ++p) {
     const Field& field = desc.schema->field(projection[p]);
@@ -1724,8 +1751,20 @@ Result<RowBatch> LoadCifSplit(const hdfs::MiniDfs& dfs, const TableDesc& desc,
     CLY_RETURN_IF_ERROR(
         DecodeColumnBlock(*data, field.type, desc.cif_version,
                           batch.mutable_column(static_cast<int>(p))));
+    // The eager path (v1 files, or the late_materialize=false A/B arm)
+    // still accounts what it read vs what it decoded, so per-operator
+    // profiles cover every CIF version, not just the newest read path.
+    if (stats != nullptr) {
+      stats->bytes_encoded += data->size();
+      stats->bytes_raw +=
+          raw_column_bytes(batch.column(static_cast<int>(p)));
+      if (desc.cif_version == 1) stats->blocks_by_encoding[0] += 1;
+    }
   }
   CLY_RETURN_IF_ERROR(batch.SealRowCount());
+  if (stats != nullptr) {
+    stats->rows_read += static_cast<uint64_t>(batch.num_rows());
+  }
   return batch;
 }
 

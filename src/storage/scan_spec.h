@@ -62,6 +62,32 @@ struct ScanStats {
   uint64_t bytes_encoded = 0;
   uint64_t bytes_raw = 0;
   uint64_t blocks_by_encoding[6] = {0, 0, 0, 0, 0, 0};
+  /// Rows actually materialized by the reader (post zone-skip, post
+  /// pushdown selection). Every CIF version's read path fills this, so the
+  /// per-operator profiler sees v1 eager scans too.
+  uint64_t rows_read = 0;
+  /// Block-prefetcher effectiveness (cif.scan.prefetch runs only): a hit is
+  /// a Take() that found the block already fetched, a miss one that had to
+  /// wait `prefetch_wait_ns` for the worker.
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
+  uint64_t prefetch_wait_ns = 0;
+
+  /// Adds every counter of `other` into this — the one fold point, so a new
+  /// member can never silently go missing from per-thread/per-task merges.
+  void MergeFrom(const ScanStats& other) {
+    blocks_skipped += other.blocks_skipped;
+    rows_pruned += other.rows_pruned;
+    bytes_encoded += other.bytes_encoded;
+    bytes_raw += other.bytes_raw;
+    for (int i = 0; i < 6; ++i) {
+      blocks_by_encoding[i] += other.blocks_by_encoding[i];
+    }
+    rows_read += other.rows_read;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_misses += other.prefetch_misses;
+    prefetch_wait_ns += other.prefetch_wait_ns;
+  }
 };
 
 }  // namespace storage

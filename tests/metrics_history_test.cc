@@ -17,6 +17,7 @@
 #include "mapreduce/task_attempt.h"
 #include "obs/metrics.h"
 #include "obs/metrics_poller.h"
+#include "obs/query_profile.h"
 #include "storage/table_format.h"
 
 namespace clydesdale {
@@ -547,6 +548,70 @@ TEST(JobHistoryTest, HistoryRoundTripsByteEquivalentReport) {
     EXPECT_EQ(rebuilt.spans[i].dur_us, live_phases[i].dur_us);
   }
   EXPECT_EQ(CriticalPath(rebuilt).ToString(), CriticalPath(live).ToString());
+}
+
+TEST(JobHistoryTest, QueryProfileRoundTripsByteEquivalent) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 600);
+  JobConf conf = WordCountJob("/words", 2);
+  conf.SetBool(kConfHistoryEnabled, true);
+  conf.SetBool(kConfProfileEnabled, true);
+
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JobReport& live = result->report;
+  ASSERT_FALSE(live.profile.empty()) << "profiled run must carry a profile";
+
+  // The live tree has both task roots; the reduce root carries the shuffle
+  // child with the fetched-batch accounting.
+  ASSERT_EQ(live.profile.roots.size(), 2u);
+  const obs::OperatorProfile* reduce = nullptr;
+  for (const obs::OperatorProfile& root : live.profile.roots) {
+    if (root.name == "reduce") reduce = &root;
+  }
+  ASSERT_NE(reduce, nullptr);
+  ASSERT_FALSE(reduce->children.empty());
+  EXPECT_EQ(reduce->children[0].name, "shuffle");
+  EXPECT_GT(reduce->children[0].batches, 0u);
+
+  // Derived counters flushed at commit.
+  EXPECT_EQ(live.counters.Get(kCounterProfOperators),
+            static_cast<int64_t>(obs::NumProfileOperators(live.profile)));
+  EXPECT_GT(live.counters.Get(kCounterProfTasksProfiled), 0);
+
+  auto jsonl = ReadJobHistory(cluster.local_store(0), 1);
+  ASSERT_TRUE(jsonl.ok()) << jsonl.status().ToString();
+  EXPECT_NE(jsonl->find("\"event\":\"profile\""), std::string::npos);
+  EXPECT_NE(jsonl->find("\"event\":\"profile_span\""), std::string::npos);
+  auto rebuilt = ReconstructJobReport(*jsonl);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+
+  // Byte-equivalence: the reconstructed profile renders the identical
+  // EXPLAIN ANALYZE report, text and JSON.
+  EXPECT_EQ(rebuilt->profile.first_start_us, live.profile.first_start_us);
+  EXPECT_EQ(rebuilt->profile.last_end_us, live.profile.last_end_us);
+  EXPECT_EQ(obs::ExplainAnalyzeJson(rebuilt->profile),
+            obs::ExplainAnalyzeJson(live.profile));
+  EXPECT_EQ(obs::ExplainAnalyzeText(rebuilt->profile),
+            obs::ExplainAnalyzeText(live.profile));
+}
+
+TEST(JobHistoryTest, UnprofiledRunLogsNoProfileEvents) {
+  MrCluster cluster(SmallCluster());
+  WriteWordTable(&cluster, 300);
+  JobConf conf = WordCountJob("/words", 1);
+  conf.SetBool(kConfHistoryEnabled, true);
+
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->report.profile.empty());
+
+  auto jsonl = ReadJobHistory(cluster.local_store(0), 1);
+  ASSERT_TRUE(jsonl.ok());
+  EXPECT_EQ(jsonl->find("\"event\":\"profile\""), std::string::npos);
+  auto rebuilt = ReconstructJobReport(*jsonl);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->profile.empty());
 }
 
 TEST(JobHistoryTest, FailedJobStillWritesParseableHistory) {

@@ -1,0 +1,428 @@
+// Per-operator query-profiler tests: tree merge semantics (additive
+// counters, wall maxima, children matched by name), the EXPLAIN ANALYZE
+// text/JSON renderers, the flatten/rebuild round trip job history relies
+// on, ScanStats folding, and end-to-end profiles of map-only CIF scan jobs
+// at every on-disk version (v1/v2/v3) proving the scan counters survive the
+// per-task -> job merge loss-free.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "mapreduce/cluster_metrics.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/input_format.h"
+#include "obs/query_profile.h"
+#include "storage/scan_spec.h"
+#include "storage/table_format.h"
+
+namespace clydesdale {
+namespace obs {
+namespace {
+
+OperatorProfile Node(const char* name, const char* kind, uint64_t rows_in,
+                     uint64_t rows_out) {
+  OperatorProfile node;
+  node.name = name;
+  node.kind = kind;
+  node.rows_in = rows_in;
+  node.rows_out = rows_out;
+  node.tasks = 1;
+  return node;
+}
+
+TEST(OperatorProfileTest, SelectivityDefinition) {
+  OperatorProfile node = Node("probe", "probe", 100, 25);
+  EXPECT_DOUBLE_EQ(node.selectivity(), 0.25);
+  OperatorProfile source = Node("scan", "scan", 0, 100);
+  EXPECT_DOUBLE_EQ(source.selectivity(), -1.0) << "sources have no input";
+}
+
+TEST(OperatorProfileTest, MergeAddsCountersAndTracksWallMax) {
+  OperatorProfile a = Node("scan", "scan", 0, 100);
+  a.wall_ns = 50;
+  a.wall_max_ns = 50;
+  a.cpu_ns = 40;
+  a.batches = 2;
+  a.bytes_decoded = 1000;
+  a.bytes_raw = 4000;
+  a.blocks_skipped = 3;
+  a.rows_pruned = 17;
+  a.blocks_by_encoding[1] = 5;
+  a.prefetch_hits = 7;
+  a.prefetch_misses = 2;
+  a.prefetch_wait_ns = 11;
+
+  OperatorProfile b = Node("scan", "scan", 0, 200);
+  b.wall_ns = 80;
+  b.wall_max_ns = 80;
+  b.cpu_ns = 60;
+  b.batches = 3;
+  b.bytes_decoded = 500;
+  b.bytes_raw = 2000;
+  b.blocks_skipped = 1;
+  b.rows_pruned = 3;
+  b.blocks_by_encoding[1] = 2;
+  b.blocks_by_encoding[4] = 9;
+  b.prefetch_hits = 1;
+  b.prefetch_misses = 4;
+  b.prefetch_wait_ns = 6;
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.rows_out, 300u);
+  EXPECT_EQ(a.wall_ns, 130u) << "wall sums (total work)";
+  EXPECT_EQ(a.wall_max_ns, 80u) << "wall max tracks slowest attempt";
+  EXPECT_EQ(a.cpu_ns, 100u);
+  EXPECT_EQ(a.batches, 5u);
+  EXPECT_EQ(a.bytes_decoded, 1500u);
+  EXPECT_EQ(a.bytes_raw, 6000u);
+  EXPECT_EQ(a.blocks_skipped, 4u);
+  EXPECT_EQ(a.rows_pruned, 20u);
+  EXPECT_EQ(a.blocks_by_encoding[1], 7u);
+  EXPECT_EQ(a.blocks_by_encoding[4], 9u);
+  EXPECT_EQ(a.prefetch_hits, 8u);
+  EXPECT_EQ(a.prefetch_misses, 6u);
+  EXPECT_EQ(a.prefetch_wait_ns, 17u);
+  EXPECT_EQ(a.tasks, 2u);
+}
+
+TEST(OperatorProfileTest, MergeMatchesChildrenByNameAndAppendsNew) {
+  OperatorProfile a = Node("map", "task", 0, 10);
+  a.children.push_back(Node("probe", "probe", 10, 4));
+
+  OperatorProfile b = Node("map", "task", 0, 20);
+  b.children.push_back(Node("probe", "probe", 20, 6));
+  b.children.push_back(Node("combine", "aggregate", 6, 2));
+
+  a.MergeFrom(b);
+  ASSERT_EQ(a.children.size(), 2u);
+  EXPECT_EQ(a.children[0].name, "probe");
+  EXPECT_EQ(a.children[0].rows_in, 30u);
+  EXPECT_EQ(a.children[0].rows_out, 10u);
+  EXPECT_EQ(a.children[1].name, "combine") << "unmatched child appended";
+  EXPECT_EQ(a.children[1].rows_in, 6u);
+}
+
+TEST(QueryProfileTest, MergeAttemptCollapsesDuplicateChildrenAndWidensSpan) {
+  QueryProfile profile;
+  // A multi-split attempt can push two scan nodes with the same name; the
+  // job merge must collapse them into one.
+  OperatorProfile attempt = Node("map", "task", 0, 7);
+  attempt.children.push_back(Node("scan:/t", "scan", 0, 3));
+  attempt.children.push_back(Node("scan:/t", "scan", 0, 4));
+  profile.MergeAttempt(attempt, /*start_us=*/100, /*end_us=*/200);
+
+  OperatorProfile second = Node("map", "task", 0, 5);
+  second.children.push_back(Node("scan:/t", "scan", 0, 5));
+  profile.MergeAttempt(second, /*start_us=*/150, /*end_us=*/400);
+
+  ASSERT_EQ(profile.roots.size(), 1u);
+  ASSERT_EQ(profile.roots[0].children.size(), 1u);
+  EXPECT_EQ(profile.roots[0].children[0].rows_out, 12u);
+  EXPECT_EQ(profile.roots[0].tasks, 2u);
+  EXPECT_EQ(profile.first_start_us, 100);
+  EXPECT_EQ(profile.last_end_us, 400);
+  EXPECT_DOUBLE_EQ(profile.ProfiledSpanSeconds(), 300e-6);
+  EXPECT_EQ(NumProfileOperators(profile), 2u);
+}
+
+TEST(QueryProfileTest, FirstAttemptSetsEnvelopeEvenAtTimeZero) {
+  QueryProfile profile;
+  profile.MergeAttempt(Node("map", "task", 0, 1), /*start_us=*/0,
+                       /*end_us=*/10);
+  profile.MergeAttempt(Node("map", "task", 0, 1), /*start_us=*/5,
+                       /*end_us=*/8);
+  EXPECT_EQ(profile.first_start_us, 0);
+  EXPECT_EQ(profile.last_end_us, 10);
+}
+
+QueryProfile SampleProfile() {
+  QueryProfile profile;
+  profile.wall_seconds = 0.5;
+  OperatorProfile map = Node("map", "task", 0, 40);
+  OperatorProfile agg = Node("aggregate", "aggregate", 120, 40);
+  OperatorProfile probe = Node("probe", "probe", 1000, 120);
+  OperatorProfile scan = Node("scan:/ssb/lineorder", "scan", 0, 1000);
+  scan.bytes_decoded = 2048;
+  scan.bytes_raw = 8192;
+  scan.blocks_skipped = 2;
+  scan.rows_pruned = 99;
+  scan.blocks_by_encoding[0] = 1;
+  scan.blocks_by_encoding[3] = 4;
+  scan.prefetch_hits = 3;
+  scan.prefetch_misses = 1;
+  probe.children.push_back(std::move(scan));
+  agg.children.push_back(std::move(probe));
+  map.children.push_back(std::move(agg));
+  profile.MergeAttempt(map, 10, 490'000);
+
+  OperatorProfile reduce = Node("reduce", "task", 40, 4);
+  reduce.children.push_back(Node("shuffle", "shuffle", 40, 40));
+  profile.MergeAttempt(reduce, 200'000, 500'000);
+  return profile;
+}
+
+TEST(ExplainAnalyzeTest, TextRendersTreeWithInvariants) {
+  const QueryProfile profile = SampleProfile();
+  const std::string text = ExplainAnalyzeText(profile);
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos) << text;
+  EXPECT_NE(text.find("operators=6"), std::string::npos) << text;
+  EXPECT_NE(text.find("scan:/ssb/lineorder"), std::string::npos) << text;
+  EXPECT_NE(text.find("shuffle"), std::string::npos) << text;
+  // The probe line carries its selectivity (120/1000).
+  EXPECT_NE(text.find("0.12"), std::string::npos) << text;
+}
+
+TEST(ExplainAnalyzeTest, JsonIsBalancedAndMarksSourcesNullSelectivity) {
+  const QueryProfile profile = SampleProfile();
+  const std::string json = ExplainAnalyzeJson(profile);
+  EXPECT_NE(json.find("\"selectivity\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"scan:/ssb/lineorder\""), std::string::npos);
+  EXPECT_NE(json.find("\"prefetch_hits\":3"), std::string::npos) << json;
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(FlattenProfileTest, RebuildFromFlattenedPathsIsLossless) {
+  const QueryProfile original = SampleProfile();
+  const std::vector<FlatProfileNode> flat = FlattenProfile(original);
+  ASSERT_EQ(flat.size(), NumProfileOperators(original));
+  EXPECT_EQ(flat[0].path, "map");
+  // Paths are '>'-joined root-to-node, pre-order.
+  EXPECT_EQ(flat[1].path, "map>aggregate");
+  EXPECT_EQ(flat[3].path, "map>aggregate>probe>scan:/ssb/lineorder");
+
+  QueryProfile rebuilt;
+  rebuilt.wall_seconds = original.wall_seconds;
+  rebuilt.first_start_us = original.first_start_us;
+  rebuilt.last_end_us = original.last_end_us;
+  for (const FlatProfileNode& entry : flat) {
+    OperatorProfile* node = EnsureProfilePath(&rebuilt, entry.path);
+    ASSERT_NE(node, nullptr);
+    const std::string name = node->name;  // path-derived; keep it
+    *node = *entry.node;
+    node->name = name;
+    node->children.clear();  // children arrive via their own paths
+  }
+  EXPECT_EQ(ExplainAnalyzeJson(rebuilt), ExplainAnalyzeJson(original))
+      << "flatten -> EnsureProfilePath round trip must be byte-lossless";
+}
+
+TEST(ThreadCpuNanosTest, AdvancesWithWork) {
+  const int64_t before = ThreadCpuNanos();
+  uint64_t sink = 0;
+  volatile uint64_t i = 0;
+  while (true) {
+    const uint64_t v = i;  // volatile read defeats closed-form elimination
+    if (v >= 2'000'000) break;
+    sink += v * v;
+    i = v + 1;
+  }
+  ASSERT_GT(sink, 0u);
+  EXPECT_GT(ThreadCpuNanos(), before);
+}
+
+}  // namespace
+}  // namespace obs
+
+namespace storage {
+namespace {
+
+TEST(ScanStatsTest, MergeFromFoldsEveryCounter) {
+  ScanStats a;
+  a.rows_read = 100;
+  a.blocks_skipped = 2;
+  a.rows_pruned = 20;
+  a.bytes_encoded = 30;
+  a.bytes_raw = 120;
+  a.blocks_by_encoding[2] = 4;
+  a.prefetch_hits = 5;
+  a.prefetch_misses = 6;
+  a.prefetch_wait_ns = 7;
+
+  ScanStats b = a;
+  b.blocks_by_encoding[5] = 9;
+  a.MergeFrom(b);
+
+  EXPECT_EQ(a.rows_read, 200u);
+  EXPECT_EQ(a.blocks_skipped, 4u);
+  EXPECT_EQ(a.rows_pruned, 40u);
+  EXPECT_EQ(a.bytes_encoded, 60u);
+  EXPECT_EQ(a.bytes_raw, 240u);
+  EXPECT_EQ(a.blocks_by_encoding[2], 8u);
+  EXPECT_EQ(a.blocks_by_encoding[5], 9u);
+  EXPECT_EQ(a.prefetch_hits, 10u);
+  EXPECT_EQ(a.prefetch_misses, 12u);
+  EXPECT_EQ(a.prefetch_wait_ns, 14u);
+}
+
+}  // namespace
+}  // namespace storage
+
+namespace mr {
+namespace {
+
+ClusterOptions ScanCluster() {
+  ClusterOptions options;
+  options.num_nodes = 2;
+  options.map_slots_per_node = 2;
+  return options;
+}
+
+SchemaPtr ScanSchema() {
+  return Schema::Make({{"id", TypeKind::kInt32, 4},
+                       {"qty", TypeKind::kInt32, 4},
+                       {"mode", TypeKind::kString, 6}});
+}
+
+storage::TableDesc WriteCifTable(MrCluster* cluster, const std::string& path,
+                                 int rows, int cif_version) {
+  storage::TableDesc desc;
+  desc.path = path;
+  desc.format = storage::kFormatCif;
+  desc.schema = ScanSchema();
+  desc.rows_per_split = 256;
+  desc.cif_version = cif_version;
+  auto writer = storage::OpenTableWriter(cluster->dfs(), desc);
+  CLY_CHECK(writer.ok());
+  const char* modes[] = {"AIR", "RAIL", "SHIP"};
+  for (int i = 0; i < rows; ++i) {
+    CLY_CHECK_OK((*writer)->Append(Row({Value(i), Value((i / 64) % 5),
+                                        Value(modes[(i / 50) % 3])})));
+  }
+  CLY_CHECK_OK((*writer)->Close());
+  auto loaded = cluster->GetTable(path);
+  CLY_CHECK(loaded.ok());
+  return *loaded;
+}
+
+class CountRowsMapper final : public Mapper {
+ public:
+  Status Map(const Row&, const Row&, TaskContext*, OutputCollector*) override {
+    return Status::OK();
+  }
+};
+
+/// Map-only scan of `table` with profiling on; returns the merged profile.
+obs::QueryProfile ProfiledScan(MrCluster* cluster, const std::string& table) {
+  JobConf conf;
+  conf.job_name = "profiled-scan";
+  conf.num_reduce_tasks = 0;
+  conf.Set(kConfInputTable, table);
+  conf.input_format_factory = [] {
+    return std::make_unique<TableInputFormat>();
+  };
+  conf.mapper_factory = [] { return std::make_unique<CountRowsMapper>(); };
+  conf.output_format_factory = [] {
+    return std::make_unique<MemoryOutputFormat>();
+  };
+  conf.SetBool(kConfProfileEnabled, true);
+  auto result = RunJob(cluster, conf);
+  CLY_CHECK(result.ok());
+  return result->report.profile;
+}
+
+/// The scan counters of every CIF generation must survive the per-task ->
+/// job merge loss-free: rows add up exactly, decoded bytes are non-zero,
+/// and (v3) per-encoding block tags are preserved.
+TEST(ProfiledScanTest, CifV1V2V3ScanStatsMergeLossFree) {
+  for (int version : {1, 2, 3}) {
+    SCOPED_TRACE(StrCat("cif v", version));
+    MrCluster cluster(ScanCluster());
+    const std::string table = StrCat("/scan_v", version);
+    const storage::TableDesc desc =
+        WriteCifTable(&cluster, table, 1000, version);
+    ASSERT_EQ(desc.cif_version, version);
+
+    const obs::QueryProfile profile = ProfiledScan(&cluster, table);
+    ASSERT_FALSE(profile.empty());
+    ASSERT_EQ(profile.roots.size(), 1u);
+    const obs::OperatorProfile& map = profile.roots[0];
+    EXPECT_EQ(map.name, "map");
+    // Several splits, each a task attempt whose scan node merges into one
+    // per-table node.
+    EXPECT_GE(map.tasks, 2u);
+    ASSERT_EQ(map.children.size(), 1u);
+    const obs::OperatorProfile& scan = map.children[0];
+    EXPECT_EQ(scan.name, StrCat("scan:", table));
+    EXPECT_EQ(scan.kind, "scan");
+    EXPECT_EQ(scan.rows_out, 1000u) << "merged rows must add up exactly";
+    EXPECT_GT(scan.bytes_decoded, 0u);
+    EXPECT_GT(scan.wall_ns, 0u);
+    EXPECT_GE(scan.wall_ns, scan.wall_max_ns);
+    if (version == 3) {
+      uint64_t tagged = 0;
+      for (uint64_t n : scan.blocks_by_encoding) tagged += n;
+      EXPECT_GT(tagged, 0u) << "v3 blocks carry encoding tags";
+      EXPECT_GE(scan.bytes_raw, scan.bytes_decoded)
+          << "v3 raw >= encoded bytes";
+    }
+    // Job-level derived counters agree with the tree.
+    EXPECT_EQ(profile.ProfiledSpanSeconds() > 0, true);
+  }
+}
+
+TEST(ProfiledScanTest, ProfileOffLeavesReportEmpty) {
+  MrCluster cluster(ScanCluster());
+  WriteCifTable(&cluster, "/scan_off", 300, 3);
+  JobConf conf;
+  conf.job_name = "unprofiled-scan";
+  conf.num_reduce_tasks = 0;
+  conf.Set(kConfInputTable, "/scan_off");
+  conf.input_format_factory = [] {
+    return std::make_unique<TableInputFormat>();
+  };
+  conf.mapper_factory = [] { return std::make_unique<CountRowsMapper>(); };
+  conf.output_format_factory = [] {
+    return std::make_unique<MemoryOutputFormat>();
+  };
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->report.profile.empty())
+      << "no kConfProfileEnabled -> zero profile state";
+  EXPECT_EQ(result->report.counters.Get(kCounterProfOperators), 0);
+}
+
+TEST(ProfiledScanTest, ProfileCountersMatchTree) {
+  MrCluster cluster(ScanCluster());
+  WriteCifTable(&cluster, "/scan_counts", 512, 3);
+  JobConf conf;
+  conf.job_name = "counted-scan";
+  conf.num_reduce_tasks = 0;
+  conf.Set(kConfInputTable, "/scan_counts");
+  conf.input_format_factory = [] {
+    return std::make_unique<TableInputFormat>();
+  };
+  conf.mapper_factory = [] { return std::make_unique<CountRowsMapper>(); };
+  conf.output_format_factory = [] {
+    return std::make_unique<MemoryOutputFormat>();
+  };
+  conf.SetBool(kConfProfileEnabled, true);
+  auto result = RunJob(&cluster, conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JobReport& report = result->report;
+  ASSERT_FALSE(report.profile.empty());
+  EXPECT_EQ(report.counters.Get(kCounterProfOperators),
+            static_cast<int64_t>(obs::NumProfileOperators(report.profile)));
+  EXPECT_EQ(report.counters.Get(kCounterProfTasksProfiled),
+            static_cast<int64_t>(report.profile.roots[0].tasks));
+  EXPECT_EQ(report.profile.wall_seconds, report.wall_seconds)
+      << "profile stamped with the job wall clock at commit";
+  EXPECT_LE(report.profile.ProfiledSpanSeconds(), report.wall_seconds + 0.01)
+      << "profiled attempts fit inside the job envelope";
+}
+
+}  // namespace
+}  // namespace mr
+}  // namespace clydesdale
