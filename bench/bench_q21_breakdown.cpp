@@ -173,6 +173,90 @@ int main() {
                 wall_on, 100.0 * (wall_on - wall_off) / wall_off);
   }
 
+  // With CLY_MEMORY_JSON set, measure the hierarchical memory accounting on
+  // the functional engine: a profiled Q2.1 reports each operator's peak
+  // resident bytes (dim tables, scan arenas, partial aggregates, shuffle
+  // runs), and a min-of-3 A/B with obs.mem.enabled off vs on bounds the
+  // tracking overhead. Both land in BENCH_memory.json via run_benches.sh.
+  const char* memory_json = std::getenv("CLY_MEMORY_JSON");
+  if (memory_json != nullptr && memory_json[0] != '\0') {
+    core::ClydesdaleOptions mopts;
+    mopts.profile = true;
+    core::ClydesdaleEngine engine(env.cluster.get(), env.dataset.star, mopts);
+    auto run = engine.Execute(*query);
+    CLY_CHECK(run.ok());
+    const obs::QueryProfile& profile = run->stage_reports[0].profile;
+    CLY_CHECK(!profile.empty());
+
+    const char* ops[] = {"scan:", "probe", "aggregate", "shuffle"};
+    const char* keys[] = {"scan", "probe", "aggregate", "shuffle"};
+    uint64_t peaks[4] = {0, 0, 0, 0};
+    std::printf("\npeak memory per operator (tracked, Q2.1):\n");
+    for (int i = 0; i < 4; ++i) {
+      const obs::OperatorProfile* node = nullptr;
+      for (const obs::OperatorProfile& root : profile.roots) {
+        if ((node = FindNode(root, ops[i])) != nullptr) break;
+      }
+      CLY_CHECK(node != nullptr);
+      // Acceptance: every memory-bearing operator reports a real footprint.
+      CLY_CHECK(node->mem_peak_bytes > 0);
+      CLY_CHECK(node->mem_peak_bytes >= node->mem_current_bytes);
+      peaks[i] = node->mem_peak_bytes;
+      std::printf("  %-10s %10.1f KiB peak (%.1f KiB still resident at "
+                  "task end)\n",
+                  keys[i], node->mem_peak_bytes / 1024.0,
+                  node->mem_current_bytes / 1024.0);
+    }
+    const int64_t job_peak =
+        run->Counter(mr::kCounterMemJobPeakBytes);
+    CLY_CHECK(job_peak > 0);
+    std::printf("  job peak (sum of per-node trackers): %.1f KiB\n",
+                job_peak / 1024.0);
+
+    // Tracking overhead A/B: min-of-3 per arm, tracker off first. The
+    // acceptance bound is 2% relative with a 50 ms absolute floor so
+    // sub-smoke runs (total wall well under a second) don't fail on
+    // scheduler jitter that has nothing to do with the atomics.
+    double wall_off = 0, wall_on = 0;
+    for (int arm = 0; arm < 2; ++arm) {
+      double best = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        core::ClydesdaleOptions ab_opts;
+        ab_opts.mem_tracking = (arm == 1);
+        core::ClydesdaleEngine ab(env.cluster.get(), env.dataset.star,
+                                  ab_opts);
+        Stopwatch timer;
+        auto ab_run = ab.Execute(*query);
+        const double secs = timer.ElapsedSeconds();
+        CLY_CHECK(ab_run.ok());
+        if (rep == 0 || secs < best) best = secs;
+      }
+      (arm == 0 ? wall_off : wall_on) = best;
+    }
+    const double overhead_pct = 100.0 * (wall_on - wall_off) / wall_off;
+    std::printf("memory tracking overhead: off=%.3fs on=%.3fs (%+.2f%%)\n",
+                wall_off, wall_on, overhead_pct);
+    CLY_CHECK(wall_on <= 1.02 * wall_off + 0.050);
+
+    std::FILE* out = std::fopen(memory_json, "w");
+    CLY_CHECK(out != nullptr);
+    std::fprintf(out, "{\n  \"operator_peak_bytes\": {\n");
+    for (int i = 0; i < 4; ++i) {
+      std::fprintf(out, "    \"%s\": %llu%s\n", keys[i],
+                   static_cast<unsigned long long>(peaks[i]),
+                   i < 3 ? "," : "");
+    }
+    std::fprintf(out,
+                 "  },\n  \"job_peak_bytes\": %lld,\n"
+                 "  \"wall_seconds_tracking_off\": %.6f,\n"
+                 "  \"wall_seconds_tracking_on\": %.6f,\n"
+                 "  \"overhead_pct\": %.4f\n}\n",
+                 static_cast<long long>(job_peak), wall_off, wall_on,
+                 overhead_pct);
+    std::fclose(out);
+    std::printf("wrote %s\n", memory_json);
+  }
+
   // With CLY_Q21_JSON set, A/B the shuffle handoff on the functional
   // engine: "barrier" waits for every map before reducers fetch, "pipelined"
   // lets reducers fetch published runs while maps still run. Output is

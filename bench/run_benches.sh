@@ -130,10 +130,43 @@ if [ -x "${Q21_BIN}" ]; then
   if [ "${EMIT_Q21_JSON}" = "1" ]; then
     Q21_JSON="${OUT_DIR}/BENCH_q21.json"
   fi
-  CLY_TRACE_DIR="${TRACE_DIR}" CLY_Q21_JSON="${Q21_JSON}" "${Q21_BIN}" >/dev/null
+  MEMORY_JSON="${OUT_DIR}/BENCH_memory.json"
+  CLY_TRACE_DIR="${TRACE_DIR}" CLY_Q21_JSON="${Q21_JSON}" \
+    CLY_MEMORY_JSON="${MEMORY_JSON}" "${Q21_BIN}" >/dev/null
   if [ -n "${Q21_JSON}" ] && [ -e "${Q21_JSON}" ]; then
     echo "wrote ${Q21_JSON} (barrier vs pipelined shuffle A/B)"
   fi
+  # Hierarchical memory accounting: per-operator peaks + the tracker-on vs
+  # tracker-off overhead A/B. The bench itself CLY_CHECKs the <=2% overhead
+  # bound; here we fail loudly if the published shape loses fields.
+  if [ ! -e "${MEMORY_JSON}" ]; then
+    echo "error: bench_q21_breakdown did not write ${MEMORY_JSON}" >&2
+    exit 1
+  fi
+  python3 - "${MEMORY_JSON}" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+data = json.loads(open(path).read())
+missing = [k for k in ("operator_peak_bytes", "job_peak_bytes",
+                       "wall_seconds_tracking_off",
+                       "wall_seconds_tracking_on", "overhead_pct")
+           if k not in data]
+ops = data.get("operator_peak_bytes", {})
+for op in ("scan", "probe", "aggregate", "shuffle"):
+    if op not in ops:
+        missing.append(f"operator_peak_bytes.{op}")
+    elif ops[op] <= 0:
+        sys.exit(f"error: {path}: {op} peak is {ops[op]}, expected > 0")
+if missing:
+    sys.exit(f"error: {path} lacks memory fields: {', '.join(missing)}")
+if data["job_peak_bytes"] <= 0:
+    sys.exit(f"error: {path}: job_peak_bytes must be positive")
+print(f"{path}: job peak {data['job_peak_bytes'] / 1024:.1f} KiB, "
+      f"tracking overhead {data['overhead_pct']:+.2f}%")
+EOF
+  echo "wrote ${MEMORY_JSON} (per-operator peaks + tracking overhead A/B)"
   for f in "${TRACE_DIR}"/*.trace.json; do
     [ -e "${f}" ] || continue
     cp "${f}" "${OUT_DIR}/BENCH_q21.trace.json"
@@ -186,7 +219,8 @@ node_fields = ("name", "kind", "rows_in", "rows_out", "selectivity",
                "batches", "wall_ns", "wall_max_ns", "cpu_ns", "bytes_decoded",
                "bytes_raw", "blocks_skipped", "rows_pruned",
                "blocks_by_encoding", "prefetch_hits", "prefetch_misses",
-               "prefetch_wait_ns", "tasks", "children")
+               "prefetch_wait_ns", "mem_current_bytes", "mem_peak_bytes",
+               "tasks", "children")
 kinds = set()
 
 def walk(node, trail):

@@ -11,7 +11,10 @@
 #      never be declared + listed yet silently never populated);
 #   5. every kCounterProf* name in counters.h is actually surfaced by
 #      AddQueryProfileCounters() in counters.cc (the only place the merged
-#      query profile becomes headline counters).
+#      query profile becomes headline counters);
+#   6. every kCounterMem* name in counters.h is actually flushed by
+#      AddMemTrackerCounters() in counters.cc (the only place the job's
+#      memory-tracker peaks become MEM_* counters).
 # Registered as a ctest (tests/CMakeLists.txt) and runnable standalone:
 #   scripts/check_counters.sh [repo-root]
 set -u
@@ -123,6 +126,20 @@ for name in $prof_header; do
   if ! printf '%s\n' "$prof_flush" | grep -qx "$name"; then
     echo "check_counters: $name declared in counters.h but never surfaced" \
          "by AddQueryProfileCounters()" >&2
+    fail=1
+  fi
+done
+
+# --- memory counters: every declared kCounterMem* must be flushed by the
+# --- tracker-peaks helper (the only place MEM_* counters are populated)
+mem_header=$(printf '%s\n' "$header_counters" | grep '^kCounterMem' || true)
+mem_flush=$(sed -n '/^void AddMemTrackerCounters/,/^}/p' "$counters_cc" \
+  | grep -o 'kCounter[A-Za-z0-9]*' | sort -u)
+
+for name in $mem_header; do
+  if ! printf '%s\n' "$mem_flush" | grep -qx "$name"; then
+    echo "check_counters: $name declared in counters.h but never flushed" \
+         "by AddMemTrackerCounters()" >&2
     fail=1
   fi
 done

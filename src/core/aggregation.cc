@@ -245,6 +245,10 @@ int64_t* HashAggregator::FindOrCreate(const uint8_t* key, size_t len,
       s.key_len = static_cast<uint32_t>(len);
       key_arena_.insert(key_arena_.end(), key, key + len);
       ++num_groups_;
+      if (key_arena_.capacity() != synced_arena_capacity_) {
+        synced_arena_capacity_ = key_arena_.capacity();
+        mem_.SyncTo(static_cast<int64_t>(memory_bytes()));
+      }
       int64_t* accs = accs_.data() + slot * num_accs_;
       for (size_t a = 0; a < num_accs_; ++a) {
         accs[a] = AggLayout::InitValue(layout_.accs()[a]);
@@ -275,6 +279,7 @@ void HashAggregator::Rehash(size_t new_capacity) {
     std::memcpy(accs_.data() + slot * num_accs_,
                 old_accs.data() + i * num_accs_, num_accs_ * sizeof(int64_t));
   }
+  mem_.SyncTo(static_cast<int64_t>(memory_bytes()));
 }
 
 uint64_t HashAggregator::memory_bytes() const {

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/star_query.h"
 #include "mapreduce/mr_types.h"
+#include "obs/mem_tracker.h"
 #include "schema/row.h"
 
 namespace clydesdale {
@@ -140,6 +141,14 @@ class HashAggregator {
   /// Resident bytes of the slot array, accumulators, and key arena.
   uint64_t memory_bytes() const;
 
+  /// Attributes this table's resident bytes to a tracker. Synced only when
+  /// a container actually regrows (Rehash, arena reallocation) — amortized
+  /// O(1), nothing on the per-row add path — and released on destruction.
+  void AttachMemTracker(std::shared_ptr<obs::MemTracker> tracker) {
+    mem_ = obs::ScopedMemConsumer(std::move(tracker));
+    mem_.SyncTo(static_cast<int64_t>(memory_bytes()));
+  }
+
  private:
   struct Slot {
     uint64_t hash = 0;
@@ -161,6 +170,9 @@ class HashAggregator {
   std::vector<int64_t> accs_;       // capacity * num_accs_, slot-indexed
   std::vector<uint8_t> key_arena_;  // encoded keys, append-only
   std::vector<uint8_t> key_scratch_;
+  obs::ScopedMemConsumer mem_;
+  /// key_arena_ capacity at the last mem_ sync (regrowth detection).
+  size_t synced_arena_capacity_ = 0;
 };
 
 /// Reducer (and combiner) that merges accumulator rows element-wise per key

@@ -4,6 +4,7 @@
 #include "common/strings.h"
 #include "core/aggregation.h"
 #include "core/staged_join.h"
+#include "mapreduce/cluster_metrics.h"
 #include "mapreduce/input_format.h"
 #include "storage/scan_spec.h"
 
@@ -46,6 +47,17 @@ Result<QueryResult> ClydesdaleEngine::Execute(const StarQuerySpec& spec) {
   conf.jvm_reuse = options_.jvm_reuse;
   conf.single_task_per_node = options_.multithreaded;
   ApplyTraceConf(options_, &conf);
+  if (options_.mem_budget_bytes > 0) {
+    // Admission control: hand the engine the same dimension-table estimate
+    // the staged fallback uses, so RunJob can reject the query up front
+    // instead of failing mid-build on the job tracker's limit.
+    uint64_t estimate = 0;
+    for (const DimJoinSpec& join : spec.dims) {
+      CLY_ASSIGN_OR_RETURN(const DimTableInfo* dim, star_->dim(join.dimension));
+      estimate += EstimateDimHashBytes(*dim, join);
+    }
+    conf.SetInt(mr::kConfMemEstimateBytes, static_cast<int64_t>(estimate));
+  }
 
   conf.Set(mr::kConfInputTable, star_->fact().path);
   // Columnar pushdown: only the query's fact columns; the §6.5 ablation

@@ -117,7 +117,8 @@ void DimHashTable::Insert(int64_t key, Row payload) {
 Result<std::shared_ptr<const DimHashTable>> DimHashTable::Build(
     const Schema& dim_schema, const uint8_t* row_stream, size_t len,
     const Predicate& predicate, const std::string& pk_column,
-    const std::vector<std::string>& aux_columns) {
+    const std::vector<std::string>& aux_columns,
+    std::shared_ptr<obs::MemTracker> tracker) {
   CLY_ASSIGN_OR_RETURN(BoundPredicatePtr pred, predicate.Bind(dim_schema));
   CLY_ASSIGN_OR_RETURN(int pk, dim_schema.Require(pk_column));
   std::vector<int> aux;
@@ -166,6 +167,14 @@ Result<std::shared_ptr<const DimHashTable>> DimHashTable::Build(
   table->stats_.entries = table->payloads_.size();
   table->stats_.memory_bytes =
       table->capacity_ * (sizeof(int64_t) + sizeof(int32_t)) + payload_bytes;
+  if (tracker != nullptr) {
+    // The budget trip point: a table that would blow the job's
+    // mem_budget_bytes fails here with ResourceExhausted before anyone
+    // probes it, and the charge lives exactly as long as the table.
+    table->mem_ = obs::ScopedMemConsumer(std::move(tracker));
+    CLY_RETURN_IF_ERROR(table->mem_.TryAdd(
+        static_cast<int64_t>(table->stats_.memory_bytes)));
+  }
   return std::shared_ptr<const DimHashTable>(table);
 }
 

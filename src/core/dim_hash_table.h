@@ -9,6 +9,7 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "obs/mem_tracker.h"
 #include "core/star_query.h"
 #include "schema/row.h"
 #include "schema/schema.h"
@@ -40,10 +41,16 @@ class DimHashTable {
 
   /// Builds from an encoded row stream (the node-local dimension replica):
   /// applies `predicate`, keys by `pk_column`, stores `aux_columns`.
+  ///
+  /// `tracker` (optional) charges the finished table's memory_bytes against
+  /// the job's memory budget: a TryConsume failure aborts the build with
+  /// ResourceExhausted (nothing stays consumed), otherwise the table holds
+  /// the charge until it is destroyed — exact-byte, release-on-drop.
   static Result<std::shared_ptr<const DimHashTable>> Build(
       const Schema& dim_schema, const uint8_t* row_stream, size_t len,
       const Predicate& predicate, const std::string& pk_column,
-      const std::vector<std::string>& aux_columns);
+      const std::vector<std::string>& aux_columns,
+      std::shared_ptr<obs::MemTracker> tracker = nullptr);
 
   /// Key-lane value marking an empty slot.
   static constexpr int64_t kEmptySlotKey =
@@ -123,6 +130,8 @@ class DimHashTable {
   int64_t min_key_ = std::numeric_limits<int64_t>::max();
   int64_t max_key_ = std::numeric_limits<int64_t>::min();
   BuildStats stats_;
+  /// Holds memory_bytes against the build tracker; releases on destruction.
+  obs::ScopedMemConsumer mem_;
 };
 
 }  // namespace core

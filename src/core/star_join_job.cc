@@ -266,6 +266,11 @@ void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf) {
   }
   if (options.history) conf->SetBool(mr::kConfHistoryEnabled, true);
   if (options.profile) conf->SetBool(mr::kConfProfileEnabled, true);
+  // Tracking defaults on; only an explicit off needs recording in the conf.
+  if (!options.mem_tracking) conf->SetBool(mr::kConfMemTrackingEnabled, false);
+  if (options.mem_budget_bytes > 0) {
+    conf->mem_budget_bytes = options.mem_budget_bytes;
+  }
   conf->pipelined_shuffle = options.pipelined_shuffle;
 }
 
@@ -279,10 +284,14 @@ Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
     CLY_ASSIGN_OR_RETURN(const DimTableInfo* dim, star.dim(join.dimension));
     CLY_ASSIGN_OR_RETURN(hdfs::BlockBuffer bytes,
                          ReadDimensionReplica(context, *dim));
+    // Tables outlive this attempt (JVM reuse shares them across tasks), so
+    // they charge the per-(job, node) tracker, not the attempt's. A budget
+    // breach surfaces here as ResourceExhausted, failing the build cleanly.
     CLY_ASSIGN_OR_RETURN(
         std::shared_ptr<const DimHashTable> table,
         DimHashTable::Build(*dim->desc.schema, bytes->data(), bytes->size(),
-                            *join.predicate, join.dim_pk, join.aux_columns));
+                            *join.predicate, join.dim_pk, join.aux_columns,
+                            context->job_mem_tracker()));
     context->counters()->Add(kCounterHashBuilds, 1);
     context->counters()->Add(kCounterHashBuildRows,
                              static_cast<int64_t>(table->stats().input_rows));
@@ -394,6 +403,11 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
     obs::Span probe_span(context->trace(), "probe", "stage",
                          context->task_index(), context->node());
     ProbeSink* sink = sinks[static_cast<size_t>(t)].get();
+    // Partial-aggregate tables are attempt-scoped: charge this attempt's
+    // tracker (synced on container growth, released at task end).
+    if (context->mem_tracker() != nullptr) {
+      sink->agg.AttachMemTracker(context->mem_tracker());
+    }
     ThreadProfile* prof = &thread_profiles[static_cast<size_t>(t)];
     std::unique_ptr<VectorizedProbe> vec;
     if (options_.block_iteration) vec = MakeVectorizedProbe(plan, *tables);
@@ -409,6 +423,7 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       scan.prefetch = options_.scan_prefetch;
       scan.expose_runs = options_.expose_runs;
       scan.scan_stats = &scan_stats[static_cast<size_t>(t)];
+      scan.mem_reporter = context->mem_tracker();
       Status st;
       Stopwatch split_timer;
       int64_t cpu0 = profiled ? obs::ThreadCpuNanos() : 0;
@@ -501,6 +516,7 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
   }
 
   uint64_t agg_wall_ns = 0, agg_cpu_ns = 0, merged_groups = 0;
+  uint64_t merged_agg_bytes = 0;
   const bool aggregated = options_.map_side_agg && !plan.emit_joined_rows;
   if (aggregated) {
     // Merge the per-thread partial aggregates and emit once.
@@ -512,6 +528,7 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       sinks[0]->agg.MergeFrom(sinks[static_cast<size_t>(t)]->agg);
     }
     merged_groups = static_cast<uint64_t>(sinks[0]->agg.num_groups());
+    merged_agg_bytes = sinks[0]->agg.memory_bytes();
     CLY_RETURN_IF_ERROR(sinks[0]->agg.Emit(out));
     if (profiled) {
       agg_wall_ns = static_cast<uint64_t>(agg_timer.ElapsedNanos());
@@ -549,6 +566,10 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       probe.wall_ns = probe_wall;
       probe.wall_max_ns = probe_wall_max;
       probe.cpu_ns = probe_cpu;
+      // The probe holds the node's dimension hash tables resident for the
+      // whole task; shared across threads, so current == peak.
+      probe.mem_current_bytes = tables->total_memory_bytes;
+      probe.mem_peak_bytes = tables->total_memory_bytes;
       probe.tasks = 1;
     }
     probe.children.push_back(std::move(scan));
@@ -561,6 +582,10 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
       aggregate.wall_ns = agg_wall_ns;
       aggregate.wall_max_ns = agg_wall_ns;
       aggregate.cpu_ns = agg_cpu_ns;
+      // Peak: every thread's partial table resident at once (pre-merge);
+      // current: the single merged table that Emit walked.
+      aggregate.mem_current_bytes = merged_agg_bytes;
+      aggregate.mem_peak_bytes = std::max(agg_bytes, merged_agg_bytes);
       aggregate.tasks = 1;
       aggregate.children.push_back(std::move(probe));
       context->AddProfileOperator(std::move(aggregate));
@@ -585,6 +610,9 @@ struct StarJoinMapper::TaskState {
 
 Status StarJoinMapper::Setup(mr::TaskContext* context) {
   state_ = std::make_shared<TaskState>(AggLayout::For(spec_.aggregates));
+  if (context->mem_tracker() != nullptr) {
+    state_->sink.agg.AttachMemTracker(context->mem_tracker());
+  }
   CLY_ASSIGN_OR_RETURN(state_->tables,
                        GetOrBuildHashTables(context, *star_, spec_));
   CLY_ASSIGN_OR_RETURN(storage::TableDesc fact_desc,

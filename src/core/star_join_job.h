@@ -76,6 +76,18 @@ struct ClydesdaleOptions {
   /// per row. On by default (the vectorized probe is run-aware); the knob
   /// exists for A/B measurement — results are byte-identical either way.
   bool expose_runs = true;
+  /// Hierarchical memory accounting (obs.mem.enabled): the MemTracker tree
+  /// charges dim hash tables, scan arenas, aggregation tables and shuffle
+  /// runs, surfacing per-operator bytes in EXPLAIN ANALYZE and MEM_*
+  /// counters. On by default; off removes all tracking for A/B overhead
+  /// measurement.
+  bool mem_tracking = true;
+  /// Per-job memory budget (JobConf::mem_budget_bytes): admission control
+  /// rejects a query whose estimated dimension tables exceed it, and a
+  /// runtime breach fails the attempt with ResourceExhausted. 0 = unlimited.
+  /// Distinct from max_hash_memory_bytes, which *re-plans* (staged
+  /// fallback) instead of rejecting.
+  uint64_t mem_budget_bytes = 0;
 };
 
 /// Forwards the options' engine knobs (trace, pipelined shuffle) into a

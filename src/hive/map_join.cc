@@ -91,7 +91,8 @@ Status MapJoinMapper::Setup(mr::TaskContext* context) {
   CLY_ASSIGN_OR_RETURN(
       table_, core::DimHashTable::Build(*hash_schema, bytes->data(),
                                         bytes->size(), *Predicate::True(),
-                                        hash_schema->field(0).name, aux));
+                                        hash_schema->field(0).name, aux,
+                                        context->mem_tracker()));
   context->counters()->Add(kCounterMapJoinHashLoads, 1);
   context->counters()->Add(kCounterMapJoinHashEntries,
                            static_cast<int64_t>(table_->entries()));
@@ -152,6 +153,12 @@ Status MapJoinMapper::Cleanup(mr::TaskContext* context,
   load.wall_max_ns = hash_load_wall_ns_;
   load.cpu_ns = hash_load_cpu_ns_;
   load.tasks = 1;
+  if (table_ != nullptr) {
+    // The per-task table is both the current and the peak footprint of the
+    // load operator — it lives until the mapper is destroyed.
+    load.mem_current_bytes = table_->stats().memory_bytes;
+    load.mem_peak_bytes = table_->stats().memory_bytes;
+  }
   probe.children.push_back(std::move(load));
   context->AddProfileOperator(std::move(probe));
   return Status::OK();

@@ -13,6 +13,8 @@ std::vector<std::string> StandardMetricFamilyNames() {
       kMetricShuffleRunsPublished, kMetricShuffleRunsFetched,
       kMetricShuffleBytesInflight, kMetricStragglersRunning,
       kMetricStragglersTotal,      kMetricJobsRunning,
+      kMetricMemNodeBytes,         kMetricMemNodePeakBytes,
+      kMetricMemJobBytes,          kMetricMemJobPeakBytes,
   };
 }
 
@@ -23,12 +25,28 @@ ClusterMetrics::ClusterMetrics(obs::MetricsRegistry* registry, int num_nodes)
   obs::MetricFamily* running_reduces = registry->GaugeFamily(
       kMetricRunningReduces, "Reduce task attempts running on each node",
       {"node"});
+  obs::MetricFamily* mem_node = registry->GaugeFamily(
+      kMetricMemNodeBytes, "Tracked memory bytes resident on each node",
+      {"node"});
+  obs::MetricFamily* mem_node_peak = registry->GaugeFamily(
+      kMetricMemNodePeakBytes,
+      "High-water tracked memory bytes on each node", {"node"});
+  obs::MetricFamily* mem_job = registry->GaugeFamily(
+      kMetricMemJobBytes,
+      "Tracked memory bytes of running jobs on each node", {"node"});
+  obs::MetricFamily* mem_job_peak = registry->GaugeFamily(
+      kMetricMemJobPeakBytes,
+      "High-water tracked memory bytes of jobs on each node", {"node"});
   running_maps_.reserve(num_nodes);
   running_reduces_.reserve(num_nodes);
   for (int node = 0; node < num_nodes; ++node) {
     const std::string label = StrCat(node);
     running_maps_.push_back(running_maps->GaugeAt({label}));
     running_reduces_.push_back(running_reduces->GaugeAt({label}));
+    mem_node_bytes_.push_back(mem_node->GaugeAt({label}));
+    mem_node_peak_bytes_.push_back(mem_node_peak->GaugeAt({label}));
+    mem_job_bytes_.push_back(mem_job->GaugeAt({label}));
+    mem_job_peak_bytes_.push_back(mem_job_peak->GaugeAt({label}));
   }
   queued_maps_ =
       registry

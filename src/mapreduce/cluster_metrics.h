@@ -18,6 +18,13 @@ inline constexpr const char kConfStragglerThreshold[] = "obs.straggler.threshold
 inline constexpr const char kConfStragglerMinCompleted[] =
     "obs.straggler.min_completed";
 inline constexpr const char kConfProfileEnabled[] = "obs.profile.enabled";
+/// Hierarchical memory accounting (obs::MemTracker tree). On by default;
+/// turning it off removes the tree entirely (no trackers created, no
+/// gauges updated) for A/B overhead measurement.
+inline constexpr const char kConfMemTrackingEnabled[] = "obs.mem.enabled";
+/// Engine-computed estimate of the job's dimension hash-table footprint
+/// (bytes), consulted by admission control against JobConf::mem_budget_bytes.
+inline constexpr const char kConfMemEstimateBytes[] = "obs.mem.estimate_bytes";
 
 // Metric family names (the mapreduce layer's exposition contract — what the
 // Hadoop JobTracker UI would scrape). scripts/check_counters.sh and the
@@ -41,6 +48,15 @@ inline constexpr const char kMetricStragglersRunning[] =
 inline constexpr const char kMetricStragglersTotal[] =
     "mr_straggler_attempts_total";
 inline constexpr const char kMetricJobsRunning[] = "mr_jobs_running";
+// MemTracker tree exposition, labeled {node="N"}: current and high-water
+// tracked bytes per node, and the same aggregated over every job tracker
+// currently parented under that node. Sampled by the MetricsPoller.
+inline constexpr const char kMetricMemNodeBytes[] = "cly_mem_node_bytes";
+inline constexpr const char kMetricMemNodePeakBytes[] =
+    "cly_mem_node_peak_bytes";
+inline constexpr const char kMetricMemJobBytes[] = "cly_mem_job_bytes";
+inline constexpr const char kMetricMemJobPeakBytes[] =
+    "cly_mem_job_peak_bytes";
 
 /// Every kMetric* family name above, for the sync audit.
 std::vector<std::string> StandardMetricFamilyNames();
@@ -88,6 +104,14 @@ class ClusterMetrics {
 
   obs::Gauge* jobs_running() { return jobs_running_; }
 
+  // MemTracker exposition, labeled {node="N"} (poller-sampled).
+  obs::Gauge* mem_node_bytes(int node) { return mem_node_bytes_[node]; }
+  obs::Gauge* mem_node_peak_bytes(int node) {
+    return mem_node_peak_bytes_[node];
+  }
+  obs::Gauge* mem_job_bytes(int node) { return mem_job_bytes_[node]; }
+  obs::Gauge* mem_job_peak_bytes(int node) { return mem_job_peak_bytes_[node]; }
+
  private:
   obs::MetricsRegistry* const registry_;
 
@@ -104,6 +128,10 @@ class ClusterMetrics {
   obs::Gauge* stragglers_running_;
   obs::Counter* stragglers_total_;
   obs::Gauge* jobs_running_;
+  std::vector<obs::Gauge*> mem_node_bytes_;
+  std::vector<obs::Gauge*> mem_node_peak_bytes_;
+  std::vector<obs::Gauge*> mem_job_bytes_;
+  std::vector<obs::Gauge*> mem_job_peak_bytes_;
 };
 
 }  // namespace mr

@@ -1,6 +1,9 @@
 #include "mapreduce/counters.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
+#include "obs/mem_tracker.h"
 #include "obs/query_profile.h"
 #include "storage/scan_spec.h"
 
@@ -40,6 +43,9 @@ std::vector<std::string> SituationalCounterNames() {
       kCounterCifPrefetchWaitNs,
       kCounterProfOperators,
       kCounterProfTasksProfiled,
+      kCounterMemJobPeakBytes,
+      kCounterMemNodePeakBytes,
+      kCounterMemBudgetBytes,
   };
 }
 
@@ -109,6 +115,23 @@ void AddQueryProfileCounters(const obs::QueryProfile& profile,
   counters->Add(kCounterProfTasksProfiled, static_cast<int64_t>(tasks));
 }
 
+void AddMemTrackerCounters(
+    const std::vector<std::shared_ptr<obs::MemTracker>>& job_trackers,
+    uint64_t budget_bytes, Counters* counters) {
+  int64_t job_peak = 0;
+  int64_t node_peak = 0;
+  for (const auto& tracker : job_trackers) {
+    if (tracker == nullptr) continue;
+    job_peak += tracker->peak();
+    node_peak = std::max(node_peak, tracker->peak());
+  }
+  if (job_peak > 0) counters->Add(kCounterMemJobPeakBytes, job_peak);
+  if (node_peak > 0) counters->Add(kCounterMemNodePeakBytes, node_peak);
+  if (budget_bytes > 0) {
+    counters->Set(kCounterMemBudgetBytes, static_cast<int64_t>(budget_bytes));
+  }
+}
+
 obs::OperatorProfile ScanProfileNode(const std::string& name,
                                      const storage::ScanStats& stats,
                                      uint64_t wall_ns, uint64_t cpu_ns) {
@@ -129,6 +152,11 @@ obs::OperatorProfile ScanProfileNode(const std::string& name,
   scan.prefetch_hits = stats.prefetch_hits;
   scan.prefetch_misses = stats.prefetch_misses;
   scan.prefetch_wait_ns = stats.prefetch_wait_ns;
+  // Arena bytes the late path delivered downstream: for a finished scan the
+  // arenas are this operator's whole footprint, so current == peak here and
+  // the profile merge (max) keeps the largest single-task value.
+  scan.mem_current_bytes = stats.arena_bytes;
+  scan.mem_peak_bytes = stats.arena_bytes;
   scan.tasks = 1;
   return scan;
 }

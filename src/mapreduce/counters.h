@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -61,6 +62,13 @@ inline constexpr const char kCounterCifPrefetchWaitNs[] =
 inline constexpr const char kCounterProfOperators[] = "PROF_OPERATORS";
 inline constexpr const char kCounterProfTasksProfiled[] =
     "PROF_TASKS_PROFILED";
+// Hierarchical memory accounting (obs.mem.enabled runs only): the job's
+// high-water tracked bytes summed across its per-node trackers, the highest
+// single-node high-water mark, and the configured budget (set only when
+// JobConf::mem_budget_bytes > 0).
+inline constexpr const char kCounterMemJobPeakBytes[] = "MEM_JOB_PEAK_BYTES";
+inline constexpr const char kCounterMemNodePeakBytes[] = "MEM_NODE_PEAK_BYTES";
+inline constexpr const char kCounterMemBudgetBytes[] = "MEM_BUDGET_BYTES";
 
 /// Every engine-maintained counter name above, for audits asserting that a
 /// suitably shaped job populates all of them (tests/mapreduce_test.cc).
@@ -126,6 +134,10 @@ namespace storage {
 struct ScanStats;
 }  // namespace storage
 
+namespace obs {
+class MemTracker;
+}  // namespace obs
+
 namespace mr {
 
 /// Folds one scan's CIF pruning/compression stats into `counters`: the
@@ -139,6 +151,15 @@ void AddCifScanCounters(const storage::ScanStats& stats, Counters* counters);
 /// (PROF_OPERATORS / PROF_TASKS_PROFILED). No-op for an empty profile.
 void AddQueryProfileCounters(const obs::QueryProfile& profile,
                              Counters* counters);
+
+/// Folds the job's MemTracker high-water marks into `counters` at job end:
+/// MEM_JOB_PEAK_BYTES (sum of the job's per-node tracker peaks),
+/// MEM_NODE_PEAK_BYTES (largest single per-node peak) and MEM_BUDGET_BYTES
+/// (the configured limit). Zero values are not added, so untracked jobs
+/// carry no MEM_* counters.
+void AddMemTrackerCounters(
+    const std::vector<std::shared_ptr<obs::MemTracker>>& job_trackers,
+    uint64_t budget_bytes, Counters* counters);
 
 /// Builds one "scan" OperatorProfile node (tasks=1) from a completed scan's
 /// stats: rows out, decoded/raw bytes, skip/prune counts, per-encoding block

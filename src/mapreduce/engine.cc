@@ -33,6 +33,12 @@ MrCluster::MrCluster(ClusterOptions options)
   }
   metrics_ =
       std::make_unique<ClusterMetrics>(&metrics_registry_, options_.num_nodes);
+  mem_tracker_ = obs::MemTracker::Create("cluster");
+  node_mem_trackers_.reserve(static_cast<size_t>(options_.num_nodes));
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    node_mem_trackers_.push_back(
+        obs::MemTracker::Create(obs::NodeTrackerName(n), mem_tracker_));
+  }
   for (int n = 0; n < options_.num_nodes; ++n) {
     trackers_.push_back(std::make_unique<TaskTracker>(
         n, options_.map_slots_per_node, options_.reduce_slots_per_node));
@@ -200,6 +206,14 @@ std::string RenderClusterDashboard(const obs::MetricsTimeSeries& series,
     rows.push_back({StrCat("reduces@node", n),
                     StrCat(kMetricRunningReduces, "{node=\"", n, "\"}")});
   }
+  for (int n = 0; n < num_nodes; ++n) {
+    rows.push_back({StrCat("mem@node", n),
+                    StrCat(kMetricMemNodeBytes, "{node=\"", n, "\"}")});
+  }
+  for (int n = 0; n < num_nodes; ++n) {
+    rows.push_back({StrCat("jobmem@node", n),
+                    StrCat(kMetricMemJobBytes, "{node=\"", n, "\"}")});
+  }
   rows.push_back({"queued maps", kMetricQueuedMaps});
   rows.push_back({"queued reduces", kMetricQueuedReduces});
   rows.push_back({"stragglers", kMetricStragglersRunning});
@@ -223,6 +237,21 @@ Result<JobResult> ExecuteJob(MrCluster* cluster, JobConf& conf,
   if (conf.num_reduce_tasks > 0 && !conf.reducer_factory) {
     return Status::InvalidArgument(
         "job has reduce tasks but no reducer factory");
+  }
+
+  // Admission control: reject a job whose estimated dimension hash-table
+  // footprint (engine-computed, typically from table statistics) already
+  // exceeds its memory budget — before any task runs or scratch is written.
+  // A breach discovered only at runtime still fails via the MemTracker's
+  // TryConsume on the job's per-node trackers.
+  if (conf.mem_budget_bytes > 0) {
+    const int64_t estimate = conf.GetInt(kConfMemEstimateBytes, 0);
+    if (estimate > static_cast<int64_t>(conf.mem_budget_bytes)) {
+      return Status::ResourceExhausted(StrCat(
+          "job '", conf.job_name, "' rejected at admission: estimated ",
+          estimate, " bytes of dimension hash tables exceeds mem budget of ",
+          conf.mem_budget_bytes, " bytes"));
+    }
   }
 
   ScratchGcGuard scratch_gc{cluster, instance};
@@ -275,7 +304,25 @@ Result<JobResult> ExecuteJob(MrCluster* cluster, JobConf& conf,
     poller = std::make_unique<obs::MetricsPoller>(
         cluster->metrics_registry(),
         conf.GetInt(kConfMetricsIntervalMs, 5));
-    poller->AddProbe([runner] { runner->PollLiveMetrics(); });
+    poller->AddProbe([runner, cluster, metrics] {
+      runner->PollLiveMetrics();
+      // Sample the MemTracker tree into the labeled gauge families: node
+      // totals straight off the per-node trackers, job totals off this
+      // runner's per-(job, node) trackers (empty when obs.mem.enabled is
+      // off, leaving the gauges at their last value — zero).
+      const auto& job_trackers = runner->job_mem_trackers();
+      for (int n = 0; n < cluster->num_nodes(); ++n) {
+        const auto& node_tracker = cluster->node_mem_tracker(n);
+        metrics->mem_node_bytes(n)->Set(node_tracker->consumed());
+        metrics->mem_node_peak_bytes(n)->Set(node_tracker->peak());
+        if (static_cast<size_t>(n) < job_trackers.size() &&
+            job_trackers[static_cast<size_t>(n)] != nullptr) {
+          const auto& job_tracker = job_trackers[static_cast<size_t>(n)];
+          metrics->mem_job_bytes(n)->Set(job_tracker->consumed());
+          metrics->mem_job_peak_bytes(n)->Set(job_tracker->peak());
+        }
+      }
+    });
     poller->Start();
   }
   setup_span.End();
@@ -292,6 +339,8 @@ Result<JobResult> ExecuteJob(MrCluster* cluster, JobConf& conf,
       static_cast<int64_t>(cluster->dfs()->TotalIo().bytes_written -
                            dfs_written_before));
   report.wall_seconds = job_timer.ElapsedSeconds();
+  AddMemTrackerCounters(runner->job_mem_trackers(), conf.mem_budget_bytes,
+                        &report.counters);
   if (!report.profile.empty()) {
     // Stamp the whole-job wall clock onto the merged profile (the renderer
     // reports profiled-span coverage against it) and surface the headline

@@ -18,6 +18,7 @@
 #include "mapreduce/output_format.h"
 #include "mapreduce/task_context.h"
 #include "mapreduce/task_tracker.h"
+#include "obs/mem_tracker.h"
 #include "obs/metrics.h"
 #include "storage/table_format.h"
 
@@ -65,6 +66,16 @@ class MrCluster {
   obs::MetricsRegistry* metrics_registry() { return &metrics_registry_; }
   ClusterMetrics* metrics() { return metrics_.get(); }
 
+  /// Root of the cluster's MemTracker tree ("cluster"); always present.
+  const std::shared_ptr<obs::MemTracker>& mem_tracker() {
+    return mem_tracker_;
+  }
+  /// Per-node tracker ("node<N>"), child of the cluster root. Jobs parent
+  /// their per-(job, node) trackers here when kConfMemTrackingEnabled is on.
+  const std::shared_ptr<obs::MemTracker>& node_mem_tracker(hdfs::NodeId node) {
+    return node_mem_trackers_[static_cast<size_t>(node)];
+  }
+
   /// Loads (and caches) a table's metadata.
   Result<storage::TableDesc> GetTable(const std::string& path);
   /// Drops a cached TableDesc (after rewriting a table).
@@ -91,6 +102,10 @@ class MrCluster {
   /// their JobRunner until their pools drain.
   obs::MetricsRegistry metrics_registry_;
   std::unique_ptr<ClusterMetrics> metrics_;
+  /// MemTracker tree root and per-node children. shared_ptr-owned so a
+  /// consumer outliving the cluster (late scratch GC) keeps its chain alive.
+  std::shared_ptr<obs::MemTracker> mem_tracker_;
+  std::vector<std::shared_ptr<obs::MemTracker>> node_mem_trackers_;
 
   std::mutex mu_;
   std::unordered_map<std::string, storage::TableDesc> table_cache_;

@@ -86,6 +86,10 @@ Result<std::unique_ptr<RecordReader>> ReaderForStorageSplit(
   options.scan_spec = conf.scan_spec;
   options.late_materialize = conf.GetBool(kConfCifLateMaterialize, true);
   options.prefetch = conf.GetBool(kConfCifPrefetch, false);
+  // Charge decode arenas to the attempt's tracker; the shared_ptr-deleter
+  // wrapper keeps the charge alive exactly as long as the arena itself, even
+  // when a prefetched block outlives this reader.
+  options.mem_reporter = context->mem_tracker();
   // CIF splits load eagerly at open, so the stack-local stats are complete
   // (and safe to drop) as soon as the reader exists.
   storage::ScanStats scan_stats;

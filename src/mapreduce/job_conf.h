@@ -67,6 +67,13 @@ class JobConf {
   /// Scans treat it as advisory: every returned row is still re-checked by
   /// the consumer, so a null or partial spec is always correct.
   std::shared_ptr<const storage::ScanSpec> scan_spec;
+  /// Per-job memory budget enforced by the obs::MemTracker tree: the job's
+  /// per-node trackers are created with this limit, so any tracked consumer
+  /// (dim hash tables, shuffle runs, scan arenas) that would push the job
+  /// past it fails the attempt with ResourceExhausted. Admission control in
+  /// the engine additionally rejects jobs whose estimated dimension
+  /// hash-table footprint already exceeds the budget. 0 = unlimited.
+  uint64_t mem_budget_bytes = 0;
 
   // --- component factories ----------------------------------------------------
   using MapperFactory = std::function<std::unique_ptr<Mapper>()>;

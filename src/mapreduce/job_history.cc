@@ -286,6 +286,8 @@ void JobHistoryRecorder::RecordJobFinished(const Status& status,
       line += StrCat(",\"prefetch_hits\":", n.prefetch_hits,
                      ",\"prefetch_misses\":", n.prefetch_misses,
                      ",\"prefetch_wait_ns\":", n.prefetch_wait_ns,
+                     ",\"mem_current_bytes\":", n.mem_current_bytes,
+                     ",\"mem_peak_bytes\":", n.mem_peak_bytes,
                      ",\"tasks\":", n.tasks, "}");
       Append(std::move(line));
     }
@@ -429,6 +431,10 @@ Result<JobReport> ReconstructJobReport(std::string_view jsonl) {
           static_cast<uint64_t>(event.Int("prefetch_misses"));
       node->prefetch_wait_ns =
           static_cast<uint64_t>(event.Int("prefetch_wait_ns"));
+      node->mem_current_bytes =
+          static_cast<uint64_t>(event.Int("mem_current_bytes"));
+      node->mem_peak_bytes =
+          static_cast<uint64_t>(event.Int("mem_peak_bytes"));
       node->tasks = static_cast<uint64_t>(event.Int("tasks"));
     } else if (*kind == "profile_span") {
       report.profile.first_start_us = event.Int("first_start_us");

@@ -78,6 +78,19 @@ JobRunner::JobRunner(MrCluster* cluster, const JobConf* conf, int64_t instance,
     reduce_attempts_.push_back(
         std::make_unique<TaskAttempt>(r, /*attempt=*/0, /*is_map=*/false));
   }
+  // The job's memory-tracker layer: one tracker per node, parented under
+  // the cluster's node trackers, carrying the job's budget as its limit.
+  // Everything a task charges (dim tables, scan arenas, shuffle runs)
+  // propagates node -> cluster through these.
+  if (conf->GetBool(kConfMemTrackingEnabled, true)) {
+    job_mem_trackers_.reserve(static_cast<size_t>(cluster->num_nodes()));
+    for (int n = 0; n < cluster->num_nodes(); ++n) {
+      job_mem_trackers_.push_back(obs::MemTracker::Create(
+          obs::JobTrackerName(instance, n), cluster->node_mem_tracker(n),
+          static_cast<int64_t>(conf->mem_budget_bytes)));
+    }
+    shuffle_.set_mem_trackers(job_mem_trackers_);
+  }
   // Queue-depth gauges go up by the full attempt count here and come back
   // down one claim (or one abort-kill) at a time — net zero by job end.
   if (metrics_ != nullptr) {
@@ -315,6 +328,14 @@ Status JobRunner::RunMapAttempt(TaskAttempt* attempt) {
   TaskContext context(conf_, cluster_, index, node, task_threads_, shared,
                       &report_->counters, trace_, &report_->histograms,
                       attempt->attempt());
+  std::shared_ptr<obs::MemTracker> attempt_tracker;
+  if (!job_mem_trackers_.empty()) {
+    attempt_tracker = obs::MemTracker::Create(
+        StrCat("m-", index, ".", attempt->attempt()),
+        job_mem_trackers_[static_cast<size_t>(node)]);
+    context.set_mem_trackers(attempt_tracker,
+                             job_mem_trackers_[static_cast<size_t>(node)]);
+  }
   ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/true));
   obs::Span task_span(trace_, "map-task", "task", index, node);
 
@@ -428,6 +449,12 @@ Status JobRunner::RunMapAttempt(TaskAttempt* attempt) {
     root.wall_max_ns = attempt_ns;
     root.cpu_ns = static_cast<uint64_t>(obs::ThreadCpuNanos() - prof_cpu0);
     root.tasks = 1;
+    if (attempt_tracker != nullptr) {
+      root.mem_current_bytes =
+          static_cast<uint64_t>(std::max<int64_t>(0, attempt_tracker->consumed()));
+      root.mem_peak_bytes =
+          static_cast<uint64_t>(std::max<int64_t>(0, attempt_tracker->peak()));
+    }
     root.children = context.TakeProfileOperators();
     std::lock_guard<std::mutex> lock(mu_);
     report_->profile.MergeAttempt(root, prof_start_us, clock_.ElapsedMicros());
@@ -445,6 +472,14 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
   TaskContext context(conf_, cluster_, r, node, /*allowed_threads=*/1,
                       std::make_shared<SharedJvmState>(), &report_->counters,
                       trace_, &report_->histograms, attempt->attempt());
+  std::shared_ptr<obs::MemTracker> attempt_tracker;
+  if (!job_mem_trackers_.empty()) {
+    attempt_tracker = obs::MemTracker::Create(
+        StrCat("r-", r, ".", attempt->attempt()),
+        job_mem_trackers_[static_cast<size_t>(node)]);
+    context.set_mem_trackers(attempt_tracker,
+                             job_mem_trackers_[static_cast<size_t>(node)]);
+  }
   ScopedLogContext task_log_context(context.DebugLabel(/*is_map=*/false));
   obs::Span task_span(trace_, "reduce-task", "task", r, node);
 
@@ -458,6 +493,9 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
   ShuffleMerger merger;
   uint64_t shuffle_batches = 0;
   uint64_t shuffle_wall_ns = 0;
+  // Fetched runs live in the merger until the reduce ends; charge them to
+  // this attempt (released wholesale when the consumer goes out of scope).
+  obs::ScopedMemConsumer fetch_mem(attempt_tracker);
 
   // Simulated HTTP fetch of one batch of runs: read each encoded run file
   // from its map node's disk (charging that node's read ledger) and fold
@@ -465,6 +503,7 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
   auto fetch_batch = [&](std::vector<ShuffleRun> batch) -> Status {
     for (const ShuffleRun& run : batch) {
       tr.shuffle_bytes_total += run.encoded_bytes;
+      fetch_mem.Add(static_cast<int64_t>(run.encoded_bytes));
       if (run.map_node != node) tr.shuffle_bytes_remote += run.encoded_bytes;
       fetch_bytes->Record(static_cast<int64_t>(run.encoded_bytes));
       if (!run.local_path.empty() && run.map_node != hdfs::kNoNode) {
@@ -551,6 +590,12 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
     root.wall_max_ns = attempt_ns;
     root.cpu_ns = static_cast<uint64_t>(obs::ThreadCpuNanos() - prof_cpu0);
     root.tasks = 1;
+    if (attempt_tracker != nullptr) {
+      root.mem_current_bytes =
+          static_cast<uint64_t>(std::max<int64_t>(0, attempt_tracker->consumed()));
+      root.mem_peak_bytes =
+          static_cast<uint64_t>(std::max<int64_t>(0, attempt_tracker->peak()));
+    }
     obs::OperatorProfile shuffle;
     shuffle.name = "shuffle";
     shuffle.kind = "shuffle";
@@ -559,6 +604,9 @@ Status JobRunner::RunReduceAttempt(TaskAttempt* attempt) {
     shuffle.batches = shuffle_batches;
     shuffle.wall_ns = shuffle_wall_ns;
     shuffle.wall_max_ns = shuffle_wall_ns;
+    // All fetched runs were resident in the merger at once.
+    shuffle.mem_current_bytes = tr.shuffle_bytes_total;
+    shuffle.mem_peak_bytes = tr.shuffle_bytes_total;
     shuffle.tasks = 1;
     root.children.push_back(std::move(shuffle));
     std::vector<obs::OperatorProfile> reducer_ops =

@@ -17,6 +17,7 @@
 #include "mapreduce/shuffle.h"
 #include "mapreduce/straggler.h"
 #include "mapreduce/task_attempt.h"
+#include "obs/mem_tracker.h"
 #include "obs/trace.h"
 
 namespace clydesdale {
@@ -97,6 +98,16 @@ class JobRunner {
 
   const StragglerDetector& straggler_detector() const { return straggler_; }
 
+  /// The job's per-node MemTrackers ("job<I>@node<N>", children of the
+  /// cluster's node trackers, limited by JobConf::mem_budget_bytes), indexed
+  /// by NodeId. Empty when obs.mem.enabled is off. The engine's poller
+  /// samples these into the cly_mem_job_* gauges and its counter flush reads
+  /// their peaks at job end.
+  const std::vector<std::shared_ptr<obs::MemTracker>>& job_mem_trackers()
+      const {
+    return job_mem_trackers_;
+  }
+
  private:
   TaskAttempt* ClaimLocked(hdfs::NodeId node, bool reduce_slot);
   std::vector<bool> SaturationLocked() const;
@@ -126,6 +137,11 @@ class JobRunner {
   /// jobs, which hand all slots to the one task as threads).
   const int map_cap_per_node_;
   const int task_threads_;
+
+  /// Per-node job trackers; populated in the ctor body (obs.mem.enabled),
+  /// and handed to shuffle_ as shared_ptr copies, so declaration order
+  /// relative to shuffle_ does not matter.
+  std::vector<std::shared_ptr<obs::MemTracker>> job_mem_trackers_;
 
   ShuffleStore shuffle_;
   OutputFormatCollector direct_out_;

@@ -172,11 +172,36 @@ ShuffleStore::ShuffleStore(int num_partitions, ClusterMetrics* metrics)
 
 ShuffleStore::~ShuffleStore() {
   // Aborted jobs leave published runs unfetched; settle the in-flight gauge
-  // so it stays net-zero across jobs.
+  // (and release their tracker charges) so both stay net-zero across jobs.
   if (metrics_ != nullptr && unfetched_bytes_ > 0) {
     metrics_->shuffle_bytes_inflight()->Add(
         -static_cast<int64_t>(unfetched_bytes_));
   }
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    for (size_t i = consumed_[p]; i < partitions_[p].size(); ++i) {
+      ReleaseRunLocked(partitions_[p][i]);
+    }
+  }
+}
+
+void ShuffleStore::set_mem_trackers(
+    std::vector<std::shared_ptr<obs::MemTracker>> trackers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_trackers_ = std::move(trackers);
+}
+
+void ShuffleStore::ChargeRunLocked(const ShuffleRun& run) {
+  if (run.map_node == hdfs::kNoNode) return;
+  const size_t n = static_cast<size_t>(run.map_node);
+  if (n >= mem_trackers_.size() || mem_trackers_[n] == nullptr) return;
+  mem_trackers_[n]->Consume(static_cast<int64_t>(run.encoded_bytes));
+}
+
+void ShuffleStore::ReleaseRunLocked(const ShuffleRun& run) {
+  if (run.map_node == hdfs::kNoNode) return;
+  const size_t n = static_cast<size_t>(run.map_node);
+  if (n >= mem_trackers_.size() || mem_trackers_[n] == nullptr) return;
+  mem_trackers_[n]->Release(static_cast<int64_t>(run.encoded_bytes));
 }
 
 void ShuffleStore::PublishRun(int partition, ShuffleRun run) {
@@ -184,6 +209,7 @@ void ShuffleStore::PublishRun(int partition, ShuffleRun run) {
     std::lock_guard<std::mutex> lock(mu_);
     total_bytes_ += run.encoded_bytes;
     unfetched_bytes_ += run.encoded_bytes;
+    ChargeRunLocked(run);
     if (metrics_ != nullptr) {
       metrics_->shuffle_runs_published()->Inc();
       metrics_->shuffle_bytes_inflight()->Add(
@@ -213,6 +239,7 @@ std::vector<ShuffleRun> ShuffleStore::TakePartition(int partition) {
   uint64_t bytes = 0;
   for (size_t i = already; i < runs.size(); ++i) {
     bytes += runs[i].encoded_bytes;
+    ReleaseRunLocked(runs[i]);
   }
   unfetched_bytes_ -= bytes;
   if (metrics_ != nullptr && runs.size() > already) {
@@ -236,6 +263,7 @@ bool ShuffleStore::AwaitNewRuns(int partition, std::vector<ShuffleRun>* out) {
   uint64_t bytes = 0;
   for (size_t i = consumed; i < runs.size(); ++i) {
     bytes += runs[i].encoded_bytes;
+    ReleaseRunLocked(runs[i]);
     out->push_back(std::move(runs[i]));
   }
   unfetched_bytes_ -= bytes;

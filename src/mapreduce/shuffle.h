@@ -101,6 +101,14 @@ class ShuffleStore {
   explicit ShuffleStore(int num_partitions, ClusterMetrics* metrics = nullptr);
   ~ShuffleStore();
 
+  /// Attributes published-but-unfetched run bytes to the publishing map
+  /// node's MemTracker (vector indexed by NodeId; null entries disable that
+  /// node). Charged at PublishRun, released when the run is fetched — or by
+  /// the destructor for runs an aborted job never fetched, so trackers
+  /// always drain to zero. Call before the first publish.
+  void set_mem_trackers(
+      std::vector<std::shared_ptr<obs::MemTracker>> trackers);
+
   /// Makes one map task's run visible to the partition's reducer. In the
   /// pipelined engine this happens the moment the map attempt succeeds —
   /// there is no job-wide barrier between publish and fetch.
@@ -120,7 +128,13 @@ class ShuffleStore {
   uint64_t total_bytes() const;
 
  private:
+  /// Consume/Release run.encoded_bytes against the map node's tracker
+  /// (no-ops for untracked nodes). Callers hold mu_.
+  void ChargeRunLocked(const ShuffleRun& run);
+  void ReleaseRunLocked(const ShuffleRun& run);
+
   ClusterMetrics* const metrics_;
+  std::vector<std::shared_ptr<obs::MemTracker>> mem_trackers_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::vector<ShuffleRun>> partitions_;

@@ -16,6 +16,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/job_conf.h"
 #include "obs/histogram.h"
+#include "obs/mem_tracker.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
 
@@ -125,6 +126,25 @@ class TaskContext {
   const hdfs::IoStats& io_stats() const { return io_stats_; }
   void MergeIoStats(const hdfs::IoStats& stats);
 
+  /// Installs this attempt's memory trackers (engine-side, before the task
+  /// runs): `attempt` is the attempt-scoped tracker (freed when the attempt
+  /// ends), `job` the per-(job, node) tracker that outlives attempts —
+  /// allocations that survive the attempt (shared dim hash tables) charge
+  /// the job tracker instead. Both null when obs.mem.enabled is off.
+  void set_mem_trackers(std::shared_ptr<obs::MemTracker> attempt,
+                        std::shared_ptr<obs::MemTracker> job) {
+    mem_tracker_ = std::move(attempt);
+    job_mem_tracker_ = std::move(job);
+  }
+  /// Attempt-scoped tracker (null = tracking off).
+  const std::shared_ptr<obs::MemTracker>& mem_tracker() const {
+    return mem_tracker_;
+  }
+  /// Per-(job, node) tracker for attempt-outliving allocations (null = off).
+  const std::shared_ptr<obs::MemTracker>& job_mem_tracker() const {
+    return job_mem_tracker_;
+  }
+
   /// Node-local disk bytes this task read (dimension replicas, dist cache).
   void AddLocalDiskBytes(uint64_t n) {
     local_disk_bytes_.fetch_add(n, std::memory_order_relaxed);
@@ -150,6 +170,8 @@ class TaskContext {
   bool profile_enabled_ = false;
   std::mutex profile_mu_;
   std::vector<obs::OperatorProfile> profile_ops_;
+  std::shared_ptr<obs::MemTracker> mem_tracker_;
+  std::shared_ptr<obs::MemTracker> job_mem_tracker_;
 };
 
 }  // namespace mr

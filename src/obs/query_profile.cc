@@ -47,6 +47,8 @@ void OperatorProfile::MergeFrom(const OperatorProfile& other) {
   prefetch_hits += other.prefetch_hits;
   prefetch_misses += other.prefetch_misses;
   prefetch_wait_ns += other.prefetch_wait_ns;
+  mem_current_bytes = std::max(mem_current_bytes, other.mem_current_bytes);
+  mem_peak_bytes = std::max(mem_peak_bytes, other.mem_peak_bytes);
   tasks += other.tasks;
   for (const OperatorProfile& theirs : other.children) {
     Child(theirs.name)->MergeFrom(theirs);
@@ -132,6 +134,11 @@ void RenderNodeText(const OperatorProfile& node, const std::string& indent,
                          Millis(node.prefetch_wait_ns)));
     }
   }
+  if (node.mem_current_bytes > 0 || node.mem_peak_bytes > 0) {
+    out->append(StrCat("\n", indent, is_child ? "   " : "",
+                       "   mem cur/peak=", HumanBytes(node.mem_current_bytes),
+                       "/", HumanBytes(node.mem_peak_bytes)));
+  }
   out->push_back('\n');
   const std::string child_indent = indent + (is_child ? "   " : "");
   for (const OperatorProfile& child : node.children) {
@@ -163,6 +170,8 @@ void RenderNodeJson(const OperatorProfile& node, std::string* out) {
   out->append(StrCat(",\"prefetch_hits\":", node.prefetch_hits,
                      ",\"prefetch_misses\":", node.prefetch_misses,
                      ",\"prefetch_wait_ns\":", node.prefetch_wait_ns,
+                     ",\"mem_current_bytes\":", node.mem_current_bytes,
+                     ",\"mem_peak_bytes\":", node.mem_peak_bytes,
                      ",\"tasks\":", node.tasks));
   out->append(",\"children\":[");
   for (size_t i = 0; i < node.children.size(); ++i) {

@@ -39,6 +39,13 @@ struct OperatorProfile {
   uint64_t prefetch_misses = 0;
   uint64_t prefetch_wait_ns = 0;
 
+  // Memory accounting (obs::MemTracker attribution). Gauges, not counters:
+  // MergeFrom takes the max across attempts rather than summing, so a node
+  // reports the largest single-attempt footprint — summing would double-count
+  // dimension tables shared by every attempt on a node (paper §5.2).
+  uint64_t mem_current_bytes = 0;  ///< Bytes still held at attempt end.
+  uint64_t mem_peak_bytes = 0;     ///< High-water mark over the attempt.
+
   /// Task attempts that contributed to this node.
   uint64_t tasks = 0;
 

@@ -1372,6 +1372,13 @@ Result<RowBatch> LoadCifSplitLate(const hdfs::MiniDfs& dfs,
                                                          c.field->name,
                                                          options));
     }
+    if (c.arena != nullptr) {
+      stats->arena_bytes += c.arena->size();
+      // Charge the arena to the scan's tracker for exactly as long as any
+      // reference lives — string columns hand it to the output batch, which
+      // outlives this reader (the bytes EXPLAIN ANALYZE must still account).
+      c.arena = TrackSharedArena(std::move(c.arena), options.mem_reporter);
+    }
     CLY_RETURN_IF_ERROR(ParseFramedBlock(*c.arena, desc.cif_version, &c.view));
     if (nrows_known && c.view.nrows != nrows) {
       return Status::IoError(

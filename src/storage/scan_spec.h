@@ -72,6 +72,12 @@ struct ScanStats {
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_misses = 0;
   uint64_t prefetch_wait_ns = 0;
+  /// Bytes of shared column-block arenas the late path delivered to this
+  /// scan (prefetched or read inline). String columns keep these arenas
+  /// alive past the reader via RowBatch::string_arena, so this — not
+  /// bytes_encoded — is what the scan operator's memory attribution and the
+  /// MemTracker charge (ScanOptions::mem_reporter) must agree on.
+  uint64_t arena_bytes = 0;
 
   /// Adds every counter of `other` into this — the one fold point, so a new
   /// member can never silently go missing from per-thread/per-task merges.
@@ -87,6 +93,7 @@ struct ScanStats {
     prefetch_hits += other.prefetch_hits;
     prefetch_misses += other.prefetch_misses;
     prefetch_wait_ns += other.prefetch_wait_ns;
+    arena_bytes += other.arena_bytes;
   }
 };
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mem.h"
 #include "common/status.h"
 #include "hdfs/dfs.h"
 #include "schema/row.h"
@@ -94,6 +95,12 @@ struct ScanOptions {
   bool expose_runs = false;
   /// Optional pruning-effectiveness output (CIF v2+ late path only).
   ScanStats* scan_stats = nullptr;
+  /// Memory attribution for column-block arenas (CIF v2+ late path only):
+  /// every delivered arena is charged here and released when its last
+  /// reference drops — which for string columns is when the consuming
+  /// RowBatch dies, not when the reader does. Typically the task attempt's
+  /// obs::MemTracker; null disables tracking.
+  std::shared_ptr<MemReporter> mem_reporter;
 };
 
 /// Row-at-a-time reader over one split.

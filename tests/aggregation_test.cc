@@ -128,7 +128,9 @@ AggLayout FourAccLayout() {
 TEST(HashAggregatorTest, MergeFromMatchesSingleAggregator) {
   const AggLayout layout = FourAccLayout();
   HashAggregator single(layout);
-  std::vector<HashAggregator> partials(3, HashAggregator(layout));
+  // HashAggregator owns a memory-tracker charge and is move-only.
+  std::vector<HashAggregator> partials;
+  for (int i = 0; i < 3; ++i) partials.emplace_back(layout);
 
   // Deterministic mixed-type keys (string city + int32 bucket); enough
   // distinct groups to force rehashing in every aggregator.

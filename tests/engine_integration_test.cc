@@ -8,7 +8,9 @@
 #include "common/strings.h"
 #include "core/clydesdale.h"
 #include "hive/hive_engine.h"
+#include "mapreduce/counters.h"
 #include "mapreduce/job_trace.h"
+#include "obs/query_profile.h"
 #include "ssb/loader.h"
 #include "ssb/queries.h"
 #include "ssb/reference_executor.h"
@@ -410,6 +412,83 @@ TEST_F(EngineIntegrationTest, HiveStagesEachEmitTraces) {
     }
   }
   EXPECT_EQ(trace_files, result->stage_reports.size());
+}
+
+/// Depth-first lookup of the first operator whose name starts with `prefix`.
+const obs::OperatorProfile* FindOperator(const obs::OperatorProfile& node,
+                                         const std::string& prefix) {
+  if (node.name.rfind(prefix, 0) == 0) return &node;
+  for (const obs::OperatorProfile& child : node.children) {
+    if (const obs::OperatorProfile* hit = FindOperator(child, prefix)) {
+      return hit;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(EngineIntegrationTest, ProfiledRunSurfacesPerOperatorMemory) {
+  auto spec = ssb::QueryById("Q2.1");
+  ASSERT_TRUE(spec.ok());
+  core::ClydesdaleOptions options;
+  options.profile = true;
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, options);
+  auto result = engine.Execute(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectRowsEqual(Reference(*spec), result->rows, "profiled Q2.1");
+
+  ASSERT_EQ(result->stage_reports.size(), 1u);
+  const obs::QueryProfile& profile = result->stage_reports[0].profile;
+  ASSERT_FALSE(profile.empty());
+
+  // Every memory-bearing operator reports a non-zero footprint: the scan's
+  // arena-held blocks, the probe's resident dimension tables, the partial
+  // aggregation table, and the reducer's fetched shuffle runs.
+  for (const char* op : {"scan:", "probe", "aggregate", "shuffle"}) {
+    const obs::OperatorProfile* found = nullptr;
+    for (const obs::OperatorProfile& root : profile.roots) {
+      if ((found = FindOperator(root, op)) != nullptr) break;
+    }
+    ASSERT_NE(found, nullptr) << "missing operator " << op;
+    EXPECT_GT(found->mem_peak_bytes, 0u) << op << " peak";
+    EXPECT_GT(found->mem_current_bytes, 0u) << op << " current";
+    EXPECT_GE(found->mem_peak_bytes, found->mem_current_bytes) << op;
+  }
+
+  // The task roots carry the attempt trackers' totals, and the rendered
+  // EXPLAIN ANALYZE surfaces the per-operator line.
+  const std::string text = obs::ExplainAnalyzeText(profile);
+  EXPECT_NE(text.find("mem cur/peak="), std::string::npos) << text;
+  // Job counters recorded the budget-relevant peaks.
+  EXPECT_GT(result->Counter(mr::kCounterMemJobPeakBytes), 0);
+  // With the query done, nothing is left charged against the cluster.
+  EXPECT_EQ(cluster_->mem_tracker()->consumed(), 0);
+}
+
+TEST_F(EngineIntegrationTest, MemBudgetRejectsOversizedQueryAtAdmission) {
+  auto spec = ssb::QueryById("Q2.1");
+  ASSERT_TRUE(spec.ok());
+  core::ClydesdaleOptions options;
+  options.mem_budget_bytes = 64;  // far below any dim-table estimate
+  core::ClydesdaleEngine engine(cluster_, dataset_->star, options);
+  auto result = engine.Execute(*spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("admission"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(cluster_->mem_tracker()->consumed(), 0)
+      << "rejected queries never charge the cluster";
+
+  // A generous budget admits and completes the same query, and drains.
+  core::ClydesdaleOptions roomy;
+  roomy.mem_budget_bytes = uint64_t{1} << 32;
+  core::ClydesdaleEngine ok_engine(cluster_, dataset_->star, roomy);
+  auto ok = ok_engine.Execute(*spec);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ExpectRowsEqual(Reference(*spec), ok->rows, "budgeted Q2.1");
+  EXPECT_EQ(cluster_->mem_tracker()->consumed(), 0);
+  EXPECT_EQ(ok->Counter(mr::kCounterMemBudgetBytes),
+            static_cast<int64_t>(roomy.mem_budget_bytes));
 }
 
 TEST_F(EngineIntegrationTest, ConcurrentQueriesShareTheCluster) {
