@@ -1,0 +1,273 @@
+// Closed-loop serving benchmark for the resident query-serving mode
+// (DESIGN.md §15): N simulated clients replay a zipfian-skewed mix of the 13
+// SSB query shapes against one long-lived QueryServer, each client issuing
+// its next query as soon as the previous one returns.
+//
+// Three closed-loop passes at identical concurrency, so the latency deltas
+// isolate the caches rather than queueing effects:
+//   cold  — the same stream against a per-query ClydesdaleEngine with no
+//           cache: every query pays the full dimension build (the paper's
+//           per-query star join, the serving mode's baseline);
+//   warm  — against a primed QueryServer with the cross-query DimHashTable
+//           cache only (result cache off), measuring the probe-only speedup;
+//   warm+results — against a primed QueryServer with the exact-repeat result
+//           cache on, the serving mode as shipped.
+// Before any timing, a sequential pass checks every shape byte-identical
+// between a cache-cold QueryServer and the per-query engine — the
+// correctness gate.
+//
+// With CLY_SERVING_JSON set, writes p50/p95/p99 latency per pass, the
+// dim-cache hit rate, result-cache hit rate, and the byte-identity verdict;
+// run_benches.sh publishes it as BENCH_serving.json and fails if the fields
+// are missing. CLY_SERVING_CLIENTS / CLY_SERVING_QUERIES (per client) /
+// CLY_SERVING_ZIPF tune the loop.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "obs/histogram.h"
+#include "serving/query_server.h"
+
+using namespace clydesdale;  // NOLINT(build/namespaces)
+
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoll(env) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atof(env) : fallback;
+}
+
+/// Zipfian CDF over ranks 1..n with exponent s: P(k) proportional to k^-s.
+std::vector<double> ZipfCdf(size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+size_t ZipfDraw(const std::vector<double>& cdf, Random* rng) {
+  const double u = rng->NextDouble();
+  for (size_t k = 0; k < cdf.size(); ++k) {
+    if (u <= cdf[k]) return k;
+  }
+  return cdf.size() - 1;
+}
+
+struct PassStats {
+  obs::Histogram latency_micros;
+  double wall_seconds = 0;
+};
+
+double PercentileMs(const obs::Histogram& h, double q) {
+  return static_cast<double>(h.Percentile(q)) / 1000.0;
+}
+
+using Executor =
+    std::function<Result<core::QueryResult>(const core::StarQuerySpec&)>;
+
+/// The closed loop: `clients` threads, each drawing `queries_each` shapes
+/// zipfian-skewed and executing them back to back. Every pass replays the
+/// exact same per-client query streams (same seeds), so cold and warm time
+/// identical work.
+PassStats RunClosedLoop(const Executor& execute,
+                        const std::vector<core::StarQuerySpec>& shapes,
+                        const std::vector<double>& cdf, int clients,
+                        int queries_each, uint64_t seed_base) {
+  PassStats pass;
+  std::vector<obs::Histogram> per_client(static_cast<size_t>(clients));
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Random rng(seed_base + static_cast<uint64_t>(c));
+      for (int q = 0; q < queries_each; ++q) {
+        const core::StarQuerySpec& spec = shapes[ZipfDraw(cdf, &rng)];
+        Stopwatch sw;
+        auto result = execute(spec);
+        CLY_CHECK(result.ok());
+        per_client[static_cast<size_t>(c)].Record(
+            static_cast<int64_t>(sw.ElapsedSeconds() * 1e6));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  pass.wall_seconds = wall.ElapsedSeconds();
+  for (const obs::Histogram& h : per_client) {
+    pass.latency_micros.MergeFrom(h);
+  }
+  return pass;
+}
+
+void PrintPass(const char* name, const PassStats& pass) {
+  std::printf("%-14s %5lld queries  p50 %7.2f ms  p95 %7.2f ms  "
+              "p99 %7.2f ms  (%.2fs wall)\n",
+              name, static_cast<long long>(pass.latency_micros.Count()),
+              PercentileMs(pass.latency_micros, 0.50),
+              PercentileMs(pass.latency_micros, 0.95),
+              PercentileMs(pass.latency_micros, 0.99), pass.wall_seconds);
+}
+
+void EmitPass(std::FILE* out, const char* name, const PassStats& pass,
+              bool trailing_comma) {
+  std::fprintf(out,
+               "  \"%s\": {\"queries\": %lld, \"p50_ms\": %.3f, "
+               "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, "
+               "\"wall_seconds\": %.3f}%s\n",
+               name, static_cast<long long>(pass.latency_micros.Count()),
+               PercentileMs(pass.latency_micros, 0.50),
+               PercentileMs(pass.latency_micros, 0.95),
+               PercentileMs(pass.latency_micros, 0.99),
+               pass.latency_micros.Mean() / 1000.0, pass.wall_seconds,
+               trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::LoadBenchEnv();
+  const std::vector<core::StarQuerySpec> shapes = ssb::AllQueries();
+
+  const int clients = static_cast<int>(EnvInt("CLY_SERVING_CLIENTS", 4));
+  const int queries_each =
+      static_cast<int>(EnvInt("CLY_SERVING_QUERIES", 32));
+  const double zipf_s = EnvDouble("CLY_SERVING_ZIPF", 1.1);
+  const std::vector<double> cdf = ZipfCdf(shapes.size(), zipf_s);
+
+  std::printf("serving closed loop: sf=%.3f, %d clients x %d queries, "
+              "zipf s=%.2f over %zu shapes\n\n",
+              bench::MeasurementScaleFactor(), clients, queries_each, zipf_s,
+              shapes.size());
+
+  // --- byte-identity gate ---------------------------------------------------
+  // Every shape, run cache-cold through the server, must be byte-identical
+  // to the per-query engine without any cache.
+  serving::QueryServerOptions options;
+  options.result_cache_entries = 0;
+  serving::QueryServer server(env.cluster.get(), env.dataset.star, options);
+  core::ClydesdaleEngine direct(env.cluster.get(), env.dataset.star, {});
+
+  bool byte_identical = true;
+  for (const core::StarQuerySpec& spec : shapes) {
+    server.InvalidateAll();
+    auto served = server.Execute(spec);
+    CLY_CHECK(served.ok());
+    auto standalone = direct.Execute(spec);
+    CLY_CHECK(standalone.ok());
+    if (served->rows != standalone->rows) {
+      byte_identical = false;
+      std::fprintf(stderr, "BYTE-IDENTITY FAILURE on %s\n", spec.id.c_str());
+    }
+  }
+  CLY_CHECK(byte_identical);
+
+  // --- cold closed loop: the per-query engine, no cache ---------------------
+  const PassStats cold = RunClosedLoop(
+      [&](const core::StarQuerySpec& spec) { return direct.Execute(spec); },
+      shapes, cdf, clients, queries_each, /*seed_base=*/1234);
+
+  // --- warm closed loop, dim cache only ------------------------------------
+  server.InvalidateAll();
+  for (const core::StarQuerySpec& spec : shapes) {
+    CLY_CHECK(server.Execute(spec).ok());  // prime every shape's tables
+  }
+  const core::DimTableCacheStats before = server.dim_cache()->stats();
+  const PassStats warm = RunClosedLoop(
+      [&](const core::StarQuerySpec& spec) { return server.Execute(spec); },
+      shapes, cdf, clients, queries_each, /*seed_base=*/1234);
+  const core::DimTableCacheStats after = server.dim_cache()->stats();
+  const int64_t loop_hits = after.hits - before.hits;
+  const int64_t loop_misses = after.misses - before.misses;
+  const double hit_rate =
+      loop_hits + loop_misses > 0
+          ? static_cast<double>(loop_hits) /
+                static_cast<double>(loop_hits + loop_misses)
+          : 0.0;
+
+  // --- warm closed loop, result cache on (serving mode as shipped) ---------
+  serving::QueryServer replay_server(env.cluster.get(), env.dataset.star, {});
+  for (const core::StarQuerySpec& spec : shapes) {
+    CLY_CHECK(replay_server.Execute(spec).ok());
+  }
+  const PassStats replay = RunClosedLoop(
+      [&](const core::StarQuerySpec& spec) {
+        return replay_server.Execute(spec);
+      },
+      shapes, cdf, clients, queries_each, /*seed_base=*/1234);
+  const serving::QueryServerStats replay_stats = replay_server.stats();
+  const double result_hit_rate =
+      static_cast<double>(replay_stats.result_cache_hits) /
+      static_cast<double>(clients * queries_each);
+
+  PrintPass("cold", cold);
+  PrintPass("warm", warm);
+  PrintPass("warm+results", replay);
+  const double speedup_p50 =
+      PercentileMs(cold.latency_micros, 0.50) /
+      std::max(0.001, PercentileMs(warm.latency_micros, 0.50));
+  std::printf("\ndim cache: %lld hits / %lld misses in the loop "
+              "(hit rate %.1f%%), %lld evictions, %lld entries, %.1f KiB "
+              "resident\n",
+              static_cast<long long>(loop_hits),
+              static_cast<long long>(loop_misses), 100 * hit_rate,
+              static_cast<long long>(after.evictions),
+              static_cast<long long>(after.entries),
+              static_cast<double>(after.resident_bytes) / 1024.0);
+  std::printf("result cache: %lld replays (hit rate %.1f%%)\n",
+              static_cast<long long>(replay_stats.result_cache_hits),
+              100 * result_hit_rate);
+  std::printf("warm speedup: p50 %.2fx over cold\n", speedup_p50);
+
+  // The whole point of the serving mode: warm queries must beat cold ones,
+  // and the loop must actually have hit the cache.
+  CLY_CHECK(hit_rate > 0);
+
+  const char* json_path = std::getenv("CLY_SERVING_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    std::FILE* out = std::fopen(json_path, "w");
+    CLY_CHECK(out != nullptr);
+    std::fprintf(out,
+                 "{\n  \"scale_factor\": %.4f,\n  \"shapes\": %zu,\n"
+                 "  \"clients\": %d,\n  \"queries_per_client\": %d,\n"
+                 "  \"zipf_s\": %.3f,\n  \"byte_identical\": %s,\n",
+                 bench::MeasurementScaleFactor(), shapes.size(), clients,
+                 queries_each, zipf_s, byte_identical ? "true" : "false");
+    EmitPass(out, "cold", cold, /*trailing_comma=*/true);
+    EmitPass(out, "warm", warm, /*trailing_comma=*/true);
+    EmitPass(out, "warm_result_cache", replay, /*trailing_comma=*/true);
+    std::fprintf(out,
+                 "  \"warm_speedup_p50\": %.3f,\n"
+                 "  \"dim_cache\": {\"hits\": %lld, \"misses\": %lld, "
+                 "\"shared_builds\": %lld, \"evictions\": %lld, "
+                 "\"hit_rate\": %.4f, \"resident_bytes\": %lld, "
+                 "\"entries\": %lld},\n"
+                 "  \"result_cache\": {\"hits\": %lld, \"hit_rate\": %.4f}\n"
+                 "}\n",
+                 speedup_p50, static_cast<long long>(loop_hits),
+                 static_cast<long long>(loop_misses),
+                 static_cast<long long>(after.shared_builds),
+                 static_cast<long long>(after.evictions), hit_rate,
+                 static_cast<long long>(after.resident_bytes),
+                 static_cast<long long>(after.entries),
+                 static_cast<long long>(replay_stats.result_cache_hits),
+                 result_hit_rate);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

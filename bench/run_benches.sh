@@ -115,6 +115,51 @@ EOF
   echo "wrote ${SCAN_JSON} (late-materialization + compressed scan A/B)"
 fi
 
+# Resident serving mode (DESIGN.md §15): N zipfian clients replay the 13 SSB
+# shapes closed-loop against one QueryServer. Publishes cold vs warm
+# p50/p95/p99 latency, the cross-query dim-cache hit rate, the result-cache
+# replay rate, and the cold-pass byte-identity verdict.
+SERVING_BIN="${BENCH_DIR}/bench_serving"
+if [ -x "${SERVING_BIN}" ]; then
+  echo "== bench_serving (CLY_BENCH_SF=${CLY_BENCH_SF})"
+  SERVING_JSON="$(dirname "${OUT_JSON}")/BENCH_serving.json"
+  CLY_SERVING_JSON="${SERVING_JSON}" "${SERVING_BIN}" >/dev/null
+  if [ ! -e "${SERVING_JSON}" ]; then
+    echo "error: bench_serving did not write ${SERVING_JSON}" >&2
+    exit 1
+  fi
+  python3 - "${SERVING_JSON}" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+data = json.loads(open(path).read())
+required = ["scale_factor", "clients", "queries_per_client", "zipf_s",
+            "byte_identical", "cold", "warm", "warm_result_cache",
+            "warm_speedup_p50", "dim_cache", "result_cache"]
+missing = [k for k in required if k not in data]
+for pass_name in ("cold", "warm", "warm_result_cache"):
+    for sub in ("queries", "p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+        if pass_name in data and sub not in data[pass_name]:
+            missing.append(f"{pass_name}.{sub}")
+for sub in ("hits", "misses", "hit_rate", "evictions", "resident_bytes"):
+    if "dim_cache" in data and sub not in data["dim_cache"]:
+        missing.append(f"dim_cache.{sub}")
+if missing:
+    sys.exit(f"error: {path} lacks serving fields: {', '.join(missing)}")
+if data["byte_identical"] is not True:
+    sys.exit(f"error: {path}: cold serving pass diverged from the "
+             "per-query engine")
+if data["dim_cache"]["hit_rate"] <= 0:
+    sys.exit(f"error: {path}: warm loop never hit the dim cache")
+print(f"{path}: warm p50 {data['warm']['p50_ms']:.2f} ms vs cold "
+      f"{data['cold']['p50_ms']:.2f} ms "
+      f"({data['warm_speedup_p50']:.2f}x), dim-cache hit rate "
+      f"{100 * data['dim_cache']['hit_rate']:.1f}%")
+EOF
+  echo "wrote ${SERVING_JSON} (cold vs warm serving closed loop)"
+fi
+
 # Traced Q2.1 breakdown: publish the artifacts the observability layer
 # emits — Chrome trace + timeline (load the .trace.json in chrome://tracing
 # or https://ui.perfetto.dev for the per-stage drill-down), the Prometheus

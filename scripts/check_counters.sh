@@ -14,7 +14,10 @@
 #      query profile becomes headline counters);
 #   6. every kCounterMem* name in counters.h is actually flushed by
 #      AddMemTrackerCounters() in counters.cc (the only place the job's
-#      memory-tracker peaks become MEM_* counters).
+#      memory-tracker peaks become MEM_* counters);
+#   7. every kCounterCache* name in counters.h is actually flushed by
+#      AddDimCacheCounters() in counters.cc (the only place the serving-mode
+#      dim-cache activity becomes CACHE_* counters).
 # Registered as a ctest (tests/CMakeLists.txt) and runnable standalone:
 #   scripts/check_counters.sh [repo-root]
 set -u
@@ -140,6 +143,20 @@ for name in $mem_header; do
   if ! printf '%s\n' "$mem_flush" | grep -qx "$name"; then
     echo "check_counters: $name declared in counters.h but never flushed" \
          "by AddMemTrackerCounters()" >&2
+    fail=1
+  fi
+done
+
+# --- dim-cache counters: every declared kCounterCache* must be flushed by
+# --- the serving-cache helper (the only place CACHE_* counters are populated)
+cache_header=$(printf '%s\n' "$header_counters" | grep '^kCounterCache' || true)
+cache_flush=$(sed -n '/^void AddDimCacheCounters/,/^}/p' "$counters_cc" \
+  | grep -o 'kCounter[A-Za-z0-9]*' | sort -u)
+
+for name in $cache_header; do
+  if ! printf '%s\n' "$cache_flush" | grep -qx "$name"; then
+    echo "check_counters: $name declared in counters.h but never flushed" \
+         "by AddDimCacheCounters()" >&2
     fail=1
   fi
 done

@@ -19,6 +19,9 @@ struct QueryResult {
   std::vector<Row> rows;
   std::vector<mr::JobReport> stage_reports;
   double wall_seconds = 0;
+  /// Serving mode only: this result was an exact-repeat answer served from
+  /// the query server's result cache — no MapReduce job ran.
+  bool from_result_cache = false;
 
   /// Sum of a counter across stages.
   int64_t Counter(const std::string& name) const;

@@ -1,0 +1,141 @@
+#include "core/dim_table_cache.h"
+
+#include "common/hash.h"
+
+namespace clydesdale {
+namespace core {
+
+size_t DimCacheKeyHash::operator()(const DimCacheKey& key) const {
+  uint64_t h = HashString(key.table_path);
+  h = HashCombine(h, Mix64(static_cast<uint64_t>(key.version)));
+  h = HashCombine(h, key.filter_fingerprint);
+  return static_cast<size_t>(h);
+}
+
+uint64_t FilterFingerprint(const Predicate& predicate,
+                           const std::string& pk_column,
+                           const std::vector<std::string>& aux_columns) {
+  uint64_t h = HashString(predicate.ToString());
+  h = HashCombine(h, HashString(pk_column));
+  for (const std::string& c : aux_columns) {
+    h = HashCombine(h, HashString(c));
+  }
+  return h;
+}
+
+DimTableCache::DimTableCache(Options options,
+                             std::shared_ptr<obs::MemTracker> parent)
+    : options_(options),
+      tracker_(obs::MemTracker::Create("dim-cache", std::move(parent))) {}
+
+Result<std::shared_ptr<const DimHashTable>> DimTableCache::GetOrBuild(
+    const DimCacheKey& key, const Builder& builder, bool* hit) {
+  std::shared_ptr<Slot> slot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      slot = it->second;
+      if (!slot->done) {
+        // Single-flight: another query is building this exact entry; wait
+        // for its result instead of racing a duplicate build (and a
+        // duplicate MemTracker charge).
+        ++stats_.shared_builds;
+        cv_.wait(lock, [&] { return slot->done; });
+      }
+      if (!slot->status.ok()) return slot->status;
+      ++stats_.hits;
+      if (slot->resident) {
+        lru_.splice(lru_.begin(), lru_, slot->lru_it);  // touch
+      }
+      if (hit != nullptr) *hit = true;
+      return slot->table;
+    }
+    slot = std::make_shared<Slot>();
+    map_.emplace(key, slot);
+    ++stats_.misses;
+  }
+  if (hit != nullptr) *hit = false;
+
+  // Leader path: build outside the lock so concurrent lookups of *other*
+  // keys (and waiters parked on cv_) aren't serialized behind this build.
+  Result<std::shared_ptr<const DimHashTable>> built = builder(tracker_);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->done = true;
+  auto it = map_.find(key);
+  const bool still_mapped = it != map_.end() && it->second == slot;
+  if (!built.ok()) {
+    slot->status = built.status();
+    // Drop the failed slot so a later query retries the build.
+    if (still_mapped) map_.erase(it);
+  } else {
+    slot->table = *built;
+    // Invalidate(path) may have raced the build and unmapped the slot; the
+    // table still goes to every waiter, it just never becomes resident (it
+    // dies when the in-flight queries drop their references).
+    if (still_mapped) {
+      slot->resident = true;
+      lru_.push_front(key);
+      slot->lru_it = lru_.begin();
+      stats_.resident_bytes +=
+          static_cast<int64_t>(slot->table->stats().memory_bytes);
+      EvictWhileOverLocked(key);
+    }
+  }
+  cv_.notify_all();
+  return built;
+}
+
+void DimTableCache::EvictWhileOverLocked(const DimCacheKey& keep) {
+  if (options_.capacity_bytes == 0) return;
+  while (stats_.resident_bytes >
+             static_cast<int64_t>(options_.capacity_bytes) &&
+         !lru_.empty()) {
+    const DimCacheKey& victim = lru_.back();
+    // Never evict the entry the current caller is about to probe — even if
+    // it alone exceeds capacity, thrashing it in and out would rebuild it
+    // on every query while freeing nothing (the caller holds a reference).
+    if (victim == keep) break;
+    auto it = map_.find(victim);
+    DropResidencyLocked(it->second.get());
+    ++stats_.evictions;
+    map_.erase(it);
+  }
+}
+
+void DimTableCache::DropResidencyLocked(Slot* slot) {
+  if (!slot->resident) return;
+  stats_.resident_bytes -=
+      static_cast<int64_t>(slot->table->stats().memory_bytes);
+  lru_.erase(slot->lru_it);
+  slot->resident = false;
+}
+
+void DimTableCache::Invalidate(const std::string& table_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.table_path != table_path) {
+      ++it;
+      continue;
+    }
+    DropResidencyLocked(it->second.get());
+    it = map_.erase(it);
+  }
+}
+
+void DimTableCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : map_) DropResidencyLocked(entry.second.get());
+  map_.clear();
+}
+
+DimTableCacheStats DimTableCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DimTableCacheStats snapshot = stats_;
+  snapshot.entries = static_cast<int64_t>(lru_.size());
+  return snapshot;
+}
+
+}  // namespace core
+}  // namespace clydesdale

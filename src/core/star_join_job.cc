@@ -1,5 +1,7 @@
 #include "core/star_join_job.h"
 
+#include "core/dim_table_cache.h"
+
 #include <atomic>
 #include <thread>
 
@@ -276,38 +278,68 @@ void ApplyTraceConf(const ClydesdaleOptions& options, mr::JobConf* conf) {
 
 Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
     mr::TaskContext* context, const StarSchema& star,
-    const StarQuerySpec& spec) {
+    const StarQuerySpec& spec, const ClydesdaleOptions& options) {
   obs::Span build_span(context->trace(), "hash-build", "stage",
                        context->task_index(), context->node());
+  DimTableCache* cache = options.dim_cache.get();
   auto tables = std::make_shared<QueryHashTables>();
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
   for (const DimJoinSpec& join : spec.dims) {
     CLY_ASSIGN_OR_RETURN(const DimTableInfo* dim, star.dim(join.dimension));
-    CLY_ASSIGN_OR_RETURN(hdfs::BlockBuffer bytes,
-                         ReadDimensionReplica(context, *dim));
-    // Tables outlive this attempt (JVM reuse shares them across tasks), so
-    // they charge the per-(job, node) tracker, not the attempt's. A budget
-    // breach surfaces here as ResourceExhausted, failing the build cleanly.
-    CLY_ASSIGN_OR_RETURN(
-        std::shared_ptr<const DimHashTable> table,
-        DimHashTable::Build(*dim->desc.schema, bytes->data(), bytes->size(),
-                            *join.predicate, join.dim_pk, join.aux_columns,
-                            context->job_mem_tracker()));
-    context->counters()->Add(kCounterHashBuilds, 1);
-    context->counters()->Add(kCounterHashBuildRows,
-                             static_cast<int64_t>(table->stats().input_rows));
-    context->counters()->Add(kCounterHashEntries,
-                             static_cast<int64_t>(table->stats().entries));
-    context->counters()->Add(kCounterHashBytes,
-                             static_cast<int64_t>(table->stats().memory_bytes));
+    std::shared_ptr<const DimHashTable> table;
+    // One build closure either way; the CLY_HASH_* counters fire only on
+    // builds that actually ran, so a cache-warm query carries none.
+    auto build = [&](const std::shared_ptr<obs::MemTracker>& tracker)
+        -> Result<std::shared_ptr<const DimHashTable>> {
+      CLY_ASSIGN_OR_RETURN(hdfs::BlockBuffer bytes,
+                           ReadDimensionReplica(context, *dim));
+      CLY_ASSIGN_OR_RETURN(
+          std::shared_ptr<const DimHashTable> built,
+          DimHashTable::Build(*dim->desc.schema, bytes->data(), bytes->size(),
+                              *join.predicate, join.dim_pk, join.aux_columns,
+                              tracker));
+      context->counters()->Add(kCounterHashBuilds, 1);
+      context->counters()->Add(kCounterHashBuildRows,
+                               static_cast<int64_t>(built->stats().input_rows));
+      context->counters()->Add(kCounterHashEntries,
+                               static_cast<int64_t>(built->stats().entries));
+      context->counters()->Add(
+          kCounterHashBytes, static_cast<int64_t>(built->stats().memory_bytes));
+      return built;
+    };
+    if (cache != nullptr) {
+      // Serving mode: the table lives (and is byte-charged) in the
+      // cross-query cache. Keyed on the catalog version so a reload makes
+      // every entry built from the old data unreachable.
+      DimCacheKey key;
+      key.table_path = dim->desc.path;
+      key.version = context->cluster()->table_version(dim->desc.path);
+      key.filter_fingerprint =
+          FilterFingerprint(*join.predicate, join.dim_pk, join.aux_columns);
+      bool hit = false;
+      CLY_ASSIGN_OR_RETURN(table, cache->GetOrBuild(key, build, &hit));
+      ++(hit ? cache_hits : cache_misses);
+    } else {
+      // Tables outlive this attempt (JVM reuse shares them across tasks), so
+      // they charge the per-(job, node) tracker, not the attempt's. A budget
+      // breach surfaces here as ResourceExhausted, failing the build cleanly.
+      CLY_ASSIGN_OR_RETURN(table, build(context->job_mem_tracker()));
+    }
     tables->total_memory_bytes += table->stats().memory_bytes;
     tables->tables.push_back(std::move(table));
+  }
+  if (cache != nullptr) {
+    mr::AddDimCacheCounters(cache_hits, cache_misses, /*evictions=*/0,
+                            cache->stats().resident_bytes,
+                            context->counters());
   }
   return tables;
 }
 
 Result<std::shared_ptr<QueryHashTables>> GetOrBuildHashTables(
     mr::TaskContext* context, const StarSchema& star,
-    const StarQuerySpec& spec) {
+    const StarQuerySpec& spec, const ClydesdaleOptions& options) {
   // The JVM-reuse amortisation, made visible: the first task on a node pays
   // a nested "hash-build"; later tasks' "hash-tables" spans are near-zero.
   obs::Span amortise_span(context->trace(), "hash-tables", "stage",
@@ -317,7 +349,7 @@ Result<std::shared_ptr<QueryHashTables>> GetOrBuildHashTables(
       context->shared_state()->GetOrCreate<QueryHashTables>(
           StrCat("clydesdale.hash.", spec.id),
           [&]() -> std::shared_ptr<QueryHashTables> {
-            auto built = BuildQueryHashTables(context, star, spec);
+            auto built = BuildQueryHashTables(context, star, spec, options);
             if (!built.ok()) {
               build_status = built.status();
               return nullptr;
@@ -344,7 +376,7 @@ Status StarJoinMapRunner::Run(const mr::InputSplit& split,
   const mr::JobConf& conf = context->conf();
   // buildHashTables(conf) — once per node thanks to the shared state.
   CLY_ASSIGN_OR_RETURN(std::shared_ptr<QueryHashTables> tables,
-                       GetOrBuildHashTables(context, *star_, spec_));
+                       GetOrBuildHashTables(context, *star_, spec_, options_));
 
   CLY_ASSIGN_OR_RETURN(storage::TableDesc fact_desc,
                        context->cluster()->GetTable(star_->fact().path));
@@ -614,7 +646,7 @@ Status StarJoinMapper::Setup(mr::TaskContext* context) {
     state_->sink.agg.AttachMemTracker(context->mem_tracker());
   }
   CLY_ASSIGN_OR_RETURN(state_->tables,
-                       GetOrBuildHashTables(context, *star_, spec_));
+                       GetOrBuildHashTables(context, *star_, spec_, options_));
   CLY_ASSIGN_OR_RETURN(storage::TableDesc fact_desc,
                        context->cluster()->GetTable(star_->fact().path));
   CLY_ASSIGN_OR_RETURN(std::vector<std::string> projection,

@@ -14,6 +14,8 @@
 namespace clydesdale {
 namespace core {
 
+class DimTableCache;
+
 /// Engine knobs; the three paper §6.5 ablation switches plus tuning.
 struct ClydesdaleOptions {
   /// Multi-threaded map tasks sharing one hash-table copy per node
@@ -88,6 +90,13 @@ struct ClydesdaleOptions {
   /// Distinct from max_hash_memory_bytes, which *re-plans* (staged
   /// fallback) instead of rejecting.
   uint64_t mem_budget_bytes = 0;
+  /// Cross-query dimension hash-table cache (serving mode, DESIGN.md §15).
+  /// When set, the build path becomes a cluster-wide cache lookup keyed by
+  /// (table path, table version, filter fingerprint): repeated queries probe
+  /// tables built by earlier jobs, concurrent jobs single-flight the build,
+  /// and the bytes charge the cache's MemTracker instead of the job's. Null
+  /// (the default) keeps per-job builds — the paper's behaviour.
+  std::shared_ptr<DimTableCache> dim_cache;
 };
 
 /// Forwards the options' engine knobs (trace, pipelined shuffle) into a
@@ -131,16 +140,18 @@ struct QueryHashTables {
 
 /// Builds every dimension hash table of `spec` from the node-local replicas
 /// (fetching from HDFS if a replica is missing). Updates the CLY_HASH_*
-/// counters.
+/// counters for tables actually built. With options.dim_cache set, each
+/// table is a cross-query cache lookup instead: cache-warm dimensions skip
+/// the replica read and build entirely (flushing CACHE_DIM_HITS/MISSES).
 Result<std::shared_ptr<QueryHashTables>> BuildQueryHashTables(
     mr::TaskContext* context, const StarSchema& star,
-    const StarQuerySpec& spec);
+    const StarQuerySpec& spec, const ClydesdaleOptions& options);
 
 /// Returns the node's shared tables, building on first use (JVM reuse: one
 /// build per node per query when tasks share state).
 Result<std::shared_ptr<QueryHashTables>> GetOrBuildHashTables(
     mr::TaskContext* context, const StarSchema& star,
-    const StarQuerySpec& spec);
+    const StarQuerySpec& spec, const ClydesdaleOptions& options);
 
 /// Clydesdale's MTMapRunner (paper Figure 5): builds the hash tables once,
 /// then runs the probe over the multi-split's constituents with one thread

@@ -54,7 +54,8 @@ Result<core::QueryResult> HiveEngine::Execute(const core::StarQuerySpec& spec) {
           std::string hash_file,
           BuildMapJoinHashFile(cluster_, stage, StrCat(scratch, "/", spec.id),
                                &hash_bytes));
-      CLY_ASSIGN_OR_RETURN(conf, MakeMapJoinJob(stage, hash_file));
+      CLY_ASSIGN_OR_RETURN(conf,
+                           MakeMapJoinJob(stage, hash_file, options_.dim_cache));
     }
     conf.job_name = StrCat("hive-", spec.id, "-", conf.job_name);
     apply_trace(&conf);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/dim_hash_table.h"
+#include "core/dim_table_cache.h"
 #include "hive/hive_plan.h"
 #include "mapreduce/engine.h"
 
@@ -29,10 +30,18 @@ Result<std::string> BuildMapJoinHashFile(mr::MrCluster* cluster,
 /// in Setup (Hive reloads it per task — no JVM reuse; paper §6.3/§6.4) and
 /// probes it while scanning its fact split. Map-only; joined rows go
 /// straight to the stage's output table.
+///
+/// With a serving-mode `cache`, the per-task reload becomes the same
+/// cross-query lookup Clydesdale's build path uses — keyed on the dimension
+/// table (not the broadcast file), its catalog version, and the stage's
+/// dimension filter — so repeated Hive queries skip the deserialization too.
 class MapJoinMapper final : public mr::Mapper {
  public:
-  MapJoinMapper(JoinStageSpec spec, std::string hash_file)
-      : spec_(std::move(spec)), hash_file_(std::move(hash_file)) {}
+  MapJoinMapper(JoinStageSpec spec, std::string hash_file,
+                std::shared_ptr<core::DimTableCache> cache = nullptr)
+      : spec_(std::move(spec)),
+        hash_file_(std::move(hash_file)),
+        cache_(std::move(cache)) {}
 
   Status Setup(mr::TaskContext* context) override;
   Status Map(const Row& key, const Row& value, mr::TaskContext* context,
@@ -42,6 +51,7 @@ class MapJoinMapper final : public mr::Mapper {
  private:
   JoinStageSpec spec_;
   std::string hash_file_;
+  std::shared_ptr<core::DimTableCache> cache_;
   std::shared_ptr<const core::DimHashTable> table_;
   BoundPredicatePtr fact_pred_;
   int fact_fk_index_ = -1;
@@ -55,9 +65,11 @@ class MapJoinMapper final : public mr::Mapper {
 };
 
 /// Configures the map-only MapReduce job for one mapjoin stage. The hash
-/// file must have been produced by BuildMapJoinHashFile first.
-Result<mr::JobConf> MakeMapJoinJob(const JoinStageSpec& spec,
-                                   const std::string& hash_file);
+/// file must have been produced by BuildMapJoinHashFile first. `cache`
+/// (optional) is the serving-mode cross-query dim-table cache.
+Result<mr::JobConf> MakeMapJoinJob(
+    const JoinStageSpec& spec, const std::string& hash_file,
+    std::shared_ptr<core::DimTableCache> cache = nullptr);
 
 }  // namespace hive
 }  // namespace clydesdale

@@ -15,6 +15,7 @@ std::vector<std::string> StandardMetricFamilyNames() {
       kMetricStragglersTotal,      kMetricJobsRunning,
       kMetricMemNodeBytes,         kMetricMemNodePeakBytes,
       kMetricMemJobBytes,          kMetricMemJobPeakBytes,
+      kMetricCacheBytes,           kMetricCacheEntries,
   };
 }
 
@@ -94,6 +95,16 @@ ClusterMetrics::ClusterMetrics(obs::MetricsRegistry* registry, int num_nodes)
           ->CounterAt();
   jobs_running_ =
       registry->GaugeFamily(kMetricJobsRunning, "Jobs currently executing")
+          ->GaugeAt();
+  cache_bytes_ =
+      registry
+          ->GaugeFamily(kMetricCacheBytes,
+                        "Resident bytes in the cross-query dim-table cache")
+          ->GaugeAt();
+  cache_entries_ =
+      registry
+          ->GaugeFamily(kMetricCacheEntries,
+                        "Resident entries in the cross-query dim-table cache")
           ->GaugeAt();
 }
 

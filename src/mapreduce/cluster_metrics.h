@@ -57,6 +57,11 @@ inline constexpr const char kMetricMemNodePeakBytes[] =
 inline constexpr const char kMetricMemJobBytes[] = "cly_mem_job_bytes";
 inline constexpr const char kMetricMemJobPeakBytes[] =
     "cly_mem_job_peak_bytes";
+// Serving-mode cross-query dim-table cache footprint (resident bytes and
+// entry count), sampled by the MetricsPoller through MrCluster's cache
+// stats probe. Zero unless a query server is attached.
+inline constexpr const char kMetricCacheBytes[] = "cly_cache_bytes";
+inline constexpr const char kMetricCacheEntries[] = "cly_cache_entries";
 
 /// Every kMetric* family name above, for the sync audit.
 std::vector<std::string> StandardMetricFamilyNames();
@@ -112,6 +117,10 @@ class ClusterMetrics {
   obs::Gauge* mem_job_bytes(int node) { return mem_job_bytes_[node]; }
   obs::Gauge* mem_job_peak_bytes(int node) { return mem_job_peak_bytes_[node]; }
 
+  // Serving-mode dim-table cache exposition (poller-sampled).
+  obs::Gauge* cache_bytes() { return cache_bytes_; }
+  obs::Gauge* cache_entries() { return cache_entries_; }
+
  private:
   obs::MetricsRegistry* const registry_;
 
@@ -132,6 +141,8 @@ class ClusterMetrics {
   std::vector<obs::Gauge*> mem_node_peak_bytes_;
   std::vector<obs::Gauge*> mem_job_bytes_;
   std::vector<obs::Gauge*> mem_job_peak_bytes_;
+  obs::Gauge* cache_bytes_;
+  obs::Gauge* cache_entries_;
 };
 
 }  // namespace mr

@@ -46,6 +46,10 @@ std::vector<std::string> SituationalCounterNames() {
       kCounterMemJobPeakBytes,
       kCounterMemNodePeakBytes,
       kCounterMemBudgetBytes,
+      kCounterCacheDimHits,
+      kCounterCacheDimMisses,
+      kCounterCacheDimEvictions,
+      kCounterCacheBytes,
   };
 }
 
@@ -130,6 +134,15 @@ void AddMemTrackerCounters(
   if (budget_bytes > 0) {
     counters->Set(kCounterMemBudgetBytes, static_cast<int64_t>(budget_bytes));
   }
+}
+
+void AddDimCacheCounters(int64_t hits, int64_t misses, int64_t evictions,
+                         int64_t resident_bytes, Counters* counters) {
+  if (hits > 0) counters->Add(kCounterCacheDimHits, hits);
+  if (misses > 0) counters->Add(kCounterCacheDimMisses, misses);
+  if (evictions > 0) counters->Add(kCounterCacheDimEvictions, evictions);
+  // Footprint, not a flow: the latest observation wins across tasks/stages.
+  if (resident_bytes >= 0) counters->Set(kCounterCacheBytes, resident_bytes);
 }
 
 obs::OperatorProfile ScanProfileNode(const std::string& name,

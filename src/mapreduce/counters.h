@@ -69,6 +69,16 @@ inline constexpr const char kCounterProfTasksProfiled[] =
 inline constexpr const char kCounterMemJobPeakBytes[] = "MEM_JOB_PEAK_BYTES";
 inline constexpr const char kCounterMemNodePeakBytes[] = "MEM_NODE_PEAK_BYTES";
 inline constexpr const char kCounterMemBudgetBytes[] = "MEM_BUDGET_BYTES";
+// Serving-mode cross-query dim-table cache (core/dim_table_cache.h; only
+// queries running with a ClydesdaleOptions::dim_cache carry these):
+// per-dimension lookups served from a resident or in-flight entry vs builds
+// paid, entries evicted while the query ran, and the cache's resident bytes
+// when the query flushed (Set, not summed).
+inline constexpr const char kCounterCacheDimHits[] = "CACHE_DIM_HITS";
+inline constexpr const char kCounterCacheDimMisses[] = "CACHE_DIM_MISSES";
+inline constexpr const char kCounterCacheDimEvictions[] =
+    "CACHE_DIM_EVICTIONS";
+inline constexpr const char kCounterCacheBytes[] = "CACHE_BYTES";
 
 /// Every engine-maintained counter name above, for audits asserting that a
 /// suitably shaped job populates all of them (tests/mapreduce_test.cc).
@@ -160,6 +170,15 @@ void AddQueryProfileCounters(const obs::QueryProfile& profile,
 void AddMemTrackerCounters(
     const std::vector<std::shared_ptr<obs::MemTracker>>& job_trackers,
     uint64_t budget_bytes, Counters* counters);
+
+/// Folds serving-mode dim-table cache activity into `counters` — the only
+/// place the CACHE_* counters are populated (scripts/check_counters.sh
+/// audit #7). Hits/misses/evictions are summed deltas; `resident_bytes` is
+/// the cache's current footprint and overwrites (Set) rather than sums.
+/// Zero deltas and negative bytes are not recorded, so cache-less jobs carry
+/// no CACHE_* counters.
+void AddDimCacheCounters(int64_t hits, int64_t misses, int64_t evictions,
+                         int64_t resident_bytes, Counters* counters);
 
 /// Builds one "scan" OperatorProfile node (tasks=1) from a completed scan's
 /// stats: rows out, decoded/raw bytes, skip/prune counts, per-encoding block

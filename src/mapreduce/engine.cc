@@ -74,6 +74,26 @@ Result<storage::TableDesc> MrCluster::GetTable(const std::string& path) {
 void MrCluster::InvalidateTable(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   table_cache_.erase(path);
+  // First invalidation moves the implicit version 1 to 2; every later one
+  // keeps counting. Serving caches key on (path, version), so this is the
+  // reload-invalidation mechanism.
+  ++table_versions_.try_emplace(path, 1).first->second;
+}
+
+int64_t MrCluster::table_version(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_versions_.find(path);
+  return it == table_versions_.end() ? 1 : it->second;
+}
+
+void MrCluster::SetCacheStatsProbe(CacheStatsProbe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_stats_probe_ = std::move(probe);
+}
+
+MrCluster::CacheStatsProbe MrCluster::cache_stats_probe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_stats_probe_;
 }
 
 std::shared_ptr<SharedJvmState> MrCluster::SharedStateFor(int64_t job_instance,
@@ -321,6 +341,13 @@ Result<JobResult> ExecuteJob(MrCluster* cluster, JobConf& conf,
           metrics->mem_job_bytes(n)->Set(job_tracker->consumed());
           metrics->mem_job_peak_bytes(n)->Set(job_tracker->peak());
         }
+      }
+      // Serving mode: sample the cross-query dim-table cache through the
+      // cluster's type-erased probe. No server attached → gauges stay 0.
+      if (MrCluster::CacheStatsProbe probe = cluster->cache_stats_probe()) {
+        const auto [cache_bytes, cache_entries] = probe();
+        metrics->cache_bytes()->Set(cache_bytes);
+        metrics->cache_entries()->Set(cache_entries);
       }
     });
     poller->Start();

@@ -1,6 +1,7 @@
 #ifndef CLYDESDALE_MAPREDUCE_ENGINE_H_
 #define CLYDESDALE_MAPREDUCE_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -78,8 +79,23 @@ class MrCluster {
 
   /// Loads (and caches) a table's metadata.
   Result<storage::TableDesc> GetTable(const std::string& path);
-  /// Drops a cached TableDesc (after rewriting a table).
+  /// Drops a cached TableDesc (after rewriting a table) and bumps the
+  /// path's catalog version, so serving-layer caches keyed on
+  /// (path, version) can never serve entries built from the old data.
   void InvalidateTable(const std::string& path);
+  /// Monotone catalog version of a table path; starts at 1 for paths never
+  /// invalidated. Every (re)load path funnels through InvalidateTable, which
+  /// bumps this.
+  int64_t table_version(const std::string& path);
+
+  /// Serving-layer hook: lets a resident query server expose its dim-table
+  /// cache footprint to the per-job MetricsPoller without this layer
+  /// depending on the serving layer. The probe returns (resident bytes,
+  /// resident entries); sampled into the cly_cache_* gauges each poll tick.
+  /// Pass nullptr to clear.
+  using CacheStatsProbe = std::function<std::pair<int64_t, int64_t>()>;
+  void SetCacheStatsProbe(CacheStatsProbe probe);
+  CacheStatsProbe cache_stats_probe();
 
   /// JVM-reuse registry: per-(job instance, node) shared state. The engine
   /// hands these to tasks when the job enables jvm_reuse.
@@ -109,6 +125,8 @@ class MrCluster {
 
   std::mutex mu_;
   std::unordered_map<std::string, storage::TableDesc> table_cache_;
+  std::unordered_map<std::string, int64_t> table_versions_;
+  CacheStatsProbe cache_stats_probe_;
   std::map<std::pair<int64_t, hdfs::NodeId>, std::shared_ptr<SharedJvmState>>
       shared_states_;
   int64_t next_job_instance_ = 1;

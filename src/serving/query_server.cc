@@ -1,0 +1,188 @@
+#include "serving/query_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "mapreduce/counters.h"
+
+namespace clydesdale {
+namespace serving {
+
+namespace {
+
+core::ClydesdaleOptions WithCache(core::ClydesdaleOptions options,
+                                  std::shared_ptr<core::DimTableCache> cache) {
+  options.dim_cache = std::move(cache);
+  return options;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(mr::MrCluster* cluster, core::StarSchema star,
+                         QueryServerOptions options)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      dim_cache_(std::make_shared<core::DimTableCache>(
+          core::DimTableCache::Options{options_.dim_cache_bytes},
+          cluster->mem_tracker())),
+      engine_(cluster, std::move(star),
+              WithCache(options_.engine, dim_cache_)) {
+  // Expose the cache footprint to every job's MetricsPoller (cly_cache_*
+  // gauges) without the mapreduce layer knowing this layer exists.
+  cluster_->SetCacheStatsProbe([cache = dim_cache_] {
+    const core::DimTableCacheStats s = cache->stats();
+    return std::make_pair(s.resident_bytes, s.entries);
+  });
+  const int threads = std::max(1, options_.worker_threads);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  cluster_->SetCacheStatsProbe(nullptr);
+}
+
+uint64_t QueryServer::ResultCacheKey(const core::StarQuerySpec& spec) {
+  uint64_t h = HashString(spec.id);
+  h = HashCombine(h, HashString(spec.fact_predicate->ToString()));
+  for (const core::DimJoinSpec& join : spec.dims) {
+    h = HashCombine(h, HashString(join.dimension));
+    h = HashCombine(h, HashString(join.fact_fk));
+    h = HashCombine(
+        h, core::FilterFingerprint(*join.predicate, join.dim_pk,
+                                   join.aux_columns));
+    // The dimension's catalog version: a reload makes every cached result
+    // that read the old data unreachable.
+    if (auto dim = engine_.star().dim(join.dimension); dim.ok()) {
+      h = HashCombine(h, Mix64(static_cast<uint64_t>(
+                             cluster_->table_version((*dim)->desc.path))));
+    }
+  }
+  for (const core::AggSpec& agg : spec.aggregates) {
+    h = HashCombine(h, HashString(agg.name));
+    h = HashCombine(h, HashString(core::AggKindToString(agg.kind)));
+    if (agg.expr != nullptr) {
+      h = HashCombine(h, HashString(agg.expr->ToString()));
+    }
+  }
+  for (const std::string& g : spec.group_by) h = HashCombine(h, HashString(g));
+  for (const core::OrderBySpec& o : spec.order_by) {
+    h = HashCombine(h, HashString(o.column));
+    h = HashCombine(h, o.ascending ? 1 : 2);
+  }
+  const std::string& fact_path = engine_.star().fact().path;
+  h = HashCombine(h, HashString(fact_path));
+  h = HashCombine(
+      h, Mix64(static_cast<uint64_t>(cluster_->table_version(fact_path))));
+  return h;
+}
+
+Result<core::QueryResult> QueryServer::Execute(
+    const core::StarQuerySpec& spec) {
+  const uint64_t key = ResultCacheKey(spec);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_;
+    if (options_.result_cache_entries > 0) {
+      auto it = result_index_.find(key);
+      if (it != result_index_.end()) {
+        result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
+        ++result_cache_hits_;
+        core::QueryResult result = it->second->result;
+        result.from_result_cache = true;
+        return result;
+      }
+    }
+  }
+
+  CLY_ASSIGN_OR_RETURN(core::QueryResult result, engine_.Execute(spec));
+
+  const core::DimTableCacheStats cache_stats = dim_cache_->stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Surface the cache activity the build path can't see from inside a task:
+  // evictions (which happen on *other* queries' inserts) as a once-each
+  // delta, and the post-query resident footprint. Rides the standard flush
+  // helper so check_counters.sh audit #7 covers it.
+  const int64_t evict_delta = cache_stats.evictions - evictions_flushed_;
+  evictions_flushed_ = cache_stats.evictions;
+  if (!result.stage_reports.empty()) {
+    mr::AddDimCacheCounters(/*hits=*/0, /*misses=*/0, evict_delta,
+                            cache_stats.resident_bytes,
+                            &result.stage_reports.back().counters);
+  }
+  if (options_.result_cache_entries > 0) {
+    result_lru_.push_front({key, result});
+    result_index_[key] = result_lru_.begin();
+    while (result_lru_.size() > options_.result_cache_entries) {
+      result_index_.erase(result_lru_.back().key);
+      result_lru_.pop_back();
+    }
+  }
+  return result;
+}
+
+std::future<Result<core::QueryResult>> QueryServer::Submit(
+    core::StarQuerySpec spec) {
+  auto pending = std::make_unique<PendingQuery>();
+  pending->spec = std::move(spec);
+  std::future<Result<core::QueryResult>> future =
+      pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void QueryServer::WorkerLoop() {
+  while (true) {
+    std::unique_ptr<PendingQuery> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and the queue has drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job->promise.set_value(Execute(job->spec));
+  }
+}
+
+void QueryServer::Invalidate(const std::string& table_path) {
+  cluster_->InvalidateTable(table_path);  // version bump
+  dim_cache_->Invalidate(table_path);
+  // Result entries keyed with the old version can never hit again; drop
+  // them eagerly anyway so their rows don't linger until LRU turnover.
+  std::lock_guard<std::mutex> lock(mu_);
+  result_index_.clear();
+  result_lru_.clear();
+}
+
+void QueryServer::InvalidateAll() {
+  dim_cache_->Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  result_index_.clear();
+  result_lru_.clear();
+}
+
+QueryServerStats QueryServer::stats() const {
+  QueryServerStats stats;
+  stats.dim_cache = dim_cache_->stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.queries = queries_;
+  stats.result_cache_hits = result_cache_hits_;
+  return stats;
+}
+
+}  // namespace serving
+}  // namespace clydesdale

@@ -31,6 +31,9 @@ Result<core::DimTableInfo> LoadDimension(
   }
   CLY_RETURN_IF_ERROR(writer->Close());
   dim.desc.num_rows = static_cast<uint64_t>(rows);
+  // (Re)load invalidation: bump the path's catalog version so serving-mode
+  // caches never probe a table built from the previous load.
+  cluster->InvalidateTable(dim.desc.path);
 
   CLY_RETURN_IF_ERROR(core::ReplicateDimensionToAllNodes(cluster, dim));
   return dim;
@@ -101,6 +104,10 @@ Result<SsbDataset> LoadSsb(mr::MrCluster* cluster,
   CLY_RETURN_IF_ERROR(cif_writer->Close());
   if (rc_writer != nullptr) CLY_RETURN_IF_ERROR(rc_writer->Close());
   if (text_writer != nullptr) CLY_RETURN_IF_ERROR(text_writer->Close());
+  // Version bumps for the rewritten fact copies (reload invalidation).
+  cluster->InvalidateTable(cif.path);
+  if (rc_writer != nullptr) cluster->InvalidateTable(dataset.fact_rcfile.path);
+  if (text_writer != nullptr) cluster->InvalidateTable(dataset.fact_text.path);
   dataset.lineorder_rows = stream.rows_emitted();
   cif.num_rows = dataset.lineorder_rows;
   dataset.fact_rcfile.num_rows = dataset.lineorder_rows;
